@@ -1,0 +1,53 @@
+//! Baseline extraction algorithms the paper positions itself against
+//! (Section 2 and the RoadRunner discussion in Section 6.3).
+//!
+//! * [`roadrunner`] — a simplified RoadRunner: union-free grammar
+//!   induction by pairwise page alignment. The paper's argument is that
+//!   such grammars "do not allow for disjunctions", so sites that format
+//!   the same field in alternative ways (the Superpages missing-address
+//!   case) defeat it; this implementation reports exactly that failure.
+//! * [`iepad`] — an IEPAD-style segmenter: find the maximal repeated HTML
+//!   tag sequence on the list page and cut records at its occurrences.
+//! * [`domtable`] — the naive DOM heuristic: largest `<table>`, one record
+//!   per `<tr>`. "A naive approach based on using HTML tags will not work"
+//!   (Section 1) — this baseline quantifies that claim on the free-form
+//!   and numbered sites.
+//!
+//! * [`textseg`] — plain-text table segmentation by whitespace alignment,
+//!   the Section 2.2 contrast: "Record segmentation from plain text
+//!   documents is ... a much easier task", including the wrapped-cell
+//!   non-locality the paper describes.
+//!
+//! All of these are *single-page, layout-based* methods: they never look
+//! at detail pages, which is precisely the information the paper's
+//! methods exploit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod domtable;
+pub mod iepad;
+pub mod roadrunner;
+pub mod textseg;
+
+use std::ops::Range;
+
+/// A baseline's segmentation of a list page: byte ranges of the record
+/// rows it detected, in page order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineSegmentation {
+    /// Detected record regions as byte ranges in the page source.
+    pub records: Vec<Range<usize>>,
+}
+
+impl BaselineSegmentation {
+    /// Number of detected records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing was detected.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}

@@ -1,0 +1,329 @@
+//! A simplified RoadRunner (Crescenzi, Mecca & Merialdo, VLDB 2001):
+//! union-free grammar induction by aligning two sample pages.
+//!
+//! RoadRunner infers a page grammar made of fixed tokens, data slots
+//! (`#PCDATA`) and optional/iterated sub-expressions — but **no
+//! disjunctions**. The induction here aligns two pages token by token:
+//!
+//! * equal tokens become fixed grammar tokens;
+//! * mismatches between *text* tokens generalize to a `#PCDATA` slot;
+//! * mismatches involving *tags* are resolved by searching for an iterator
+//!   (a repeated row template) or an optional; if neither explains the
+//!   mismatch the induction **fails** — the union-free limitation the
+//!   paper exploits in its Section 6.3 comparison ("alternate
+//!   [formatting] instructions are syntactically equivalent to
+//!   disjunctions, which are disallowed by union-free grammars").
+
+use tableseg_html::lexer::{is_closing, tag_name, tokenize};
+use tableseg_html::Token;
+
+/// The comparison key of a token during alignment. RoadRunner treats tags
+/// with varying attributes (per-row `href`s, alternating `bgcolor`s) as
+/// the same grammar symbol, so tags compare by (closing, name); text
+/// compares exactly.
+fn same_symbol(a: &Token, b: &Token) -> bool {
+    match (a.is_html(), b.is_html()) {
+        (true, true) => {
+            is_closing(&a.text) == is_closing(&b.text)
+                && tag_name(&a.text) == tag_name(&b.text)
+        }
+        (false, false) => a.text == b.text,
+        _ => false,
+    }
+}
+
+/// Canonical display form of a tag symbol (attributes stripped).
+fn symbol_text(t: &Token) -> String {
+    if t.is_html() {
+        if is_closing(&t.text) {
+            format!("</{}>", tag_name(&t.text))
+        } else {
+            format!("<{}>", tag_name(&t.text))
+        }
+    } else {
+        t.text.clone()
+    }
+}
+
+/// A union-free grammar element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrammarNode {
+    /// A fixed token (tag or text) common to all pages.
+    Fixed(String),
+    /// A data slot (`#PCDATA`).
+    Data,
+    /// An iterated sub-template `( ... )+` — the table row.
+    Iterator(Vec<GrammarNode>),
+    /// An optional sub-template `( ... )?`.
+    Optional(Vec<GrammarNode>),
+}
+
+/// Why induction failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InductionError {
+    /// A tag mismatch that no iterator or optional explains — a
+    /// disjunction would be required, and union-free grammars have none.
+    DisjunctionRequired {
+        /// Token on the first page at the point of failure.
+        left: String,
+        /// Token on the second page at the point of failure.
+        right: String,
+    },
+    /// Fewer than two pages supplied.
+    NeedTwoPages,
+}
+
+/// Result of a RoadRunner-style induction.
+pub type InductionResult = Result<Vec<GrammarNode>, InductionError>;
+
+/// Induces a union-free grammar from two sample pages.
+pub fn induce(page_a: &str, page_b: &str) -> InductionResult {
+    let a = tokenize(page_a);
+    let b = tokenize(page_b);
+    align(&a, &b, 0)
+}
+
+const MAX_SQUARE: usize = 40;
+
+fn align(a: &[Token], b: &[Token], depth: usize) -> InductionResult {
+    if depth > 24 {
+        // Runaway recursion means the pages cannot be reconciled.
+        return Err(InductionError::DisjunctionRequired {
+            left: a.first().map(|t| t.text.clone()).unwrap_or_default(),
+            right: b.first().map(|t| t.text.clone()).unwrap_or_default(),
+        });
+    }
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut j = 0;
+    while i < a.len() && j < b.len() {
+        let (ta, tb) = (&a[i], &b[j]);
+        if same_symbol(ta, tb) {
+            out.push(GrammarNode::Fixed(symbol_text(ta)));
+            i += 1;
+            j += 1;
+            continue;
+        }
+        // String mismatch → data slot.
+        if ta.is_text() && tb.is_text() {
+            out.push(GrammarNode::Data);
+            i += 1;
+            j += 1;
+            continue;
+        }
+        // Tag mismatch → try an iterator ("square" discovery): one page
+        // repeats a block the other has fewer copies of. The block is
+        // delimited by the mismatch position and the previous occurrence
+        // of the same terminator tag.
+        if let Some((node, ni, nj)) = discover_iterator(a, b, i, j, depth)? {
+            out.push(node);
+            i = ni;
+            j = nj;
+            continue;
+        }
+        // Try an optional: skip ahead on one side to re-synchronize.
+        if let Some((node, ni, nj)) = discover_optional(a, b, i, j) {
+            out.push(node);
+            i = ni;
+            j = nj;
+            continue;
+        }
+        return Err(InductionError::DisjunctionRequired {
+            left: ta.text.clone(),
+            right: tb.text.clone(),
+        });
+    }
+    // Tails: whatever remains on either page is optional.
+    if i < a.len() {
+        out.push(GrammarNode::Optional(
+            a[i..].iter().map(|t| GrammarNode::Fixed(symbol_text(t))).collect(),
+        ));
+    } else if j < b.len() {
+        out.push(GrammarNode::Optional(
+            b[j..].iter().map(|t| GrammarNode::Fixed(symbol_text(t))).collect(),
+        ));
+    }
+    Ok(out)
+}
+
+type IteratorHit = Option<(GrammarNode, usize, usize)>;
+
+/// Tries to explain a tag mismatch at `(i, j)` as an iterated row: the
+/// classic RoadRunner "square" match. Looks backwards for the start of a
+/// candidate block on the side whose current tag re-occurs earlier.
+fn discover_iterator(
+    a: &[Token],
+    b: &[Token],
+    i: usize,
+    j: usize,
+    depth: usize,
+) -> Result<IteratorHit, InductionError> {
+    // Case 1: page A repeats a block at i that B does not have.
+    if let Some(block) = backward_block(a, i) {
+        let len = block.len();
+        if len > 0 && len <= MAX_SQUARE && matches_at(a, i, block) {
+            // Consume repetitions on A.
+            let mut ni = i;
+            while matches_at(a, ni, block) {
+                ni += len;
+            }
+            let template = align(&a[i - len..i], &a[i..i + len], depth + 1)?;
+            return Ok(Some((GrammarNode::Iterator(template), ni, j)));
+        }
+    }
+    // Case 2: symmetric, B repeats.
+    if let Some(block) = backward_block(b, j) {
+        let len = block.len();
+        if len > 0 && len <= MAX_SQUARE && matches_at(b, j, block) {
+            let mut nj = j;
+            while matches_at(b, nj, block) {
+                nj += len;
+            }
+            let template = align(&b[j - len..j], &b[j..j + len], depth + 1)?;
+            return Ok(Some((GrammarNode::Iterator(template), i, nj)));
+        }
+    }
+    Ok(None)
+}
+
+/// The candidate repeated block ending just before `pos`: the tokens since
+/// the previous occurrence of the tag at `pos` (tag-delimited square).
+fn backward_block(toks: &[Token], pos: usize) -> Option<&[Token]> {
+    if !toks[pos].is_html() {
+        return None;
+    }
+    let start = toks[..pos]
+        .iter()
+        .rposition(|t| same_symbol(t, &toks[pos]))?;
+    Some(&toks[start..pos])
+}
+
+/// Does `block` structurally match `toks[pos..]`? Tags must agree by
+/// (closing, name); text tokens match any text token (they are data).
+fn matches_at(toks: &[Token], pos: usize, block: &[Token]) -> bool {
+    if pos + block.len() > toks.len() {
+        return false;
+    }
+    block.iter().zip(&toks[pos..]).all(|(b, t)| {
+        if b.is_html() || t.is_html() {
+            same_symbol(b, t)
+        } else {
+            true
+        }
+    })
+}
+
+/// Block-level tags: an optional may never span one. Skipping across a
+/// block boundary would swallow whole record fields into the "template",
+/// which union-free grammars cannot legitimately do.
+const BLOCK_TAGS: &[&str] = &[
+    "table", "tr", "td", "th", "p", "div", "li", "ul", "ol", "hr", "h1", "h2", "h3", "h4", "h5",
+    "h6",
+];
+
+fn is_block_tag(tok: &Token) -> bool {
+    tok.is_html() && BLOCK_TAGS.contains(&tableseg_html::lexer::tag_name(&tok.text))
+}
+
+/// Tries to explain a mismatch as an optional block: skip forward on one
+/// side to the next position whose tag equals the other side's current
+/// tag. The skipped region must stay inside one block-level element —
+/// optional *inline* formatting is union-free, optional record structure
+/// is not.
+fn discover_optional(a: &[Token], b: &[Token], i: usize, j: usize) -> IteratorHit {
+    const WINDOW: usize = 12;
+    // Skip on A.
+    if let Some(skip) = (i..a.len().min(i + WINDOW)).position(|k| same_symbol(&a[k], &b[j])) {
+        if skip > 0 && !a[i..i + skip].iter().any(is_block_tag) {
+            let nodes = a[i..i + skip]
+                .iter()
+                .map(|t| GrammarNode::Fixed(symbol_text(t)))
+                .collect();
+            return Some((GrammarNode::Optional(nodes), i + skip, j));
+        }
+    }
+    // Skip on B.
+    if let Some(skip) = (j..b.len().min(j + WINDOW)).position(|k| same_symbol(&b[k], &a[i])) {
+        if skip > 0 && !b[j..j + skip].iter().any(is_block_tag) {
+            let nodes = b[j..j + skip]
+                .iter()
+                .map(|t| GrammarNode::Fixed(symbol_text(t)))
+                .collect();
+            return Some((GrammarNode::Optional(nodes), i, j + skip));
+        }
+    }
+    None
+}
+
+/// Counts the `Data` slots in a grammar (a proxy for extracted fields).
+pub fn data_slots(grammar: &[GrammarNode]) -> usize {
+    grammar
+        .iter()
+        .map(|n| match n {
+            GrammarNode::Data => 1,
+            GrammarNode::Iterator(inner) | GrammarNode::Optional(inner) => data_slots(inner),
+            GrammarNode::Fixed(_) => 0,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(rows: &[&str]) -> String {
+        let body: String = rows
+            .iter()
+            .map(|r| format!("<tr><td>{r}</td></tr>"))
+            .collect();
+        format!("<html><h1>Results</h1><table>{body}</table><p>Footer</p></html>")
+    }
+
+    #[test]
+    fn uniform_pages_induce_a_grammar() {
+        let a = page(&["Ada Lovelace", "Alan Turing", "Grace Hopper"]);
+        let b = page(&["Edsger Dijkstra", "Donald Knuth"]);
+        let g = induce(&a, &b).expect("union-free grammar exists");
+        assert!(data_slots(&g) > 0);
+        assert!(g.iter().any(|n| matches!(n, GrammarNode::Iterator(_))), "{g:?}");
+    }
+
+    #[test]
+    fn identical_pages_are_all_fixed() {
+        let a = page(&["Same"]);
+        let g = induce(&a, &a).expect("trivial grammar");
+        assert!(g.iter().all(|n| matches!(n, GrammarNode::Fixed(_))));
+        assert_eq!(data_slots(&g), 0);
+    }
+
+    #[test]
+    fn text_variation_becomes_data_slot() {
+        let a = "<td>Ada</td>";
+        let b = "<td>Alan</td>";
+        let g = induce(a, b).expect("grammar");
+        assert_eq!(data_slots(&g), 1);
+    }
+
+    #[test]
+    fn disjunctive_formatting_defeats_union_free_grammars() {
+        // The Superpages case: the address is either plain text or a
+        // gray-font message — two alternative tag sequences for one field.
+        let a = "<p><b>Ada</b><br>221 Oak St</p>\
+                 <p><b>Alan</b><br><font color=gray>address not available</font></p>";
+        let b = "<p><b>Grace</b><br><font color=gray>address not available</font></p>\
+                 <p><b>Edsger</b><br>9 Pine Rd</p>";
+        let result = induce(a, b);
+        assert!(
+            matches!(result, Err(InductionError::DisjunctionRequired { .. })),
+            "{result:?}"
+        );
+    }
+
+    #[test]
+    fn optional_block_is_expressible() {
+        let a = "<td>x</td><i>note</i><td>y</td>";
+        let b = "<td>x</td><td>y</td>";
+        let g = induce(a, b).expect("optional is union-free");
+        assert!(g.iter().any(|n| matches!(n, GrammarNode::Optional(_))));
+    }
+}

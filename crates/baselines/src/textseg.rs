@@ -1,0 +1,268 @@
+//! Plain-text table segmentation — the Section 2.2 comparison.
+//!
+//! "Plain text documents use white space and new line for the purpose of
+//! formatting tables: new lines are used to separate records and white
+//! spaces are used to separate columns ... Record segmentation from plain
+//! text documents is, therefore, a much easier task. ... In plain text
+//! tables, a long attribute value that may not fit in a table cell will be
+//! broken between two lines, creating a non-locality in a text stream."
+//!
+//! This module implements the classical whitespace-alignment segmenter the
+//! paper contrasts itself with (Pyreddy & Croft-style structural cues):
+//!
+//! 1. column boundaries are character positions that are whitespace on
+//!    (nearly) every data line;
+//! 2. each line is one record row, split at the boundaries;
+//! 3. a *continuation line* — one whose first column is blank — wraps a
+//!    long value and is merged into the previous record (the paper's
+//!    non-locality).
+//!
+//! The experiment binary uses it to quantify the paper's remark that the
+//! plain-text problem is "much easier": on whitespace-formatted renderings
+//! of the same records, this simple method is essentially perfect, whereas
+//! on HTML it has no signal at all.
+
+/// A segmented plain-text table: one `Vec<String>` of cell values per
+/// record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    /// Records in row order, each a list of trimmed cell values.
+    pub records: Vec<Vec<String>>,
+    /// The inferred column start positions (byte offsets within a line).
+    pub columns: Vec<usize>,
+}
+
+/// Minimum fraction of data lines that must be whitespace at a position
+/// for it to act as a column separator.
+const COLUMN_AGREEMENT: f64 = 0.9;
+
+/// Segments a whitespace-aligned plain-text table.
+///
+/// Returns `None` if the text has fewer than two non-blank lines or no
+/// consistent column structure (a prose paragraph, for instance).
+pub fn segment(text: &str) -> Option<TextTable> {
+    let lines: Vec<&str> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .collect();
+    if lines.len() < 2 {
+        return None;
+    }
+    let width = lines.iter().map(|l| l.len()).max().unwrap_or(0);
+    if width == 0 {
+        return None;
+    }
+
+    // Whitespace histogram per character column.
+    let mut blank = vec![0usize; width];
+    for line in &lines {
+        let bytes = line.as_bytes();
+        for (c, slot) in blank.iter_mut().enumerate() {
+            // Positions past the end of a short line count as blank.
+            if c >= bytes.len() || bytes[c] == b' ' {
+                *slot += 1;
+            }
+        }
+    }
+    let needed = (lines.len() as f64 * COLUMN_AGREEMENT).ceil() as usize;
+
+    // Column boundaries: maximal runs of blank-agreeing positions at least
+    // 2 wide (single spaces inside values must not split them).
+    let mut gaps: Vec<(usize, usize)> = Vec::new();
+    let mut run_start = None;
+    for c in 0..width {
+        let is_gap = blank[c] >= needed;
+        match (is_gap, run_start) {
+            (true, None) => run_start = Some(c),
+            (false, Some(s)) => {
+                if c - s >= 2 {
+                    gaps.push((s, c));
+                }
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
+    // A trailing gap is padding, not a separator.
+
+    // Column start positions: 0 plus the end of each gap.
+    let mut columns = vec![0usize];
+    columns.extend(gaps.iter().map(|&(_, end)| end));
+    if columns.len() < 2 {
+        return None; // no column structure
+    }
+
+    // Split lines at the boundaries; merge continuation lines.
+    let mut records: Vec<Vec<String>> = Vec::new();
+    for line in &lines {
+        let cells = split_at(line, &columns);
+        let is_continuation = cells
+            .first()
+            .is_some_and(|c0| c0.is_empty())
+            && cells.iter().any(|c| !c.is_empty());
+        if is_continuation {
+            if let Some(prev) = records.last_mut() {
+                // The paper's non-locality: re-attach wrapped fragments to
+                // the cells of the previous record.
+                for (cell, fragment) in prev.iter_mut().zip(&cells) {
+                    if !fragment.is_empty() {
+                        if !cell.is_empty() {
+                            cell.push(' ');
+                        }
+                        cell.push_str(fragment);
+                    }
+                }
+                continue;
+            }
+        }
+        records.push(cells);
+    }
+
+    Some(TextTable { records, columns })
+}
+
+/// Splits a line at the given column start positions, trimming each cell.
+fn split_at(line: &str, columns: &[usize]) -> Vec<String> {
+    let mut out = Vec::with_capacity(columns.len());
+    for (k, &start) in columns.iter().enumerate() {
+        let end = columns.get(k + 1).copied().unwrap_or(usize::MAX);
+        let cell: String = line
+            .chars()
+            .skip(start)
+            .take(end.saturating_sub(start))
+            .collect();
+        out.push(cell.trim().to_owned());
+    }
+    out
+}
+
+/// Renders records as a whitespace-aligned plain-text table — the form
+/// the Section 2.2 literature operates on. Values longer than
+/// `max_cell_width` wrap onto a continuation line (the non-locality the
+/// paper highlights).
+pub fn render_text_table(rows: &[Vec<String>], max_cell_width: usize) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    // Column widths bounded by max_cell_width.
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (c, v) in row.iter().enumerate() {
+            widths[c] = widths[c].max(v.len().min(max_cell_width));
+        }
+    }
+    let mut out = String::new();
+    for row in rows {
+        // First line plus any wrapped fragments.
+        let mut fragments: Vec<Vec<&str>> = Vec::with_capacity(cols);
+        for (c, v) in row.iter().enumerate() {
+            let _ = c;
+            let mut parts = Vec::new();
+            let mut rest = v.as_str();
+            while rest.len() > max_cell_width {
+                // Wrap at the last space within the width, or hard-wrap.
+                let cut = rest[..max_cell_width]
+                    .rfind(' ')
+                    .unwrap_or(max_cell_width);
+                parts.push(rest[..cut].trim_end());
+                rest = rest[cut..].trim_start();
+            }
+            parts.push(rest);
+            fragments.push(parts);
+        }
+        let depth = fragments.iter().map(Vec::len).max().unwrap_or(1);
+        for d in 0..depth {
+            for c in 0..cols {
+                let piece = fragments
+                    .get(c)
+                    .and_then(|p| p.get(d).copied())
+                    .unwrap_or("");
+                out.push_str(piece);
+                for _ in piece.len()..widths[c] + 2 {
+                    out.push(' ');
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(spec: &[&[&str]]) -> Vec<Vec<String>> {
+        spec.iter()
+            .map(|r| r.iter().map(|s| s.to_string()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_simple_table() {
+        let data = rows(&[
+            &["Ada Lovelace", "Engines", "4411"],
+            &["Alan Turing", "Machines", "4422"],
+            &["Grace Hopper", "Compilers", "4433"],
+        ]);
+        let text = render_text_table(&data, 30);
+        let table = segment(&text).expect("table");
+        assert_eq!(table.records, data);
+        assert_eq!(table.columns.len(), 3);
+    }
+
+    #[test]
+    fn wrapped_cells_are_reattached() {
+        // The paper's non-locality: a long value wraps to the next line.
+        let data = rows(&[
+            &["Ada Lovelace", "Analytical Engines Research Division of Computing", "4411"],
+            &["Alan Turing", "Machines", "4422"],
+        ]);
+        let text = render_text_table(&data, 24);
+        assert!(text.lines().count() > 2, "wrapping occurred:\n{text}");
+        let table = segment(&text).expect("table");
+        assert_eq!(table.records.len(), 2, "{table:?}");
+        assert_eq!(
+            table.records[0][1],
+            "Analytical Engines Research Division of Computing"
+        );
+    }
+
+    #[test]
+    fn prose_is_not_a_table() {
+        let prose = "This is an ordinary paragraph of text that flows on\n\
+                     and on without any aligned column structure at all in\n\
+                     it whatsoever, just words of varying lengths.";
+        assert!(segment(prose).is_none());
+    }
+
+    #[test]
+    fn too_few_lines() {
+        assert!(segment("just one line").is_none());
+        assert!(segment("").is_none());
+    }
+
+    #[test]
+    fn short_lines_count_as_blank_padding() {
+        let text = "alpha   one\nbeta    two\ngamma   three";
+        let table = segment(text).expect("table");
+        assert_eq!(table.records.len(), 3);
+        assert_eq!(table.records[0], vec!["alpha", "one"]);
+        assert_eq!(table.records[2], vec!["gamma", "three"]);
+    }
+
+    #[test]
+    fn single_spaces_do_not_split_values() {
+        let data = rows(&[
+            &["John Smith", "New Holland"],
+            &["Mary Major", "Springfield"],
+        ]);
+        let text = render_text_table(&data, 30);
+        let table = segment(&text).expect("table");
+        assert_eq!(table.records, data);
+    }
+}

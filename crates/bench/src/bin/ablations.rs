@@ -1,0 +1,225 @@
+//! Ablation experiments over the design choices DESIGN.md calls out:
+//!
+//! * **AB1** — CSP with vs without the Section 4.2 position constraints;
+//! * **AB2** — probabilistic approach with vs without the hierarchical
+//!   record-period model π (Figure 3 vs Figure 2);
+//! * **AB3** — induced table slot vs the whole-page fallback everywhere;
+//! * **AB5** — the hybrid segmenter of Section 7 ("a combination of the
+//!   two") vs each approach alone;
+//! * **AB6** — the paper's proposed fix for numbered sites: continue the
+//!   entry numbering on the next result page so the numbers stop being
+//!   page-invariant ("The entry numbers of the next page will be
+//!   different from others in the sample", Section 6.3).
+
+use tableseg::{prepare, CspSegmenter, HybridSegmenter, ProbSegmenter, Segmenter, SitePages};
+use tableseg_bench::{evaluate_segmenter, prepare_page, run_site_with};
+use tableseg_eval::classify::{classify, PageCounts};
+use tableseg_eval::Metrics;
+use tableseg_sitegen::paper_sites;
+use tableseg_sitegen::site::generate;
+
+fn aggregate(runs: &[tableseg_bench::PageRun]) -> (PageCounts, PageCounts) {
+    let mut prob = PageCounts::default();
+    let mut csp = PageCounts::default();
+    for r in runs {
+        prob = prob.add(&r.prob);
+        csp = csp.add(&r.csp);
+    }
+    (prob, csp)
+}
+
+fn main() {
+    let sites = paper_sites::all();
+
+    // -------- AB1 / AB2: segmenter variants over the full corpus --------
+    let mut full_runs = Vec::new();
+    let mut ablated_runs = Vec::new();
+    for spec in &sites {
+        eprintln!("running {} ...", spec.name);
+        full_runs.extend(run_site_with(
+            spec,
+            &ProbSegmenter::default(),
+            &CspSegmenter::default(),
+        ));
+        ablated_runs.extend(run_site_with(
+            spec,
+            &ProbSegmenter::without_period_model(),
+            &CspSegmenter::without_position_constraints(),
+        ));
+    }
+    let (prob_full, csp_full) = aggregate(&full_runs);
+    let (prob_nope, csp_nopos) = aggregate(&ablated_runs);
+
+    println!("AB1 — CSP position constraints (Section 4.2):");
+    println!(
+        "  with:    {}   (Cor={} InC={} FN={} FP={})",
+        Metrics::from_counts(&csp_full),
+        csp_full.cor,
+        csp_full.incor,
+        csp_full.fneg,
+        csp_full.fpos
+    );
+    println!(
+        "  without: {}   (Cor={} InC={} FN={} FP={})",
+        Metrics::from_counts(&csp_nopos),
+        csp_nopos.cor,
+        csp_nopos.incor,
+        csp_nopos.fneg,
+        csp_nopos.fpos
+    );
+
+    println!("\nAB2 — record-period model pi (Section 5.2.2, Figure 3 vs Figure 2):");
+    println!(
+        "  with:    {}   (Cor={} InC={} FN={} FP={})",
+        Metrics::from_counts(&prob_full),
+        prob_full.cor,
+        prob_full.incor,
+        prob_full.fneg,
+        prob_full.fpos
+    );
+    println!(
+        "  without: {}   (Cor={} InC={} FN={} FP={})",
+        Metrics::from_counts(&prob_nope),
+        prob_nope.cor,
+        prob_nope.incor,
+        prob_nope.fneg,
+        prob_nope.fpos
+    );
+
+    // -------- AB3: template table slot vs whole page --------------------
+    let mut with_template = PageCounts::default();
+    let mut whole_page = PageCounts::default();
+    let csp = CspSegmenter::default();
+    for spec in &sites {
+        let site = generate(spec);
+        for page in 0..site.pages.len() {
+            // Normal pipeline (template when usable).
+            let prepared = prepare_page(&site, page);
+            let (counts, _) = evaluate_segmenter(&site, page, &prepared, &csp);
+            with_template = with_template.add(&counts);
+
+            // Forced whole page: give the pipeline only the target page so
+            // no template can be induced.
+            let details: Vec<&str> = site.pages[page]
+                .detail_html
+                .iter()
+                .map(String::as_str)
+                .collect();
+            let forced = prepare(&SitePages {
+                list_pages: vec![&site.pages[page].list_html],
+                target: 0,
+                detail_pages: details,
+            });
+            let spans: Vec<std::ops::Range<usize>> = site.pages[page]
+                .truth
+                .records
+                .iter()
+                .map(|r| r.start..r.end)
+                .collect();
+            let truth =
+                tableseg_eval::classify::truth_of_extracts(&forced.extract_offsets, &spans);
+            let outcome = csp.segment(&forced.observations);
+            let counts = classify(
+                &outcome.segmentation.records(),
+                &truth,
+                site.pages[page].truth.len(),
+            );
+            whole_page = whole_page.add(&counts);
+        }
+    }
+    println!("\nAB3 — page-template table slot vs whole-page fallback (CSP):");
+    println!(
+        "  template pipeline: {}   (Cor={} InC={} FN={} FP={})",
+        Metrics::from_counts(&with_template),
+        with_template.cor,
+        with_template.incor,
+        with_template.fneg,
+        with_template.fpos
+    );
+    println!(
+        "  whole page always: {}   (Cor={} InC={} FN={} FP={})",
+        Metrics::from_counts(&whole_page),
+        whole_page.cor,
+        whole_page.incor,
+        whole_page.fneg,
+        whole_page.fpos
+    );
+    println!(
+        "\nNote: the whole-page variant also loses the all-list-pages filter\n\
+         (one sample page), so extraneous chrome joins the observation table\n\
+         — the paper's note-b failure mode in its purest form."
+    );
+
+    // -------- AB5: the Section 7 hybrid ---------------------------------
+    let hybrid = HybridSegmenter::default();
+    let mut hybrid_total = PageCounts::default();
+    for spec in &sites {
+        let site = generate(spec);
+        for page in 0..site.pages.len() {
+            let prepared = prepare_page(&site, page);
+            let (counts, _) = evaluate_segmenter(&site, page, &prepared, &hybrid);
+            hybrid_total = hybrid_total.add(&counts);
+        }
+    }
+    println!("\nAB5 — combined segmenter (Section 7: CSP first, probabilistic fill-in):");
+    println!(
+        "  CSP alone:     {}   (Cor={} InC={} FN={} FP={})",
+        Metrics::from_counts(&csp_full),
+        csp_full.cor,
+        csp_full.incor,
+        csp_full.fneg,
+        csp_full.fpos
+    );
+    println!(
+        "  prob alone:    {}   (Cor={} InC={} FN={} FP={})",
+        Metrics::from_counts(&prob_full),
+        prob_full.cor,
+        prob_full.incor,
+        prob_full.fneg,
+        prob_full.fpos
+    );
+    println!(
+        "  hybrid:        {}   (Cor={} InC={} FN={} FP={})",
+        Metrics::from_counts(&hybrid_total),
+        hybrid_total.cor,
+        hybrid_total.incor,
+        hybrid_total.fneg,
+        hybrid_total.fpos
+    );
+
+    // -------- AB6: continued numbering repairs the book sites -----------
+    let mut numbered = PageCounts::default();
+    let mut continued = PageCounts::default();
+    let mut fallback_before = 0usize;
+    let mut fallback_after = 0usize;
+    for base in [paper_sites::amazon(), paper_sites::bn_books(), paper_sites::minnesota()] {
+        let mut fixed = base.clone();
+        fixed.continuous_numbering = true;
+        for (spec, acc, fb) in [
+            (&base, &mut numbered, &mut fallback_before),
+            (&fixed, &mut continued, &mut fallback_after),
+        ] {
+            let site = generate(spec);
+            for page in 0..site.pages.len() {
+                let prepared = prepare_page(&site, page);
+                if prepared.used_whole_page {
+                    *fb += 1;
+                }
+                let (counts, _) =
+                    evaluate_segmenter(&site, page, &prepared, &CspSegmenter::default());
+                *acc = acc.add(&counts);
+            }
+        }
+    }
+    println!("\nAB6 — numbered sites with page-continued numbering (the paper's proposed fix):");
+    println!(
+        "  numbers restart per page:  {}   ({} of 6 pages fell back to whole page)",
+        Metrics::from_counts(&numbered),
+        fallback_before
+    );
+    println!(
+        "  numbers continue across:   {}   ({} of 6 pages fell back to whole page)",
+        Metrics::from_counts(&continued),
+        fallback_after
+    );
+}

@@ -1,0 +1,33 @@
+//! Diagnostic: template quality per site (not a paper artifact).
+
+use tableseg_html::lexer::tokenize;
+use tableseg_sitegen::paper_sites;
+use tableseg_sitegen::site::generate;
+use tableseg_template::{assess, induce};
+
+fn main() {
+    for spec in paper_sites::all() {
+        let site = generate(&spec);
+        let pages: Vec<Vec<tableseg_html::Token>> = site
+            .pages
+            .iter()
+            .map(|p| tokenize(&p.list_html))
+            .collect();
+        let ind = induce(&pages);
+        let q = assess(&ind, &pages);
+        println!(
+            "{:<24} template_len={:<4} slots={:<3} total_text={:<5} largest={:<5} frac={:.2} usable={}",
+            spec.name,
+            q.template_len,
+            q.non_empty_slots,
+            q.total_slot_text,
+            q.largest_slot_text,
+            q.largest_slot_fraction,
+            q.is_usable()
+        );
+        if std::env::args().any(|a| a == "-v") {
+            let tpl: Vec<&str> = ind.template.tokens.iter().map(|t| t.text.as_str()).collect();
+            println!("  template: {tpl:?}");
+        }
+    }
+}

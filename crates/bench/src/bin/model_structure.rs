@@ -1,0 +1,12 @@
+//! Regenerates the structure of the paper's **Figures 2 and 3**: the
+//! graphical model for record extraction, without and with the record
+//! period model π.
+
+use tableseg_prob::model::describe;
+
+fn main() {
+    println!("Figure 2: probabilistic model for record extraction\n");
+    println!("{}", describe(false));
+    println!("Figure 3: the model extended with the record period model pi\n");
+    println!("{}", describe(true));
+}

@@ -1,0 +1,23 @@
+//! Regenerates the paper's **Figure 1**: example list and detail pages
+//! from the (simulated) Superpages site. Prints the first list page and
+//! the first record's detail page; pass a site name prefix (e.g.
+//! `amazon`) to render a different site.
+
+use tableseg_sitegen::paper_sites;
+use tableseg_sitegen::site::generate;
+
+fn main() {
+    let wanted = std::env::args().nth(1).unwrap_or_else(|| "super".into());
+    let spec = paper_sites::all()
+        .into_iter()
+        .find(|s| s.name.to_lowercase().starts_with(&wanted.to_lowercase()))
+        .unwrap_or_else(|| {
+            eprintln!("no site matching {wanted:?}; using Superpages");
+            paper_sites::superpages()
+        });
+    let site = generate(&spec);
+    println!("==== {} — list page 1 ====\n", spec.name);
+    println!("{}\n", site.pages[0].list_html);
+    println!("==== {} — detail page of record 1 ====\n", spec.name);
+    println!("{}", site.pages[0].detail_html[0]);
+}

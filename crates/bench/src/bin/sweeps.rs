@@ -1,0 +1,119 @@
+//! Parameter sweeps over the simulated workload.
+//!
+//! * **table size** — records per page 5..80: accuracy and wall time of
+//!   both approaches (the scalability behind the paper's "exceedingly
+//!   fast" claim);
+//! * **missing-field probability** — 0.0..0.5: how sparse records degrade
+//!   each approach;
+//! * **shared-value rate** — white-pages sites where many records share a
+//!   city: the density of position-constraint interactions;
+//! * **ε tolerance** — the probabilistic dirty-data knob on the Michigan
+//!   quirk site.
+
+use std::time::Instant;
+
+use tableseg::prob::ProbOptions;
+use tableseg::{prepare, CspSegmenter, ProbSegmenter, Segmenter, SitePages};
+use tableseg_bench::{evaluate_segmenter, page_truth, prepare_page};
+use tableseg_eval::classify::classify;
+use tableseg_eval::Metrics;
+use tableseg_sitegen::domains::Domain;
+use tableseg_sitegen::quirks::Quirk;
+use tableseg_sitegen::site::{generate, LayoutStyle, SiteSpec};
+
+fn spec(domain: Domain, records: usize, missing: f64, seed: u64) -> SiteSpec {
+    SiteSpec {
+        name: format!("sweep-{domain:?}-{records}-{missing}"),
+        domain,
+        layout: LayoutStyle::GridTable,
+        records_per_page: vec![records, records],
+        quirks: vec![],
+        missing_field_prob: missing,
+        continuous_numbering: false,
+        overlap: 0,
+        seed,
+    }
+}
+
+fn run_one(s: &SiteSpec, segmenter: &dyn Segmenter) -> (Metrics, f64) {
+    let site = generate(s);
+    let prepared = prepare_page(&site, 0);
+    let start = Instant::now();
+    let (counts, _) = evaluate_segmenter(&site, 0, &prepared, segmenter);
+    let secs = start.elapsed().as_secs_f64();
+    (Metrics::from_counts(&counts), secs)
+}
+
+fn main() {
+    println!("sweep 1: table size (records per page), white pages, missing=0.1");
+    println!("| records | CSP F | CSP time | prob F | prob time |");
+    for records in [5usize, 10, 20, 40, 80] {
+        let s = spec(Domain::WhitePages, records, 0.1, 1234 + records as u64);
+        let (csp_m, csp_t) = run_one(&s, &CspSegmenter::default());
+        let (prob_m, prob_t) = run_one(&s, &ProbSegmenter::default());
+        println!(
+            "| {records:>7} | {:>5.2} | {:>7.3}s | {:>6.2} | {:>8.3}s |",
+            csp_m.f1, csp_t, prob_m.f1, prob_t
+        );
+    }
+
+    println!("\nsweep 2: missing-field probability, property tax, 15 records");
+    println!("| p(missing) | CSP F | prob F |");
+    for missing in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
+        let s = spec(Domain::PropertyTax, 15, missing, 4321);
+        let (csp_m, _) = run_one(&s, &CspSegmenter::default());
+        let (prob_m, _) = run_one(&s, &ProbSegmenter::default());
+        println!("| {missing:>10.1} | {:>5.2} | {:>6.2} |", csp_m.f1, prob_m.f1);
+    }
+
+    println!("\nsweep 3: shared-town white pages (position-constraint stress)");
+    println!("| records | CSP F | relaxed | prob F |");
+    for records in [5usize, 10, 20, 40] {
+        let s = SiteSpec {
+            quirks: vec![Quirk::SharedValueMissingOnDetail { field: "city" }],
+            ..spec(Domain::WhitePages, records, 0.05, 9000 + records as u64)
+        };
+        let site = generate(&s);
+        let prepared = prepare_page(&site, 0);
+        let (csp_counts, relaxed) =
+            evaluate_segmenter(&site, 0, &prepared, &CspSegmenter::default());
+        let (prob_counts, _) = evaluate_segmenter(&site, 0, &prepared, &ProbSegmenter::default());
+        println!(
+            "| {records:>7} | {:>5.2} | {:>7} | {:>6.2} |",
+            Metrics::from_counts(&csp_counts).f1,
+            relaxed,
+            Metrics::from_counts(&prob_counts).f1
+        );
+    }
+
+    println!("\nsweep 4: epsilon tolerance on the Michigan quirk (dirty data)");
+    println!("| epsilon | prob F |");
+    let michigan = tableseg_sitegen::paper_sites::michigan();
+    let site = generate(&michigan);
+    for eps in [1e-12, 1e-9, 1e-6, 1e-3, 1e-1] {
+        let details: Vec<&str> = site.pages[0]
+            .detail_html
+            .iter()
+            .map(String::as_str)
+            .collect();
+        let prepared = prepare(&SitePages {
+            list_pages: site.list_htmls(),
+            target: 0,
+            detail_pages: details,
+        });
+        let seg = ProbSegmenter {
+            options: ProbOptions {
+                epsilon: eps,
+                ..ProbOptions::default()
+            },
+        };
+        let truth = page_truth(&site, 0, &prepared);
+        let outcome = seg.segment(&prepared.observations);
+        let counts = classify(
+            &outcome.segmentation.records(),
+            &truth,
+            site.pages[0].truth.len(),
+        );
+        println!("| {eps:>7.0e} | {:>6.2} |", Metrics::from_counts(&counts).f1);
+    }
+}

@@ -1,0 +1,183 @@
+//! The shared experiment harness: runs the full pipeline (template →
+//! extraction → both segmenters → evaluation) over simulated sites and
+//! produces Table-4-style rows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+use tableseg::{prepare, PreparedPage, Segmenter, SitePages};
+use tableseg_eval::classify::{classify, truth_of_extracts, PageCounts};
+use tableseg_sitegen::site::{generate, GeneratedSite, SiteSpec};
+
+/// The outcome of running both approaches on one list page.
+#[derive(Debug, Clone)]
+pub struct PageRun {
+    /// Site name.
+    pub site: String,
+    /// List-page index within the site (0 or 1).
+    pub page: usize,
+    /// Probabilistic-approach counts.
+    pub prob: PageCounts,
+    /// CSP-approach counts.
+    pub csp: PageCounts,
+    /// `true` when the page template was unusable and the whole page was
+    /// used (the paper's notes `a`, `b`).
+    pub used_whole_page: bool,
+    /// `true` when the CSP had to relax its constraints (notes `c`, `d`).
+    pub csp_relaxed: bool,
+}
+
+impl PageRun {
+    /// The paper's note string for this page: `a` page-template problem,
+    /// `b` entire page used, `c` no solution found, `d` relax constraints.
+    pub fn notes(&self) -> String {
+        let mut n = Vec::new();
+        if self.used_whole_page {
+            n.push("a");
+            n.push("b");
+        }
+        if self.csp_relaxed {
+            n.push("c");
+            n.push("d");
+        }
+        n.join(", ")
+    }
+}
+
+/// Prepares one page of a generated site for segmentation.
+pub fn prepare_page(site: &GeneratedSite, page: usize) -> PreparedPage {
+    let list_htmls = site.list_htmls();
+    let details: Vec<&str> = site.pages[page]
+        .detail_html
+        .iter()
+        .map(String::as_str)
+        .collect();
+    prepare(&SitePages {
+        list_pages: list_htmls,
+        target: page,
+        detail_pages: details,
+    })
+}
+
+/// Ground-truth record index per kept extract of a prepared page.
+pub fn page_truth(site: &GeneratedSite, page: usize, prepared: &PreparedPage) -> Vec<Option<usize>> {
+    let spans: Vec<Range<usize>> = site.pages[page]
+        .truth
+        .records
+        .iter()
+        .map(|r| r.start..r.end)
+        .collect();
+    truth_of_extracts(&prepared.extract_offsets, &spans)
+}
+
+/// Runs one segmenter on one page and classifies the result.
+pub fn evaluate_segmenter(
+    site: &GeneratedSite,
+    page: usize,
+    prepared: &PreparedPage,
+    segmenter: &dyn Segmenter,
+) -> (PageCounts, bool) {
+    let truth = page_truth(site, page, prepared);
+    let outcome = segmenter.segment(&prepared.observations);
+    let groups = outcome.segmentation.records();
+    let counts = classify(&groups, &truth, site.pages[page].truth.len());
+    (counts, outcome.relaxed)
+}
+
+/// Runs both approaches over every list page of a site.
+pub fn run_site(spec: &SiteSpec) -> Vec<PageRun> {
+    run_site_with(
+        spec,
+        &tableseg::ProbSegmenter::default(),
+        &tableseg::CspSegmenter::default(),
+    )
+}
+
+/// Runs two arbitrary segmenters (labelled "prob" and "csp" in the output)
+/// over every list page of a site — the ablation binaries use this with
+/// variant configurations.
+pub fn run_site_with(
+    spec: &SiteSpec,
+    prob: &dyn Segmenter,
+    csp: &dyn Segmenter,
+) -> Vec<PageRun> {
+    let site = generate(spec);
+    (0..site.pages.len())
+        .map(|page| {
+            let prepared = prepare_page(&site, page);
+            let (prob_counts, _) = evaluate_segmenter(&site, page, &prepared, prob);
+            let (csp_counts, csp_relaxed) = evaluate_segmenter(&site, page, &prepared, csp);
+            PageRun {
+                site: spec.name.clone(),
+                page,
+                prob: prob_counts,
+                csp: csp_counts,
+                used_whole_page: prepared.used_whole_page,
+                csp_relaxed,
+            }
+        })
+        .collect()
+}
+
+/// Runs both approaches over many sites in parallel (one thread per
+/// site). Results come back in input order, so reports are deterministic
+/// regardless of scheduling.
+pub fn run_sites_parallel(specs: &[SiteSpec]) -> Vec<PageRun> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|spec| scope.spawn(move || run_site(spec)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("site run panicked"))
+            .collect()
+    })
+}
+
+/// Converts page runs into report rows.
+pub fn to_rows(runs: &[PageRun]) -> Vec<tableseg_eval::report::Row> {
+    runs.iter()
+        .map(|r| tableseg_eval::report::Row {
+            site: r.site.clone(),
+            prob: r.prob,
+            csp: r.csp,
+            notes: r.notes(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tableseg_sitegen::paper_sites;
+
+    #[test]
+    fn clean_site_runs_end_to_end() {
+        let runs = run_site(&paper_sites::butler());
+        assert_eq!(runs.len(), 2);
+        for r in &runs {
+            let total = r.csp.total_records();
+            assert!(total > 0, "{r:?}");
+            // A clean government site should be segmented essentially
+            // perfectly by the CSP.
+            assert!(r.csp.cor * 10 >= total * 9, "{r:?}");
+            assert!(!r.csp_relaxed, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn notes_format() {
+        let run = PageRun {
+            site: "X".into(),
+            page: 0,
+            prob: PageCounts::default(),
+            csp: PageCounts::default(),
+            used_whole_page: true,
+            csp_relaxed: true,
+        };
+        assert_eq!(run.notes(), "a, b, c, d");
+    }
+}

@@ -1,0 +1,173 @@
+//! `tableseg` — command-line record segmentation for saved HTML pages.
+//!
+//! ```text
+//! tableseg --list page1.html [--list page2.html ...]
+//!          --detail d1.html --detail d2.html ...
+//!          [--target 0] [--method csp|prob|hybrid]
+//!          [--columns] [--wrapper] [--verbose]
+//! ```
+//!
+//! Detail pages must be given in row order of the target list page. The
+//! output is one line per record with its `|`-separated fields.
+
+use std::process::ExitCode;
+
+use tableseg::{
+    annotate_columns, assemble_records, induce_wrapper, prepare, CspSegmenter, HybridSegmenter,
+    ProbSegmenter, Segmenter, SitePages,
+};
+
+struct Args {
+    lists: Vec<String>,
+    details: Vec<String>,
+    target: usize,
+    method: String,
+    columns: bool,
+    wrapper: bool,
+    verbose: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: tableseg --list FILE [--list FILE ...] --detail FILE [--detail FILE ...]\n\
+     \x20       [--target N] [--method csp|prob|hybrid] [--columns] [--wrapper] [--verbose]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        lists: Vec::new(),
+        details: Vec::new(),
+        target: 0,
+        method: "csp".to_owned(),
+        columns: false,
+        wrapper: false,
+        verbose: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--list" => args
+                .lists
+                .push(it.next().ok_or("--list needs a file")?),
+            "--detail" => args
+                .details
+                .push(it.next().ok_or("--detail needs a file")?),
+            "--target" => {
+                args.target = it
+                    .next()
+                    .ok_or("--target needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--target: {e}"))?;
+            }
+            "--method" => args.method = it.next().ok_or("--method needs a value")?,
+            "--columns" => args.columns = true,
+            "--wrapper" => args.wrapper = true,
+            "--verbose" => args.verbose = true,
+            "--help" | "-h" => return Err(usage().to_owned()),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    if args.lists.is_empty() {
+        return Err(format!("at least one --list page required\n{}", usage()));
+    }
+    if args.details.is_empty() {
+        return Err(format!("at least one --detail page required\n{}", usage()));
+    }
+    if args.target >= args.lists.len() {
+        return Err("--target out of range".to_owned());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let read = |path: &String| -> Result<String, String> {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+    };
+    let lists: Vec<String> = match args.lists.iter().map(read).collect() {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let details: Vec<String> = match args.details.iter().map(read).collect() {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let prepared = prepare(&SitePages {
+        list_pages: lists.iter().map(String::as_str).collect(),
+        target: args.target,
+        detail_pages: details.iter().map(String::as_str).collect(),
+    });
+    if args.verbose {
+        eprintln!(
+            "front end: {} extracts kept, {} skipped, whole-page fallback: {}",
+            prepared.observations.len(),
+            prepared.observations.skipped.len(),
+            prepared.used_whole_page
+        );
+    }
+
+    let segmenter: Box<dyn Segmenter> = match args.method.as_str() {
+        "csp" => Box::new(CspSegmenter::default()),
+        "prob" => Box::new(ProbSegmenter::default()),
+        "hybrid" => Box::new(HybridSegmenter::default()),
+        other => {
+            eprintln!("unknown method {other} (csp|prob|hybrid)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = segmenter.segment(&prepared.observations);
+    if args.verbose && outcome.relaxed {
+        eprintln!("note: constraints were relaxed (inconsistent source data)");
+    }
+
+    for record in assemble_records(&prepared, &outcome.segmentation) {
+        println!("{}\t{}", record.index + 1, record.fields.join(" | "));
+    }
+
+    if args.columns {
+        match &outcome.columns {
+            Some(columns) => {
+                eprintln!("column annotation:");
+                for ann in annotate_columns(&prepared.observations, columns) {
+                    eprintln!(
+                        "  L{} -> {} ({:.0}%, n={})",
+                        ann.column + 1,
+                        ann.label,
+                        ann.confidence * 100.0,
+                        ann.support
+                    );
+                }
+            }
+            None => eprintln!("--columns requires --method prob or hybrid on dirty data"),
+        }
+    }
+
+    if args.wrapper {
+        match induce_wrapper(&prepared, &outcome.segmentation) {
+            Some(w) => {
+                eprintln!("induced row wrapper:");
+                eprintln!("  head: {:?}", w.head);
+                for (i, s) in w.seps.iter().enumerate() {
+                    eprintln!("  sep{}: {:?}", i + 1, s);
+                }
+                eprintln!("  tail: {:?}", w.tail);
+            }
+            None => eprintln!("no consistent row wrapper could be induced"),
+        }
+    }
+
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,87 @@
+//! # tableseg
+//!
+//! Automatic segmentation of records from Web tables using the structure
+//! of Web sites — a from-scratch reproduction of Lerman, Getoor, Minton &
+//! Knoblock, *"Using the Structure of Web Sites for Automatic Segmentation
+//! of Tables"* (SIGMOD 2004).
+//!
+//! Many hidden-web sites answer a query with a **list page** — a table of
+//! records — where each row links to a **detail page** with more
+//! information about that record. Both pages are generated from templates
+//! and present two views of the same record. This crate segments the list
+//! page into records *without any training data or labeled examples*, by
+//! exploiting that redundancy:
+//!
+//! 1. [`prepare`] tokenizes the sample list pages, induces the site's page
+//!    template, locates the table slot (falling back to the whole page
+//!    when the template is unusable), derives the *extracts* (visible
+//!    strings) and matches them against the detail pages, producing an
+//!    observation table;
+//! 2. a [`Segmenter`] assigns extracts to records:
+//!    [`CspSegmenter`] encodes the paper's uniqueness, consecutiveness and
+//!    position constraints as a pseudo-boolean problem solved WSAT(OIP)-
+//!    style (Section 4), while [`ProbSegmenter`] runs EM on a factored HMM
+//!    bootstrapped from the detail pages (Section 5) and additionally
+//!    labels each extract with a column;
+//! 3. [`assemble_records`] attaches the remaining table data to the
+//!    segmented records, giving the final relational view.
+//!
+//! ```
+//! use tableseg::{prepare, CspSegmenter, ProbSegmenter, Segmenter, SitePages};
+//!
+//! let list_a = "<html><h1>Results Page</h1><table>\
+//!   <tr><td>Ada Lovelace</td><td>(555) 100-0001</td></tr>\
+//!   <tr><td>Alan Turing</td><td>(555) 100-0002</td></tr>\
+//!   </table><p>Copyright 2004 Example Inc</p></html>";
+//! let list_b = "<html><h1>Results Page</h1><table>\
+//!   <tr><td>Grace Hopper</td><td>(555) 100-0003</td></tr>\
+//!   </table><p>Copyright 2004 Example Inc</p></html>";
+//! let details = [
+//!     "<html><h2>Ada Lovelace</h2><p>Phone: (555) 100-0001</p></html>",
+//!     "<html><h2>Alan Turing</h2><p>Phone: (555) 100-0002</p></html>",
+//! ];
+//!
+//! let input = SitePages {
+//!     list_pages: vec![list_a, list_b],
+//!     target: 0,
+//!     detail_pages: details.to_vec(),
+//! };
+//! let prepared = prepare(&input);
+//! let outcome = CspSegmenter::default().segment(&prepared.observations);
+//! let records = outcome.segmentation.records();
+//! assert_eq!(records.len(), 2);
+//! assert!(!records[0].is_empty());
+//!
+//! // The probabilistic approach also assigns columns.
+//! let outcome = ProbSegmenter::default().segment(&prepared.observations);
+//! assert!(outcome.columns.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod annotate;
+pub mod detail_id;
+pub mod hybrid;
+pub mod navigate;
+pub mod pipeline;
+pub mod record;
+pub mod segmenter;
+pub mod vertical;
+pub mod wrapper;
+
+pub use annotate::{annotate_columns, recognize, ColumnAnnotation, SemanticLabel};
+pub use detail_id::identify_detail_pages;
+pub use hybrid::HybridSegmenter;
+pub use navigate::{navigate, NavigatedSite};
+pub use pipeline::{prepare, PreparedPage, SitePages};
+pub use record::{assemble_records, AssembledRecord};
+pub use segmenter::{CspSegmenter, ProbSegmenter, SegmenterOutcome, Segmenter};
+pub use wrapper::{induce_wrapper, RowWrapper};
+
+// Re-export the building blocks for advanced use.
+pub use tableseg_csp as csp;
+pub use tableseg_extract as extract;
+pub use tableseg_html as html;
+pub use tableseg_prob as prob;
+pub use tableseg_template as template;

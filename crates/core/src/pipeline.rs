@@ -1,0 +1,217 @@
+//! The shared front end of both approaches (Sections 3.1–3.2): template
+//! finding, table-slot detection, extraction, detail-page matching.
+
+use tableseg_extract::{build_observations, Observations};
+use tableseg_html::lexer::tokenize;
+use tableseg_html::Token;
+use tableseg_template::{assess, induce, TemplateQuality};
+
+/// The input: sample list pages plus the detail pages of the page to
+/// segment.
+#[derive(Debug, Clone)]
+pub struct SitePages<'a> {
+    /// HTML of the sample list pages from the site ("Given two, or
+    /// preferably more, example list pages"). One page is allowed; the
+    /// pipeline then behaves as the whole-page fallback.
+    pub list_pages: Vec<&'a str>,
+    /// Index into `list_pages` of the page to segment.
+    pub target: usize,
+    /// HTML of the detail pages linked from the target page's records, in
+    /// row order (`detail_pages[j]` belongs to record `r_{j+1}`).
+    pub detail_pages: Vec<&'a str>,
+}
+
+/// The observation table for the target page, plus provenance data.
+#[derive(Debug, Clone)]
+pub struct PreparedPage {
+    /// The observation table to segment.
+    pub observations: Observations,
+    /// Byte offset in the target page's HTML of each kept extract
+    /// (aligned with `observations.items`). Used by evaluation.
+    pub extract_offsets: Vec<usize>,
+    /// Byte offsets of the skipped extracts (aligned with
+    /// `observations.skipped`).
+    pub skipped_offsets: Vec<usize>,
+    /// `true` if the induced template was unusable and the whole page was
+    /// used as the table slot (the paper's notes `a`/`b`).
+    pub used_whole_page: bool,
+    /// The template diagnostics that drove the decision.
+    pub template_quality: TemplateQuality,
+    /// The tokens of the table slot the extracts were derived from.
+    /// `Extract::start` indexes into this stream; wrapper induction
+    /// ([`crate::wrapper`]) consumes it.
+    pub slot_tokens: Vec<Token>,
+}
+
+/// Runs the shared front end on a site's pages.
+///
+/// # Panics
+///
+/// Panics if `target` is out of bounds — the caller controls both fields.
+pub fn prepare(input: &SitePages<'_>) -> PreparedPage {
+    assert!(
+        input.target < input.list_pages.len(),
+        "target page {} out of bounds ({} pages)",
+        input.target,
+        input.list_pages.len()
+    );
+    let pages: Vec<Vec<Token>> = input.list_pages.iter().map(|p| tokenize(p)).collect();
+    let detail_tokens: Vec<Vec<Token>> =
+        input.detail_pages.iter().map(|p| tokenize(p)).collect();
+
+    // Template induction over all sample pages.
+    let induction = induce(&pages);
+    let quality = assess(&induction, &pages);
+
+    // Table slot: the slot with the most text tokens, unless the template
+    // is degenerate — then the entire page (Section 6.2: "In cases where
+    // the template finding algorithm could not find a good page template,
+    // we have taken the entire text of the list page").
+    let target_tokens = &pages[input.target];
+    let (slot_tokens, used_whole_page): (&[Token], bool) = if quality.is_usable() {
+        let slots = induction.slots(&pages);
+        match slots.table_slot(&pages) {
+            Some(idx) => {
+                let range = slots.slots[idx].ranges[input.target].clone();
+                (&target_tokens[range], false)
+            }
+            None => (&target_tokens[..], true),
+        }
+    } else {
+        (&target_tokens[..], true)
+    };
+
+    let other_pages: Vec<&[Token]> = pages
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != input.target)
+        .map(|(_, p)| p.as_slice())
+        .collect();
+    let detail_refs: Vec<&[Token]> = detail_tokens.iter().map(Vec::as_slice).collect();
+
+    let observations = build_observations(slot_tokens, &other_pages, &detail_refs);
+    let extract_offsets = observations
+        .items
+        .iter()
+        .map(|it| it.extract.tokens[0].offset)
+        .collect();
+    let skipped_offsets = observations
+        .skipped
+        .iter()
+        .map(|s| s.extract.tokens[0].offset)
+        .collect();
+
+    PreparedPage {
+        observations,
+        extract_offsets,
+        skipped_offsets,
+        used_whole_page,
+        template_quality: quality,
+        slot_tokens: slot_tokens.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(body: &str) -> String {
+        format!(
+            "<html><h1>Example Search Results</h1><table>{body}</table>\
+             <p>Copyright 2004 Example Inc All rights reserved</p></html>"
+        )
+    }
+
+    fn two_page_site() -> (String, String, Vec<&'static str>) {
+        let a = page(
+            "<tr><td>Ada Lovelace</td><td>(555) 100-0001</td></tr>\
+             <tr><td>Alan Turing</td><td>(555) 100-0002</td></tr>",
+        );
+        let b = page("<tr><td>Grace Hopper</td><td>(555) 100-0003</td></tr>");
+        let details = vec![
+            "<html><h2>Ada Lovelace</h2><p>(555) 100-0001</p></html>",
+            "<html><h2>Alan Turing</h2><p>(555) 100-0002</p></html>",
+        ];
+        (a, b, details)
+    }
+
+    #[test]
+    fn uses_table_slot_on_clean_site() {
+        let (a, b, details) = two_page_site();
+        let input = SitePages {
+            list_pages: vec![&a, &b],
+            target: 0,
+            detail_pages: details,
+        };
+        let prep = prepare(&input);
+        assert!(!prep.used_whole_page, "{:?}", prep.template_quality);
+        // Only the four record values are kept extracts.
+        assert_eq!(prep.observations.len(), 4);
+        assert_eq!(prep.extract_offsets.len(), 4);
+        // Offsets point at the extracts in the source.
+        assert!(a[prep.extract_offsets[0]..].starts_with("Ada"));
+    }
+
+    #[test]
+    fn whole_page_fallback_on_single_page() {
+        let (a, _, details) = two_page_site();
+        let input = SitePages {
+            list_pages: vec![&a],
+            target: 0,
+            detail_pages: details,
+        };
+        let prep = prepare(&input);
+        assert!(prep.used_whole_page);
+        // Record extracts still observed.
+        assert!(prep.observations.len() >= 4);
+    }
+
+    #[test]
+    fn numbered_entries_force_whole_page() {
+        let a = page(
+            "<tr><td>1. Ada Lovelace</td></tr><tr><td>2. Alan Turing</td></tr>\
+             <tr><td>3. Grace Hopper</td></tr><tr><td>4. Donald Knuth</td></tr>",
+        );
+        let b = page(
+            "<tr><td>1. Barbara Liskov</td></tr><tr><td>2. Edsger Dijkstra</td></tr>\
+             <tr><td>3. Tony Hoare</td></tr><tr><td>4. Niklaus Wirth</td></tr>",
+        );
+        let details = vec![
+            "<html><h2>Ada Lovelace</h2></html>",
+            "<html><h2>Alan Turing</h2></html>",
+            "<html><h2>Grace Hopper</h2></html>",
+            "<html><h2>Donald Knuth</h2></html>",
+        ];
+        let input = SitePages {
+            list_pages: vec![&a, &b],
+            target: 0,
+            detail_pages: details,
+        };
+        let prep = prepare(&input);
+        assert!(prep.used_whole_page, "{:?}", prep.template_quality);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bad_target_panics() {
+        let (a, _, details) = two_page_site();
+        let input = SitePages {
+            list_pages: vec![&a],
+            target: 3,
+            detail_pages: details,
+        };
+        let _ = prepare(&input);
+    }
+
+    #[test]
+    fn skipped_extracts_tracked() {
+        let (a, b, details) = two_page_site();
+        let input = SitePages {
+            list_pages: vec![&a, &b],
+            target: 0,
+            detail_pages: details,
+        };
+        let prep = prepare(&input);
+        assert_eq!(prep.skipped_offsets.len(), prep.observations.skipped.len());
+    }
+}

@@ -1,0 +1,149 @@
+//! The two segmentation approaches behind one trait.
+
+use tableseg_csp::{segment_csp, CspOptions, CspStatus};
+use tableseg_extract::{Observations, Segmentation};
+use tableseg_prob::{segment_prob, ProbOptions};
+
+/// The result of a segmenter run.
+#[derive(Debug, Clone)]
+pub struct SegmenterOutcome {
+    /// The record segmentation.
+    pub segmentation: Segmentation,
+    /// `true` if the approach had to relax its constraints (the CSP on
+    /// inconsistent data — the paper's notes `c`/`d`).
+    pub relaxed: bool,
+    /// Column labels per extract, if the approach produces them (the
+    /// probabilistic approach does; the CSP does not — Section 3.4).
+    pub columns: Option<Vec<u32>>,
+}
+
+/// A record-segmentation algorithm operating on an observation table.
+pub trait Segmenter {
+    /// Segments the observation table into records.
+    fn segment(&self, obs: &Observations) -> SegmenterOutcome;
+
+    /// A short display name ("CSP", "probabilistic").
+    fn name(&self) -> &'static str;
+}
+
+/// The constraint-satisfaction approach (Section 4).
+#[derive(Debug, Clone, Default)]
+pub struct CspSegmenter {
+    /// Solver and encoding options.
+    pub options: CspOptions,
+}
+
+impl CspSegmenter {
+    /// A segmenter with the Section 4.2 position constraints disabled
+    /// (for the ablation experiment).
+    pub fn without_position_constraints() -> CspSegmenter {
+        CspSegmenter {
+            options: CspOptions {
+                position_constraints: false,
+                ..CspOptions::default()
+            },
+        }
+    }
+}
+
+impl Segmenter for CspSegmenter {
+    fn segment(&self, obs: &Observations) -> SegmenterOutcome {
+        let out = segment_csp(obs, &self.options);
+        SegmenterOutcome {
+            segmentation: out.segmentation,
+            relaxed: out.status != CspStatus::Solved,
+            columns: None,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "CSP"
+    }
+}
+
+/// The probabilistic approach (Section 5).
+#[derive(Debug, Clone, Default)]
+pub struct ProbSegmenter {
+    /// EM and model options.
+    pub options: ProbOptions,
+}
+
+impl ProbSegmenter {
+    /// A segmenter without the hierarchical period model π (the Figure 2
+    /// variant, for the ablation experiment).
+    pub fn without_period_model() -> ProbSegmenter {
+        ProbSegmenter {
+            options: ProbOptions {
+                period_model: false,
+                ..ProbOptions::default()
+            },
+        }
+    }
+}
+
+impl Segmenter for ProbSegmenter {
+    fn segment(&self, obs: &Observations) -> SegmenterOutcome {
+        let out = segment_prob(obs, &self.options);
+        SegmenterOutcome {
+            segmentation: out.segmentation,
+            relaxed: false,
+            columns: Some(out.columns),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "probabilistic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tableseg_extract::build_observations;
+    use tableseg_html::{lexer::tokenize, Token};
+
+    fn obs() -> Observations {
+        let list = tokenize("<td>Ada Lovelace</td><td>100</td><td>Alan Turing</td><td>200</td>");
+        let d1 = tokenize("<p>Ada Lovelace</p><p>100</p>");
+        let d2 = tokenize("<p>Alan Turing</p><p>200</p>");
+        let d3 = tokenize("<p>nothing</p>");
+        let details: Vec<&[Token]> = vec![&d1, &d2, &d3];
+        build_observations(&list, &[], &details)
+    }
+
+    #[test]
+    fn both_segmenters_agree_on_clean_data() {
+        let obs = obs();
+        let expected = vec![Some(0), Some(0), Some(1), Some(1)];
+        for s in [&CspSegmenter::default() as &dyn Segmenter, &ProbSegmenter::default()] {
+            let out = s.segment(&obs);
+            assert_eq!(out.segmentation.assignments, expected, "{}", s.name());
+            assert!(!out.relaxed, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn only_prob_yields_columns() {
+        let obs = obs();
+        assert!(CspSegmenter::default().segment(&obs).columns.is_none());
+        let cols = ProbSegmenter::default()
+            .segment(&obs)
+            .columns
+            .expect("probabilistic approach labels columns");
+        assert_eq!(cols.len(), obs.len());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(CspSegmenter::default().name(), "CSP");
+        assert_eq!(ProbSegmenter::default().name(), "probabilistic");
+    }
+
+    #[test]
+    fn ablation_constructors() {
+        assert!(!CspSegmenter::without_position_constraints()
+            .options
+            .position_constraints);
+        assert!(!ProbSegmenter::without_period_model().options.period_model);
+    }
+}

@@ -1,0 +1,249 @@
+//! Vertical table support.
+//!
+//! Section 3.2 of the paper: "The methods presented below are appropriate
+//! for tables that are laid out horizontally, meaning that the records are
+//! on separate rows. A table can also be laid out vertically, with records
+//! appearing in different columns; fortunately, few Web sites lay out
+//! their data in this way."
+//!
+//! Both segmenters assume horizontal layout (record labels monotone in
+//! stream order; each record's extracts contiguous). This module handles
+//! the deferred vertical case: [`detect_vertical`] recognizes the
+//! characteristic *interleaved* record pattern (the stream visits records
+//! `1, 2, 3, 1, 2, 3, ...` — one attribute row at a time), and
+//! [`transpose`] reorders the observation table into horizontal order so
+//! the ordinary segmenters apply; the returned permutation maps the
+//! transposed segmentation back to the original extracts.
+
+use tableseg_extract::{Observations, Segmentation};
+
+/// Fraction of adjacent singleton-evidence pairs that must step
+/// *backwards* in record order for the page to be considered vertical.
+/// Horizontal pages step backwards only under evidence noise; a vertical
+/// page steps backwards once per attribute row, a rate of roughly `1/K`
+/// for `K` records.
+pub const VERTICAL_THRESHOLD: f64 = 0.1;
+
+/// At least this many backward steps are additionally required, so a
+/// single noisy observation set cannot flip a short page to vertical.
+pub const MIN_BACKWARD_STEPS: usize = 2;
+
+/// Record hints: for each extract with a *singleton* `D_i`, its record.
+fn singleton_hints(obs: &Observations) -> Vec<(usize, u32)> {
+    obs.items
+        .iter()
+        .enumerate()
+        .filter(|(_, it)| it.pages.len() == 1)
+        .map(|(i, it)| (i, it.pages[0]))
+        .collect()
+}
+
+/// Detects a vertically laid out table from the observation order.
+///
+/// In a horizontal table the singleton record hints are non-decreasing
+/// along the stream; in a vertical table they cycle. Returns `true` when
+/// the fraction of backward steps exceeds [`VERTICAL_THRESHOLD`].
+pub fn detect_vertical(obs: &Observations) -> bool {
+    let hints = singleton_hints(obs);
+    if hints.len() < 4 {
+        return false;
+    }
+    let backward = hints
+        .windows(2)
+        .filter(|w| w[1].1 < w[0].1)
+        .count();
+    backward >= MIN_BACKWARD_STEPS
+        && backward as f64 / (hints.len() - 1) as f64 > VERTICAL_THRESHOLD
+}
+
+/// Reorders a vertical observation table into horizontal order.
+///
+/// Every extract is assigned a *record key*: its own singleton hint, or
+/// (for shared/ambiguous extracts) the hint of the nearest preceding
+/// singleton in the stream (falling back to the nearest following one).
+/// Extracts are then stably sorted by that key — stream order within a
+/// record is preserved, which keeps attribute order intact because a
+/// vertical table emits attributes top-to-bottom.
+///
+/// Returns the transposed table and the permutation `perm` such that
+/// `transposed.items[k]` is the original `obs.items[perm[k]]`.
+pub fn transpose(obs: &Observations) -> (Observations, Vec<usize>) {
+    let n = obs.items.len();
+    // Nearest-singleton record key per extract.
+    let mut keys: Vec<Option<u32>> = vec![None; n];
+    for (i, item) in obs.items.iter().enumerate() {
+        if item.pages.len() == 1 {
+            keys[i] = Some(item.pages[0]);
+        }
+    }
+    // Forward fill (nearest preceding singleton)...
+    let mut last = None;
+    let mut filled: Vec<Option<u32>> = Vec::with_capacity(n);
+    for k in &keys {
+        if k.is_some() {
+            last = *k;
+        }
+        filled.push(last);
+    }
+    // ...then backward fill for a leading run without singletons.
+    let mut next = None;
+    for i in (0..n).rev() {
+        if keys[i].is_some() {
+            next = keys[i];
+        }
+        if filled[i].is_none() {
+            filled[i] = next;
+        }
+    }
+
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.sort_by_key(|&i| (filled[i].unwrap_or(u32::MAX), i));
+
+    let items = perm
+        .iter()
+        .map(|&i| {
+            let mut item = obs.items[i].clone();
+            // Renumber the extract index to the transposed position so the
+            // downstream remainder-assembly ordering stays coherent.
+            item.extract.index = usize::MAX; // set below
+            item
+        })
+        .collect::<Vec<_>>();
+    let mut items = items;
+    for (k, item) in items.iter_mut().enumerate() {
+        item.extract.index = k;
+    }
+
+    (
+        Observations {
+            num_records: obs.num_records,
+            items,
+            skipped: obs.skipped.clone(),
+        },
+        perm,
+    )
+}
+
+/// Maps a segmentation of the transposed table back onto the original
+/// extract order.
+pub fn untranspose(seg: &Segmentation, perm: &[usize]) -> Segmentation {
+    let mut assignments = vec![None; seg.assignments.len()];
+    for (k, &orig) in perm.iter().enumerate() {
+        assignments[orig] = seg.assignments[k];
+    }
+    Segmentation {
+        num_records: seg.num_records,
+        assignments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segmenter::{CspSegmenter, Segmenter};
+    use tableseg_extract::build_observations;
+    use tableseg_html::{lexer::tokenize, Token};
+
+    /// A vertical table: each *row* is one attribute, each *column* one
+    /// record.
+    fn vertical_obs() -> Observations {
+        let list = tokenize(
+            "<tr><th>Name</th><td>Ada One</td><td>Bob Two</td><td>Cyd Three</td></tr>\
+             <tr><th>Dept</th><td>Engines</td><td>Machines</td><td>Compilers</td></tr>\
+             <tr><th>Ext</th><td>4411</td><td>4422</td><td>4433</td></tr>",
+        );
+        let d1 = tokenize("<h2>Ada One</h2><p>Engines</p><p>4411</p>");
+        let d2 = tokenize("<h2>Bob Two</h2><p>Machines</p><p>4422</p>");
+        let d3 = tokenize("<h2>Cyd Three</h2><p>Compilers</p><p>4433</p>");
+        let refs: Vec<&[Token]> = vec![&d1, &d2, &d3];
+        build_observations(&list, &[], &refs)
+    }
+
+    fn horizontal_obs() -> Observations {
+        let list = tokenize(
+            "<tr><td>Ada One</td><td>Engines</td></tr>\
+             <tr><td>Bob Two</td><td>Machines</td></tr>\
+             <tr><td>Cyd Three</td><td>Compilers</td></tr>",
+        );
+        let d1 = tokenize("<h2>Ada One</h2><p>Engines</p>");
+        let d2 = tokenize("<h2>Bob Two</h2><p>Machines</p>");
+        let d3 = tokenize("<h2>Cyd Three</h2><p>Compilers</p>");
+        let refs: Vec<&[Token]> = vec![&d1, &d2, &d3];
+        build_observations(&list, &[], &refs)
+    }
+
+    #[test]
+    fn detects_vertical_layout() {
+        assert!(detect_vertical(&vertical_obs()));
+        assert!(!detect_vertical(&horizontal_obs()));
+    }
+
+    #[test]
+    fn too_little_evidence_defaults_to_horizontal() {
+        let list = tokenize("<td>Ada One</td>");
+        let d1 = tokenize("<h2>Ada One</h2>");
+        let d2 = tokenize("<h2>x</h2>");
+        let refs: Vec<&[Token]> = vec![&d1, &d2];
+        let obs = build_observations(&list, &[], &refs);
+        assert!(!detect_vertical(&obs));
+    }
+
+    #[test]
+    fn transpose_then_segment_recovers_records() {
+        let obs = vertical_obs();
+        // Direct segmentation of a vertical table fails the contiguity
+        // assumptions (the CSP must relax or mis-group).
+        let (transposed, perm) = transpose(&obs);
+        // Transposed hints are monotone.
+        assert!(!detect_vertical(&transposed));
+
+        let outcome = CspSegmenter::default().segment(&transposed);
+        assert!(!outcome.relaxed, "{outcome:?}");
+        let seg = untranspose(&outcome.segmentation, &perm);
+
+        // Each record gets its own three attributes in the original table.
+        let texts_of = |r: u32| -> Vec<String> {
+            seg.assignments
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| **a == Some(r))
+                .map(|(i, _)| obs.items[i].extract.text())
+                .collect()
+        };
+        assert_eq!(texts_of(0), vec!["Ada One", "Engines", "4411"]);
+        assert_eq!(texts_of(1), vec!["Bob Two", "Machines", "4422"]);
+        assert_eq!(texts_of(2), vec!["Cyd Three", "Compilers", "4433"]);
+    }
+
+    #[test]
+    fn transpose_permutation_is_a_bijection() {
+        let obs = vertical_obs();
+        let (transposed, perm) = transpose(&obs);
+        assert_eq!(transposed.items.len(), obs.items.len());
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..obs.items.len()).collect::<Vec<_>>());
+        // Content is preserved under the permutation.
+        for (k, &orig) in perm.iter().enumerate() {
+            assert_eq!(
+                transposed.items[k].extract.text(),
+                obs.items[orig].extract.text()
+            );
+        }
+        // Extract indices renumbered consecutively.
+        for (k, item) in transposed.items.iter().enumerate() {
+            assert_eq!(item.extract.index, k);
+        }
+    }
+
+    #[test]
+    fn untranspose_roundtrip_on_identity() {
+        let obs = horizontal_obs();
+        let (transposed, perm) = transpose(&obs);
+        // A horizontal table transposes to itself.
+        assert_eq!(perm, (0..obs.items.len()).collect::<Vec<_>>());
+        let outcome = CspSegmenter::default().segment(&transposed);
+        let back = untranspose(&outcome.segmentation, &perm);
+        assert_eq!(back, outcome.segmentation);
+    }
+}

@@ -1,0 +1,372 @@
+//! Wrapper induction from automatic segmentations.
+//!
+//! The paper situates itself in the web-wrapper literature (Section 1):
+//! classic wrapper induction (Kushmerick's HLRT family) learns row and
+//! field delimiters from *user-labeled* example records. The segmentations
+//! produced by this system are exactly such labels — obtained with no user
+//! at all. This module closes the loop: it induces an HLRT-style row
+//! wrapper from one segmented list page, after which **new pages from the
+//! same site can be extracted without any detail pages**.
+//!
+//! The wrapper consists of token sequences: a *head* delimiter preceding
+//! each record's first field, one *separator* between each pair of
+//! adjacent fields, and a *tail* following the last field. Induction takes
+//! the records that display the full field count (the paper's period π)
+//! and intersects their delimiter contexts; application scans a token
+//! stream for head occurrences and reads fields up to each separator.
+
+use tableseg_extract::Segmentation;
+use tableseg_html::Token;
+
+use crate::pipeline::PreparedPage;
+
+/// Maximum delimiter length learned, in tokens.
+const MAX_DELIM: usize = 8;
+
+/// Maximum field length accepted during application, in tokens.
+const MAX_FIELD: usize = 40;
+
+/// An HLRT-style row wrapper: token-text delimiters around and between
+/// the fields of one record row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowWrapper {
+    /// Tokens immediately preceding a record's first field.
+    pub head: Vec<String>,
+    /// Tokens between field `i` and field `i+1` (`num_fields - 1` entries).
+    pub seps: Vec<Vec<String>>,
+    /// Tokens immediately following a record's last field.
+    pub tail: Vec<String>,
+}
+
+impl RowWrapper {
+    /// Number of fields per record.
+    pub fn num_fields(&self) -> usize {
+        self.seps.len() + 1
+    }
+
+    /// Extracts records from a token stream (e.g. a *new* list page from
+    /// the same site, tokenized with
+    /// [`tokenize`](tableseg_html::lexer::tokenize)).
+    ///
+    /// Returns one `Vec<String>` of field texts per detected record.
+    pub fn extract(&self, tokens: &[Token]) -> Vec<Vec<String>> {
+        let texts: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
+        let mut records = Vec::new();
+        let mut i = 0;
+        while i + self.head.len() <= texts.len() {
+            if !matches_at(&texts, i, &self.head) {
+                i += 1;
+                continue;
+            }
+            let mut pos = i + self.head.len();
+            let mut fields = Vec::with_capacity(self.num_fields());
+            let mut ok = true;
+            for (f, delim) in self
+                .seps
+                .iter()
+                .map(Vec::as_slice)
+                .chain(std::iter::once(self.tail.as_slice()))
+                .enumerate()
+            {
+                match read_field(&texts, pos, delim) {
+                    Some((field, next)) => {
+                        fields.push(field);
+                        pos = next;
+                    }
+                    None => {
+                        ok = false;
+                        let _ = f;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                records.push(fields);
+                // The tail of one row often overlaps the head of the next
+                // (e.g. tail `</td></tr>`, head `</tr><tr><td>` sharing
+                // `</tr>`), so rewind by the tail length before scanning
+                // for the next head. The record body itself is consumed,
+                // so no row can match twice.
+                i = pos.saturating_sub(self.tail.len());
+            } else {
+                i += 1;
+            }
+        }
+        records
+    }
+}
+
+fn matches_at(texts: &[&str], pos: usize, delim: &[String]) -> bool {
+    pos + delim.len() <= texts.len()
+        && delim.iter().zip(&texts[pos..]).all(|(d, t)| d == t)
+}
+
+/// Reads one field starting at `pos`, terminated by `delim`. Returns the
+/// joined field text and the position *after* the delimiter.
+///
+/// A field is an extract, and extracts never contain HTML tags
+/// (Section 3.2's separator definition) — hitting a tag before the
+/// delimiter means the row does not fit the wrapper, so the read fails
+/// and the caller resynchronizes. This is what keeps a malformed row from
+/// swallowing its successors.
+fn read_field(texts: &[&str], pos: usize, delim: &[String]) -> Option<(String, usize)> {
+    for len in 1..=MAX_FIELD {
+        let end = pos + len;
+        if end > texts.len() {
+            return None;
+        }
+        if texts[end - 1].starts_with('<') && texts[end - 1].len() > 1 {
+            // A tag inside the would-be field: not a record row.
+            return None;
+        }
+        if matches_at(texts, end, delim) {
+            return Some((texts[pos..end].join(" "), end + delim.len()));
+        }
+    }
+    None
+}
+
+/// Induces a row wrapper from a prepared page and its segmentation.
+///
+/// Returns `None` when the page offers no consistent delimiters — fewer
+/// than two full records, records with differing field counts only, or
+/// empty common contexts.
+pub fn induce_wrapper(prepared: &PreparedPage, seg: &Segmentation) -> Option<RowWrapper> {
+    let tokens = &prepared.slot_tokens;
+    let obs = &prepared.observations;
+
+    // Field spans per record: (start, end) token ranges of each assigned
+    // extract, in stream order.
+    let mut rows: Vec<Vec<(usize, usize)>> = Vec::new();
+    for extracts in seg.records() {
+        if extracts.is_empty() {
+            continue;
+        }
+        let spans: Vec<(usize, usize)> = extracts
+            .iter()
+            .map(|&i| {
+                let e = &obs.items[i].extract;
+                (e.start, e.start + e.len())
+            })
+            .collect();
+        rows.push(spans);
+    }
+    // Keep the modal field count.
+    let modal = {
+        let mut counts = std::collections::HashMap::new();
+        for r in &rows {
+            *counts.entry(r.len()).or_insert(0usize) += 1;
+        }
+        counts
+            .into_iter()
+            .max_by_key(|&(len, n)| (n, len))
+            .map(|(len, _)| len)?
+    };
+    let rows: Vec<&Vec<(usize, usize)>> = rows.iter().filter(|r| r.len() == modal).collect();
+    if rows.len() < 2 || modal == 0 {
+        return None;
+    }
+
+    // Head: longest common suffix of the token texts preceding each
+    // record's first field.
+    let head = common_suffix(
+        rows.iter()
+            .map(|r| preceding(tokens, r[0].0))
+            .collect::<Vec<_>>(),
+    );
+    if head.is_empty() {
+        return None;
+    }
+
+    // Separators between adjacent fields: the between tokens must agree as
+    // a common suffix (anchoring the next field's start).
+    let mut seps = Vec::with_capacity(modal - 1);
+    for f in 0..modal - 1 {
+        let sep = common_suffix(
+            rows.iter()
+                .map(|r| {
+                    let (_, end) = r[f];
+                    let (next_start, _) = r[f + 1];
+                    tokens[end..next_start]
+                        .iter()
+                        .map(|t| t.text.clone())
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>(),
+        );
+        if sep.is_empty() {
+            return None;
+        }
+        seps.push(sep);
+    }
+
+    // Tail: longest common prefix of the tokens following each record's
+    // last field.
+    let tail = common_prefix(
+        rows.iter()
+            .map(|r| following(tokens, r[modal - 1].1))
+            .collect::<Vec<_>>(),
+    );
+    if tail.is_empty() {
+        return None;
+    }
+
+    Some(RowWrapper { head, seps, tail })
+}
+
+/// Up to [`MAX_DELIM`] token texts preceding `pos`.
+fn preceding(tokens: &[Token], pos: usize) -> Vec<String> {
+    let start = pos.saturating_sub(MAX_DELIM);
+    tokens[start..pos].iter().map(|t| t.text.clone()).collect()
+}
+
+/// Up to [`MAX_DELIM`] token texts following `pos`.
+fn following(tokens: &[Token], pos: usize) -> Vec<String> {
+    let end = (pos + MAX_DELIM).min(tokens.len());
+    tokens[pos..end].iter().map(|t| t.text.clone()).collect()
+}
+
+/// Longest common suffix of several sequences.
+fn common_suffix(seqs: Vec<Vec<String>>) -> Vec<String> {
+    let min_len = seqs.iter().map(Vec::len).min().unwrap_or(0);
+    let mut k = 0;
+    'outer: while k < min_len {
+        let probe = &seqs[0][seqs[0].len() - 1 - k];
+        for s in &seqs[1..] {
+            if &s[s.len() - 1 - k] != probe {
+                break 'outer;
+            }
+        }
+        k += 1;
+    }
+    let first = &seqs[0];
+    first[first.len() - k..].to_vec()
+}
+
+/// Longest common prefix of several sequences.
+fn common_prefix(seqs: Vec<Vec<String>>) -> Vec<String> {
+    let min_len = seqs.iter().map(Vec::len).min().unwrap_or(0);
+    let mut k = 0;
+    'outer: while k < min_len {
+        let probe = &seqs[0][k];
+        for s in &seqs[1..] {
+            if &s[k] != probe {
+                break 'outer;
+            }
+        }
+        k += 1;
+    }
+    seqs[0][..k].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{prepare, SitePages};
+    use crate::segmenter::{CspSegmenter, Segmenter};
+    use tableseg_html::lexer::tokenize;
+
+    fn page(rows: &[(&str, &str)]) -> String {
+        let body: String = rows
+            .iter()
+            .map(|(a, b)| format!("<tr><td>{a}</td><td>{b}</td></tr>"))
+            .collect();
+        format!(
+            "<html><h1>Example Results Page</h1><table>{body}</table>\
+             <p>Copyright 2004 Example Inc Footer</p></html>"
+        )
+    }
+
+    fn prepared_and_seg() -> (PreparedPage, Segmentation) {
+        let a = page(&[
+            ("Ada Lovelace", "(555) 100-0001"),
+            ("Alan Turing", "(555) 100-0002"),
+            ("Grace Hopper", "(555) 100-0003"),
+        ]);
+        let b = page(&[("Donald Knuth", "(555) 100-0004")]);
+        let details = vec![
+            "<html><h2>Ada Lovelace</h2><p>(555) 100-0001</p></html>",
+            "<html><h2>Alan Turing</h2><p>(555) 100-0002</p></html>",
+            "<html><h2>Grace Hopper</h2><p>(555) 100-0003</p></html>",
+        ];
+        let a: &'static str = Box::leak(a.into_boxed_str());
+        let b: &'static str = Box::leak(b.into_boxed_str());
+        let prepared = prepare(&SitePages {
+            list_pages: vec![a, b],
+            target: 0,
+            detail_pages: details,
+        });
+        let seg = CspSegmenter::default().segment(&prepared.observations).segmentation;
+        (prepared, seg)
+    }
+
+    #[test]
+    fn induces_row_delimiters() {
+        let (prepared, seg) = prepared_and_seg();
+        let w = induce_wrapper(&prepared, &seg).expect("wrapper");
+        assert_eq!(w.num_fields(), 2);
+        assert_eq!(w.head.last().map(String::as_str), Some("<td>"));
+        assert_eq!(w.seps[0].last().map(String::as_str), Some("<td>"));
+        assert_eq!(w.tail.first().map(String::as_str), Some("</td>"));
+    }
+
+    #[test]
+    fn wrapper_extracts_from_a_new_page_without_detail_pages() {
+        let (prepared, seg) = prepared_and_seg();
+        let w = induce_wrapper(&prepared, &seg).expect("wrapper");
+        // A brand-new page from the same site.
+        let new_page = page(&[
+            ("Edsger Dijkstra", "(555) 100-0009"),
+            ("Tony Hoare", "(555) 100-0010"),
+        ]);
+        let records = w.extract(&tokenize(&new_page));
+        assert_eq!(records.len(), 2, "{records:?}");
+        assert_eq!(records[0][0], "Edsger Dijkstra");
+        assert!(records[0][1].contains("100 - 0009"));
+        assert_eq!(records[1][0], "Tony Hoare");
+    }
+
+    #[test]
+    fn too_few_records_yield_no_wrapper() {
+        let a = page(&[("Ada Lovelace", "(555) 100-0001")]);
+        let b = page(&[("Donald Knuth", "(555) 100-0004")]);
+        let details = vec!["<html><h2>Ada Lovelace</h2><p>(555) 100-0001</p></html>"];
+        let a: &'static str = Box::leak(a.into_boxed_str());
+        let b: &'static str = Box::leak(b.into_boxed_str());
+        let prepared = prepare(&SitePages {
+            list_pages: vec![a, b],
+            target: 0,
+            detail_pages: details,
+        });
+        let seg = CspSegmenter::default().segment(&prepared.observations).segmentation;
+        assert!(induce_wrapper(&prepared, &seg).is_none());
+    }
+
+    #[test]
+    fn common_affix_helpers() {
+        let v = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            common_suffix(vec![v(&["a", "x", "y"]), v(&["b", "x", "y"])]),
+            v(&["x", "y"])
+        );
+        assert_eq!(
+            common_prefix(vec![v(&["x", "y", "a"]), v(&["x", "y", "b"])]),
+            v(&["x", "y"])
+        );
+        assert!(common_suffix(vec![v(&["a"]), v(&["b"])]).is_empty());
+        assert!(common_prefix(vec![v(&[]), v(&["b"])]).is_empty());
+    }
+
+    #[test]
+    fn extract_resyncs_after_damage() {
+        let (prepared, seg) = prepared_and_seg();
+        let w = induce_wrapper(&prepared, &seg).expect("wrapper");
+        // A page with one malformed row between two good ones.
+        let html = "<tr><td>Edsger Dijkstra</td><td>(555) 100-0009</td></tr>\
+                    <tr><td>broken row no second cell</tr>\
+                    <tr><td>Tony Hoare</td><td>(555) 100-0010</td></tr>";
+        let records = w.extract(&tokenize(html));
+        assert!(records.iter().any(|r| r[0] == "Edsger Dijkstra"));
+        assert!(records.iter().any(|r| r[0] == "Tony Hoare"));
+    }
+}

@@ -1,0 +1,449 @@
+//! A WSAT(OIP)-style stochastic local-search solver for pseudo-boolean
+//! models.
+//!
+//! The paper solves its constraint systems "using WSAT(OIP), an integer
+//! optimization algorithm" (Walser). That solver is closed source; this is
+//! a from-scratch implementation of the same strategy:
+//!
+//! 1. start from a random assignment;
+//! 2. while hard constraints are violated, pick a random violated
+//!    constraint and flip one of its variables — with probability `noise` a
+//!    random one (the random-walk move), otherwise the variable whose flip
+//!    most reduces total violation (breaking ties toward better objective),
+//!    subject to a short tabu tenure with aspiration;
+//! 3. once feasible, make objective-improving flips (which may re-violate
+//!    constraints, continuing the search) while remembering the best
+//!    feasible assignment seen;
+//! 4. restart with a fresh random assignment every `max_flips` flips.
+//!
+//! All randomness is seeded: identical configs give identical results.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::model::{violation_of, Model, Term};
+
+/// Configuration for the WSAT(OIP) solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WsatConfig {
+    /// Maximum flips per restart.
+    pub max_flips: usize,
+    /// Number of restarts.
+    pub max_tries: usize,
+    /// Probability of a random-walk move.
+    pub noise: f64,
+    /// Tabu tenure: a variable flipped within the last `tabu` flips is not
+    /// flipped again unless doing so reaches a new best (aspiration).
+    pub tabu: usize,
+    /// Stagnation cutoff: restart when the best assignment has not
+    /// improved within this many flips. Keeps converged searches from
+    /// burning the whole flip budget.
+    pub stall: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for WsatConfig {
+    fn default() -> WsatConfig {
+        WsatConfig {
+            max_flips: 20_000,
+            max_tries: 8,
+            noise: 0.15,
+            tabu: 2,
+            stall: 3_000,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// The outcome of a WSAT(OIP) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WsatResult {
+    /// The best assignment found.
+    pub assignment: Vec<bool>,
+    /// `true` if the best assignment satisfies every constraint.
+    pub feasible: bool,
+    /// Total constraint violation of the best assignment (0 iff feasible).
+    pub violation: i64,
+    /// Objective value of the best assignment.
+    pub objective: i64,
+    /// Total number of flips performed.
+    pub flips: u64,
+}
+
+/// Incremental search state for one restart.
+struct SearchState<'a> {
+    model: &'a Model,
+    /// Current assignment.
+    assign: Vec<bool>,
+    /// Current LHS value of each constraint.
+    lhs: Vec<i32>,
+    /// Indices of currently violated constraints.
+    violated: Vec<usize>,
+    /// Position of each constraint in `violated` (usize::MAX when absent).
+    violated_pos: Vec<usize>,
+    /// Occurrence lists: constraints (and coefficients) touching each var.
+    occurs: &'a [Vec<(usize, i32)>],
+    /// Objective coefficient of each variable.
+    obj_coef: &'a [i64],
+    /// Flip counter at the time each variable was last flipped.
+    last_flip: Vec<u64>,
+    /// Total violation.
+    total_violation: i64,
+    /// Current objective value.
+    objective: i64,
+}
+
+impl<'a> SearchState<'a> {
+    fn new(
+        model: &'a Model,
+        occurs: &'a [Vec<(usize, i32)>],
+        obj_coef: &'a [i64],
+        assign: Vec<bool>,
+    ) -> SearchState<'a> {
+        let mut state = SearchState {
+            model,
+            lhs: vec![0; model.constraints.len()],
+            violated: Vec::new(),
+            violated_pos: vec![usize::MAX; model.constraints.len()],
+            occurs,
+            obj_coef,
+            last_flip: vec![0; model.num_vars],
+            total_violation: 0,
+            objective: 0,
+            assign,
+        };
+        for (ci, c) in model.constraints.iter().enumerate() {
+            let lhs = c.lhs(&state.assign);
+            state.lhs[ci] = lhs;
+            let v = violation_of(c.rel, lhs, c.rhs);
+            state.total_violation += i64::from(v);
+            if v > 0 {
+                state.violated_pos[ci] = state.violated.len();
+                state.violated.push(ci);
+            }
+        }
+        state.objective = model.objective_value(&state.assign);
+        state
+    }
+
+    /// Change in total violation if `var` were flipped.
+    fn violation_delta(&self, var: usize) -> i64 {
+        let dir: i32 = if self.assign[var] { -1 } else { 1 };
+        let mut delta = 0i64;
+        for &(ci, coef) in &self.occurs[var] {
+            let c = &self.model.constraints[ci];
+            let old = violation_of(c.rel, self.lhs[ci], c.rhs);
+            let new = violation_of(c.rel, self.lhs[ci] + dir * coef, c.rhs);
+            delta += i64::from(new - old);
+        }
+        delta
+    }
+
+    /// Change in objective if `var` were flipped.
+    fn objective_delta(&self, var: usize) -> i64 {
+        if self.assign[var] {
+            -self.obj_coef[var]
+        } else {
+            self.obj_coef[var]
+        }
+    }
+
+    fn flip(&mut self, var: usize, flip_no: u64) {
+        let dir: i32 = if self.assign[var] { -1 } else { 1 };
+        // The objective delta is defined relative to the pre-flip state.
+        self.objective += self.objective_delta(var);
+        self.assign[var] = !self.assign[var];
+        for &(ci, coef) in &self.occurs[var] {
+            let c = &self.model.constraints[ci];
+            let old_v = violation_of(c.rel, self.lhs[ci], c.rhs);
+            self.lhs[ci] += dir * coef;
+            let new_v = violation_of(c.rel, self.lhs[ci], c.rhs);
+            self.total_violation += i64::from(new_v - old_v);
+            if old_v == 0 && new_v > 0 {
+                self.violated_pos[ci] = self.violated.len();
+                self.violated.push(ci);
+            } else if old_v > 0 && new_v == 0 {
+                let pos = self.violated_pos[ci];
+                let last = *self.violated.last().expect("non-empty");
+                self.violated.swap_remove(pos);
+                if pos < self.violated.len() {
+                    self.violated_pos[last] = pos;
+                }
+                self.violated_pos[ci] = usize::MAX;
+            }
+        }
+        debug_assert_eq!(self.objective, self.model.objective_value(&self.assign));
+        self.last_flip[var] = flip_no;
+    }
+}
+
+/// Solves `model`, returning the best assignment found within the
+/// configured search budget.
+pub fn solve(model: &Model, cfg: &WsatConfig) -> WsatResult {
+    let mut occurs: Vec<Vec<(usize, i32)>> = vec![Vec::new(); model.num_vars];
+    for (ci, c) in model.constraints.iter().enumerate() {
+        for t in &c.terms {
+            occurs[t.var].push((ci, t.coef));
+        }
+    }
+    let mut obj_coef = vec![0i64; model.num_vars];
+    for &Term { var, coef } in &model.objective {
+        obj_coef[var] += i64::from(coef);
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut best_assign = vec![false; model.num_vars];
+    let mut best_violation = Model::total_violation(model, &best_assign);
+    let mut best_objective = model.objective_value(&best_assign);
+    let mut total_flips = 0u64;
+
+    'tries: for try_no in 0..cfg.max_tries.max(1) {
+        // First try starts all-false (often near-feasible for ≤
+        // constraints); later tries are random.
+        let init: Vec<bool> = if try_no == 0 {
+            vec![false; model.num_vars]
+        } else {
+            (0..model.num_vars).map(|_| rng.random_bool(0.5)).collect()
+        };
+        let mut state = SearchState::new(model, &occurs, &obj_coef, init);
+        consider_best(
+            &state,
+            &mut best_assign,
+            &mut best_violation,
+            &mut best_objective,
+        );
+
+        let mut last_best_flip = total_flips;
+        for _ in 0..cfg.max_flips {
+            total_flips += 1;
+            if cfg.stall > 0 && total_flips - last_best_flip > cfg.stall as u64 {
+                break; // stagnated: restart
+            }
+            let var = if state.violated.is_empty() {
+                // Feasible: try to improve the objective. Stop if there is
+                // no objective to improve.
+                if model.objective.is_empty() {
+                    break 'tries;
+                }
+                match pick_objective_move(&state, model, &mut rng) {
+                    Some(v) => v,
+                    None => break 'tries, // objective is at its maximum
+                }
+            } else {
+                let ci = state.violated[rng.random_range(0..state.violated.len())];
+                match pick_constraint_move(&state, ci, cfg, total_flips, best_violation, &mut rng)
+                {
+                    Some(v) => v,
+                    None => continue,
+                }
+            };
+            state.flip(var, total_flips);
+            let improved = consider_best(
+                &state,
+                &mut best_assign,
+                &mut best_violation,
+                &mut best_objective,
+            );
+            if improved {
+                last_best_flip = total_flips;
+            }
+        }
+    }
+
+    WsatResult {
+        feasible: best_violation == 0,
+        violation: best_violation,
+        objective: best_objective,
+        assignment: best_assign,
+        flips: total_flips,
+    }
+}
+
+fn consider_best(
+    state: &SearchState<'_>,
+    best_assign: &mut Vec<bool>,
+    best_violation: &mut i64,
+    best_objective: &mut i64,
+) -> bool {
+    let better = state.total_violation < *best_violation
+        || (state.total_violation == *best_violation && state.objective > *best_objective);
+    if better {
+        *best_violation = state.total_violation;
+        *best_objective = state.objective;
+        best_assign.clone_from(&state.assign);
+    }
+    better
+}
+
+/// Chooses a variable from a violated constraint.
+fn pick_constraint_move(
+    state: &SearchState<'_>,
+    ci: usize,
+    cfg: &WsatConfig,
+    flip_no: u64,
+    best_violation: i64,
+    rng: &mut StdRng,
+) -> Option<usize> {
+    let terms = &state.model.constraints[ci].terms;
+    if terms.is_empty() {
+        return None;
+    }
+    if rng.random_bool(cfg.noise) {
+        return Some(terms[rng.random_range(0..terms.len())].var);
+    }
+    let mut best_var = None;
+    let mut best_score = i64::MAX;
+    for t in terms {
+        let var = t.var;
+        let dv = state.violation_delta(var);
+        // Aspiration: a move reaching a new best ignores tabu.
+        let reaches_new_best = state.total_violation + dv < best_violation;
+        let tabu_active = cfg.tabu > 0
+            && state.last_flip[var] != 0
+            && flip_no.saturating_sub(state.last_flip[var]) <= cfg.tabu as u64;
+        if tabu_active && !reaches_new_best {
+            continue;
+        }
+        // Score: violation first, objective as a tie-breaker.
+        let score = dv * 10_000 - state.objective_delta(var);
+        if score < best_score {
+            best_score = score;
+            best_var = Some(var);
+        }
+    }
+    // All candidates tabu: fall back to a random walk move.
+    best_var.or_else(|| Some(terms[rng.random_range(0..terms.len())].var))
+}
+
+/// Chooses an objective-improving move when the state is feasible.
+fn pick_objective_move(
+    state: &SearchState<'_>,
+    model: &Model,
+    rng: &mut StdRng,
+) -> Option<usize> {
+    // Candidate moves: objective variables whose flip improves the
+    // objective.
+    let improving: Vec<usize> = model
+        .objective
+        .iter()
+        .map(|t| t.var)
+        .filter(|&v| state.objective_delta(v) > 0)
+        .collect();
+    if improving.is_empty() {
+        return None;
+    }
+    // Prefer a move that keeps feasibility if one exists.
+    let harmless: Vec<usize> = improving
+        .iter()
+        .copied()
+        .filter(|&v| state.violation_delta(v) == 0)
+        .collect();
+    let pool = if harmless.is_empty() {
+        &improving
+    } else {
+        &harmless
+    };
+    Some(pool[rng.random_range(0..pool.len())])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Constraint, Model, Relation};
+
+    fn cfg() -> WsatConfig {
+        WsatConfig::default()
+    }
+
+    #[test]
+    fn satisfies_simple_equalities() {
+        // x0 + x1 = 1; x1 + x2 = 1; x0 + x2 = 2 → x0 = x2 = 1, x1 = 0.
+        let mut m = Model::new(3);
+        m.add(Constraint::sum([0, 1], Relation::Eq, 1));
+        m.add(Constraint::sum([1, 2], Relation::Eq, 1));
+        m.add(Constraint::sum([0, 2], Relation::Eq, 2));
+        let r = solve(&m, &cfg());
+        assert!(r.feasible);
+        assert_eq!(r.assignment, vec![true, false, true]);
+    }
+
+    #[test]
+    fn reports_infeasibility_via_violation() {
+        // x0 = 1 and x0 = 0 cannot both hold.
+        let mut m = Model::new(1);
+        m.add(Constraint::sum([0], Relation::Eq, 1));
+        m.add(Constraint::sum([0], Relation::Eq, 0));
+        let r = solve(
+            &m,
+            &WsatConfig {
+                max_flips: 200,
+                max_tries: 2,
+                ..cfg()
+            },
+        );
+        assert!(!r.feasible);
+        assert_eq!(r.violation, 1);
+    }
+
+    #[test]
+    fn maximizes_objective_subject_to_constraints() {
+        // At most 2 of 4 variables; maximize their sum → exactly 2 set.
+        let mut m = Model::new(4);
+        m.add(Constraint::sum([0, 1, 2, 3], Relation::Le, 2));
+        m.maximize_sum([0, 1, 2, 3]);
+        let r = solve(&m, &cfg());
+        assert!(r.feasible);
+        assert_eq!(r.objective, 2);
+        assert_eq!(r.assignment.iter().filter(|&&b| b).count(), 2);
+    }
+
+    #[test]
+    fn pure_satisfaction_stops_at_first_solution() {
+        let mut m = Model::new(2);
+        m.add(Constraint::sum([0, 1], Relation::Ge, 1));
+        let r = solve(&m, &cfg());
+        assert!(r.feasible);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut m = Model::new(6);
+        m.add(Constraint::sum([0, 1, 2], Relation::Eq, 1));
+        m.add(Constraint::sum([3, 4, 5], Relation::Eq, 2));
+        m.add(Constraint::sum([0, 3], Relation::Le, 1));
+        m.maximize_sum([0, 1, 2, 3, 4, 5]);
+        let r1 = solve(&m, &cfg());
+        let r2 = solve(&m, &cfg());
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn empty_model_is_feasible() {
+        let m = Model::new(0);
+        let r = solve(&m, &cfg());
+        assert!(r.feasible);
+        assert!(r.assignment.is_empty());
+    }
+
+    #[test]
+    fn handles_negative_coefficients() {
+        // x0 + x1 - x2 <= 1 with x0 = x1 = 1 forced → x2 must be 1.
+        let mut m = Model::new(3);
+        m.add(Constraint::sum([0], Relation::Eq, 1));
+        m.add(Constraint::sum([1], Relation::Eq, 1));
+        m.add(Constraint {
+            terms: vec![
+                crate::model::Term { var: 0, coef: 1 },
+                crate::model::Term { var: 1, coef: 1 },
+                crate::model::Term { var: 2, coef: -1 },
+            ],
+            rel: Relation::Le,
+            rhs: 1,
+            label: String::new(),
+        });
+        let r = solve(&m, &cfg());
+        assert!(r.feasible, "{r:?}");
+        assert_eq!(r.assignment, vec![true, true, true]);
+    }
+}

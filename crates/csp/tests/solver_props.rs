@@ -1,0 +1,127 @@
+//! Property tests cross-checking the stochastic WSAT(OIP) solver against
+//! the exact branch-and-bound, and validating the ordered DP's invariants.
+
+use proptest::prelude::*;
+
+use tableseg_csp::exact::{solve_bnb, solve_ordered, BnbOutcome};
+use tableseg_csp::model::{Constraint, Model, Relation};
+use tableseg_csp::wsat::{solve, WsatConfig};
+
+/// A random small pseudo-boolean model.
+fn arb_model() -> impl Strategy<Value = Model> {
+    let num_vars = 2usize..8;
+    num_vars.prop_flat_map(|n| {
+        let constraint = (
+            proptest::collection::vec(0..n, 1..=n.min(4)),
+            prop_oneof![Just(Relation::Le), Just(Relation::Ge), Just(Relation::Eq)],
+            0i32..3,
+        );
+        proptest::collection::vec(constraint, 0..6).prop_map(move |cs| {
+            let mut m = Model::new(n);
+            for (mut vars, rel, rhs) in cs {
+                vars.sort_unstable();
+                vars.dedup();
+                m.add(Constraint::sum(vars, rel, rhs));
+            }
+            m
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// If B&B proves the model satisfiable, WSAT must find a feasible
+    /// assignment too (these models are tiny); if B&B proves infeasibility,
+    /// WSAT must never claim feasibility.
+    #[test]
+    fn wsat_agrees_with_bnb_on_feasibility(model in arb_model()) {
+        let exact = solve_bnb(&model, 1_000_000);
+        let stochastic = solve(&model, &WsatConfig::default());
+        match exact {
+            BnbOutcome::Optimal { .. } => {
+                prop_assert!(stochastic.feasible, "WSAT missed a solution");
+                prop_assert!(model.feasible(&stochastic.assignment));
+            }
+            BnbOutcome::Infeasible => {
+                prop_assert!(!stochastic.feasible, "WSAT claims feasible on infeasible model");
+            }
+            BnbOutcome::Unknown => unreachable!("budget is ample for <=8 vars"),
+        }
+    }
+
+    /// With a maximize-sum objective, WSAT must reach the B&B optimum on
+    /// these tiny models.
+    #[test]
+    fn wsat_reaches_optimum_on_small_models(mut model in arb_model()) {
+        model.maximize_sum(0..model.num_vars);
+        let exact = solve_bnb(&model, 1_000_000);
+        if let BnbOutcome::Optimal { objective, .. } = exact {
+            let stochastic = solve(&model, &WsatConfig { max_flips: 5_000, ..WsatConfig::default() });
+            prop_assert!(stochastic.feasible);
+            prop_assert_eq!(stochastic.objective, objective);
+        }
+    }
+
+    /// Ordered-DP output always satisfies occurrence, uniqueness,
+    /// contiguity and monotonicity, and its count is consistent.
+    #[test]
+    fn ordered_dp_invariants(
+        spec in proptest::collection::vec(
+            proptest::collection::btree_set(0u32..5, 0..4), 0..12),
+    ) {
+        let owned: Vec<Vec<u32>> = spec.iter().map(|s| s.iter().copied().collect()).collect();
+        let cands: Vec<&[u32]> = owned.iter().map(Vec::as_slice).collect();
+        let sol = solve_ordered(&cands, 5);
+        prop_assert_eq!(sol.assignments.len(), cands.len());
+        let count = sol.assignments.iter().filter(|a| a.is_some()).count();
+        prop_assert_eq!(count, sol.assigned);
+        // Occurrence.
+        for (i, a) in sol.assignments.iter().enumerate() {
+            if let Some(r) = a {
+                prop_assert!(cands[i].contains(r));
+            }
+        }
+        // Monotone labels.
+        let labels: Vec<u32> = sol.assignments.iter().flatten().copied().collect();
+        prop_assert!(labels.windows(2).all(|w| w[0] <= w[1]));
+        // Contiguity per record.
+        for r in 0..5u32 {
+            let idxs: Vec<usize> = sol
+                .assignments
+                .iter()
+                .enumerate()
+                .filter_map(|(i, a)| (*a == Some(r)).then_some(i))
+                .collect();
+            if let (Some(&first), Some(&last)) = (idxs.first(), idxs.last()) {
+                prop_assert_eq!(last - first + 1, idxs.len(), "record {} split", r);
+            }
+        }
+    }
+
+    /// The DP count is maximal: no greedy single-record assignment beats it.
+    #[test]
+    fn ordered_dp_at_least_singleton_lower_bound(
+        spec in proptest::collection::vec(
+            proptest::collection::btree_set(0u32..4, 0..3), 1..10),
+    ) {
+        let owned: Vec<Vec<u32>> = spec.iter().map(|s| s.iter().copied().collect()).collect();
+        let cands: Vec<&[u32]> = owned.iter().map(Vec::as_slice).collect();
+        let sol = solve_ordered(&cands, 4);
+        // Lower bound: the longest contiguous run assignable to a single
+        // record r.
+        let mut best_run = 0;
+        for r in 0..4u32 {
+            let mut run = 0;
+            for c in &cands {
+                if c.contains(&r) {
+                    run += 1;
+                    best_run = best_run.max(run);
+                } else {
+                    run = 0;
+                }
+            }
+        }
+        prop_assert!(sol.assigned >= best_run);
+    }
+}

@@ -1,0 +1,307 @@
+//! Record classification: Cor / InCor / FN / FP.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use serde::{Deserialize, Serialize};
+
+/// Per-page classification counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PageCounts {
+    /// Correctly segmented records.
+    pub cor: usize,
+    /// Incorrectly segmented records.
+    pub incor: usize,
+    /// Unsegmented records (false negatives).
+    pub fneg: usize,
+    /// Non-records reported as records (false positives).
+    pub fpos: usize,
+}
+
+impl PageCounts {
+    /// Element-wise sum.
+    pub fn add(&self, other: &PageCounts) -> PageCounts {
+        PageCounts {
+            cor: self.cor + other.cor,
+            incor: self.incor + other.incor,
+            fneg: self.fneg + other.fneg,
+            fpos: self.fpos + other.fpos,
+        }
+    }
+
+    /// Total true records covered by this page (Cor + InCor + FN).
+    pub fn total_records(&self) -> usize {
+        self.cor + self.incor + self.fneg
+    }
+}
+
+/// Maps each extract to its ground-truth record via its byte offset in the
+/// list-page source. `offsets[i]` is the source offset of extract `i`;
+/// `spans[t]` is the byte range of truth record `t`.
+pub fn truth_of_extracts(offsets: &[usize], spans: &[Range<usize>]) -> Vec<Option<usize>> {
+    offsets
+        .iter()
+        .map(|&off| spans.iter().position(|s| s.contains(&off)))
+        .collect()
+}
+
+/// Classifies a segmentation.
+///
+/// * `groups[p]` — the extract indices the segmenter put in predicted
+///   record `p` (empty groups are ignored);
+/// * `truth[i]` — the ground-truth record of extract `i` (`None` =
+///   extraneous page furniture);
+/// * `num_truth` — number of true records on the page.
+///
+/// Rules, following the paper's record-level accounting:
+///
+/// * a truth record with no extract assigned anywhere is **unsegmented**
+///   (FN); a truth record none of whose extracts were *observed* at all is
+///   also FN — the segmenter never had a chance to emit it;
+/// * a truth record whose observed extracts are exactly one predicted
+///   group (and that group contains nothing else) is **correct** (Cor);
+/// * any other truth record with assigned extracts is **incorrect**
+///   (InCor);
+/// * a non-empty predicted group containing only extraneous extracts is a
+///   **non-record** (FP).
+pub fn classify(groups: &[Vec<usize>], truth: &[Option<usize>], num_truth: usize) -> PageCounts {
+    let mut counts = PageCounts::default();
+
+    // Which group is each extract in?
+    let mut group_of: Vec<Option<usize>> = vec![None; truth.len()];
+    for (p, group) in groups.iter().enumerate() {
+        for &i in group {
+            if i < truth.len() {
+                group_of[i] = Some(p);
+            }
+        }
+    }
+
+    for t in 0..num_truth {
+        // The observed extracts of truth record t.
+        let members: Vec<usize> = (0..truth.len()).filter(|&i| truth[i] == Some(t)).collect();
+        if members.is_empty() {
+            // Nothing of this record was observed: unsegmented.
+            counts.fneg += 1;
+            continue;
+        }
+        let assigned_groups: BTreeSet<usize> =
+            members.iter().filter_map(|&i| group_of[i]).collect();
+        if assigned_groups.is_empty() {
+            counts.fneg += 1;
+            continue;
+        }
+        if assigned_groups.len() == 1 {
+            let p = *assigned_groups.iter().next().expect("non-empty");
+            let group: BTreeSet<usize> = groups[p].iter().copied().collect();
+            let member_set: BTreeSet<usize> = members.iter().copied().collect();
+            if group == member_set {
+                counts.cor += 1;
+                continue;
+            }
+        }
+        counts.incor += 1;
+    }
+
+    // Non-records: groups made purely of extraneous extracts.
+    for group in groups {
+        if group.is_empty() {
+            continue;
+        }
+        let all_extraneous = group
+            .iter()
+            .all(|&i| i >= truth.len() || truth[i].is_none());
+        if all_extraneous {
+            counts.fpos += 1;
+        }
+    }
+
+    counts
+}
+
+/// Classifies a *span-based* segmentation (used for the layout baselines,
+/// which emit byte ranges rather than extract groups).
+///
+/// A truth record is **Cor** when exactly one predicted span intersects it
+/// and that span intersects no other truth record; with no intersecting
+/// prediction it is **FN**; otherwise **InCor**. Predictions intersecting
+/// no truth record are **FP**.
+pub fn classify_spans(pred: &[Range<usize>], truth: &[Range<usize>]) -> PageCounts {
+    let intersects =
+        |a: &Range<usize>, b: &Range<usize>| a.start < b.end && b.start < a.end;
+    let mut counts = PageCounts::default();
+    for t in truth {
+        let hits: Vec<&Range<usize>> = pred.iter().filter(|p| intersects(p, t)).collect();
+        match hits.as_slice() {
+            [] => counts.fneg += 1,
+            [p] => {
+                let exclusive = truth
+                    .iter()
+                    .filter(|t2| intersects(p, t2))
+                    .count()
+                    == 1;
+                if exclusive {
+                    counts.cor += 1;
+                } else {
+                    counts.incor += 1;
+                }
+            }
+            _ => counts.incor += 1,
+        }
+    }
+    for p in pred {
+        if !truth.iter().any(|t| intersects(p, t)) {
+            counts.fpos += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_perfect_alignment() {
+        let truth = vec![0..10, 10..20];
+        let c = classify_spans(&[1..9, 11..19], &truth);
+        assert_eq!(c.cor, 2);
+        assert_eq!(c.incor + c.fneg + c.fpos, 0);
+    }
+
+    #[test]
+    fn spans_merged_prediction_is_incorrect() {
+        let truth = vec![0..10, 10..20];
+        let c = classify_spans(&[0..20], &truth);
+        assert_eq!(c.incor, 2);
+        assert_eq!(c.cor, 0);
+    }
+
+    #[test]
+    fn spans_split_prediction_is_incorrect() {
+        let truth = vec![0..10];
+        let c = classify_spans(&[0..4, 5..9], &truth);
+        assert_eq!(c.incor, 1);
+    }
+
+    #[test]
+    fn spans_missing_and_extraneous() {
+        let truth = vec![0..10, 20..30];
+        let c = classify_spans(&[0..10, 40..50], &truth);
+        assert_eq!(c.cor, 1);
+        assert_eq!(c.fneg, 1);
+        assert_eq!(c.fpos, 1);
+    }
+
+    #[test]
+    fn truth_mapping_by_offset() {
+        let spans = vec![10..20, 20..40];
+        let offsets = vec![12, 25, 5, 39];
+        assert_eq!(
+            truth_of_extracts(&offsets, &spans),
+            vec![Some(0), Some(1), None, Some(1)]
+        );
+    }
+
+    #[test]
+    fn perfect_segmentation() {
+        // Two records, two extracts each.
+        let truth = vec![Some(0), Some(0), Some(1), Some(1)];
+        let groups = vec![vec![0, 1], vec![2, 3]];
+        let c = classify(&groups, &truth, 2);
+        assert_eq!(
+            c,
+            PageCounts {
+                cor: 2,
+                incor: 0,
+                fneg: 0,
+                fpos: 0
+            }
+        );
+    }
+
+    #[test]
+    fn merged_records_are_incorrect() {
+        let truth = vec![Some(0), Some(0), Some(1), Some(1)];
+        let groups = vec![vec![0, 1, 2, 3]];
+        let c = classify(&groups, &truth, 2);
+        assert_eq!(c.cor, 0);
+        assert_eq!(c.incor, 2);
+    }
+
+    #[test]
+    fn split_record_is_incorrect() {
+        let truth = vec![Some(0), Some(0)];
+        let groups = vec![vec![0], vec![1]];
+        let c = classify(&groups, &truth, 1);
+        assert_eq!(c.cor, 0);
+        assert_eq!(c.incor, 1);
+    }
+
+    #[test]
+    fn unassigned_record_is_unsegmented() {
+        let truth = vec![Some(0), Some(0), Some(1)];
+        let groups = vec![vec![0, 1], vec![]];
+        let c = classify(&groups, &truth, 2);
+        assert_eq!(c.cor, 1);
+        assert_eq!(c.fneg, 1);
+    }
+
+    #[test]
+    fn unobserved_record_is_unsegmented() {
+        // Truth record 1 has no observed extracts at all.
+        let truth = vec![Some(0), Some(0)];
+        let groups = vec![vec![0, 1]];
+        let c = classify(&groups, &truth, 2);
+        assert_eq!(c.cor, 1);
+        assert_eq!(c.fneg, 1);
+    }
+
+    #[test]
+    fn extraneous_only_group_is_false_positive() {
+        let truth = vec![Some(0), None, None];
+        let groups = vec![vec![0], vec![1, 2]];
+        let c = classify(&groups, &truth, 1);
+        assert_eq!(c.cor, 1);
+        assert_eq!(c.fpos, 1);
+    }
+
+    #[test]
+    fn group_with_extra_extraneous_extract_spoils_correctness() {
+        let truth = vec![Some(0), Some(0), None];
+        let groups = vec![vec![0, 1, 2]];
+        let c = classify(&groups, &truth, 1);
+        assert_eq!(c.cor, 0);
+        assert_eq!(c.incor, 1);
+        assert_eq!(c.fpos, 0, "mixed group is not a pure non-record");
+    }
+
+    #[test]
+    fn partial_record_is_incorrect() {
+        // Only one of record 0's two observed extracts was assigned.
+        let truth = vec![Some(0), Some(0)];
+        let groups = vec![vec![0]];
+        let c = classify(&groups, &truth, 1);
+        assert_eq!(c.incor, 1);
+    }
+
+    #[test]
+    fn empty_everything() {
+        let c = classify(&[], &[], 0);
+        assert_eq!(c, PageCounts::default());
+    }
+
+    #[test]
+    fn counts_add() {
+        let a = PageCounts {
+            cor: 1,
+            incor: 2,
+            fneg: 3,
+            fpos: 4,
+        };
+        let b = a.add(&a);
+        assert_eq!(b.cor, 2);
+        assert_eq!(b.fpos, 8);
+        assert_eq!(a.total_records(), 6);
+    }
+}

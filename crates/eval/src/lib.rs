@@ -1,0 +1,26 @@
+//! Evaluation of record segmentations (Section 6.2 of the paper).
+//!
+//! "We manually checked the results of automatic segmentation and
+//! classified them as correctly segmented (Cor) and incorrectly segmented
+//! (InCor) records, unsegmented records (FN) and non-records (FP)."
+//!
+//! The simulator provides exact ground truth (the byte span of every
+//! record row), so the check is mechanical: [`classify`] maps each truth
+//! record and each predicted group to one of the paper's four categories,
+//! and [`metrics`] computes the paper's precision/recall/F:
+//!
+//! ```text
+//! P = Cor / (Cor + InCor + FP)
+//! R = Cor / (Cor + FN)
+//! F = 2PR / (P + R)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod metrics;
+pub mod report;
+
+pub use classify::{classify, truth_of_extracts, PageCounts};
+pub use metrics::Metrics;

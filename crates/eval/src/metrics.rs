@@ -1,0 +1,104 @@
+//! Precision, recall and F measure, as defined in Section 6.2.
+
+use serde::{Deserialize, Serialize};
+
+use crate::classify::PageCounts;
+
+/// The paper's accuracy metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// `P = Cor / (Cor + InCor + FP)`
+    pub precision: f64,
+    /// `R = Cor / (Cor + FN)`
+    pub recall: f64,
+    /// `F = 2PR / (P + R)`
+    pub f1: f64,
+}
+
+impl Metrics {
+    /// Computes the metrics from classification counts. Degenerate
+    /// denominators yield 0.
+    pub fn from_counts(c: &PageCounts) -> Metrics {
+        let p_den = c.cor + c.incor + c.fpos;
+        let r_den = c.cor + c.fneg;
+        let precision = if p_den == 0 {
+            0.0
+        } else {
+            c.cor as f64 / p_den as f64
+        };
+        let recall = if r_den == 0 {
+            0.0
+        } else {
+            c.cor as f64 / r_den as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Metrics {
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "P={:.2} R={:.2} F={:.2}",
+            self.precision, self.recall, self.f1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_scores() {
+        let m = Metrics::from_counts(&PageCounts {
+            cor: 10,
+            incor: 0,
+            fneg: 0,
+            fpos: 0,
+        });
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn paper_formulas() {
+        let m = Metrics::from_counts(&PageCounts {
+            cor: 6,
+            incor: 2,
+            fneg: 4,
+            fpos: 2,
+        });
+        assert!((m.precision - 0.6).abs() < 1e-12);
+        assert!((m.recall - 0.6).abs() < 1e-12);
+        assert!((m.f1 - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_counts() {
+        let m = Metrics::from_counts(&PageCounts::default());
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    fn display_rounds() {
+        let m = Metrics {
+            precision: 0.748,
+            recall: 0.991,
+            f1: 0.853,
+        };
+        assert_eq!(m.to_string(), "P=0.75 R=0.99 F=0.85");
+    }
+}

@@ -1,0 +1,136 @@
+//! Rendering evaluation results in the format of the paper's Table 4.
+
+use crate::classify::PageCounts;
+use crate::metrics::Metrics;
+
+/// One row of a Table-4-style report: a list page of a site, with the
+/// counts of both approaches and the per-page notes.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Site name (printed on the row of the site's first page only).
+    pub site: String,
+    /// Probabilistic-approach counts.
+    pub prob: PageCounts,
+    /// CSP-approach counts.
+    pub csp: PageCounts,
+    /// Notes, in the paper's notation: `a` page template problem, `b`
+    /// entire page used, `c` no solution found, `d` relax constraints.
+    pub notes: String,
+}
+
+/// Renders the full Table 4: one row per list page, aggregate P/R/F for
+/// both approaches at the bottom.
+pub fn render_table4(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "| Wrapper                 | Prob Cor | InC | FN | FP | CSP Cor | InC | FN | FP | notes |\n",
+    );
+    out.push_str(
+        "|-------------------------|---------:|----:|---:|---:|--------:|----:|---:|---:|-------|\n",
+    );
+    let mut prob_total = PageCounts::default();
+    let mut csp_total = PageCounts::default();
+    let mut last_site = String::new();
+    for row in rows {
+        let label = if row.site == last_site {
+            String::new()
+        } else {
+            row.site.clone()
+        };
+        last_site.clone_from(&row.site);
+        out.push_str(&format!(
+            "| {:<23} | {:>8} | {:>3} | {:>2} | {:>2} | {:>7} | {:>3} | {:>2} | {:>2} | {:<5} |\n",
+            label,
+            row.prob.cor,
+            row.prob.incor,
+            row.prob.fneg,
+            row.prob.fpos,
+            row.csp.cor,
+            row.csp.incor,
+            row.csp.fneg,
+            row.csp.fpos,
+            row.notes,
+        ));
+        prob_total = prob_total.add(&row.prob);
+        csp_total = csp_total.add(&row.csp);
+    }
+    let pm = Metrics::from_counts(&prob_total);
+    let cm = Metrics::from_counts(&csp_total);
+    out.push_str(&format!(
+        "| Precision               | {:>8.2} |     |    |    | {:>7.2} |     |    |    |       |\n",
+        pm.precision, cm.precision
+    ));
+    out.push_str(&format!(
+        "| Recall                  | {:>8.2} |     |    |    | {:>7.2} |     |    |    |       |\n",
+        pm.recall, cm.recall
+    ));
+    out.push_str(&format!(
+        "| F                       | {:>8.2} |     |    |    | {:>7.2} |     |    |    |       |\n",
+        pm.f1, cm.f1
+    ));
+    out
+}
+
+/// Renders a compact aggregate block (used by the clean-pages analysis of
+/// Section 6.3).
+pub fn render_aggregate(label: &str, prob: &PageCounts, csp: &PageCounts) -> String {
+    let pm = Metrics::from_counts(prob);
+    let cm = Metrics::from_counts(csp);
+    format!(
+        "{label}\n  probabilistic: {pm}  (Cor={} InC={} FN={} FP={})\n  CSP:           {cm}  (Cor={} InC={} FN={} FP={})\n",
+        prob.cor, prob.incor, prob.fneg, prob.fpos, csp.cor, csp.incor, csp.fneg, csp.fpos,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(site: &str, cor: usize) -> Row {
+        Row {
+            site: site.into(),
+            prob: PageCounts {
+                cor,
+                incor: 1,
+                fneg: 0,
+                fpos: 0,
+            },
+            csp: PageCounts {
+                cor,
+                incor: 0,
+                fneg: 1,
+                fpos: 0,
+            },
+            notes: "a, b".into(),
+        }
+    }
+
+    #[test]
+    fn table_has_header_rows_and_aggregates() {
+        let rows = vec![row("Amazon", 4), row("Amazon", 2), row("BN", 5)];
+        let t = render_table4(&rows);
+        assert!(t.contains("Wrapper"));
+        assert!(t.contains("Amazon"));
+        assert!(t.contains("Precision"));
+        assert!(t.contains("Recall"));
+        assert!(t.contains("| F "));
+        // Site name suppressed on repeated rows.
+        assert_eq!(t.matches("Amazon").count(), 1);
+        assert!(t.contains("a, b"));
+    }
+
+    #[test]
+    fn aggregate_block_shows_both_approaches() {
+        let c = PageCounts {
+            cor: 9,
+            incor: 1,
+            fneg: 0,
+            fpos: 0,
+        };
+        let s = render_aggregate("all pages", &c, &c);
+        assert!(s.contains("all pages"));
+        assert!(s.contains("probabilistic"));
+        assert!(s.contains("CSP"));
+        assert!(s.contains("P=0.90"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the record classifier: count conservation and
+//! agreement with the paper's category definitions on random
+//! segmentations.
+
+use proptest::prelude::*;
+
+use tableseg_eval::classify::{classify, classify_spans, PageCounts};
+use tableseg_eval::Metrics;
+
+proptest! {
+    /// Every truth record lands in exactly one of Cor/InCor/FN, so the
+    /// categories always sum to the number of truth records; FP counts
+    /// only non-empty all-extraneous groups.
+    #[test]
+    fn truth_records_are_conserved(
+        truth in proptest::collection::vec(proptest::option::of(0usize..5), 0..20),
+        groups_spec in proptest::collection::vec(
+            proptest::collection::vec(0usize..20, 0..6), 0..8),
+        num_truth in 0usize..6,
+    ) {
+        // Clamp group members to valid extract indices.
+        let groups: Vec<Vec<usize>> = groups_spec
+            .iter()
+            .map(|g| {
+                let mut g: Vec<usize> = g.iter().copied().filter(|&i| i < truth.len()).collect();
+                g.sort_unstable();
+                g.dedup();
+                g
+            })
+            .collect();
+        let truth: Vec<Option<usize>> = truth
+            .into_iter()
+            .map(|t| t.filter(|&x| x < num_truth))
+            .collect();
+        let c = classify(&groups, &truth, num_truth);
+        prop_assert_eq!(c.cor + c.incor + c.fneg, num_truth, "{:?}", c);
+        prop_assert!(c.fpos <= groups.iter().filter(|g| !g.is_empty()).count());
+        // Metrics are well-defined and in [0, 1].
+        let m = Metrics::from_counts(&c);
+        prop_assert!((0.0..=1.0).contains(&m.precision));
+        prop_assert!((0.0..=1.0).contains(&m.recall));
+        prop_assert!((0.0..=1.0).contains(&m.f1));
+        prop_assert!(m.f1 <= m.precision.max(m.recall) + 1e-12);
+    }
+
+    /// A segmentation that assigns each truth record's extracts to its own
+    /// group scores perfectly.
+    #[test]
+    fn perfect_grouping_scores_perfectly(
+        sizes in proptest::collection::vec(1usize..5, 1..6),
+    ) {
+        let mut truth = Vec::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (t, &size) in sizes.iter().enumerate() {
+            let mut group = Vec::new();
+            for _ in 0..size {
+                group.push(truth.len());
+                truth.push(Some(t));
+            }
+            groups.push(group);
+        }
+        let c = classify(&groups, &truth, sizes.len());
+        prop_assert_eq!(
+            c,
+            PageCounts { cor: sizes.len(), incor: 0, fneg: 0, fpos: 0 }
+        );
+    }
+
+    /// Span classification conserves truth records too.
+    #[test]
+    fn span_classification_conserves_truth(
+        bounds in proptest::collection::vec((0usize..100, 1usize..20), 0..8),
+        pred in proptest::collection::vec((0usize..100, 1usize..20), 0..8),
+    ) {
+        // Build disjoint, ordered truth spans.
+        let mut truth = Vec::new();
+        let mut cursor = 0;
+        for (gap, len) in bounds {
+            let start = cursor + gap;
+            truth.push(start..start + len);
+            cursor = start + len;
+        }
+        let pred: Vec<std::ops::Range<usize>> =
+            pred.into_iter().map(|(s, l)| s..s + l).collect();
+        let c = classify_spans(&pred, &truth);
+        prop_assert_eq!(c.cor + c.incor + c.fneg, truth.len());
+        prop_assert!(c.fpos <= pred.len());
+    }
+}

@@ -1,0 +1,128 @@
+//! The extract-filtering rules (Section 3.2).
+//!
+//! "If an extract appears in all the list pages or in all the detail pages,
+//! it is ignored: such extracts will not contribute useful information to
+//! the record segmentation task."
+//!
+//! Extracts that appear on *no* detail page are likewise unusable ("Only
+//! the strings that appeared on both list and detail pages were used") but
+//! are kept aside so that the pipeline can later attach them to the record
+//! of the last assigned extract (Section 6.2).
+
+use crate::extracts::Extract;
+use crate::matcher::MatchStream;
+
+/// Why an extract was excluded from the observation table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipReason {
+    /// The extract appears on every list page (template residue such as
+    /// shared headings that survived template finding).
+    OnAllListPages,
+    /// The extract appears on every detail page (e.g. a field label or a
+    /// value shared by every record) and so cannot discriminate records.
+    OnAllDetailPages,
+    /// The extract appears on no detail page ("More Info" link text,
+    /// advertisements, attribute values not repeated on detail pages).
+    OnNoDetailPage,
+}
+
+/// The decision for one extract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Keep: the extract carries record-discriminating information.
+    Keep,
+    /// Skip for the given reason.
+    Skip(SkipReason),
+}
+
+/// Decides whether an extract is kept, given the detail pages on which it
+/// was observed and the other list pages of the site.
+///
+/// `detail_hits` is the number of detail pages containing the extract and
+/// `num_details` the total number of detail pages. `other_lists` are the
+/// match streams of the list pages *other than* the one being segmented
+/// (the extract trivially appears on its own page).
+pub fn decide(
+    extract: &Extract,
+    detail_hits: usize,
+    num_details: usize,
+    other_lists: &[MatchStream],
+) -> Decision {
+    if detail_hits == 0 {
+        return Decision::Skip(SkipReason::OnNoDetailPage);
+    }
+    if num_details > 1 && detail_hits == num_details {
+        return Decision::Skip(SkipReason::OnAllDetailPages);
+    }
+    if !other_lists.is_empty() {
+        let texts = extract.token_texts();
+        if other_lists.iter().all(|s| s.contains(&texts)) {
+            return Decision::Skip(SkipReason::OnAllListPages);
+        }
+    }
+    Decision::Keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extracts::derive_extracts;
+    use tableseg_html::lexer::tokenize;
+
+    fn extract(text: &str) -> Extract {
+        derive_extracts(&tokenize(text)).remove(0)
+    }
+
+    fn stream(html: &str) -> MatchStream {
+        MatchStream::new(&tokenize(html))
+    }
+
+    #[test]
+    fn keeps_discriminating_extract() {
+        let e = extract("John Smith");
+        assert_eq!(decide(&e, 1, 3, &[stream("other page")]), Decision::Keep);
+    }
+
+    #[test]
+    fn skips_on_no_detail_page() {
+        let e = extract("More Info");
+        assert_eq!(
+            decide(&e, 0, 3, &[]),
+            Decision::Skip(SkipReason::OnNoDetailPage)
+        );
+    }
+
+    #[test]
+    fn skips_on_all_detail_pages() {
+        let e = extract("Springfield");
+        assert_eq!(
+            decide(&e, 3, 3, &[]),
+            Decision::Skip(SkipReason::OnAllDetailPages)
+        );
+    }
+
+    #[test]
+    fn skips_on_all_list_pages() {
+        let e = extract("Search Again");
+        let others = vec![stream("Search Again here"), stream("x Search Again")];
+        assert_eq!(
+            decide(&e, 1, 3, &others),
+            Decision::Skip(SkipReason::OnAllListPages)
+        );
+    }
+
+    #[test]
+    fn kept_when_absent_from_some_list_page() {
+        let e = extract("John Smith");
+        let others = vec![stream("John Smith"), stream("nothing relevant")];
+        assert_eq!(decide(&e, 1, 3, &others), Decision::Keep);
+    }
+
+    #[test]
+    fn single_detail_page_not_treated_as_all() {
+        // With K = 1 every record extract appears on "all" detail pages;
+        // the all-details rule only makes sense for K > 1.
+        let e = extract("John Smith");
+        assert_eq!(decide(&e, 1, 1, &[]), Decision::Keep);
+    }
+}

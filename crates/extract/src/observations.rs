@@ -1,0 +1,257 @@
+//! The observation table: `D_i` and positions for every kept extract
+//! (the paper's Table 1 and Table 3).
+
+use serde::{Deserialize, Serialize};
+use tableseg_html::Token;
+
+use crate::extracts::{derive_extracts, Extract};
+use crate::filter::{decide, Decision, SkipReason};
+use crate::matcher::MatchStream;
+
+/// One observation of an extract on a detail page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PagePos {
+    /// Detail-page index (0-based; the paper's `r₁` is page 0).
+    pub page: u32,
+    /// Starting token number within the detail page's reduced
+    /// (separator-free) stream.
+    pub pos: u32,
+}
+
+/// One row of the observation table: an extract with its detail-page
+/// occurrence set `D_i` and observation positions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsItem {
+    /// The extract.
+    pub extract: Extract,
+    /// `D_i`: sorted, deduplicated indices of the detail pages on which the
+    /// extract occurs. Never empty for a kept extract.
+    pub pages: Vec<u32>,
+    /// Every `(page, position)` at which the extract was observed.
+    pub positions: Vec<PagePos>,
+}
+
+impl ObsItem {
+    /// Returns `true` if the extract was observed on detail page `page`.
+    pub fn on_page(&self, page: u32) -> bool {
+        self.pages.binary_search(&page).is_ok()
+    }
+}
+
+/// An extract excluded from the observation table, with the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedExtract {
+    /// The extract.
+    pub extract: Extract,
+    /// Why it was skipped.
+    pub reason: SkipReason,
+}
+
+/// The observation table for one list page (the paper's Table 1, with the
+/// position data of Table 3).
+#[derive(Debug, Clone)]
+pub struct Observations {
+    /// `K`: the number of detail pages, i.e. the number of records.
+    pub num_records: usize,
+    /// Kept extracts in list-page stream order.
+    pub items: Vec<ObsItem>,
+    /// Extracts excluded by the filtering rules, in stream order, for later
+    /// remainder assignment.
+    pub skipped: Vec<SkippedExtract>,
+}
+
+impl Observations {
+    /// Number of kept extracts.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if no extract survived filtering.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Renders the observation table in the format of the paper's Table 1
+    /// (columns = extracts in stream order, row = `D_i`).
+    pub fn render_table(&self) -> String {
+        let mut header = String::from("|    |");
+        let mut row = String::from("| D_i |");
+        for (i, item) in self.items.iter().enumerate() {
+            header.push_str(&format!(" E{}: {} |", i + 1, item.extract.text()));
+            let pages: Vec<String> = item.pages.iter().map(|p| format!("r{}", p + 1)).collect();
+            row.push_str(&format!(" {} |", pages.join(",")));
+        }
+        format!("{header}\n{row}\n")
+    }
+}
+
+/// Builds the observation table for the table-slot tokens of one list page.
+///
+/// * `slot_tokens` — the tokens of the slot believed to contain the table
+///   (or the whole page under the fallback);
+/// * `other_list_pages` — full token streams of the *other* sample list
+///   pages, used by the all-list-pages filter;
+/// * `detail_pages` — full token streams of the detail pages, in record
+///   order (`detail_pages[j]` is the page reached from record `r_{j+1}`).
+pub fn build_observations(
+    slot_tokens: &[Token],
+    other_list_pages: &[&[Token]],
+    detail_pages: &[&[Token]],
+) -> Observations {
+    let detail_streams: Vec<MatchStream> =
+        detail_pages.iter().map(|p| MatchStream::new(p)).collect();
+    let other_streams: Vec<MatchStream> = other_list_pages
+        .iter()
+        .map(|p| MatchStream::new(p))
+        .collect();
+
+    let extracts = derive_extracts(slot_tokens);
+    let mut items = Vec::new();
+    let mut skipped = Vec::new();
+
+    for extract in extracts {
+        let texts = extract.token_texts();
+        let mut pages = Vec::new();
+        let mut positions = Vec::new();
+        for (j, stream) in detail_streams.iter().enumerate() {
+            let hits = stream.find_all(&texts);
+            if !hits.is_empty() {
+                pages.push(j as u32);
+                for pos in hits {
+                    positions.push(PagePos {
+                        page: j as u32,
+                        pos: pos as u32,
+                    });
+                }
+            }
+        }
+        match decide(&extract, pages.len(), detail_streams.len(), &other_streams) {
+            Decision::Keep => items.push(ObsItem {
+                extract,
+                pages,
+                positions,
+            }),
+            Decision::Skip(reason) => skipped.push(SkippedExtract { extract, reason }),
+        }
+    }
+
+    Observations {
+        num_records: detail_pages.len(),
+        items,
+        skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tableseg_html::lexer::tokenize;
+
+    /// A miniature of the paper's Superpages example (Table 1): two records
+    /// sharing a name and a phone number, plus a third record.
+    fn superpages_fixture() -> (Vec<Token>, Vec<Vec<Token>>) {
+        let list = tokenize(
+            "<tr><td>John Smith</td><td>221 Washington</td><td>New Holland</td><td>(740) 335-5555</td></tr>\
+             <tr><td>John Smith</td><td>221R Washington</td><td>Washington</td><td>(740) 335-5555</td></tr>\
+             <tr><td>George W. Smith</td><td>Findlay, OH</td><td>(419) 423-1212</td></tr>",
+        );
+        let details = vec![
+            tokenize("<h1>John Smith</h1><p>221 Washington</p><p>New Holland</p><p>(740) 335-5555</p>"),
+            tokenize("<h1>John Smith</h1><p>221R Washington</p><p>Washington</p><p>(740) 335-5555</p>"),
+            tokenize("<h1>George W. Smith</h1><p>Findlay, OH</p><p>(419) 423-1212</p>"),
+        ];
+        (list, details)
+    }
+
+    #[test]
+    fn paper_table_1_shape() {
+        let (list, details) = superpages_fixture();
+        let detail_refs: Vec<&[Token]> = details.iter().map(Vec::as_slice).collect();
+        let obs = build_observations(&list, &[], &detail_refs);
+        assert_eq!(obs.num_records, 3);
+        // 11 extracts kept, as in Table 1 of the paper.
+        assert_eq!(obs.len(), 11);
+        // E1 = "John Smith" observed on r1 and r2.
+        assert_eq!(obs.items[0].extract.text(), "John Smith");
+        assert_eq!(obs.items[0].pages, vec![0, 1]);
+        // E2 = "221 Washington" observed only on r1.
+        assert_eq!(obs.items[1].pages, vec![0]);
+        // E4 = phone number observed on r1 and r2.
+        assert_eq!(obs.items[3].pages, vec![0, 1]);
+        // E5 = second "John Smith" occurrence, same D_i as E1.
+        assert_eq!(obs.items[4].extract.text(), "John Smith");
+        assert_eq!(obs.items[4].pages, vec![0, 1]);
+        // E9..E11 observed only on r3.
+        for item in &obs.items[8..] {
+            assert_eq!(item.pages, vec![2]);
+        }
+    }
+
+    #[test]
+    fn shared_extracts_have_multiple_positions() {
+        let (list, details) = superpages_fixture();
+        let detail_refs: Vec<&[Token]> = details.iter().map(Vec::as_slice).collect();
+        let obs = build_observations(&list, &[], &detail_refs);
+        // "John Smith" occurs once on r1 and once on r2: 2 observations.
+        assert_eq!(obs.items[0].positions.len(), 2);
+        let pages: Vec<u32> = obs.items[0].positions.iter().map(|p| p.page).collect();
+        assert_eq!(pages, vec![0, 1]);
+        // E1 and E5 (same string) share the same observations.
+        assert_eq!(obs.items[0].positions, obs.items[4].positions);
+    }
+
+    #[test]
+    fn extraneous_strings_are_skipped() {
+        let list = tokenize("<td>John Smith</td><td>More Info</td>");
+        let d1 = tokenize("<h1>John Smith</h1>");
+        let d2 = tokenize("<h1>Jane Doe</h1>");
+        let details: Vec<&[Token]> = vec![&d1, &d2];
+        let obs = build_observations(&list, &[], &details);
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs.skipped.len(), 1);
+        assert_eq!(obs.skipped[0].extract.text(), "More Info");
+        assert_eq!(obs.skipped[0].reason, SkipReason::OnNoDetailPage);
+    }
+
+    #[test]
+    fn value_on_every_detail_page_is_skipped() {
+        let list = tokenize("<td>Springfield</td><td>John</td>");
+        let d1 = tokenize("<p>John</p><p>Springfield</p>");
+        let d2 = tokenize("<p>Jane</p><p>Springfield</p>");
+        let details: Vec<&[Token]> = vec![&d1, &d2];
+        let obs = build_observations(&list, &[], &details);
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs.items[0].extract.text(), "John");
+        assert_eq!(obs.skipped[0].reason, SkipReason::OnAllDetailPages);
+    }
+
+    #[test]
+    fn on_page_lookup() {
+        let item = ObsItem {
+            extract: crate::extracts::derive_extracts(&tokenize("x")).remove(0),
+            pages: vec![0, 2, 5],
+            positions: vec![],
+        };
+        assert!(item.on_page(0));
+        assert!(!item.on_page(1));
+        assert!(item.on_page(5));
+    }
+
+    #[test]
+    fn render_table_mentions_extracts_and_pages() {
+        let (list, details) = superpages_fixture();
+        let detail_refs: Vec<&[Token]> = details.iter().map(Vec::as_slice).collect();
+        let obs = build_observations(&list, &[], &detail_refs);
+        let table = obs.render_table();
+        assert!(table.contains("John Smith"));
+        assert!(table.contains("r1,r2"));
+        assert!(table.contains("r3"));
+    }
+
+    #[test]
+    fn empty_slot_yields_empty_observations() {
+        let obs = build_observations(&[], &[], &[]);
+        assert!(obs.is_empty());
+        assert_eq!(obs.num_records, 0);
+    }
+}

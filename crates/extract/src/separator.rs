@@ -1,0 +1,67 @@
+//! The separator definition (Section 3.2).
+//!
+//! "Separators are HTML tags and special punctuation characters (any
+//! character that is not in the set `.,()-`)."
+
+use tableseg_html::Token;
+
+/// Punctuation characters that are **not** separators — they may appear
+/// inside an extract (street numbers `221-B`, phone numbers `(740)
+/// 335-5555`, city-state `Findlay, OH`).
+pub const NON_SEPARATOR_PUNCT: [char; 5] = ['.', ',', '(', ')', '-'];
+
+/// Returns `true` if a punctuation character is a separator.
+#[inline]
+pub fn is_separator_char(ch: char) -> bool {
+    !NON_SEPARATOR_PUNCT.contains(&ch)
+}
+
+/// Returns `true` if a token is a separator: an HTML tag, or a punctuation
+/// token whose character is outside `.,()-`.
+pub fn is_separator(token: &Token) -> bool {
+    if token.is_html() {
+        return true;
+    }
+    if token.is_punctuation() {
+        // Punctuation tokens produced by the lexer are single characters.
+        let ch = token.text.chars().next().expect("non-empty token");
+        return is_separator_char(ch);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tableseg_html::lexer::tokenize;
+
+    #[test]
+    fn tags_are_separators() {
+        let toks = tokenize("<br><td align=x></table>");
+        assert!(toks.iter().all(is_separator));
+    }
+
+    #[test]
+    fn allowed_punctuation_is_not_a_separator() {
+        for p in [".", ",", "(", ")", "-"] {
+            let toks = tokenize(p);
+            assert!(!is_separator(&toks[0]), "{p}");
+        }
+    }
+
+    #[test]
+    fn special_punctuation_is_a_separator() {
+        for p in ["~", "|", ":", ";", "$", "&", "*", "#", "/", "!"] {
+            let toks = tokenize(p);
+            assert!(is_separator(&toks[0]), "{p}");
+        }
+    }
+
+    #[test]
+    fn words_are_not_separators() {
+        for w in ["John", "5555", "221R", "oh"] {
+            let toks = tokenize(w);
+            assert!(!is_separator(&toks[0]), "{w}");
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for extraction: extracts partition the non-separator
+//! tokens, maximality holds, and matching is sound and complete for
+//! planted needles.
+
+use proptest::prelude::*;
+
+use tableseg_extract::extracts::derive_extracts;
+use tableseg_extract::matcher::MatchStream;
+use tableseg_extract::separator::is_separator;
+use tableseg_html::lexer::tokenize;
+
+/// Small HTML fragments mixing words, allowed punctuation, separators and
+/// tags.
+fn arb_html() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            "[A-Za-z0-9]{1,8}".prop_map(|w| format!("{w} ")),
+            Just("( ".to_owned()),
+            Just(") ".to_owned()),
+            Just(", ".to_owned()),
+            Just("- ".to_owned()),
+            Just(". ".to_owned()),
+            Just("~ ".to_owned()),
+            Just("| ".to_owned()),
+            Just("<td>".to_owned()),
+            Just("</td>".to_owned()),
+            Just("<br>".to_owned()),
+        ],
+        0..40,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+proptest! {
+    /// Extracts cover exactly the non-separator tokens, in order, and are
+    /// maximal runs.
+    #[test]
+    fn extracts_partition_non_separator_tokens(html in arb_html()) {
+        let tokens = tokenize(&html);
+        let extracts = derive_extracts(&tokens);
+
+        // Flattened extract tokens = the non-separator subsequence.
+        let flattened: Vec<&str> = extracts
+            .iter()
+            .flat_map(|e| e.tokens.iter().map(|t| t.text.as_str()))
+            .collect();
+        let expected: Vec<&str> = tokens
+            .iter()
+            .filter(|t| !is_separator(t))
+            .map(|t| t.text.as_str())
+            .collect();
+        prop_assert_eq!(flattened, expected);
+
+        for e in &extracts {
+            prop_assert!(!e.is_empty());
+            // Separator-free.
+            prop_assert!(e.tokens.iter().all(|t| !is_separator(t)));
+            // Maximal: the token before `start` (if any) is a separator.
+            if e.start > 0 {
+                prop_assert!(is_separator(&tokens[e.start - 1]));
+            }
+            let end = e.start + e.len();
+            if end < tokens.len() {
+                prop_assert!(is_separator(&tokens[end]));
+            }
+            // start indexes the first token.
+            prop_assert_eq!(&tokens[e.start].text, &e.tokens[0].text);
+        }
+
+        // Indices are consecutive from zero.
+        for (i, e) in extracts.iter().enumerate() {
+            prop_assert_eq!(e.index, i);
+        }
+    }
+
+    /// A needle cut from the page's own reduced stream is always found at
+    /// the position it came from.
+    #[test]
+    fn planted_needles_are_found(
+        html in arb_html(),
+        start_frac in 0.0f64..1.0,
+        len in 1usize..5,
+    ) {
+        let stream = MatchStream::new(&tokenize(&html));
+        prop_assume!(stream.len() >= len);
+        let start = ((stream.len() - len) as f64 * start_frac) as usize;
+        let needle: Vec<&str> = stream.texts()[start..start + len]
+            .iter()
+            .map(String::as_str)
+            .collect();
+        let hits = stream.find_all(&needle);
+        prop_assert!(hits.contains(&start), "{needle:?} not at {start}: {hits:?}");
+        // Soundness: every reported hit matches.
+        for h in hits {
+            for (k, n) in needle.iter().enumerate() {
+                prop_assert_eq!(&stream.texts()[h + k], n);
+            }
+        }
+    }
+
+    /// `contains` agrees with `find_all`.
+    #[test]
+    fn contains_consistent(html in arb_html(), word in "[A-Za-z0-9]{1,8}") {
+        let stream = MatchStream::new(&tokenize(&html));
+        let needle = [word.as_str()];
+        prop_assert_eq!(stream.contains(&needle), !stream.find_all(&needle).is_empty());
+    }
+}

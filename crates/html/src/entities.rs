@@ -1,0 +1,162 @@
+//! HTML entity ("escape sequence") decoding.
+//!
+//! The paper's preprocessing step converts HTML escape sequences to ASCII
+//! text before tokens are typed (Section 3.1). This module implements the
+//! named entities that occur in practice on the kinds of pages the paper
+//! targets, plus numeric character references.
+
+/// Decodes the entity following a `&` at `input[start..]` (with `start`
+/// pointing *at* the `&`). Returns `(decoded, bytes_consumed)` on success.
+///
+/// Unknown or malformed entities are not decoded; the caller should treat
+/// the `&` as a literal character.
+pub fn decode_entity(input: &str, start: usize) -> Option<(char, usize)> {
+    let rest = &input[start..];
+    debug_assert!(rest.starts_with('&'));
+    // Byte-level search: a `[..12]` string slice could split a multi-byte
+    // character and panic; `;` is ASCII so byte search is exact.
+    let window = &rest.as_bytes()[..rest.len().min(12)];
+    let semi = window.iter().position(|&b| b == b';')?;
+    let body = &rest[1..semi];
+    let consumed = semi + 1;
+    if let Some(num) = body.strip_prefix('#') {
+        let code = if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
+            u32::from_str_radix(hex, 16).ok()?
+        } else {
+            num.parse::<u32>().ok()?
+        };
+        let ch = char::from_u32(code)?;
+        return Some((ch, consumed));
+    }
+    let ch = match body {
+        "amp" => '&',
+        "lt" => '<',
+        "gt" => '>',
+        "quot" => '"',
+        "apos" => '\'',
+        // Non-breaking space renders as a space; the paper's tokenizer only
+        // needs it to separate words.
+        "nbsp" => ' ',
+        "copy" => '\u{a9}',
+        "reg" => '\u{ae}',
+        "trade" => '\u{2122}',
+        "mdash" => '\u{2014}',
+        "ndash" => '\u{2013}',
+        "hellip" => '\u{2026}',
+        "middot" => '\u{b7}',
+        "bull" => '\u{2022}',
+        "laquo" => '\u{ab}',
+        "raquo" => '\u{bb}',
+        "deg" => '\u{b0}',
+        "cent" => '\u{a2}',
+        "pound" => '\u{a3}',
+        "frac12" => '\u{bd}',
+        "frac14" => '\u{bc}',
+        _ => return None,
+    };
+    Some((ch, consumed))
+}
+
+/// Decodes all entities in `input`, leaving malformed sequences untouched.
+pub fn decode_all(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let mut i = 0;
+    let bytes = input.as_bytes();
+    while i < bytes.len() {
+        if bytes[i] == b'&' {
+            if let Some((ch, used)) = decode_entity(input, i) {
+                out.push(ch);
+                i += used;
+                continue;
+            }
+        }
+        // Advance over one whole UTF-8 character.
+        let ch_len = utf8_len(bytes[i]);
+        out.push_str(&input[i..i + ch_len]);
+        i += ch_len;
+    }
+    out
+}
+
+/// Encodes the characters that must be escaped in HTML text content.
+pub fn encode_text(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for ch in input.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Length in bytes of the UTF-8 character starting with `first_byte`.
+#[inline]
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_entities() {
+        assert_eq!(decode_all("a &amp; b"), "a & b");
+        assert_eq!(decode_all("&lt;b&gt;"), "<b>");
+        assert_eq!(decode_all("&quot;hi&quot;"), "\"hi\"");
+        assert_eq!(decode_all("x&nbsp;y"), "x y");
+    }
+
+    #[test]
+    fn numeric_entities() {
+        assert_eq!(decode_all("&#65;"), "A");
+        assert_eq!(decode_all("&#x41;"), "A");
+        assert_eq!(decode_all("&#X41;"), "A");
+        assert_eq!(decode_all("&#8212;"), "\u{2014}");
+    }
+
+    #[test]
+    fn malformed_entities_pass_through() {
+        assert_eq!(decode_all("AT&T"), "AT&T");
+        assert_eq!(decode_all("&unknown;"), "&unknown;");
+        assert_eq!(decode_all("&"), "&");
+        assert_eq!(decode_all("&;"), "&;");
+        assert_eq!(decode_all("&#;"), "&#;");
+        assert_eq!(decode_all("&#xZZ;"), "&#xZZ;");
+        // No semicolon within the lookahead window.
+        assert_eq!(decode_all("&amp this"), "&amp this");
+    }
+
+    #[test]
+    fn invalid_codepoint_passes_through() {
+        assert_eq!(decode_all("&#x110000;"), "&#x110000;");
+        assert_eq!(decode_all("&#xD800;"), "&#xD800;");
+    }
+
+    #[test]
+    fn multibyte_input_survives() {
+        assert_eq!(decode_all("café &amp; bar"), "café & bar");
+        assert_eq!(decode_all("日本語"), "日本語");
+    }
+
+    #[test]
+    fn encode_text_escapes() {
+        assert_eq!(encode_text("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+        assert_eq!(encode_text("plain"), "plain");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for s in ["a & b", "<tag>", "no specials", "&&&&"] {
+            assert_eq!(decode_all(&encode_text(s)), s);
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! The page tokenizer (Section 3.1 of the paper).
+//!
+//! "The pages are tokenized — the text is split into individual words, or
+//! more accurately tokens, and HTML escape sequences are converted to ASCII
+//! text."
+//!
+//! Rules:
+//!
+//! * an HTML tag `<...>` becomes a single [`Token`] of type `html`, with its
+//!   tag name lowercased and internal whitespace normalized so that
+//!   template induction can compare tags across pages byte-for-byte;
+//! * HTML comments and the contents of `<script>` and `<style>` elements are
+//!   skipped (they are invisible and never carry table data);
+//! * visible text is entity-decoded and split into *words* (maximal runs of
+//!   alphanumeric characters) and individual punctuation characters, each a
+//!   token typed by [`TypeSet::classify_text`](crate::TypeSet::classify_text).
+
+use crate::entities::decode_entity;
+use crate::token::Token;
+
+/// Tokenizes an HTML document into the paper's token stream.
+pub fn tokenize(input: &str) -> Vec<Token> {
+    Lexer::new(input).run()
+}
+
+/// Tokenizes and keeps only visible-text tokens (drops HTML tags).
+///
+/// Detail-page matching "ignores intervening separators" (footnote 1 of the
+/// paper); dropping tags is the first step of that.
+pub fn tokenize_text(input: &str) -> Vec<Token> {
+    tokenize(input).into_iter().filter(Token::is_text).collect()
+}
+
+struct Lexer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    out: Vec<Token>,
+    /// When inside `<script>`/`<style>`, the closing tag we are looking for.
+    skip_until: Option<&'static str>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            // A typical page yields roughly one token per 6 bytes.
+            out: Vec::with_capacity(input.len() / 6 + 8),
+            skip_until: None,
+        }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            if let Some(close) = self.skip_until {
+                self.skip_raw_text(close);
+                continue;
+            }
+            if self.bytes[self.pos] == b'<' {
+                self.lex_markup();
+            } else {
+                self.lex_text();
+            }
+        }
+        self.out
+    }
+
+    /// Skips raw text (script/style contents) until the closing tag, which
+    /// is then lexed normally.
+    fn skip_raw_text(&mut self, close: &'static str) {
+        let rest = &self.input[self.pos..];
+        match find_ci(rest, close) {
+            Some(idx) => {
+                self.pos += idx;
+                self.skip_until = None;
+                // The next iteration lexes the closing tag itself.
+            }
+            None => {
+                // Unterminated script/style: consume to end of input.
+                self.pos = self.bytes.len();
+                self.skip_until = None;
+            }
+        }
+    }
+
+    fn lex_markup(&mut self) {
+        let start = self.pos;
+        let rest = &self.input[start..];
+        if rest.starts_with("<!--") {
+            match rest.find("-->") {
+                Some(end) => self.pos = start + end + 3,
+                None => self.pos = self.bytes.len(),
+            }
+            return;
+        }
+        // A bare '<' not beginning a tag is literal text.
+        let is_tag_start = rest[1..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '/' || c == '!');
+        if !is_tag_start {
+            // Emit '<' as punctuation and move on.
+            self.out.push(Token::text("<", start));
+            self.pos += 1;
+            return;
+        }
+        match rest.find('>') {
+            Some(end) => {
+                let raw = &rest[..=end];
+                let normalized = normalize_tag(raw);
+                let name = tag_name(&normalized).to_owned();
+                let closing = is_closing(&normalized);
+                self.out.push(Token::tag(normalized, start));
+                self.pos = start + end + 1;
+                if !closing {
+                    if name == "script" {
+                        self.skip_until = Some("</script");
+                    } else if name == "style" {
+                        self.skip_until = Some("</style");
+                    }
+                }
+            }
+            None => {
+                // Unterminated tag: treat the '<' as text and continue.
+                self.out.push(Token::text("<", start));
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn lex_text(&mut self) {
+        // Accumulate one decoded word; flush at whitespace/punct/tag.
+        let mut word = String::new();
+        let mut word_start = self.pos;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b == b'<' {
+                break;
+            }
+            let (ch, used) = if b == b'&' {
+                match decode_entity(self.input, self.pos) {
+                    Some((ch, used)) => (ch, used),
+                    None => ('&', 1),
+                }
+            } else {
+                let ch = self.input[self.pos..].chars().next().expect("in bounds");
+                (ch, ch.len_utf8())
+            };
+            if ch.is_whitespace() {
+                self.flush_word(&mut word, word_start);
+                self.pos += used;
+                word_start = self.pos;
+            } else if ch.is_alphanumeric() {
+                if word.is_empty() {
+                    word_start = self.pos;
+                }
+                word.push(ch);
+                self.pos += used;
+            } else {
+                // Punctuation or symbol: its own token.
+                self.flush_word(&mut word, word_start);
+                self.out.push(Token::text(ch.to_string(), self.pos));
+                self.pos += used;
+                word_start = self.pos;
+            }
+        }
+        self.flush_word(&mut word, word_start);
+    }
+
+    fn flush_word(&mut self, word: &mut String, start: usize) {
+        if !word.is_empty() {
+            self.out.push(Token::text(std::mem::take(word), start));
+        }
+    }
+}
+
+/// Case-insensitive ASCII substring search.
+fn find_ci(haystack: &str, needle: &str) -> Option<usize> {
+    let h = haystack.as_bytes();
+    let n = needle.as_bytes();
+    if n.is_empty() || h.len() < n.len() {
+        return None;
+    }
+    (0..=h.len() - n.len())
+        .find(|&i| h[i..i + n.len()].eq_ignore_ascii_case(n))
+}
+
+/// Normalizes a raw tag: lowercases the tag name, collapses whitespace runs
+/// to a single space, trims whitespace before `>`.
+fn normalize_tag(raw: &str) -> String {
+    debug_assert!(raw.starts_with('<') && raw.ends_with('>'));
+    let inner = &raw[1..raw.len() - 1];
+    let mut out = String::with_capacity(raw.len());
+    out.push('<');
+    // Split into the name part and the attribute remainder.
+    let inner = inner.trim();
+    let name_end = inner
+        .find(|c: char| c.is_whitespace())
+        .unwrap_or(inner.len());
+    let (name, attrs) = inner.split_at(name_end);
+    for ch in name.chars() {
+        out.push(ch.to_ascii_lowercase());
+    }
+    let attrs = attrs.trim();
+    if !attrs.is_empty() {
+        out.push(' ');
+        let mut prev_space = false;
+        for ch in attrs.chars() {
+            if ch.is_whitespace() {
+                if !prev_space {
+                    out.push(' ');
+                }
+                prev_space = true;
+            } else {
+                out.push(ch);
+                prev_space = false;
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+    }
+    out.push('>');
+    out
+}
+
+/// Extracts the lowercase tag name from a normalized tag, without any
+/// leading `/`.
+pub fn tag_name(normalized: &str) -> &str {
+    let inner = normalized
+        .trim_start_matches('<')
+        .trim_end_matches('>')
+        .trim_start_matches('/');
+    let end = inner
+        .find(|c: char| c.is_whitespace() || c == '/')
+        .unwrap_or(inner.len());
+    &inner[..end]
+}
+
+/// Returns `true` if a normalized tag is a closing tag (`</...>`).
+pub fn is_closing(normalized: &str) -> bool {
+    normalized.starts_with("</")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenType;
+
+    fn texts(input: &str) -> Vec<String> {
+        tokenize(input).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn simple_row() {
+        assert_eq!(
+            texts("<tr><td>John Smith</td></tr>"),
+            ["<tr>", "<td>", "John", "Smith", "</td>", "</tr>"]
+        );
+    }
+
+    #[test]
+    fn phone_number_tokenization() {
+        assert_eq!(
+            texts("(740) 335-5555"),
+            ["(", "740", ")", "335", "-", "5555"]
+        );
+    }
+
+    #[test]
+    fn entities_decoded_inside_words() {
+        // &amp; becomes a punctuation token; &#65; joins the word.
+        assert_eq!(texts("AT&amp;T"), ["AT", "&", "T"]);
+        assert_eq!(texts("&#66;ob"), ["Bob"]);
+        let toks = tokenize("&#66;ob");
+        assert!(toks[0].types.contains(TokenType::Capitalized));
+    }
+
+    #[test]
+    fn nbsp_separates_words() {
+        assert_eq!(texts("a&nbsp;b"), ["a", "b"]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(texts("a<!-- hidden <b> -->c"), ["a", "c"]);
+        assert_eq!(texts("a<!-- unterminated"), ["a"]);
+    }
+
+    #[test]
+    fn script_and_style_contents_skipped() {
+        assert_eq!(
+            texts("<script>var x = '<td>data</td>';</script>after"),
+            ["<script>", "</script>", "after"]
+        );
+        assert_eq!(
+            texts("<style>td { color: red }</style>x"),
+            ["<style>", "</style>", "x"]
+        );
+        assert_eq!(
+            texts("<SCRIPT>boom</SCRIPT>y"),
+            ["<script>", "</script>", "y"]
+        );
+    }
+
+    #[test]
+    fn unterminated_script_consumes_rest() {
+        assert_eq!(texts("<script>never closed"), ["<script>"]);
+    }
+
+    #[test]
+    fn tag_normalization() {
+        assert_eq!(texts("<TD ALIGN=left>"), ["<td ALIGN=left>"]);
+        assert_eq!(texts("<td\n  align = 'x'>"), ["<td align = 'x'>"]);
+        assert_eq!(texts("<BR/>"), ["<br/>"]);
+    }
+
+    #[test]
+    fn bare_less_than_is_text() {
+        assert_eq!(texts("3 < 4"), ["3", "<", "4"]);
+        let toks = tokenize("3 < 4");
+        assert!(toks[1].types.contains(TokenType::Punctuation));
+    }
+
+    #[test]
+    fn unterminated_tag_degrades_to_text() {
+        assert_eq!(texts("<td never closes"), ["<", "td", "never", "closes"]);
+    }
+
+    #[test]
+    fn offsets_point_into_source() {
+        let src = "<td>Hi, Bob</td>";
+        let toks = tokenize(src);
+        for t in &toks {
+            if !t.text.starts_with('<') || t.text == "<" {
+                // Text tokens: source at offset starts with first char.
+                assert!(src[t.offset..].starts_with(t.text.chars().next().unwrap()));
+            }
+        }
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].text, "Hi");
+        assert_eq!(toks[1].offset, 4);
+    }
+
+    #[test]
+    fn tokenize_text_drops_tags() {
+        let toks = tokenize_text("<tr><td>John</td><td>Smith</td></tr>");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["John", "Smith"]);
+    }
+
+    #[test]
+    fn tag_name_extraction() {
+        assert_eq!(tag_name("<td align=left>"), "td");
+        assert_eq!(tag_name("</table>"), "table");
+        assert_eq!(tag_name("<br/>"), "br");
+        assert!(is_closing("</td>"));
+        assert!(!is_closing("<td>"));
+    }
+
+    #[test]
+    fn unicode_text() {
+        assert_eq!(texts("Montréal, QC"), ["Montréal", ",", "QC"]);
+        let toks = tokenize("Montréal");
+        assert!(toks[0].types.contains(TokenType::Capitalized));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+    }
+
+    #[test]
+    fn whitespace_only() {
+        assert!(tokenize("  \n\t ").is_empty());
+    }
+}

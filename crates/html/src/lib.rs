@@ -1,0 +1,53 @@
+//! HTML substrate for the `tableseg` pipeline.
+//!
+//! The segmentation algorithms of Lerman et al. (SIGMOD 2004) operate on
+//! *token streams*, not DOM trees: a page is split into words ("tokens"),
+//! HTML escape sequences are converted to ASCII, and every token is assigned
+//! one or more of eight **syntactic token types** (Section 3.1 of the paper):
+//!
+//! * `html` — an HTML tag,
+//! * `punctuation` — a punctuation character,
+//! * `alphanumeric` — a run of letters and/or digits, which may additionally
+//!   be `numeric` or `alphabetic`, and an alphabetic token may additionally
+//!   be `capitalized`, `lowercase`, or `allcaps`.
+//!
+//! The types are deliberately **non-mutually exclusive** and are represented
+//! here as a bitset ([`TypeSet`]).
+//!
+//! This crate provides:
+//!
+//! * [`lexer::tokenize`] — the page tokenizer, producing [`Token`]s with
+//!   source offsets,
+//! * [`entities`] — HTML entity decoding (escape sequences → ASCII),
+//! * [`dom`] — a small, forgiving DOM parser used by the DOM-heuristic
+//!   baseline and by the site simulator's round-trip tests,
+//! * [`writer`] — escaping helpers used when *generating* HTML.
+//!
+//! # Example
+//!
+//! ```
+//! use tableseg_html::{lexer::tokenize, TokenType};
+//!
+//! let toks = tokenize("<tr><td>John Smith</td><td>(740) 335-5555</td></tr>");
+//! let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+//! assert_eq!(
+//!     texts,
+//!     ["<tr>", "<td>", "John", "Smith", "</td>", "<td>", "(", "740", ")",
+//!      "335", "-", "5555", "</td>", "</tr>"]
+//! );
+//! assert!(toks[2].types.contains(TokenType::Capitalized));
+//! assert!(toks[7].types.contains(TokenType::Numeric));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dom;
+pub mod entities;
+pub mod lexer;
+pub mod links;
+pub mod token;
+pub mod writer;
+
+pub use links::{extract_links, Link};
+pub use token::{Token, TokenType, TypeSet};

@@ -1,0 +1,154 @@
+//! Hyperlink extraction from token streams.
+//!
+//! The paper's structure assumption is navigational: "Each item or record
+//! often has a link to a *detail page*" (Section 1), and the envisioned
+//! application "automatically navigates the site" (Section 3). This module
+//! recovers the links — target and anchor text — from a tokenized page, so
+//! the navigator can follow them.
+
+use crate::lexer::{is_closing, tag_name};
+use crate::token::Token;
+
+/// One hyperlink on a page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Link {
+    /// The `href` target, with surrounding quotes removed.
+    pub href: String,
+    /// The visible anchor text (token texts joined with spaces).
+    pub text: String,
+    /// Byte offset of the opening `<a>` tag in the page source.
+    pub offset: usize,
+}
+
+/// Extracts the `href` attribute from a normalized `<a ...>` tag.
+pub fn href_of(tag: &str) -> Option<String> {
+    let lower = tag.to_ascii_lowercase();
+    let at = lower.find("href")?;
+    let rest = &tag[at + 4..];
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('=')?;
+    let rest = rest.trim_start();
+    let mut chars = rest.chars();
+    let (quote, body) = match chars.next()? {
+        q @ ('"' | '\'') => (Some(q), &rest[1..]),
+        _ => (None, rest),
+    };
+    let end = match quote {
+        Some(q) => body.find(q)?,
+        None => body
+            .find(|c: char| c.is_whitespace() || c == '>')
+            .unwrap_or(body.len()),
+    };
+    Some(body[..end].to_owned())
+}
+
+/// Extracts all links from a token stream. Anchor text is everything
+/// between `<a>` and `</a>` (nested tags skipped); unterminated anchors
+/// run to the end of the page.
+pub fn extract_links(tokens: &[Token]) -> Vec<Link> {
+    let mut out = Vec::new();
+    let mut current: Option<(String, usize, Vec<String>)> = None;
+    for tok in tokens {
+        if tok.is_html() {
+            if tag_name(&tok.text) == "a" {
+                if is_closing(&tok.text) {
+                    if let Some((href, offset, words)) = current.take() {
+                        out.push(Link {
+                            href,
+                            text: words.join(" "),
+                            offset,
+                        });
+                    }
+                } else if let Some(href) = href_of(&tok.text) {
+                    // A new anchor implicitly closes a dangling one.
+                    if let Some((h, o, w)) = current.take() {
+                        out.push(Link {
+                            href: h,
+                            text: w.join(" "),
+                            offset: o,
+                        });
+                    }
+                    current = Some((href, tok.offset, Vec::new()));
+                }
+            }
+        } else if let Some((_, _, words)) = current.as_mut() {
+            words.push(tok.text.clone());
+        }
+    }
+    if let Some((href, offset, words)) = current {
+        out.push(Link {
+            href,
+            text: words.join(" "),
+            offset,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn links(html: &str) -> Vec<Link> {
+        extract_links(&tokenize(html))
+    }
+
+    #[test]
+    fn simple_links() {
+        let l = links(r#"<a href="/detail/1">More Info</a> text <a href='/next'>Next</a>"#);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l[0].href, "/detail/1");
+        assert_eq!(l[0].text, "More Info");
+        assert_eq!(l[1].href, "/next");
+        assert_eq!(l[1].text, "Next");
+    }
+
+    #[test]
+    fn unquoted_href() {
+        let l = links("<a href=/plain>go</a>");
+        assert_eq!(l[0].href, "/plain");
+    }
+
+    #[test]
+    fn nested_markup_in_anchor() {
+        let l = links(r#"<a href="/x"><b>Bold</b> words</a>"#);
+        assert_eq!(l[0].text, "Bold words");
+    }
+
+    #[test]
+    fn anchor_without_href_is_ignored() {
+        assert!(links("<a name=top>anchor</a>").is_empty());
+    }
+
+    #[test]
+    fn unterminated_anchor_flushes() {
+        let l = links(r#"<a href="/y">dangling"#);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].text, "dangling");
+    }
+
+    #[test]
+    fn implicit_close_on_new_anchor() {
+        let l = links(r#"<a href="/a">one <a href="/b">two</a>"#);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l[0].text, "one");
+        assert_eq!(l[1].text, "two");
+    }
+
+    #[test]
+    fn offsets_point_at_tags() {
+        let html = r#"xx <a href="/z">z</a>"#;
+        let l = links(html);
+        assert!(html[l[0].offset..].starts_with("<a"));
+    }
+
+    #[test]
+    fn href_of_variants() {
+        assert_eq!(href_of(r#"<a href="/q">"#).as_deref(), Some("/q"));
+        assert_eq!(href_of("<a href='/q'>").as_deref(), Some("/q"));
+        assert_eq!(href_of("<a href=/q>").as_deref(), Some("/q"));
+        assert_eq!(href_of("<a href = \"/q\">").as_deref(), Some("/q"));
+        assert_eq!(href_of("<a class=x>"), None);
+    }
+}

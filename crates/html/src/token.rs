@@ -1,0 +1,427 @@
+//! Tokens and the eight syntactic token types of the paper (Section 3.1).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One of the eight syntactic token types.
+///
+/// The paper assigns each token "one or more syntactic types ... based on the
+/// characters appearing in it. The three basic syntactic types we consider
+/// are: HTML, punctuation, and alphanumeric. In addition, the alphanumeric
+/// type can be either numeric or alphabetic, and the alphabetic can be
+/// capitalized, lowercased or allcaps. This gives us a total of eight
+/// (non-mutually exclusive) possible token types."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum TokenType {
+    /// An HTML tag, e.g. `<td>` or `</table>`.
+    Html = 0,
+    /// A punctuation character, e.g. `(` or `-`.
+    Punctuation = 1,
+    /// A run of letters and/or digits.
+    Alphanumeric = 2,
+    /// An alphanumeric token consisting only of digits.
+    Numeric = 3,
+    /// An alphanumeric token consisting only of letters.
+    Alphabetic = 4,
+    /// An alphabetic token whose first letter is uppercase and whose
+    /// remaining letters (if any) are lowercase, e.g. `Smith`.
+    Capitalized = 5,
+    /// An alphabetic token consisting only of lowercase letters.
+    Lowercase = 6,
+    /// An alphabetic token consisting only of uppercase letters, e.g. `OH`.
+    Allcaps = 7,
+}
+
+impl TokenType {
+    /// All eight types in index order. The index of a type in this slice is
+    /// its bit position inside a [`TypeSet`] and its feature index in the
+    /// probabilistic model's emission vector.
+    pub const ALL: [TokenType; 8] = [
+        TokenType::Html,
+        TokenType::Punctuation,
+        TokenType::Alphanumeric,
+        TokenType::Numeric,
+        TokenType::Alphabetic,
+        TokenType::Capitalized,
+        TokenType::Lowercase,
+        TokenType::Allcaps,
+    ];
+
+    /// Number of distinct token types.
+    pub const COUNT: usize = 8;
+
+    /// The bit position of this type inside a [`TypeSet`].
+    #[inline]
+    pub const fn bit(self) -> u8 {
+        self as u8
+    }
+
+    /// A short lowercase name, matching the paper's vocabulary.
+    pub const fn name(self) -> &'static str {
+        match self {
+            TokenType::Html => "html",
+            TokenType::Punctuation => "punctuation",
+            TokenType::Alphanumeric => "alphanumeric",
+            TokenType::Numeric => "numeric",
+            TokenType::Alphabetic => "alphabetic",
+            TokenType::Capitalized => "capitalized",
+            TokenType::Lowercase => "lowercase",
+            TokenType::Allcaps => "allcaps",
+        }
+    }
+}
+
+impl fmt::Display for TokenType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A set of [`TokenType`]s, stored as one bit per type.
+///
+/// The paper's types are non-mutually exclusive (`Smith` is alphanumeric,
+/// alphabetic *and* capitalized), so a token carries a set rather than a
+/// single label.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct TypeSet(u8);
+
+impl TypeSet {
+    /// The empty set.
+    pub const EMPTY: TypeSet = TypeSet(0);
+
+    /// Creates a set from a raw bit pattern. Bit `i` corresponds to
+    /// `TokenType::ALL[i]`.
+    #[inline]
+    pub const fn from_bits(bits: u8) -> TypeSet {
+        TypeSet(bits)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// A set containing exactly one type.
+    #[inline]
+    pub const fn single(ty: TokenType) -> TypeSet {
+        TypeSet(1 << ty.bit())
+    }
+
+    /// Returns `true` if `ty` is in the set.
+    #[inline]
+    pub const fn contains(self, ty: TokenType) -> bool {
+        self.0 & (1 << ty.bit()) != 0
+    }
+
+    /// Inserts `ty` into the set.
+    #[inline]
+    pub fn insert(&mut self, ty: TokenType) {
+        self.0 |= 1 << ty.bit();
+    }
+
+    /// Returns the union of two sets.
+    #[inline]
+    pub const fn union(self, other: TypeSet) -> TypeSet {
+        TypeSet(self.0 | other.0)
+    }
+
+    /// Returns the intersection of two sets.
+    #[inline]
+    pub const fn intersection(self, other: TypeSet) -> TypeSet {
+        TypeSet(self.0 & other.0)
+    }
+
+    /// Returns `true` if the set is empty.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of types in the set.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates over the types in the set, in `TokenType::ALL` order.
+    pub fn iter(self) -> impl Iterator<Item = TokenType> {
+        TokenType::ALL
+            .into_iter()
+            .filter(move |ty| self.contains(*ty))
+    }
+
+    /// Classifies a text fragment (a word or punctuation character produced
+    /// by the lexer — *not* an HTML tag) into its set of types.
+    ///
+    /// * a single punctuation / symbol character → `punctuation`;
+    /// * letters and/or digits → `alphanumeric`, refined into
+    ///   `numeric` / `alphabetic` / `capitalized` / `lowercase` / `allcaps`.
+    ///
+    /// Tokens mixing letters and digits (e.g. `221R`) are `alphanumeric`
+    /// only, matching the paper's three basic types.
+    pub fn classify_text(text: &str) -> TypeSet {
+        let mut set = TypeSet::EMPTY;
+        if text.is_empty() {
+            return set;
+        }
+        let mut all_digit = true;
+        let mut all_alpha = true;
+        let mut any_alnum = false;
+        for ch in text.chars() {
+            if ch.is_ascii_digit() {
+                all_alpha = false;
+                any_alnum = true;
+            } else if ch.is_alphabetic() {
+                all_digit = false;
+                any_alnum = true;
+            } else {
+                all_digit = false;
+                all_alpha = false;
+            }
+        }
+        if !any_alnum {
+            // Pure punctuation / symbols.
+            set.insert(TokenType::Punctuation);
+            return set;
+        }
+        set.insert(TokenType::Alphanumeric);
+        if all_digit {
+            set.insert(TokenType::Numeric);
+        } else if all_alpha {
+            set.insert(TokenType::Alphabetic);
+            let mut chars = text.chars();
+            let first = chars.next().expect("non-empty");
+            let rest_lower = chars.clone().all(|c| c.is_lowercase());
+            let all_upper = text.chars().all(|c| c.is_uppercase());
+            let all_lower = text.chars().all(|c| c.is_lowercase());
+            if first.is_uppercase() && rest_lower {
+                set.insert(TokenType::Capitalized);
+            }
+            if all_upper {
+                set.insert(TokenType::Allcaps);
+            }
+            if all_lower {
+                set.insert(TokenType::Lowercase);
+            }
+        }
+        set
+    }
+
+    /// The set for an HTML tag token.
+    #[inline]
+    pub const fn html() -> TypeSet {
+        TypeSet::single(TokenType::Html)
+    }
+}
+
+impl fmt::Debug for TypeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TypeSet{{")?;
+        let mut first = true;
+        for ty in self.iter() {
+            if !first {
+                write!(f, "|")?;
+            }
+            write!(f, "{ty}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<TokenType> for TypeSet {
+    fn from_iter<I: IntoIterator<Item = TokenType>>(iter: I) -> Self {
+        let mut set = TypeSet::EMPTY;
+        for ty in iter {
+            set.insert(ty);
+        }
+        set
+    }
+}
+
+/// A lexical token: a slice of page text plus its syntactic types and its
+/// byte offset in the source document.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Token {
+    /// The token text. For HTML tokens this is the normalized tag (see
+    /// [`crate::lexer`]); for text tokens it is the entity-decoded word or
+    /// punctuation character.
+    pub text: String,
+    /// The syntactic types of the token.
+    pub types: TypeSet,
+    /// Byte offset of the start of the token in the source document.
+    pub offset: usize,
+}
+
+impl Token {
+    /// Builds a text token, classifying its types.
+    pub fn text(text: impl Into<String>, offset: usize) -> Token {
+        let text = text.into();
+        let types = TypeSet::classify_text(&text);
+        Token {
+            text,
+            types,
+            offset,
+        }
+    }
+
+    /// Builds an HTML tag token.
+    pub fn tag(text: impl Into<String>, offset: usize) -> Token {
+        Token {
+            text: text.into(),
+            types: TypeSet::html(),
+            offset,
+        }
+    }
+
+    /// Returns `true` if the token is an HTML tag.
+    #[inline]
+    pub fn is_html(&self) -> bool {
+        self.types.contains(TokenType::Html)
+    }
+
+    /// Returns `true` if the token is a punctuation character.
+    #[inline]
+    pub fn is_punctuation(&self) -> bool {
+        self.types.contains(TokenType::Punctuation)
+    }
+
+    /// Returns `true` if the token is visible text (not an HTML tag).
+    #[inline]
+    pub fn is_text(&self) -> bool {
+        !self.is_html()
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_capitalized() {
+        let set = TypeSet::classify_text("Smith");
+        assert!(set.contains(TokenType::Alphanumeric));
+        assert!(set.contains(TokenType::Alphabetic));
+        assert!(set.contains(TokenType::Capitalized));
+        assert!(!set.contains(TokenType::Lowercase));
+        assert!(!set.contains(TokenType::Allcaps));
+        assert!(!set.contains(TokenType::Numeric));
+        assert!(!set.contains(TokenType::Html));
+    }
+
+    #[test]
+    fn classify_allcaps() {
+        let set = TypeSet::classify_text("OH");
+        assert!(set.contains(TokenType::Allcaps));
+        assert!(set.contains(TokenType::Alphabetic));
+        assert!(!set.contains(TokenType::Capitalized));
+        assert!(!set.contains(TokenType::Lowercase));
+    }
+
+    #[test]
+    fn classify_single_uppercase_letter_is_both_capitalized_and_allcaps() {
+        // Non-mutually exclusive types: "W" is capitalized and allcaps.
+        let set = TypeSet::classify_text("W");
+        assert!(set.contains(TokenType::Capitalized));
+        assert!(set.contains(TokenType::Allcaps));
+    }
+
+    #[test]
+    fn classify_lowercase() {
+        let set = TypeSet::classify_text("street");
+        assert!(set.contains(TokenType::Lowercase));
+        assert!(set.contains(TokenType::Alphabetic));
+        assert!(!set.contains(TokenType::Capitalized));
+    }
+
+    #[test]
+    fn classify_numeric() {
+        let set = TypeSet::classify_text("5555");
+        assert!(set.contains(TokenType::Numeric));
+        assert!(set.contains(TokenType::Alphanumeric));
+        assert!(!set.contains(TokenType::Alphabetic));
+    }
+
+    #[test]
+    fn classify_mixed_alnum_is_only_alphanumeric() {
+        let set = TypeSet::classify_text("221R");
+        assert!(set.contains(TokenType::Alphanumeric));
+        assert!(!set.contains(TokenType::Numeric));
+        assert!(!set.contains(TokenType::Alphabetic));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn classify_punctuation() {
+        for p in ["(", ")", "-", ",", ".", "~", "$", "&"] {
+            let set = TypeSet::classify_text(p);
+            assert!(set.contains(TokenType::Punctuation), "{p}");
+            assert_eq!(set.len(), 1, "{p}");
+        }
+    }
+
+    #[test]
+    fn classify_empty_is_empty_set() {
+        assert!(TypeSet::classify_text("").is_empty());
+    }
+
+    #[test]
+    fn typeset_set_operations() {
+        let a: TypeSet = [TokenType::Alphanumeric, TokenType::Numeric]
+            .into_iter()
+            .collect();
+        let b: TypeSet = [TokenType::Alphanumeric, TokenType::Alphabetic]
+            .into_iter()
+            .collect();
+        assert_eq!(
+            a.union(b).iter().count(),
+            3,
+            "union has alnum, numeric, alphabetic"
+        );
+        assert_eq!(a.intersection(b), TypeSet::single(TokenType::Alphanumeric));
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert!(TypeSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn typeset_bit_roundtrip() {
+        for ty in TokenType::ALL {
+            let set = TypeSet::single(ty);
+            assert!(set.contains(ty));
+            assert_eq!(set.len(), 1);
+            assert_eq!(set.iter().next(), Some(ty));
+            assert_eq!(TypeSet::from_bits(set.bits()), set);
+        }
+    }
+
+    #[test]
+    fn token_constructors() {
+        let t = Token::text("Smith", 10);
+        assert!(t.is_text());
+        assert!(!t.is_html());
+        assert_eq!(t.offset, 10);
+
+        let t = Token::tag("<td>", 0);
+        assert!(t.is_html());
+        assert!(!t.is_text());
+        assert!(!t.is_punctuation());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TokenType::Allcaps.to_string(), "allcaps");
+        assert_eq!(Token::text("hi", 0).to_string(), "hi");
+        let set = TypeSet::single(TokenType::Html);
+        assert_eq!(format!("{set:?}"), "TypeSet{html}");
+    }
+}

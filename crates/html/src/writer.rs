@@ -1,0 +1,163 @@
+//! Helpers for *generating* HTML (used by the site simulator).
+//!
+//! The generator builds pages by appending tags and escaped text to a
+//! buffer; [`HtmlWriter`] keeps that readable and guarantees the output is
+//! well-formed enough for the lexer to round-trip.
+
+use crate::entities::encode_text;
+
+/// An append-only HTML builder.
+#[derive(Debug, Default, Clone)]
+pub struct HtmlWriter {
+    buf: String,
+    open: Vec<String>,
+}
+
+impl HtmlWriter {
+    /// Creates an empty writer.
+    pub fn new() -> HtmlWriter {
+        HtmlWriter::default()
+    }
+
+    /// Appends an open tag (no attributes) and pushes it on the open stack.
+    pub fn open(&mut self, name: &str) -> &mut Self {
+        self.buf.push('<');
+        self.buf.push_str(name);
+        self.buf.push('>');
+        self.open.push(name.to_owned());
+        self
+    }
+
+    /// Appends an open tag with a raw attribute string.
+    pub fn open_attrs(&mut self, name: &str, attrs: &str) -> &mut Self {
+        self.buf.push('<');
+        self.buf.push_str(name);
+        if !attrs.is_empty() {
+            self.buf.push(' ');
+            self.buf.push_str(attrs);
+        }
+        self.buf.push('>');
+        self.open.push(name.to_owned());
+        self
+    }
+
+    /// Closes the most recently opened tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no open tag — that is a bug in the generator.
+    pub fn close(&mut self) -> &mut Self {
+        let name = self.open.pop().expect("close() with no open tag");
+        self.buf.push_str("</");
+        self.buf.push_str(&name);
+        self.buf.push('>');
+        self
+    }
+
+    /// Appends a void tag such as `<br>` or `<hr>`.
+    pub fn void(&mut self, name: &str) -> &mut Self {
+        self.buf.push('<');
+        self.buf.push_str(name);
+        self.buf.push('>');
+        self
+    }
+
+    /// Appends escaped text.
+    pub fn text(&mut self, text: &str) -> &mut Self {
+        self.buf.push_str(&encode_text(text));
+        self
+    }
+
+    /// Appends raw, pre-escaped markup.
+    pub fn raw(&mut self, raw: &str) -> &mut Self {
+        self.buf.push_str(raw);
+        self
+    }
+
+    /// Appends a newline (cosmetic only; the lexer ignores whitespace).
+    pub fn newline(&mut self) -> &mut Self {
+        self.buf.push('\n');
+        self
+    }
+
+    /// Convenience: `open(name)`, `text(text)`, `close()`.
+    pub fn element(&mut self, name: &str, text: &str) -> &mut Self {
+        self.open(name).text(text).close()
+    }
+
+    /// Number of currently open tags.
+    pub fn depth(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Current length of the output buffer in bytes. Callers use this to
+    /// record the byte spans of page regions (e.g. record rows) as they are
+    /// written.
+    pub fn snapshot_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Finishes the document, closing any still-open tags.
+    pub fn finish(mut self) -> String {
+        while !self.open.is_empty() {
+            self.close();
+        }
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::parse;
+
+    #[test]
+    fn builds_balanced_markup() {
+        let mut w = HtmlWriter::new();
+        w.open("table");
+        w.open("tr");
+        w.element("td", "A & B");
+        w.close();
+        w.close();
+        let html = w.finish();
+        assert_eq!(html, "<table><tr><td>A &amp; B</td></tr></table>");
+    }
+
+    #[test]
+    fn finish_closes_open_tags() {
+        let mut w = HtmlWriter::new();
+        w.open("div").open("p").text("x");
+        assert_eq!(w.depth(), 2);
+        assert_eq!(w.finish(), "<div><p>x</p></div>");
+    }
+
+    #[test]
+    fn round_trips_through_dom() {
+        let mut w = HtmlWriter::new();
+        w.open("html").open("body");
+        w.element("h1", "Results");
+        w.open_attrs("table", "border=1");
+        for row in ["John Smith", "Jane Doe"] {
+            w.open("tr").element("td", row).close();
+        }
+        w.void("hr");
+        let html = w.finish();
+        let dom = parse(&html);
+        assert_eq!(dom.find_all("tr").len(), 2);
+        assert_eq!(dom.find_all("hr").len(), 1);
+        assert!(dom.text_content().contains("Jane Doe"));
+    }
+
+    #[test]
+    #[should_panic(expected = "close() with no open tag")]
+    fn close_without_open_panics() {
+        HtmlWriter::new().close();
+    }
+
+    #[test]
+    fn escapes_text() {
+        let mut w = HtmlWriter::new();
+        w.text("3 < 4 > 2 & so on");
+        assert_eq!(w.finish(), "3 &lt; 4 &gt; 2 &amp; so on");
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the HTML substrate: writer → lexer → DOM
+//! round-trips and lexer robustness on arbitrary input.
+
+use proptest::prelude::*;
+
+use tableseg_html::dom::parse;
+use tableseg_html::lexer::tokenize;
+use tableseg_html::writer::HtmlWriter;
+use tableseg_html::TypeSet;
+
+/// Words safe to embed as text content (no markup characters; the writer
+/// escapes those anyway, but keeping them plain makes assertions direct).
+fn arb_word() -> impl Strategy<Value = String> {
+    "[A-Za-z0-9]{1,10}"
+}
+
+fn arb_tag() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("div".to_owned()),
+        Just("p".to_owned()),
+        Just("td".to_owned()),
+        Just("tr".to_owned()),
+        Just("b".to_owned()),
+        Just("span".to_owned()),
+    ]
+}
+
+proptest! {
+    /// The lexer never panics and produces typed tokens on arbitrary
+    /// (possibly malformed) input.
+    #[test]
+    fn lexer_total_on_arbitrary_input(input in ".{0,300}") {
+        let tokens = tokenize(&input);
+        for t in tokens {
+            prop_assert!(!t.text.is_empty());
+            prop_assert!(t.offset <= input.len());
+            if !t.is_html() {
+                prop_assert!(!t.types.is_empty() || t.text.chars().all(char::is_whitespace));
+            }
+        }
+    }
+
+    /// Writer output tokenizes back to exactly the words written, in
+    /// order, with balanced tags.
+    #[test]
+    fn writer_lexer_roundtrip(
+        structure in proptest::collection::vec((arb_tag(), proptest::collection::vec(arb_word(), 0..4)), 1..8),
+    ) {
+        let mut w = HtmlWriter::new();
+        let mut expected_words = Vec::new();
+        for (tag, words) in &structure {
+            w.open(tag);
+            for word in words {
+                w.text(word);
+                w.text(" ");
+                expected_words.push(word.clone());
+            }
+            w.close();
+        }
+        let html = w.finish();
+        let tokens = tokenize(&html);
+        let words: Vec<&str> = tokens
+            .iter()
+            .filter(|t| t.is_text())
+            .map(|t| t.text.as_str())
+            .collect();
+        prop_assert_eq!(words, expected_words.iter().map(String::as_str).collect::<Vec<_>>());
+        // Open and close tags balance.
+        let opens = tokens.iter().filter(|t| t.is_html() && !t.text.starts_with("</")).count();
+        let closes = tokens.iter().filter(|t| t.text.starts_with("</")).count();
+        prop_assert_eq!(opens, closes);
+    }
+
+    /// DOM parsing of writer output preserves the full text content.
+    #[test]
+    fn writer_dom_roundtrip(words in proptest::collection::vec(arb_word(), 1..10)) {
+        let mut w = HtmlWriter::new();
+        w.open("html").open("body");
+        for word in &words {
+            w.element("p", word);
+        }
+        let html = w.finish();
+        let dom = parse(&html);
+        let text = dom.text_content();
+        for word in &words {
+            prop_assert!(text.contains(word.as_str()), "{} missing from {}", word, text);
+        }
+    }
+
+    /// Entity decoding never panics and is identity on entity-free ASCII.
+    #[test]
+    fn entities_total(input in "[a-zA-Z0-9 .,;:!?-]{0,100}") {
+        let decoded = tableseg_html::entities::decode_all(&input);
+        prop_assert_eq!(decoded, input);
+    }
+
+    /// Type classification is deterministic and consistent with the
+    /// non-mutually-exclusive hierarchy.
+    #[test]
+    fn typeset_hierarchy(word in "[A-Za-z0-9]{1,12}") {
+        use tableseg_html::TokenType as T;
+        let set = TypeSet::classify_text(&word);
+        prop_assert!(set.contains(T::Alphanumeric));
+        if set.contains(T::Numeric) {
+            prop_assert!(!set.contains(T::Alphabetic));
+        }
+        for sub in [T::Capitalized, T::Lowercase, T::Allcaps] {
+            if set.contains(sub) {
+                prop_assert!(set.contains(T::Alphabetic), "{:?} for {}", set, word);
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Bootstrapping the model from detail-page information (Section 5.2.1).
+//!
+//! "The key way in which information from detail pages helps us is it gives
+//! us a guide to some of the initial `R_i` assignments. ... We also make
+//! use of the `D_i` to infer values for `S_i`. If `D_{i-1} ∩ D_i = ∅`, then
+//! `P(S_i = true) = 1`."
+
+use crate::model::Evidence;
+
+/// Indices `i` where a record start is *certain*: extract 0, and every `i`
+/// with `D_{i-1} ∩ D_i = ∅`.
+pub fn definite_starts(evidence: &[Evidence]) -> Vec<usize> {
+    let mut starts = Vec::new();
+    for i in 0..evidence.len() {
+        if i == 0 {
+            starts.push(0);
+            continue;
+        }
+        let disjoint = evidence[i]
+            .pages
+            .iter()
+            .all(|p| evidence[i - 1].pages.binary_search(p).is_err());
+        if disjoint {
+            starts.push(i);
+        }
+    }
+    starts
+}
+
+/// Segment lengths implied by the definite starts. These *upper-bound* the
+/// true record lengths (missed boundaries merge segments, so the bound is
+/// from above only for the maximum; individual true records may be longer
+/// than the minimum observed segment).
+pub fn segment_lengths(evidence: &[Evidence], starts: &[usize]) -> Vec<usize> {
+    if evidence.is_empty() {
+        return Vec::new();
+    }
+    let mut lengths = Vec::with_capacity(starts.len());
+    for (k, &s) in starts.iter().enumerate() {
+        let end = starts.get(k + 1).copied().unwrap_or(evidence.len());
+        lengths.push(end - s);
+    }
+    lengths
+}
+
+/// The number of column labels `k`: "a bound on this is the largest number
+/// of extracts found on a detail page" — here, the longest definite
+/// segment, which by construction contains extracts of at most a couple of
+/// records.
+pub fn num_columns(evidence: &[Evidence]) -> usize {
+    let starts = definite_starts(evidence);
+    segment_lengths(evidence, &starts)
+        .into_iter()
+        .max()
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// The initial period distribution π computed from the definite segment
+/// lengths (Step 1 of the algorithm in Section 5.2.3), Laplace-smoothed.
+pub fn initial_period(evidence: &[Evidence], num_columns: usize) -> Vec<f64> {
+    let starts = definite_starts(evidence);
+    let lengths = segment_lengths(evidence, &starts);
+    let mut pi = vec![0.5; num_columns];
+    for len in lengths {
+        let idx = len.clamp(1, num_columns) - 1;
+        pi[idx] += 1.0;
+    }
+    crate::params::normalize(&mut pi);
+    pi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tableseg_html::TypeSet;
+
+    fn ev(pages: &[u32]) -> Evidence {
+        Evidence {
+            types: TypeSet::EMPTY,
+            pages: pages.to_vec(),
+        }
+    }
+
+    #[test]
+    fn disjoint_d_means_definite_start() {
+        let e = vec![ev(&[0]), ev(&[0]), ev(&[1]), ev(&[1, 2]), ev(&[2])];
+        // Start at 0; at 2 (D={1} vs {0}); index 3 shares 1 with index 2;
+        // index 4 shares 2 with index 3.
+        assert_eq!(definite_starts(&e), vec![0, 2]);
+    }
+
+    #[test]
+    fn shared_values_hide_boundaries() {
+        // The Superpages case: "John Smith" on r1 and r2 hides the r1/r2
+        // boundary from the bootstrap.
+        let e = vec![ev(&[0, 1]), ev(&[0]), ev(&[0, 1]), ev(&[1]), ev(&[2])];
+        assert_eq!(definite_starts(&e), vec![0, 4]);
+    }
+
+    #[test]
+    fn lengths_partition_the_sequence() {
+        let e = vec![ev(&[0]), ev(&[0]), ev(&[1]), ev(&[2]), ev(&[2])];
+        let starts = definite_starts(&e);
+        let lengths = segment_lengths(&e, &starts);
+        assert_eq!(lengths.iter().sum::<usize>(), e.len());
+        assert_eq!(lengths, vec![2, 1, 2]);
+    }
+
+    #[test]
+    fn num_columns_is_longest_segment() {
+        let e = vec![ev(&[0]), ev(&[0]), ev(&[0]), ev(&[1]), ev(&[1])];
+        assert_eq!(num_columns(&e), 3);
+    }
+
+    #[test]
+    fn num_columns_of_empty_sequence() {
+        assert_eq!(num_columns(&[]), 1);
+    }
+
+    #[test]
+    fn initial_period_peaks_at_observed_lengths() {
+        let e = vec![
+            ev(&[0]),
+            ev(&[0]),
+            ev(&[1]),
+            ev(&[1]),
+            ev(&[2]),
+            ev(&[2]),
+        ];
+        let k = num_columns(&e);
+        assert_eq!(k, 2);
+        let pi = initial_period(&e, k);
+        assert_eq!(pi.len(), 2);
+        assert!(pi[1] > pi[0], "{pi:?}");
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_pages_never_match_previous() {
+        // An extract with empty D (possible in degenerate observation
+        // tables) is vacuously disjoint from anything.
+        let e = vec![ev(&[0]), ev(&[])];
+        assert_eq!(definite_starts(&e), vec![0, 1]);
+    }
+}

@@ -1,0 +1,467 @@
+//! The chain over `(R, C)` states and the log-space forward–backward pass.
+//!
+//! This is the "variant of the forward-backward algorithm that exploits the
+//! hierarchical nature of the record segmentation problem" (Section 5.2.3):
+//! the period model enters as the duration *hazard* on the
+//! record-boundary transitions, which constrains the structure of the chain
+//! and keeps inference linear in the number of extracts.
+
+use crate::model::{Dims, Evidence};
+use crate::params::Params;
+use crate::ProbOptions;
+
+/// Log-probability floor used for fallback transitions (and impossible
+/// record evidence). Keeps every observation sequence explainable, which is
+/// precisely the dirty-data tolerance of the probabilistic approach.
+pub(crate) const LOG_FALLBACK: f64 = -18.0; // ≈ ln(1.5e-8)
+
+/// The kind of a chain edge, used to route expected counts in the M-step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Within-record column advance `c → c'`.
+    Continue {
+        /// Source column.
+        from_c: usize,
+        /// Target column (`> from_c`).
+        to_c: usize,
+    },
+    /// Record boundary out of column `c` (target column is 0).
+    NewRecord {
+        /// Column at which the previous record ended.
+        from_c: usize,
+    },
+    /// Low-probability escape hatch (state self-loop) that keeps the chain
+    /// live when no legal move exists.
+    Fallback,
+}
+
+/// One outgoing edge: target state, log-probability, kind.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Target state index.
+    pub to: usize,
+    /// Log transition probability.
+    pub logp: f64,
+    /// Edge kind.
+    pub kind: EdgeKind,
+}
+
+/// The transition structure for one parameter setting.
+#[derive(Debug, Clone)]
+pub struct Chain {
+    /// State-space dimensions.
+    pub dims: Dims,
+    /// Initial log-distribution over states (record starts).
+    pub init: Vec<f64>,
+    /// Outgoing edges per state.
+    pub edges: Vec<Vec<Edge>>,
+}
+
+/// Builds the chain for the current parameters.
+pub fn build_chain(dims: Dims, params: &Params, opts: &ProbOptions) -> Chain {
+    let nk = dims.num_records;
+    let k = dims.num_columns;
+    let mut init = vec![f64::NEG_INFINITY; dims.num_states()];
+    // The first extract starts a record: state (r, 0), geometric over
+    // skipped leading records.
+    let mut w = 1.0;
+    let mut total = 0.0;
+    for _ in 0..nk {
+        total += w;
+        w *= opts.skip_penalty;
+    }
+    let mut w = 1.0;
+    for r in 0..nk {
+        init[dims.state(r, 0)] = (w / total).ln();
+        w *= opts.skip_penalty;
+    }
+
+    let mut edges: Vec<Vec<Edge>> = Vec::with_capacity(dims.num_states());
+    for s in 0..dims.num_states() {
+        let (r, c) = dims.unpack(s);
+        let hz = params.hazard_for(c, opts.period_model);
+        let mut out = Vec::new();
+        // Continue within the record.
+        for cp in c + 1..k {
+            let p = (1.0 - hz) * params.trans[c][cp];
+            if p > 0.0 {
+                out.push(Edge {
+                    to: dims.state(r, cp),
+                    logp: p.ln(),
+                    kind: EdgeKind::Continue { from_c: c, to_c: cp },
+                });
+            }
+        }
+        // Start a new record.
+        if r + 1 < nk {
+            let mut g = 1.0;
+            let mut total = 0.0;
+            for _ in r + 1..nk {
+                total += g;
+                g *= opts.skip_penalty;
+            }
+            let mut g = 1.0;
+            for rp in r + 1..nk {
+                let p = hz * g / total;
+                g *= opts.skip_penalty;
+                if p > 0.0 {
+                    out.push(Edge {
+                        to: dims.state(rp, 0),
+                        logp: p.ln(),
+                        kind: EdgeKind::NewRecord { from_c: c },
+                    });
+                }
+            }
+        }
+        // Escape hatch.
+        out.push(Edge {
+            to: s,
+            logp: LOG_FALLBACK,
+            kind: EdgeKind::Fallback,
+        });
+        edges.push(out);
+    }
+
+    Chain { dims, init, edges }
+}
+
+impl Params {
+    /// The record-end probability at column `c`: the π-derived duration
+    /// hazard under the period model, or the independently learned
+    /// per-column end probability without it.
+    pub fn hazard_for(&self, c: usize, period_model: bool) -> f64 {
+        if period_model {
+            self.hazard(c)
+        } else {
+            self.end_prob[c]
+        }
+    }
+}
+
+/// Log emission table: `emit[i][s] = ln P(T_i | c) + ln P(D_i | r)`.
+pub fn log_emissions(
+    evidence: &[Evidence],
+    params: &Params,
+    dims: Dims,
+    opts: &ProbOptions,
+) -> Vec<Vec<f64>> {
+    let log_eps = opts.epsilon.ln();
+    evidence
+        .iter()
+        .map(|ev| {
+            let feats = ev.features();
+            let per_col: Vec<f64> = (0..dims.num_columns)
+                .map(|c| params.emission(c, &feats).max(1e-300).ln())
+                .collect();
+            (0..dims.num_states())
+                .map(|s| {
+                    let (r, c) = dims.unpack(s);
+                    let d = if ev.on_page(r) {
+                        -( ev.pages.len() as f64).ln()
+                    } else {
+                        log_eps
+                    };
+                    per_col[c] + d
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Expected sufficient statistics from one E-step.
+#[derive(Debug, Clone)]
+pub struct Counts {
+    /// Expected extracts per column.
+    pub col: Vec<f64>,
+    /// Expected feature activations per column: `[c][t]`.
+    pub types: Vec<Vec<f64>>,
+    /// Expected within-record transitions `[c][c']`.
+    pub trans: Vec<Vec<f64>>,
+    /// Expected record ends at column `c` (boundary edges + final state).
+    pub end: Vec<f64>,
+    /// Expected continues out of column `c`.
+    pub cont: Vec<f64>,
+}
+
+impl Counts {
+    fn zeros(k: usize) -> Counts {
+        Counts {
+            col: vec![0.0; k],
+            types: vec![vec![0.0; 8]; k],
+            trans: vec![vec![0.0; k]; k],
+            end: vec![0.0; k],
+            cont: vec![0.0; k],
+        }
+    }
+}
+
+/// The result of a forward–backward pass.
+#[derive(Debug, Clone)]
+pub struct FbResult {
+    /// Log-likelihood of the evidence.
+    pub log_likelihood: f64,
+    /// State posteriors `gamma[i][s]` (linear scale, each row sums to 1).
+    pub gamma: Vec<Vec<f64>>,
+    /// Expected counts for the M-step.
+    pub counts: Counts,
+}
+
+/// Runs forward–backward, returning posteriors and expected counts.
+pub fn forward_backward(chain: &Chain, emits: &[Vec<f64>], evidence: &[Evidence]) -> FbResult {
+    let n = emits.len();
+    let ns = chain.dims.num_states();
+    let k = chain.dims.num_columns;
+    assert_eq!(n, evidence.len());
+    if n == 0 {
+        return FbResult {
+            log_likelihood: 0.0,
+            gamma: Vec::new(),
+            counts: Counts::zeros(k),
+        };
+    }
+
+    // Forward.
+    let mut alpha = vec![vec![f64::NEG_INFINITY; ns]; n];
+    for s in 0..ns {
+        alpha[0][s] = chain.init[s] + emits[0][s];
+    }
+    for i in 1..n {
+        let (prev, cur) = {
+            let (a, b) = alpha.split_at_mut(i);
+            (&a[i - 1], &mut b[0])
+        };
+        for (s, out) in chain.edges.iter().enumerate() {
+            let a = prev[s];
+            if a == f64::NEG_INFINITY {
+                continue;
+            }
+            for e in out {
+                let v = a + e.logp + emits[i][e.to];
+                cur[e.to] = log_add(cur[e.to], v);
+            }
+        }
+    }
+    let log_likelihood = log_sum(&alpha[n - 1]);
+
+    // Backward.
+    let mut beta = vec![vec![f64::NEG_INFINITY; ns]; n];
+    beta[n - 1].fill(0.0);
+    for i in (0..n - 1).rev() {
+        let (cur, next) = {
+            let (a, b) = beta.split_at_mut(i + 1);
+            (&mut a[i], &b[0])
+        };
+        for (s, out) in chain.edges.iter().enumerate() {
+            let mut acc = f64::NEG_INFINITY;
+            for e in out {
+                acc = log_add(acc, e.logp + emits[i + 1][e.to] + next[e.to]);
+            }
+            cur[s] = acc;
+        }
+    }
+
+    // Posteriors and counts.
+    let mut gamma = vec![vec![0.0; ns]; n];
+    let mut counts = Counts::zeros(k);
+    for i in 0..n {
+        let feats = evidence[i].features();
+        for s in 0..ns {
+            let lg = alpha[i][s] + beta[i][s] - log_likelihood;
+            let g = lg.exp();
+            gamma[i][s] = g;
+            if g > 0.0 {
+                let (_, c) = chain.dims.unpack(s);
+                counts.col[c] += g;
+                for (t, &on) in feats.iter().enumerate() {
+                    if on {
+                        counts.types[c][t] += g;
+                    }
+                }
+            }
+        }
+    }
+    // Edge posteriors.
+    for i in 0..n - 1 {
+        for (s, out) in chain.edges.iter().enumerate() {
+            let a = alpha[i][s];
+            if a == f64::NEG_INFINITY {
+                continue;
+            }
+            for e in out {
+                let lxi = a + e.logp + emits[i + 1][e.to] + beta[i + 1][e.to] - log_likelihood;
+                let xi = lxi.exp();
+                if xi <= 0.0 {
+                    continue;
+                }
+                match e.kind {
+                    EdgeKind::Continue { from_c, to_c } => {
+                        counts.trans[from_c][to_c] += xi;
+                        counts.cont[from_c] += xi;
+                    }
+                    EdgeKind::NewRecord { from_c } => {
+                        counts.end[from_c] += xi;
+                    }
+                    EdgeKind::Fallback => {}
+                }
+            }
+        }
+    }
+    // The last extract ends its record at its column.
+    for s in 0..ns {
+        let (_, c) = chain.dims.unpack(s);
+        counts.end[c] += gamma[n - 1][s];
+    }
+
+    FbResult {
+        log_likelihood,
+        gamma,
+        counts,
+    }
+}
+
+/// `ln(e^a + e^b)` with care for negative infinity.
+#[inline]
+pub fn log_add(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// `ln Σ e^xᵢ`.
+pub fn log_sum(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, log_add)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::evidence;
+    use tableseg_extract::build_observations;
+    use tableseg_html::{lexer::tokenize, Token};
+
+    fn small_setup() -> (Vec<Evidence>, Dims, Params, ProbOptions) {
+        let list = tokenize("<td>Alpha One</td><td>100</td><td>Beta Two</td><td>200</td>");
+        let d1 = tokenize("<p>Alpha One</p><p>100</p>");
+        let d2 = tokenize("<p>Beta Two</p><p>200</p>");
+        let d3 = tokenize("<p>x</p>");
+        let details: Vec<&[Token]> = vec![&d1, &d2, &d3];
+        let obs = build_observations(&list, &[], &details);
+        let ev = evidence(&obs);
+        let dims = Dims {
+            num_records: 3,
+            num_columns: 2,
+        };
+        let params = Params::uniform(2, vec![1.0, 1.0]);
+        (ev, dims, params, ProbOptions::default())
+    }
+
+    #[test]
+    fn chain_init_prefers_first_record() {
+        let (_, dims, params, opts) = small_setup();
+        let chain = build_chain(dims, &params, &opts);
+        let s00 = dims.state(0, 0);
+        let s10 = dims.state(1, 0);
+        assert!(chain.init[s00] > chain.init[s10]);
+        // Non-first-column states are unreachable initially.
+        assert_eq!(chain.init[dims.state(0, 1)], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn edges_are_forward_only() {
+        let (_, dims, params, opts) = small_setup();
+        let chain = build_chain(dims, &params, &opts);
+        for (s, out) in chain.edges.iter().enumerate() {
+            let (r, c) = dims.unpack(s);
+            for e in out {
+                let (rp, cp) = dims.unpack(e.to);
+                match e.kind {
+                    EdgeKind::Continue { .. } => {
+                        assert_eq!(rp, r);
+                        assert!(cp > c);
+                    }
+                    EdgeKind::NewRecord { .. } => {
+                        assert!(rp > r);
+                        assert_eq!(cp, 0);
+                    }
+                    EdgeKind::Fallback => {
+                        assert_eq!(e.to, s);
+                        assert_eq!(e.logp, LOG_FALLBACK);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_rows_sum_to_one() {
+        let (ev, dims, params, opts) = small_setup();
+        let chain = build_chain(dims, &params, &opts);
+        let emits = log_emissions(&ev, &params, dims, &opts);
+        let fb = forward_backward(&chain, &emits, &ev);
+        assert!(fb.log_likelihood.is_finite());
+        for row in &fb.gamma {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "{s}");
+        }
+    }
+
+    #[test]
+    fn detail_evidence_dominates_record_posterior() {
+        let (ev, dims, params, opts) = small_setup();
+        let chain = build_chain(dims, &params, &opts);
+        let emits = log_emissions(&ev, &params, dims, &opts);
+        let fb = forward_backward(&chain, &emits, &ev);
+        // Extract 0 ("Alpha One") is on detail page 0 only.
+        let mut p_r0 = 0.0;
+        for c in 0..dims.num_columns {
+            p_r0 += fb.gamma[0][dims.state(0, c)];
+        }
+        assert!(p_r0 > 0.99, "{p_r0}");
+        // Extract 2 ("Beta Two") is on detail page 1 only.
+        let mut p_r1 = 0.0;
+        for c in 0..dims.num_columns {
+            p_r1 += fb.gamma[2][dims.state(1, c)];
+        }
+        assert!(p_r1 > 0.99, "{p_r1}");
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let (ev, dims, params, opts) = small_setup();
+        let chain = build_chain(dims, &params, &opts);
+        let emits = log_emissions(&ev, &params, dims, &opts);
+        let fb = forward_backward(&chain, &emits, &ev);
+        // Total column mass equals the number of extracts.
+        let total: f64 = fb.counts.col.iter().sum();
+        assert!((total - ev.len() as f64).abs() < 1e-6, "{total}");
+        // Ends + continues ≈ n (every extract either continues or ends,
+        // modulo fallback edges).
+        let flow: f64 =
+            fb.counts.end.iter().sum::<f64>() + fb.counts.cont.iter().sum::<f64>();
+        assert!((flow - ev.len() as f64).abs() < 0.05, "{flow}");
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let (_, dims, params, opts) = small_setup();
+        let chain = build_chain(dims, &params, &opts);
+        let fb = forward_backward(&chain, &[], &[]);
+        assert_eq!(fb.log_likelihood, 0.0);
+        assert!(fb.gamma.is_empty());
+    }
+
+    #[test]
+    fn log_helpers() {
+        assert!((log_add(0.0, 0.0) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert_eq!(log_add(f64::NEG_INFINITY, -1.0), -1.0);
+        assert_eq!(log_add(-1.0, f64::NEG_INFINITY), -1.0);
+        let v = [0.0, 0.0, 0.0, 0.0];
+        assert!((log_sum(&v) - (4.0f64).ln()).abs() < 1e-12);
+        assert_eq!(log_sum(&[]), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,100 @@
+//! Extraneous linked pages: advertisements and promotions.
+//!
+//! "there are often other links from the list page that point to
+//! advertisements and other extraneous data" (Section 6.1). These pages do
+//! not share the detail-page template — which is exactly what the
+//! detail-page classifier the paper sketches (and `tableseg::detail_id`
+//! implements) relies on.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::db;
+use tableseg_html::writer::HtmlWriter;
+
+/// Generates `count` advertisement pages, each with its own structure —
+/// deliberately *not* template-generated, unlike detail pages.
+pub fn ad_pages(count: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|i| ad_page(i, &mut rng)).collect()
+}
+
+fn ad_page(index: usize, rng: &mut StdRng) -> String {
+    let mut w = HtmlWriter::new();
+    w.open("html");
+    w.open("body");
+    match index % 3 {
+        0 => {
+            w.open_attrs("center", "");
+            w.open_attrs("font", "size=7 color=red");
+            w.text(&format!(
+                "HUGE SALE {} PERCENT OFF EVERYTHING",
+                rng.random_range(10..70)
+            ));
+            w.close();
+            w.close();
+            for _ in 0..rng.random_range(2..5) {
+                w.element(
+                    "p",
+                    &format!(
+                        "Call now {} and mention offer code {}",
+                        db::phone(rng),
+                        rng.random_range(1000..9999)
+                    ),
+                );
+            }
+        }
+        1 => {
+            w.open("div");
+            for _ in 0..rng.random_range(3..7) {
+                w.open("div");
+                w.text(&format!(
+                    "Win a trip to {} click here to enter today",
+                    db::pick(rng, db::CITIES)
+                ));
+                w.close();
+            }
+            w.close();
+        }
+        _ => {
+            w.open_attrs("table", "width=100%");
+            w.open("tr");
+            w.element("td", "Lowest prices guaranteed");
+            w.element("td", &format!("Deal of the day number {}", rng.random_range(1..99)));
+            w.close();
+            w.close();
+            w.open("blockquote");
+            w.text("As seen on TV order before midnight tonight");
+            w.close();
+        }
+    }
+    w.close();
+    w.close();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count() {
+        let ads = ad_pages(4, 9);
+        assert_eq!(ads.len(), 4);
+        assert!(ads.iter().all(|a| a.len() > 50));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(ad_pages(3, 7), ad_pages(3, 7));
+        assert_ne!(ad_pages(3, 7), ad_pages(3, 8));
+    }
+
+    #[test]
+    fn structures_differ_between_ads() {
+        let ads = ad_pages(3, 1);
+        assert!(ads[0].contains("font"));
+        assert!(ads[1].contains("Win a trip"));
+        assert!(ads[2].contains("blockquote"));
+    }
+}

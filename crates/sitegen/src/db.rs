@@ -1,0 +1,250 @@
+//! The record "database": schemas, records, and the value pools the domain
+//! generators draw from.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// One field of a schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Internal field name, e.g. `name`.
+    pub name: &'static str,
+    /// The label shown next to the value on detail pages, e.g. `Name`.
+    pub label: &'static str,
+    /// Whether the list-page renderer may drop this field (the paper: "the
+    /// first column, which usually contains the most salient identifier,
+    /// such as the Name, is never missing").
+    pub may_be_missing: bool,
+}
+
+/// A table schema: the ordered fields of a domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Domain name, e.g. `white pages`.
+    pub domain: &'static str,
+    /// The fields, in list-page column order.
+    pub fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the schema has no fields (never produced by the domains).
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of a field by name.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+}
+
+/// One database record: one value per schema field.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Record {
+    /// Values aligned with `Schema::fields`.
+    pub values: Vec<String>,
+}
+
+// ---- value pools -----------------------------------------------------
+
+/// First names.
+pub const FIRST_NAMES: &[&str] = &[
+    "John", "Mary", "Robert", "Patricia", "Michael", "Jennifer", "William", "Linda", "David",
+    "Elizabeth", "Richard", "Barbara", "Joseph", "Susan", "Thomas", "Jessica", "Charles", "Sarah",
+    "Christopher", "Karen", "Daniel", "Nancy", "Matthew", "Lisa", "Anthony", "Betty", "George",
+    "Margaret", "Donald", "Sandra", "Kenneth", "Ashley", "Steven", "Kimberly", "Edward", "Emily",
+    "Brian", "Donna", "Ronald", "Michelle",
+];
+
+/// Last names.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
+    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
+    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
+    "Scott", "Torres", "Nguyen", "Hill", "Flores",
+];
+
+/// Street names.
+pub const STREET_NAMES: &[&str] = &[
+    "Washington", "Main", "Oak", "Pine", "Maple", "Cedar", "Elm", "Lake", "Hill", "Park",
+    "Walnut", "Spring", "North", "Ridge", "Church", "Willow", "Mill", "Sunset", "Railroad",
+    "Jefferson", "Center", "Highland", "Forest", "Jackson", "River", "Meadow", "Chestnut",
+];
+
+/// Street suffixes.
+pub const STREET_SUFFIXES: &[&str] = &["St", "Ave", "Rd", "Blvd", "Ln", "Dr", "Ct", "Way"];
+
+/// City names.
+pub const CITIES: &[&str] = &[
+    "Springfield", "Findlay", "Franklin", "Clinton", "Greenville", "Bristol", "Fairview",
+    "Salem", "Madison", "Georgetown", "Arlington", "Ashland", "Dover", "Hudson", "Kingston",
+    "Milton", "Newport", "Oxford", "Riverside", "Winchester", "Burlington", "Manchester",
+    "Milford", "Auburn", "Dayton",
+];
+
+/// Two-letter state codes.
+pub const STATES: &[&str] = &[
+    "OH", "PA", "MI", "MN", "FL", "CA", "NY", "TX", "IL", "GA", "NC", "WA", "MA", "VA", "IN",
+];
+
+/// Publishing houses (books domain).
+pub const PUBLISHERS: &[&str] = &[
+    "Harper Press", "Random House", "Penguin Books", "Vintage Press", "Orion Media",
+    "Scholastic Press", "Mariner Books", "Crown Publishing", "Anchor Books", "Back Bay Books",
+];
+
+/// Title words (books domain).
+pub const TITLE_WORDS: &[&str] = &[
+    "Shadow", "River", "Empire", "Garden", "Winter", "Secret", "Journey", "Silent", "Golden",
+    "Broken", "Hidden", "Ancient", "Burning", "Crystal", "Distant", "Eternal", "Falling",
+    "Gentle", "Harvest", "Island", "Lost", "Midnight", "Northern", "Painted", "Quiet",
+    "Restless", "Scarlet", "Thunder", "Velvet", "Wandering",
+];
+
+/// Correctional facilities (corrections domain).
+pub const FACILITIES: &[&str] = &[
+    "Northpoint Correctional Facility",
+    "Riverbend State Prison",
+    "Lakeland Correctional Center",
+    "Pine Grove Institution",
+    "Cedar Creek Facility",
+    "Stonegate Correctional Center",
+    "Eastfork State Prison",
+    "Willow Run Institution",
+];
+
+/// Inmate statuses (corrections domain).
+pub const STATUSES: &[&str] = &["Incarcerated", "Released", "Probation", "Work Release"];
+
+// ---- pool sampling helpers --------------------------------------------
+
+/// Uniformly samples one item from a pool.
+pub fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.random_range(0..pool.len())]
+}
+
+/// A random `First Last` person name.
+pub fn person_name(rng: &mut StdRng) -> String {
+    format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, LAST_NAMES))
+}
+
+/// A random street address like `221 Washington St`.
+pub fn street_address(rng: &mut StdRng) -> String {
+    format!(
+        "{} {} {}",
+        rng.random_range(100..9999),
+        pick(rng, STREET_NAMES),
+        pick(rng, STREET_SUFFIXES)
+    )
+}
+
+/// A random phone number `(xxx) xxx-xxxx`.
+pub fn phone(rng: &mut StdRng) -> String {
+    format!(
+        "({}) {}-{:04}",
+        rng.random_range(200..990),
+        rng.random_range(200..990),
+        rng.random_range(0..10_000)
+    )
+}
+
+/// A random 5-digit zip code.
+pub fn zip(rng: &mut StdRng) -> String {
+    format!("{:05}", rng.random_range(10_000..99_999))
+}
+
+/// A random date like `03-17-1998` (dashes keep it one extract).
+pub fn date(rng: &mut StdRng) -> String {
+    format!(
+        "{:02}-{:02}-{}",
+        rng.random_range(1..13),
+        rng.random_range(1..29),
+        rng.random_range(1960..2004)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn pools_are_nonempty_and_unique() {
+        for pool in [
+            FIRST_NAMES,
+            LAST_NAMES,
+            STREET_NAMES,
+            CITIES,
+            STATES,
+            PUBLISHERS,
+            TITLE_WORDS,
+            FACILITIES,
+            STATUSES,
+        ] {
+            assert!(!pool.is_empty());
+            let mut sorted: Vec<&str> = pool.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), pool.len(), "duplicate entries in pool");
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let mut a = rng();
+        let mut b = rng();
+        assert_eq!(person_name(&mut a), person_name(&mut b));
+        assert_eq!(street_address(&mut a), street_address(&mut b));
+        assert_eq!(phone(&mut a), phone(&mut b));
+    }
+
+    #[test]
+    fn phone_shape() {
+        let mut r = rng();
+        let p = phone(&mut r);
+        assert!(p.starts_with('('));
+        assert_eq!(p.len(), "(xxx) xxx-xxxx".len());
+    }
+
+    #[test]
+    fn zip_and_date_shapes() {
+        let mut r = rng();
+        assert_eq!(zip(&mut r).len(), 5);
+        let d = date(&mut r);
+        assert_eq!(d.split('-').count(), 3);
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema {
+            domain: "test",
+            fields: vec![
+                Field {
+                    name: "name",
+                    label: "Name",
+                    may_be_missing: false,
+                },
+                Field {
+                    name: "city",
+                    label: "City",
+                    may_be_missing: true,
+                },
+            ],
+        };
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.field_index("city"), Some(1));
+        assert_eq!(s.field_index("nope"), None);
+    }
+}

@@ -1,0 +1,99 @@
+//! The book-seller domain (Amazon, BN Books): title, authors, publisher,
+//! year, price.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::db::{self, Field, Record, Schema};
+
+/// The books schema.
+pub fn schema() -> Schema {
+    Schema {
+        domain: "books",
+        fields: vec![
+            Field {
+                name: "title",
+                label: "Title",
+                may_be_missing: false,
+            },
+            Field {
+                name: "authors",
+                label: "Authors",
+                may_be_missing: false,
+            },
+            Field {
+                name: "publisher",
+                label: "Publisher",
+                may_be_missing: true,
+            },
+            Field {
+                name: "year",
+                label: "Year",
+                may_be_missing: true,
+            },
+            Field {
+                name: "price",
+                label: "Price",
+                may_be_missing: true,
+            },
+        ],
+    }
+}
+
+/// Generates one book. Roughly a third of books have multiple authors —
+/// the precondition for the Amazon "et al" abbreviation quirk.
+pub fn generate(rng: &mut StdRng) -> Record {
+    let title_len = rng.random_range(2..5);
+    let mut title_words = Vec::with_capacity(title_len);
+    for _ in 0..title_len {
+        title_words.push(db::pick(rng, db::TITLE_WORDS));
+    }
+    title_words.dedup();
+    let title = format!("The {}", title_words.join(" "));
+
+    let num_authors = if rng.random_bool(0.35) {
+        rng.random_range(2..4)
+    } else {
+        1
+    };
+    let authors = (0..num_authors)
+        .map(|_| db::person_name(rng))
+        .collect::<Vec<_>>()
+        .join(", ");
+
+    Record {
+        values: vec![
+            title,
+            authors,
+            db::pick(rng, db::PUBLISHERS).to_owned(),
+            rng.random_range(1985..2004).to_string(),
+            format!("{}.{:02}", rng.random_range(5..60), rng.random_range(0..100)),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn record_matches_schema() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = generate(&mut rng);
+        assert_eq!(r.values.len(), schema().len());
+        assert!(r.values[0].starts_with("The "));
+        let year: u32 = r.values[3].parse().expect("year is numeric");
+        assert!((1985..2004).contains(&year));
+    }
+
+    #[test]
+    fn some_books_have_multiple_authors() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let multi = (0..50)
+            .map(|_| generate(&mut rng))
+            .filter(|r| r.values[1].contains(','))
+            .count();
+        assert!(multi > 5, "need multi-author books for the et-al quirk");
+    }
+}

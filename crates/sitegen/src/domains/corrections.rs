@@ -1,0 +1,78 @@
+//! The corrections domain (Ohio, Minnesota, Michigan): inmate id, name,
+//! status, facility, admission date.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::db::{self, Field, Record, Schema};
+
+/// The corrections schema.
+pub fn schema() -> Schema {
+    Schema {
+        domain: "corrections",
+        fields: vec![
+            Field {
+                name: "id",
+                label: "Inmate Number",
+                may_be_missing: false,
+            },
+            Field {
+                name: "name",
+                label: "Name",
+                may_be_missing: false,
+            },
+            Field {
+                name: "status",
+                label: "Status",
+                may_be_missing: true,
+            },
+            Field {
+                name: "facility",
+                label: "Facility",
+                may_be_missing: true,
+            },
+            Field {
+                name: "admitted",
+                label: "Admission Date",
+                may_be_missing: true,
+            },
+        ],
+    }
+}
+
+/// Generates one inmate record.
+pub fn generate(rng: &mut StdRng) -> Record {
+    Record {
+        values: vec![
+            format!("{:06}", rng.random_range(100_000..999_999)),
+            db::person_name(rng),
+            db::pick(rng, db::STATUSES).to_owned(),
+            db::pick(rng, db::FACILITIES).to_owned(),
+            db::date(rng),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn record_matches_schema() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = generate(&mut rng);
+        assert_eq!(r.values.len(), schema().len());
+        assert_eq!(r.values[0].len(), 6);
+        assert!(db::STATUSES.contains(&r.values[2].as_str()));
+        assert!(db::FACILITIES.contains(&r.values[3].as_str()));
+    }
+
+    #[test]
+    fn statuses_vary() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let statuses: std::collections::HashSet<String> =
+            (0..40).map(|_| generate(&mut rng).values[2].clone()).collect();
+        assert!(statuses.len() >= 3);
+    }
+}

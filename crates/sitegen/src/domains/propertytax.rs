@@ -1,0 +1,87 @@
+//! The property-tax domain (Allegheny, Butler, Lee counties): parcel id,
+//! owner, property address, assessed value, annual tax.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::db::{self, Field, Record, Schema};
+
+/// The property-tax schema.
+pub fn schema() -> Schema {
+    Schema {
+        domain: "property tax",
+        fields: vec![
+            Field {
+                name: "parcel",
+                label: "Parcel ID",
+                may_be_missing: false,
+            },
+            Field {
+                name: "owner",
+                label: "Owner",
+                may_be_missing: false,
+            },
+            Field {
+                name: "address",
+                label: "Property Address",
+                may_be_missing: true,
+            },
+            Field {
+                name: "assessed",
+                label: "Assessed Value",
+                may_be_missing: true,
+            },
+            Field {
+                name: "tax",
+                label: "Annual Tax",
+                may_be_missing: true,
+            },
+        ],
+    }
+}
+
+/// Generates one parcel. Government sites are clean and regular (the paper:
+/// "Commercial sites had the greatest complexity"), so values are plain.
+pub fn generate(rng: &mut StdRng) -> Record {
+    // Parcel ids like 042-118-0937: digits and dashes stay one extract.
+    let parcel = format!(
+        "{:03}-{:03}-{:04}",
+        rng.random_range(1..400),
+        rng.random_range(1..999),
+        rng.random_range(1..10_000)
+    );
+    let assessed = rng.random_range(40..900) * 500;
+    let tax = assessed / rng.random_range(40..80);
+    Record {
+        values: vec![
+            parcel,
+            db::person_name(rng),
+            db::street_address(rng),
+            format!("{assessed}.00"),
+            format!("{tax}.00"),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn record_matches_schema() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = generate(&mut rng);
+        assert_eq!(r.values.len(), schema().len());
+        assert_eq!(r.values[0].split('-').count(), 3);
+        assert!(r.values[3].ends_with(".00"));
+    }
+
+    #[test]
+    fn parcel_ids_are_mostly_unique() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let ids: std::collections::HashSet<String> =
+            (0..30).map(|_| generate(&mut rng).values[0].clone()).collect();
+        assert!(ids.len() >= 29);
+    }
+}

@@ -1,0 +1,71 @@
+//! The white-pages domain (Superpages, Yahoo People, Canada411,
+//! SprintCanada): name, street address, city + state, zip, phone.
+
+use rand::rngs::StdRng;
+
+use crate::db::{self, Field, Record, Schema};
+
+/// The white-pages schema.
+pub fn schema() -> Schema {
+    Schema {
+        domain: "white pages",
+        fields: vec![
+            Field {
+                name: "name",
+                label: "Name",
+                may_be_missing: false,
+            },
+            Field {
+                name: "address",
+                label: "Address",
+                may_be_missing: true,
+            },
+            Field {
+                name: "city",
+                label: "City",
+                may_be_missing: true,
+            },
+            Field {
+                name: "zip",
+                label: "Zip",
+                may_be_missing: true,
+            },
+            Field {
+                name: "phone",
+                label: "Phone",
+                may_be_missing: true,
+            },
+        ],
+    }
+}
+
+/// Generates one listing.
+pub fn generate(rng: &mut StdRng) -> Record {
+    let city = format!("{}, {}", db::pick(rng, db::CITIES), db::pick(rng, db::STATES));
+    Record {
+        values: vec![
+            db::person_name(rng),
+            db::street_address(rng),
+            city,
+            db::zip(rng),
+            db::phone(rng),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn record_matches_schema() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = generate(&mut rng);
+        assert_eq!(r.values.len(), schema().len());
+        // City field has the ", ST" shape.
+        assert!(r.values[2].contains(", "));
+        // Phone field shape.
+        assert!(r.values[4].starts_with('('));
+    }
+}

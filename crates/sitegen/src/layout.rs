@@ -1,0 +1,385 @@
+//! Page rendering: list pages in three layout styles and detail pages.
+//!
+//! "In addition to displaying different data, the pages varied greatly in
+//! their presentation and layout. Some used grid-like tables, with or
+//! without borders ... Others were more free-form, with a block of the page
+//! containing information about an item ... The entries could be numbered
+//! or unnumbered." (Section 6.1)
+
+use tableseg_html::writer::HtmlWriter;
+
+use crate::db::Schema;
+use crate::quirks::RecordView;
+use crate::truth::{GroundTruth, RecordSpan};
+
+/// How the list page lays out its records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum LayoutStyle {
+    /// A bordered `<table>` with one `<tr>` per record and a header row —
+    /// the government-site style.
+    GridTable,
+    /// Free-form blocks: one `<p>` per record with `<br>`-separated fields
+    /// and a "More Info" link — the commercial-site style.
+    FreeForm,
+    /// Numbered entries (`1.`, `2.`, ...) — the style that breaks page
+    /// template finding (Amazon, BN Books, Minnesota Corrections).
+    NumberedList,
+}
+
+/// Renders a list page; returns the HTML and the record ground truth.
+pub fn render_list_page(
+    site_name: &str,
+    style: LayoutStyle,
+    schema: &Schema,
+    views: &[RecordView],
+    promos: &[String],
+    query_echo: Option<&str>,
+    page_index: usize,
+    number_offset: usize,
+    total_matches: usize,
+) -> (String, GroundTruth) {
+    let mut w = HtmlWriter::new();
+    w.open("html");
+    w.open("head").element("title", &format!("{site_name} Search Results")).close();
+    w.open("body");
+    w.raw("<img src=\"/images/logo.gif\">");
+    w.element("h1", site_name);
+    w.newline();
+    w.element(
+        "h2",
+        &format!("{} Matching Listings", views.len()),
+    );
+    if let Some(echo) = query_echo {
+        w.open("p").text("Results for ").open("b").text(echo).close().close();
+        w.newline();
+    }
+    w.element(
+        "p",
+        &format!(
+            "Displaying {}-{} of {} records.",
+            page_index * views.len() + 1,
+            (page_index + 1) * views.len(),
+            total_matches
+        ),
+    );
+    w.open_attrs("a", "href=\"/search\"").text("Search Again").close();
+    w.newline();
+
+    let mut spans = Vec::with_capacity(views.len());
+    match style {
+        LayoutStyle::GridTable => render_grid(&mut w, schema, views, page_index, &mut spans),
+        LayoutStyle::FreeForm => render_freeform(&mut w, schema, views, page_index, &mut spans),
+        LayoutStyle::NumberedList => {
+            render_numbered(&mut w, schema, views, page_index, number_offset, &mut spans)
+        }
+    }
+
+    w.newline();
+    w.open_attrs("a", "href=\"/ads/0\"").text("Todays Special Offer").close();
+    w.open_attrs("a", "href=\"/ads/1\"").text("Win A Prize").close();
+    w.newline();
+    if !promos.is_empty() {
+        w.element("h3", "Customers also bought");
+        w.open("ul");
+        for promo in promos {
+            w.open("li").open("i").text(promo).close().close();
+        }
+        w.close(); // ul
+        w.newline();
+    }
+    w.open_attrs("a", &format!("href=\"/list/{}\"", page_index + 1))
+        .text("Next")
+        .close();
+    w.element("p", &format!("Copyright 2004 {site_name} Inc. All rights reserved."));
+    w.close(); // body
+    w.close(); // html
+    let html = w.finish();
+    (html, GroundTruth { records: spans })
+}
+
+fn record_values(view: &RecordView) -> Vec<String> {
+    view.list_values.iter().flatten().cloned().collect()
+}
+
+fn render_grid(
+    w: &mut HtmlWriter,
+    schema: &Schema,
+    views: &[RecordView],
+    page_index: usize,
+    spans: &mut Vec<RecordSpan>,
+) {
+    w.open_attrs("table", "border=1 cellpadding=2");
+    w.newline();
+    w.open("tr");
+    for f in &schema.fields {
+        w.element("th", f.label);
+    }
+    w.close();
+    w.newline();
+    for (i, view) in views.iter().enumerate() {
+        let start = w.snapshot_len();
+        w.open("tr");
+        for (fi, lv) in view.list_values.iter().enumerate() {
+            w.open("td");
+            match lv {
+                Some(v) if fi == 0 => {
+                    // The salient identifier links to the detail page.
+                    w.open_attrs("a", &format!("href=\"/detail/{page_index}/{i}\""))
+                        .text(v)
+                        .close();
+                }
+                Some(v) if view.alternate_markup[fi] => {
+                    w.open_attrs("font", "color=gray").text(v).close();
+                }
+                Some(v) => {
+                    w.text(v);
+                }
+                None => {
+                    w.raw("&nbsp;");
+                }
+            }
+            w.close();
+        }
+        w.close();
+        let end = w.snapshot_len();
+        spans.push(RecordSpan {
+            start,
+            end,
+            values: record_values(view),
+        });
+        w.newline();
+    }
+    w.close(); // table
+}
+
+fn render_freeform(
+    w: &mut HtmlWriter,
+    schema: &Schema,
+    views: &[RecordView],
+    page_index: usize,
+    spans: &mut Vec<RecordSpan>,
+) {
+    w.open("div");
+    w.newline();
+    for (i, view) in views.iter().enumerate() {
+        let start = w.snapshot_len();
+        w.open("p");
+        let mut first = true;
+        for (fi, lv) in view.list_values.iter().enumerate() {
+            let Some(v) = lv else { continue };
+            if first {
+                w.open("b").text(v).close();
+                first = false;
+                continue;
+            }
+            w.void("br");
+            if view.alternate_markup[fi] {
+                w.open_attrs("font", "color=gray").text(v).close();
+            } else if schema.fields[fi].name == "phone" {
+                // A labelled field, as commercial sites often render them.
+                w.text("Phone: ").text(v);
+            } else {
+                w.text(v);
+            }
+        }
+        w.text(" ");
+        w.open_attrs("a", &format!("href=\"/detail/{page_index}/{i}\""))
+            .text("More Info")
+            .close();
+        w.close(); // p
+        let end = w.snapshot_len();
+        spans.push(RecordSpan {
+            start,
+            end,
+            values: record_values(view),
+        });
+        w.void("hr");
+        w.newline();
+    }
+    w.close(); // div
+}
+
+fn render_numbered(
+    w: &mut HtmlWriter,
+    schema: &Schema,
+    views: &[RecordView],
+    page_index: usize,
+    number_offset: usize,
+    spans: &mut Vec<RecordSpan>,
+) {
+    let _ = schema;
+    w.open("div");
+    w.newline();
+    for (i, view) in views.iter().enumerate() {
+        let start = w.snapshot_len();
+        w.open("p");
+        // The entry number: shared across pages, which is what breaks the
+        // page-template algorithm (Section 6.3).
+        w.text(&format!("{}.", number_offset + i + 1));
+        let mut first = true;
+        for (fi, lv) in view.list_values.iter().enumerate() {
+            let Some(v) = lv else { continue };
+            if first {
+                w.open_attrs("a", &format!("href=\"/detail/{page_index}/{i}\""))
+                    .open("b")
+                    .text(v)
+                    .close()
+                    .close();
+                first = false;
+                continue;
+            }
+            if view.alternate_markup[fi] {
+                w.void("br");
+                w.open_attrs("font", "color=gray").text(v).close();
+            } else {
+                w.void("br");
+                w.text(v);
+            }
+        }
+        w.close(); // p
+        let end = w.snapshot_len();
+        spans.push(RecordSpan {
+            start,
+            end,
+            values: record_values(view),
+        });
+        w.newline();
+    }
+    w.close(); // div
+}
+
+/// Renders the detail page of one record.
+pub fn render_detail_page(site_name: &str, schema: &Schema, view: &RecordView) -> String {
+    let mut w = HtmlWriter::new();
+    w.open("html");
+    w.open("head").element("title", &format!("{site_name} - Details")).close();
+    w.open("body");
+    w.raw("<img src=\"/images/logo.gif\">");
+    w.element("h1", site_name);
+    w.newline();
+    // The salient identifier is repeated as a heading, as real detail
+    // pages do.
+    if let Some(id) = view.detail_values.first().and_then(Option::as_deref) {
+        w.element("h2", id);
+    }
+    w.open_attrs("table", "cellspacing=0");
+    w.newline();
+    for (fi, dv) in view.detail_values.iter().enumerate() {
+        let Some(v) = dv else { continue };
+        w.open("tr");
+        w.open("td").open("b").text(schema.fields[fi].label).text(":").close().close();
+        w.element("td", v);
+        w.close();
+        w.newline();
+    }
+    w.close(); // table
+    w.raw("<img src=\"/images/map.gif\" alt=\"Map of the area\">");
+    w.newline();
+    for extra in &view.detail_extras {
+        w.element("p", extra);
+        w.newline();
+    }
+    w.open_attrs("a", "href=\"/search\"").text("New Search").close();
+    w.element("p", &format!("Copyright 2004 {site_name} Inc. All rights reserved."));
+    w.close(); // body
+    w.close(); // html
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::Domain;
+    use crate::quirks::apply;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tableseg_html::dom::parse;
+
+    fn views(domain: Domain, n: usize) -> (Schema, Vec<RecordView>) {
+        let mut rng = StdRng::seed_from_u64(21);
+        let schema = domain.schema();
+        let mut records: Vec<_> = (0..n).map(|_| domain.generate(&mut rng)).collect();
+        let views = apply(&[], &schema, &mut records, 0.0, 0, &mut rng);
+        (schema, views)
+    }
+
+    #[test]
+    fn grid_page_has_one_tr_per_record_plus_header() {
+        let (schema, v) = views(Domain::PropertyTax, 5);
+        let (html, truth) = render_list_page("Testville County", LayoutStyle::GridTable, &schema, &v, &[], None, 0, 0, 35);
+        let dom = parse(&html);
+        assert_eq!(dom.find_all("tr").len(), 6);
+        assert_eq!(truth.len(), 5);
+    }
+
+    #[test]
+    fn spans_cover_their_values() {
+        for style in [
+            LayoutStyle::GridTable,
+            LayoutStyle::FreeForm,
+            LayoutStyle::NumberedList,
+        ] {
+            let (schema, v) = views(Domain::WhitePages, 4);
+            let (html, truth) = render_list_page("TestPages", style, &schema, &v, &[], None, 0, 0, 4);
+            for span in &truth.records {
+                let row = &html[span.start..span.end];
+                for value in &span.values {
+                    let escaped = tableseg_html::entities::encode_text(value);
+                    assert!(
+                        row.contains(&escaped),
+                        "{style:?}: span missing value {value:?} in {row:?}"
+                    );
+                }
+            }
+            // Spans are ordered and disjoint.
+            for w2 in truth.records.windows(2) {
+                assert!(w2[0].end <= w2[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn freeform_has_more_info_links() {
+        let (schema, v) = views(Domain::WhitePages, 3);
+        let (html, _) = render_list_page("TestPages", LayoutStyle::FreeForm, &schema, &v, &[], None, 0, 0, 3);
+        assert_eq!(html.matches("More Info").count(), 3);
+        assert!(html.contains("Phone: "));
+    }
+
+    #[test]
+    fn numbered_entries_carry_numbers() {
+        let (schema, v) = views(Domain::Books, 3);
+        let (html, _) = render_list_page("TestBooks", LayoutStyle::NumberedList, &schema, &v, &[], None, 0, 0, 3);
+        assert!(html.contains("1."));
+        assert!(html.contains("2."));
+        assert!(html.contains("3."));
+    }
+
+    #[test]
+    fn detail_page_shows_labels_and_values() {
+        let (schema, v) = views(Domain::Corrections, 1);
+        let html = render_detail_page("TestCorrections", &schema, &v[0]);
+        let dom = parse(&html);
+        let text = dom.text_content();
+        assert!(text.contains("Inmate Number"));
+        assert!(text.contains(v[0].detail_values[1].as_deref().unwrap()));
+        assert!(text.contains("Copyright 2004"));
+    }
+
+    #[test]
+    fn detail_page_omits_missing_fields() {
+        let (schema, mut v) = views(Domain::WhitePages, 1);
+        v[0].detail_values[2] = None;
+        let html = render_detail_page("TestPages", &schema, &v[0]);
+        assert!(!html.contains("City"));
+    }
+
+    #[test]
+    fn page_chrome_differs_between_pages() {
+        let (schema, v) = views(Domain::WhitePages, 2);
+        let (p0, _) = render_list_page("TestPages", LayoutStyle::GridTable, &schema, &v, &[], None, 0, 0, 14);
+        let (p1, _) = render_list_page("TestPages", LayoutStyle::GridTable, &schema, &v, &[], None, 1, 2, 14);
+        assert!(p0.contains("Displaying 1-2"));
+        assert!(p1.contains("Displaying 3-4"));
+    }
+}

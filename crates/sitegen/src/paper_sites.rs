@@ -1,0 +1,304 @@
+//! The twelve site configurations mirroring the paper's evaluation set
+//! (Section 6.1): "book sellers (Amazon, BNBooks), property tax sites
+//! (Buttler, Allegheny, Lee counties), white pages (Superpages, Yahoo,
+//! Canada411, SprintCanada) and corrections (Ohio, Minnesotta, Michigan)".
+//!
+//! Record counts per list page follow Table 4 (Cor + InC + FN per row);
+//! quirks follow the failure analysis of Section 6.3.
+
+use crate::domains::Domain;
+use crate::quirks::Quirk;
+use crate::site::{LayoutStyle, SiteSpec};
+
+/// Builds all twelve sites, in the order of the paper's Table 4.
+pub fn all() -> Vec<SiteSpec> {
+    vec![
+        amazon(),
+        bn_books(),
+        allegheny(),
+        butler(),
+        lee(),
+        michigan(),
+        minnesota(),
+        ohio(),
+        canada411(),
+        sprint_canada(),
+        yahoo_people(),
+        superpages(),
+    ]
+}
+
+/// Amazon Books: numbered entries (template failure), browsing-history
+/// contamination, "et al" author abbreviation. The paper's hardest site.
+pub fn amazon() -> SiteSpec {
+    SiteSpec {
+        name: "Amazon Books".into(),
+        domain: Domain::Books,
+        layout: LayoutStyle::NumberedList,
+        records_per_page: vec![10, 10],
+        quirks: vec![
+            Quirk::BrowsingHistory,
+            Quirk::EtAlAbbreviation { field: "authors" },
+            Quirk::ListPagePromos { count: 3 },
+        ],
+        missing_field_prob: 0.1,
+        continuous_numbering: false,
+        overlap: 0,
+        seed: 0xA3A201,
+    }
+}
+
+/// BN Books: numbered entries.
+pub fn bn_books() -> SiteSpec {
+    SiteSpec {
+        name: "BN Books".into(),
+        domain: Domain::Books,
+        layout: LayoutStyle::NumberedList,
+        records_per_page: vec![10, 10],
+        quirks: vec![Quirk::ListPagePromos { count: 3 }],
+        missing_field_prob: 0.1,
+        continuous_numbering: false,
+        overlap: 0,
+        seed: 0xB4B402,
+    }
+}
+
+/// Allegheny County property tax: clean grid tables.
+pub fn allegheny() -> SiteSpec {
+    SiteSpec {
+        name: "Allegheny County".into(),
+        domain: Domain::PropertyTax,
+        layout: LayoutStyle::GridTable,
+        records_per_page: vec![20, 20],
+        quirks: vec![],
+        missing_field_prob: 0.05,
+        continuous_numbering: false,
+        overlap: 0,
+        seed: 0xA77E03,
+    }
+}
+
+/// Butler County property tax: clean grid tables.
+pub fn butler() -> SiteSpec {
+    SiteSpec {
+        name: "Butler County".into(),
+        domain: Domain::PropertyTax,
+        layout: LayoutStyle::GridTable,
+        records_per_page: vec![15, 12],
+        quirks: vec![],
+        missing_field_prob: 0.05,
+        continuous_numbering: false,
+        overlap: 0,
+        seed: 0xB07704,
+    }
+}
+
+/// Lee County property tax: clean grid tables.
+pub fn lee() -> SiteSpec {
+    SiteSpec {
+        name: "Lee County".into(),
+        domain: Domain::PropertyTax,
+        layout: LayoutStyle::GridTable,
+        records_per_page: vec![16, 5],
+        quirks: vec![],
+        missing_field_prob: 0.05,
+        continuous_numbering: false,
+        overlap: 0,
+        seed: 0x1EE005,
+    }
+}
+
+/// Michigan Corrections: the "Parole"/"Parolee" inconsistency with the
+/// list value appearing in an unrelated context.
+pub fn michigan() -> SiteSpec {
+    SiteSpec {
+        name: "Michigan Corrections".into(),
+        domain: Domain::Corrections,
+        layout: LayoutStyle::GridTable,
+        records_per_page: vec![7, 16],
+        quirks: vec![
+            Quirk::ValueInUnrelatedContext { field: "status" },
+            Quirk::QueryEcho { field: "facility" },
+        ],
+        missing_field_prob: 0.05,
+        continuous_numbering: false,
+        overlap: 0,
+        seed: 0x3C4106,
+    }
+}
+
+/// Minnesota Corrections: numbered entries plus a list/detail case
+/// mismatch.
+pub fn minnesota() -> SiteSpec {
+    SiteSpec {
+        name: "Minnesota Corrections".into(),
+        domain: Domain::Corrections,
+        layout: LayoutStyle::NumberedList,
+        records_per_page: vec![11, 19],
+        quirks: vec![
+            Quirk::CaseMismatch { field: "status" },
+            Quirk::QueryEcho { field: "facility" },
+        ],
+        missing_field_prob: 0.05,
+        continuous_numbering: false,
+        overlap: 0,
+        seed: 0x3A4107,
+    }
+}
+
+/// Ohio Corrections: clean grid tables.
+pub fn ohio() -> SiteSpec {
+    SiteSpec {
+        name: "Ohio Corrections".into(),
+        domain: Domain::Corrections,
+        layout: LayoutStyle::GridTable,
+        records_per_page: vec![10, 10],
+        quirks: vec![],
+        missing_field_prob: 0.05,
+        continuous_numbering: false,
+        overlap: 0,
+        seed: 0x041008,
+    }
+}
+
+/// Canada411: free-form white pages where all results share a town and one
+/// record's detail page omits it.
+pub fn canada411() -> SiteSpec {
+    SiteSpec {
+        name: "Canada 411".into(),
+        domain: Domain::WhitePages,
+        layout: LayoutStyle::FreeForm,
+        records_per_page: vec![25, 5],
+        quirks: vec![Quirk::SharedValueMissingOnDetail { field: "city" }],
+        missing_field_prob: 0.05,
+        continuous_numbering: false,
+        overlap: 0,
+        seed: 0xCA4109,
+    }
+}
+
+/// SprintCanada: clean grid-table white pages.
+pub fn sprint_canada() -> SiteSpec {
+    SiteSpec {
+        name: "Sprint Canada".into(),
+        domain: Domain::WhitePages,
+        layout: LayoutStyle::GridTable,
+        records_per_page: vec![20, 20],
+        quirks: vec![],
+        missing_field_prob: 0.1,
+        continuous_numbering: false,
+        overlap: 0,
+        seed: 0x5B0A10,
+    }
+}
+
+/// Yahoo People: free-form white pages; overlapping query results pull
+/// record data into the induced template (template failure).
+pub fn yahoo_people() -> SiteSpec {
+    SiteSpec {
+        name: "Yahoo People".into(),
+        domain: Domain::WhitePages,
+        layout: LayoutStyle::FreeForm,
+        records_per_page: vec![10, 10],
+        quirks: vec![Quirk::QueryEcho { field: "city" }],
+        missing_field_prob: 0.1,
+        continuous_numbering: false,
+        overlap: 4,
+        seed: 0x7A0011,
+    }
+}
+
+/// Superpages: free-form white pages with disjunctive formatting of
+/// missing addresses; a tiny first result page plus overlap breaks the
+/// template.
+pub fn superpages() -> SiteSpec {
+    SiteSpec {
+        name: "Superpages".into(),
+        domain: Domain::WhitePages,
+        layout: LayoutStyle::FreeForm,
+        records_per_page: vec![3, 15],
+        quirks: vec![
+            Quirk::DisjunctiveFormatting { field: "address" },
+            Quirk::QueryEcho { field: "city" },
+        ],
+        missing_field_prob: 0.2,
+        continuous_numbering: false,
+        overlap: 1,
+        seed: 0x50BE12,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::generate;
+
+    #[test]
+    fn twelve_sites_in_table4_order() {
+        let sites = all();
+        assert_eq!(sites.len(), 12);
+        assert_eq!(sites[0].name, "Amazon Books");
+        assert_eq!(sites[11].name, "Superpages");
+        // Two list pages each, as in the paper.
+        assert!(sites.iter().all(|s| s.records_per_page.len() == 2));
+    }
+
+    #[test]
+    fn all_sites_generate() {
+        for spec in all() {
+            let site = generate(&spec);
+            assert_eq!(site.pages.len(), 2, "{}", spec.name);
+            for (p, page) in site.pages.iter().enumerate() {
+                assert_eq!(
+                    page.truth.len(),
+                    spec.records_per_page[p],
+                    "{} page {p}",
+                    spec.name
+                );
+                assert_eq!(page.detail_html.len(), page.truth.len());
+                assert!(page.list_html.len() > 500);
+            }
+        }
+    }
+
+    #[test]
+    fn domains_cover_all_four() {
+        use crate::domains::Domain;
+        let sites = all();
+        for d in Domain::ALL {
+            assert!(
+                sites.iter().any(|s| s.domain == d),
+                "missing domain {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn record_counts_match_table4() {
+        let sites = all();
+        let expected: &[(&str, [usize; 2])] = &[
+            ("Amazon Books", [10, 10]),
+            ("BN Books", [10, 10]),
+            ("Allegheny County", [20, 20]),
+            ("Butler County", [15, 12]),
+            ("Lee County", [16, 5]),
+            ("Michigan Corrections", [7, 16]),
+            ("Minnesota Corrections", [11, 19]),
+            ("Ohio Corrections", [10, 10]),
+            ("Canada 411", [25, 5]),
+            ("Sprint Canada", [20, 20]),
+            ("Yahoo People", [10, 10]),
+            ("Superpages", [3, 15]),
+        ];
+        for (spec, (name, counts)) in sites.iter().zip(expected) {
+            assert_eq!(&spec.name, name);
+            assert_eq!(spec.records_per_page, counts.to_vec());
+        }
+        // Total records across all pages: 309, the paper's corpus size.
+        let total: usize = sites
+            .iter()
+            .flat_map(|s| s.records_per_page.iter())
+            .sum();
+        assert_eq!(total, 309);
+    }
+}

@@ -1,0 +1,457 @@
+//! Data quirks: the inconsistency classes the paper reports as the causes
+//! of segmentation failures (Section 6.3), injected deterministically.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::Serialize;
+
+use crate::db::{Record, Schema};
+
+/// A site-level data quirk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Quirk {
+    /// The detail page shows the value in a different letter case than the
+    /// list page (Minnesota Corrections: "there was a case mismatch between
+    /// attribute values on list and detail pages").
+    CaseMismatch {
+        /// Affected field name.
+        field: &'static str,
+    },
+    /// Multi-valued fields are abbreviated on the list page (Amazon: "a
+    /// long list of authors was abbreviated as 'FirstName LastName, et al'
+    /// on list pages, while the names appeared in full on the detail
+    /// page").
+    EtAlAbbreviation {
+        /// Affected field name.
+        field: &'static str,
+    },
+    /// The list value differs from the detail value *and* the list value
+    /// appears on a different record's detail page in an unrelated context
+    /// (Michigan Corrections: "status of a paroled inmate was listed as
+    /// 'Parole' on list pages and 'Parolee' on detail pages.
+    /// Unfortunately, the string 'Parole' appeared on another page in a
+    /// completely different context").
+    ValueInUnrelatedContext {
+        /// Affected field name.
+        field: &'static str,
+    },
+    /// Every record shares the field value, and one record's detail page
+    /// omits it (Canada411: "one of the records had the town attribute
+    /// missing on the detail page but not on the list page. Since the town
+    /// name was the same as in other records, it was found on every detail
+    /// page but the one corresponding to the record in question").
+    SharedValueMissingOnDetail {
+        /// Affected field name.
+        field: &'static str,
+    },
+    /// Detail pages display the titles of previously "viewed" records
+    /// (Amazon: "the site offers the user a useful feature of displaying
+    /// her browsing history on the pages").
+    BrowsingHistory,
+    /// Records with a missing value render an explanatory string in
+    /// alternate markup (Superpages: "If an address field is missing, the
+    /// text 'street address not available' is displayed in gray font").
+    DisjunctiveFormatting {
+        /// Affected field name.
+        field: &'static str,
+    },
+    /// The list page carries a promotional block ("Customers also
+    /// bought ...") duplicating the identifiers of `count` records from
+    /// the same page, *outside* their rows. With the whole-page fallback
+    /// in effect these duplicates compete with the real extracts for the
+    /// same detail-page occurrences — the confounding the paper reports
+    /// for the book sites ("many of the strings in the list page, that
+    /// were not part of the list, appeared in detail pages").
+    ListPagePromos {
+        /// How many records are echoed in the promo block.
+        count: usize,
+    },
+    /// The list-page header echoes the query value ("Results for
+    /// <b>Pine Grove Institution</b>"). The echoed string also appears on
+    /// the detail page of every record sharing that value, so it competes
+    /// with the real row extracts for the same detail-page occurrences —
+    /// strings "not part of the table [that] found matches on detail
+    /// pages" (Section 6.3).
+    QueryEcho {
+        /// The field whose most frequent page value is echoed.
+        field: &'static str,
+    },
+}
+
+/// The per-record rendering instructions after quirk application.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecordView {
+    /// What the list page shows per field (`None` = field omitted).
+    pub list_values: Vec<Option<String>>,
+    /// Whether the list value is rendered with the alternate (gray-font)
+    /// markup — the disjunction RoadRunner-style grammars cannot express.
+    pub alternate_markup: Vec<bool>,
+    /// What the detail page shows per field (`None` = field omitted).
+    pub detail_values: Vec<Option<String>>,
+    /// Extra visible strings appended to the detail page (browsing
+    /// history, unrelated footers).
+    pub detail_extras: Vec<String>,
+}
+
+/// Applies missing-field sampling and all quirks to a page's records,
+/// producing rendering instructions.
+pub fn apply(
+    quirks: &[Quirk],
+    schema: &Schema,
+    records: &mut [Record],
+    missing_field_prob: f64,
+    page: usize,
+    rng: &mut StdRng,
+) -> Vec<RecordView> {
+    // Pre-pass: quirks that rewrite the records themselves.
+    for q in quirks {
+        match *q {
+            Quirk::SharedValueMissingOnDetail { field } => {
+                if let Some(fi) = schema.field_index(field) {
+                    if let Some(shared) = records.first().map(|r| r.values[fi].clone()) {
+                        for r in records.iter_mut() {
+                            r.values[fi] = shared.clone();
+                        }
+                    }
+                }
+            }
+            Quirk::ValueInUnrelatedContext { field } => {
+                // Guarantee one affected record — but only on the first
+                // sample page. If the value also occurred on the other
+                // list page, the all-list-pages filter would discard the
+                // extract and hide the inconsistency (the paper's Michigan
+                // value evidently appeared on one sample page only).
+                if page == 0 {
+                    if let Some(fi) = schema.field_index(field) {
+                        if let Some(r) = records.get_mut(0) {
+                            r.values[fi] = "Parole".to_owned();
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Base views with missing-field sampling.
+    let mut views: Vec<RecordView> = records
+        .iter()
+        .map(|r| {
+            let mut list_values = Vec::with_capacity(schema.len());
+            let mut detail_values = Vec::with_capacity(schema.len());
+            for (fi, f) in schema.fields.iter().enumerate() {
+                let missing = f.may_be_missing && rng.random_bool(missing_field_prob);
+                if missing {
+                    list_values.push(None);
+                    detail_values.push(None);
+                } else {
+                    list_values.push(Some(r.values[fi].clone()));
+                    detail_values.push(Some(r.values[fi].clone()));
+                }
+            }
+            RecordView {
+                alternate_markup: vec![false; schema.len()],
+                list_values,
+                detail_values,
+                detail_extras: Vec::new(),
+            }
+        })
+        .collect();
+
+    for q in quirks {
+        match *q {
+            Quirk::CaseMismatch { field } => {
+                if let Some(fi) = schema.field_index(field) {
+                    for v in &mut views {
+                        if let Some(val) = &v.detail_values[fi] {
+                            v.detail_values[fi] = Some(val.to_uppercase());
+                        }
+                    }
+                }
+            }
+            Quirk::EtAlAbbreviation { field } => {
+                if let Some(fi) = schema.field_index(field) {
+                    for v in &mut views {
+                        if let Some(val) = &v.list_values[fi] {
+                            if let Some((first, _)) = val.split_once(", ") {
+                                v.list_values[fi] = Some(format!("{first}, et al"));
+                            }
+                        }
+                    }
+                }
+            }
+            Quirk::ValueInUnrelatedContext { field } => {
+                if let Some(fi) = schema.field_index(field) {
+                    let n = views.len();
+                    let affected: Vec<usize> = records
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, r)| r.values[fi] == "Parole")
+                        .map(|(i, _)| i)
+                        .collect();
+                    for &i in &affected {
+                        if views[i].detail_values[fi].is_some() {
+                            views[i].detail_values[fi] = Some("Parolee".to_owned());
+                        }
+                        // The list string appears in an unrelated context on
+                        // the *next* record's detail page.
+                        let other = (i + 1) % n;
+                        if other != i {
+                            views[other]
+                                .detail_extras
+                                .push("Parole board hearing schedule".to_owned());
+                        }
+                    }
+                }
+            }
+            Quirk::SharedValueMissingOnDetail { field } => {
+                if let Some(fi) = schema.field_index(field) {
+                    let victim = views.len() / 2;
+                    if let Some(v) = views.get_mut(victim) {
+                        // Present on the list, absent from the detail page.
+                        if v.list_values[fi].is_none() {
+                            v.list_values[fi] = Some(records[victim].values[fi].clone());
+                        }
+                        v.detail_values[fi] = None;
+                    }
+                    // All other records must show it on both sides.
+                    for (i, v) in views.iter_mut().enumerate() {
+                        if i != victim {
+                            v.list_values[fi] = Some(records[i].values[fi].clone());
+                            v.detail_values[fi] = Some(records[i].values[fi].clone());
+                        }
+                    }
+                }
+            }
+            Quirk::ListPagePromos { .. } | Quirk::QueryEcho { .. } => {
+                // Handled at page-rendering time (site.rs); nothing to do
+                // per record.
+            }
+            Quirk::BrowsingHistory => {
+                // Record i's detail page shows two "recently viewed"
+                // titles. The paper downloaded pages manually, so the
+                // browsing order — and hence which titles leak onto which
+                // detail pages — is arbitrary with respect to the record
+                // order; a fixed pseudo-random schedule reproduces that.
+                let titles: Vec<String> = records
+                    .iter()
+                    .map(|r| r.values[0].clone())
+                    .collect();
+                let n = views.len();
+                if n >= 2 {
+                    for (i, v) in views.iter_mut().enumerate() {
+                        for offset in [3 * i + 1, 5 * i + 2] {
+                            let k = (i + 1 + offset % (n - 1)) % n;
+                            if k != i {
+                                v.detail_extras
+                                    .push(format!("Recently viewed {}", titles[k]));
+                            }
+                        }
+                    }
+                }
+            }
+            Quirk::DisjunctiveFormatting { field } => {
+                if let Some(fi) = schema.field_index(field) {
+                    // Ensure at least one record takes the alternate branch.
+                    let mut any = views.iter().any(|v| v.list_values[fi].is_none());
+                    if !any {
+                        if let Some(v) = views.last_mut() {
+                            v.list_values[fi] = None;
+                            v.detail_values[fi] = None;
+                            any = true;
+                        }
+                    }
+                    if any {
+                        for v in &mut views {
+                            if v.list_values[fi].is_none() {
+                                v.list_values[fi] =
+                                    Some(format!("{} not available", field));
+                                v.alternate_markup[fi] = true;
+                                v.detail_values[fi] = None;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    views
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::Domain;
+    use rand::SeedableRng;
+
+    fn setup(domain: Domain, n: usize) -> (Schema, Vec<Record>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let schema = domain.schema();
+        let records = (0..n).map(|_| domain.generate(&mut rng)).collect();
+        (schema, records, rng)
+    }
+
+    #[test]
+    fn no_quirks_gives_symmetric_views() {
+        let (schema, mut records, mut rng) = setup(Domain::WhitePages, 5);
+        let views = apply(&[], &schema, &mut records, 0.0, 0, &mut rng);
+        assert_eq!(views.len(), 5);
+        for (v, r) in views.iter().zip(&records) {
+            for fi in 0..schema.len() {
+                assert_eq!(v.list_values[fi].as_deref(), Some(r.values[fi].as_str()));
+                assert_eq!(v.list_values[fi], v.detail_values[fi]);
+                assert!(!v.alternate_markup[fi]);
+            }
+            assert!(v.detail_extras.is_empty());
+        }
+    }
+
+    #[test]
+    fn missing_prob_only_hits_optional_fields() {
+        let (schema, mut records, mut rng) = setup(Domain::WhitePages, 30);
+        let views = apply(&[], &schema, &mut records, 0.9, 0, &mut rng);
+        for v in &views {
+            assert!(v.list_values[0].is_some(), "identifier never missing");
+        }
+        let missing = views.iter().filter(|v| v.list_values[2].is_none()).count();
+        assert!(missing > 10, "high missing prob must drop optional fields");
+    }
+
+    #[test]
+    fn case_mismatch_uppercases_detail_only() {
+        let (schema, mut records, mut rng) = setup(Domain::Corrections, 4);
+        let views = apply(
+            &[Quirk::CaseMismatch { field: "name" }],
+            &schema,
+            &mut records,
+            0.0,
+            0,
+            &mut rng,
+        );
+        for (v, r) in views.iter().zip(&records) {
+            let fi = schema.field_index("name").unwrap();
+            assert_eq!(v.list_values[fi].as_deref(), Some(r.values[fi].as_str()));
+            assert_eq!(
+                v.detail_values[fi].as_deref(),
+                Some(r.values[fi].to_uppercase().as_str())
+            );
+        }
+    }
+
+    #[test]
+    fn et_al_abbreviates_multi_author_lists() {
+        let (schema, mut records, mut rng) = setup(Domain::Books, 20);
+        let fi = schema.field_index("authors").unwrap();
+        let views = apply(
+            &[Quirk::EtAlAbbreviation { field: "authors" }],
+            &schema,
+            &mut records,
+            0.0,
+            0,
+            &mut rng,
+        );
+        let mut saw_abbreviation = false;
+        for (v, r) in views.iter().zip(&records) {
+            if r.values[fi].contains(", ") {
+                let lv = v.list_values[fi].as_deref().unwrap();
+                assert!(lv.ends_with(", et al"), "{lv}");
+                saw_abbreviation = true;
+                // Detail keeps the full list.
+                assert_eq!(v.detail_values[fi].as_deref(), Some(r.values[fi].as_str()));
+            }
+        }
+        assert!(saw_abbreviation);
+    }
+
+    #[test]
+    fn parole_quirk_creates_unrelated_context() {
+        let (schema, mut records, mut rng) = setup(Domain::Corrections, 5);
+        let views = apply(
+            &[Quirk::ValueInUnrelatedContext { field: "status" }],
+            &schema,
+            &mut records,
+            0.0,
+            0,
+            &mut rng,
+        );
+        let fi = schema.field_index("status").unwrap();
+        // Record 0 forced to Parole on the list, Parolee on the detail.
+        assert_eq!(views[0].list_values[fi].as_deref(), Some("Parole"));
+        assert_eq!(views[0].detail_values[fi].as_deref(), Some("Parolee"));
+        // The next record's detail page mentions "Parole" in an unrelated
+        // context.
+        assert!(views[1]
+            .detail_extras
+            .iter()
+            .any(|e| e.contains("Parole")));
+    }
+
+    #[test]
+    fn shared_value_missing_on_detail() {
+        let (schema, mut records, mut rng) = setup(Domain::WhitePages, 6);
+        let views = apply(
+            &[Quirk::SharedValueMissingOnDetail { field: "city" }],
+            &schema,
+            &mut records,
+            0.3,
+            0,
+            &mut rng,
+        );
+        let fi = schema.field_index("city").unwrap();
+        let victim = views.len() / 2;
+        let shared = views[0].list_values[fi].clone().unwrap();
+        for (i, v) in views.iter().enumerate() {
+            assert_eq!(v.list_values[fi].as_deref(), Some(shared.as_str()));
+            if i == victim {
+                assert!(v.detail_values[fi].is_none());
+            } else {
+                assert_eq!(v.detail_values[fi].as_deref(), Some(shared.as_str()));
+            }
+        }
+    }
+
+    #[test]
+    fn browsing_history_leaks_other_titles_onto_detail_pages() {
+        let (schema, mut records, mut rng) = setup(Domain::Books, 4);
+        let views = apply(&[Quirk::BrowsingHistory], &schema, &mut records, 0.0, 0, &mut rng);
+        let titles: Vec<&str> = records.iter().map(|r| r.values[0].as_str()).collect();
+        for (i, v) in views.iter().enumerate() {
+            // Every leaked title belongs to a *different* record.
+            for extra in &v.detail_extras {
+                assert!(extra.starts_with("Recently viewed "));
+                assert!(
+                    !extra.contains(titles[i]),
+                    "record {i} must not echo its own title: {extra}"
+                );
+                assert!(
+                    titles.iter().any(|t| extra.contains(t)),
+                    "leaked title must be a real record title: {extra}"
+                );
+            }
+            assert!(v.detail_extras.len() <= 2);
+        }
+        // Contamination is not empty overall.
+        assert!(views.iter().any(|v| !v.detail_extras.is_empty()));
+        let _ = schema;
+    }
+
+    #[test]
+    fn disjunctive_formatting_marks_alternate_branch() {
+        let (schema, mut records, mut rng) = setup(Domain::WhitePages, 8);
+        let views = apply(
+            &[Quirk::DisjunctiveFormatting { field: "address" }],
+            &schema,
+            &mut records,
+            0.4,
+            0,
+            &mut rng,
+        );
+        let fi = schema.field_index("address").unwrap();
+        let alt: Vec<&RecordView> = views.iter().filter(|v| v.alternate_markup[fi]).collect();
+        assert!(!alt.is_empty(), "at least one record takes the alternate branch");
+        for v in alt {
+            assert_eq!(v.list_values[fi].as_deref(), Some("address not available"));
+            assert!(v.detail_values[fi].is_none());
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Ground truth: the byte span of every record row in a generated list
+//! page.
+//!
+//! The paper's authors "manually checked the results of automatic
+//! segmentation" (Section 6.2). The simulator knows exactly where each
+//! record was written, so the evaluation can be mechanical: an extract
+//! belongs to record `j` iff its source offset falls inside `spans[j]`.
+
+use serde::{Deserialize, Serialize};
+
+/// The byte range `[start, end)` of one record row in a list page's HTML,
+/// plus the values it displays (for reports and debugging).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordSpan {
+    /// Start byte offset (inclusive).
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+    /// The field values rendered inside this row, in order.
+    pub values: Vec<String>,
+}
+
+impl RecordSpan {
+    /// Returns `true` if `offset` falls inside this record's row.
+    pub fn contains(&self, offset: usize) -> bool {
+        (self.start..self.end).contains(&offset)
+    }
+}
+
+/// Ground truth for one list page.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// One span per record, in row (= detail page) order.
+    pub records: Vec<RecordSpan>,
+}
+
+impl GroundTruth {
+    /// The record index containing a byte offset, if any.
+    pub fn record_at(&self, offset: usize) -> Option<usize> {
+        self.records.iter().position(|r| r.contains(offset))
+    }
+
+    /// Number of records on the page.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the page has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> GroundTruth {
+        GroundTruth {
+            records: vec![
+                RecordSpan {
+                    start: 100,
+                    end: 200,
+                    values: vec!["a".into()],
+                },
+                RecordSpan {
+                    start: 200,
+                    end: 320,
+                    values: vec!["b".into()],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn record_lookup() {
+        let t = truth();
+        assert_eq!(t.record_at(100), Some(0));
+        assert_eq!(t.record_at(199), Some(0));
+        assert_eq!(t.record_at(200), Some(1));
+        assert_eq!(t.record_at(319), Some(1));
+        assert_eq!(t.record_at(320), None);
+        assert_eq!(t.record_at(0), None);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn spans_do_not_need_to_be_adjacent() {
+        let t = GroundTruth {
+            records: vec![RecordSpan {
+                start: 10,
+                end: 20,
+                values: vec![],
+            }],
+        };
+        assert_eq!(t.record_at(25), None);
+    }
+}

@@ -1,0 +1,431 @@
+//! The template-finding algorithm.
+//!
+//! The template is computed as the progressive LCS of the pages' token
+//! streams: `T₁ = page₁`, `Tᵢ = LCS(Tᵢ₋₁, pageᵢ)`. Every token of the final
+//! template appears on every page in template order, which is precisely the
+//! paper's definition of the page template ("data that is shared by all
+//! list pages and is invariant from page to page"). Everything between
+//! consecutive template anchors is a slot.
+
+use serde::{Deserialize, Serialize};
+use tableseg_html::Token;
+
+use crate::intern::{Interner, Symbol};
+use crate::lcs::lcs_indices;
+use crate::slot::{Slot, SlotSet};
+
+/// The induced page template: a sequence of tokens common to all pages.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Template {
+    /// Representative template tokens (taken from the first page).
+    pub tokens: Vec<Token>,
+}
+
+impl Template {
+    /// Template length in tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Returns `true` if the template is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+/// The result of template induction over a set of pages.
+#[derive(Debug, Clone)]
+pub struct Induction {
+    /// The induced template.
+    pub template: Template,
+    /// For each page, the position of each template token in that page.
+    /// `anchors[p][k]` is the index in page `p` of template token `k`.
+    pub anchors: Vec<Vec<usize>>,
+}
+
+impl Induction {
+    /// Derives the slot set: slot `k` is the per-page gap before template
+    /// token `k`; the final slot is the gap after the last template token.
+    pub fn slots(&self, pages: &[Vec<Token>]) -> SlotSet {
+        let t = self.template.len();
+        let mut slots = Vec::with_capacity(t + 1);
+        for k in 0..=t {
+            let ranges = self
+                .anchors
+                .iter()
+                .zip(pages)
+                .map(|(anchor, page)| {
+                    let start = if k == 0 { 0 } else { anchor[k - 1] + 1 };
+                    let end = if k == t { page.len() } else { anchor[k] };
+                    start..end
+                })
+                .collect();
+            slots.push(Slot { index: k, ranges });
+        }
+        SlotSet { slots }
+    }
+}
+
+/// Induces the page template from example pages.
+///
+/// Template tokens must be *invariant from page to page*: they must appear
+/// on every page, in the same relative order, **exactly once per page**.
+/// The once-per-page requirement is what keeps repeating table structure
+/// out of the template — "If any of the tables on the pages contain more
+/// than two rows, the tags specifying the structure of the table will not
+/// be part of the page template, because they will appear more than once on
+/// that page" (Section 3.1). Candidates are therefore tokens unique within
+/// every page; the template is their progressive LCS across pages.
+///
+/// With fewer than two pages no template can be derived; the result has an
+/// empty template and a single slot covering each whole page, which makes
+/// the downstream pipeline equivalent to the paper's whole-page fallback.
+pub fn induce(pages: &[Vec<Token>]) -> Induction {
+    if pages.len() < 2 {
+        return Induction {
+            template: Template { tokens: Vec::new() },
+            anchors: vec![Vec::new(); pages.len()],
+        };
+    }
+
+    let mut interner = Interner::new();
+    let streams: Vec<Vec<Symbol>> = pages.iter().map(|p| interner.intern_tokens(p)).collect();
+
+    // Count symbol occurrences per page; a candidate occurs exactly once on
+    // every page.
+    let mut counts = vec![0u32; interner.len()];
+    let mut candidate = vec![true; interner.len()];
+    for stream in &streams {
+        counts.iter_mut().for_each(|c| *c = 0);
+        for &s in stream {
+            counts[s as usize] += 1;
+        }
+        for (sym, &n) in counts.iter().enumerate() {
+            if n != 1 {
+                candidate[sym] = false;
+            }
+        }
+    }
+
+    // Filtered streams: candidate tokens only, remembering original
+    // positions.
+    let filtered: Vec<Vec<(Symbol, usize)>> = streams
+        .iter()
+        .map(|stream| {
+            stream
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| candidate[s as usize])
+                .map(|(i, &s)| (s, i))
+                .collect()
+        })
+        .collect();
+
+    // Progressive LCS over the filtered streams. `template` holds
+    // (symbol, original-index-in-first-page).
+    let mut template: Vec<(Symbol, usize)> = filtered[0].clone();
+    for stream in &filtered[1..] {
+        let t_syms: Vec<Symbol> = template.iter().map(|&(s, _)| s).collect();
+        let s_syms: Vec<Symbol> = stream.iter().map(|&(s, _)| s).collect();
+        let pairs = lcs_indices(&t_syms, &s_syms);
+        template = pairs.iter().map(|&(ti, _)| template[ti]).collect();
+        if template.is_empty() {
+            break;
+        }
+    }
+
+    let template_tokens: Vec<Token> = template
+        .iter()
+        .map(|&(_, first_idx)| pages[0][first_idx].clone())
+        .collect();
+
+    // Embed the template into every page. Every template symbol occurs
+    // exactly once per page, so the embedding is unique: look the position
+    // up in the filtered stream.
+    let anchors: Vec<Vec<usize>> = filtered
+        .iter()
+        .map(|stream| {
+            template
+                .iter()
+                .map(|&(sym, _)| {
+                    stream
+                        .iter()
+                        .find(|&&(s, _)| s == sym)
+                        .map(|&(_, pos)| pos)
+                        .expect("template symbol present on every page")
+                })
+                .collect()
+        })
+        .collect();
+
+    // Anchor positions are increasing on every page because the template is
+    // an LCS of every filtered stream and each symbol is unique per page.
+    debug_assert!(anchors
+        .iter()
+        .all(|a| a.windows(2).all(|w| w[0] < w[1])));
+
+    let mut induction = Induction {
+        template: Template {
+            tokens: template_tokens,
+        },
+        anchors,
+    };
+    drop_unstable_anchors(&mut induction, &pages.iter().map(Vec::len).collect::<Vec<_>>());
+    induction
+}
+
+/// Two consecutive anchors are *linked* when they are at most this many
+/// tokens apart **on every page**. Template regions (headers, footers,
+/// label rows) form long linked runs; data tokens that happen to appear
+/// once per page do not.
+const LINK_GAP: usize = 4;
+
+/// Minimum linked-run length for anchors to be trusted as template.
+const MIN_RUN: usize = 3;
+
+/// Removes anchors outside dense runs. A real page template is written out
+/// contiguously by the server, so its tokens cluster; an anchor in a run
+/// shorter than [`MIN_RUN`] is almost always record data that happens to
+/// appear exactly once per page (or a chance pair, like a shared
+/// `City, ST`), and left in place it chops the table slot apart.
+///
+/// The one deliberate exception is **enumeration chains**: ascending runs
+/// `1, 2, 3, ...` from numbered entries. The paper's template finder keeps
+/// those and consequently fails on numbered sites (Section 6.3: "the
+/// entries were numbered. Thus, sequences such as `1.` will be found on
+/// every page"); this reproduction preserves that failure mode. (The paper
+/// suggests an enumeration heuristic as *future work*, i.e. the 2004
+/// algorithm did not have one.)
+fn drop_unstable_anchors(induction: &mut Induction, _page_lens: &[usize]) {
+    let enumeration = enumeration_members(&induction.template.tokens);
+    loop {
+        let t = induction.template.len();
+        if t == 0 {
+            return;
+        }
+        // linked[k]: anchors k and k+1 are close on every page.
+        let linked: Vec<bool> = (0..t.saturating_sub(1))
+            .map(|k| {
+                induction
+                    .anchors
+                    .iter()
+                    .all(|anchor| anchor[k + 1] - anchor[k] <= LINK_GAP)
+            })
+            .collect();
+        let mut drop = vec![false; t];
+        let mut run_start = 0;
+        for k in 0..t {
+            let run_ends = k + 1 == t || !linked[k];
+            if run_ends {
+                let run_len = k + 1 - run_start;
+                if run_len < MIN_RUN {
+                    for d in drop.iter_mut().take(k + 1).skip(run_start) {
+                        *d = true;
+                    }
+                }
+                run_start = k + 1;
+            }
+        }
+        // Enumeration members are exempt.
+        for k in 0..t {
+            if drop[k]
+                && enumeration
+                    .binary_search(&induction.template.tokens[k].text)
+                    .is_ok()
+            {
+                drop[k] = false;
+            }
+        }
+        if !drop.iter().any(|&d| d) {
+            return;
+        }
+        let keep: Vec<usize> = (0..t).filter(|&k| !drop[k]).collect();
+        induction.template.tokens = keep
+            .iter()
+            .map(|&k| induction.template.tokens[k].clone())
+            .collect();
+        for anchor in &mut induction.anchors {
+            *anchor = keep.iter().map(|&k| anchor[k]).collect();
+        }
+    }
+}
+
+/// Texts of template tokens that belong to an ascending `+1` integer chain
+/// of length ≥ 3 starting at 1 or 2 (entry numbering), sorted for lookup.
+fn enumeration_members(tokens: &[Token]) -> Vec<String> {
+    let values: Vec<Option<u64>> = tokens.iter().map(|t| t.text.parse::<u64>().ok()).collect();
+    let mut members = Vec::new();
+    let mut chain: Vec<usize> = Vec::new();
+    let flush = |chain: &mut Vec<usize>, members: &mut Vec<String>, values: &[Option<u64>]| {
+        if chain.len() >= 3 {
+            let first = values[chain[0]].expect("chain holds numerics");
+            if first <= 2 {
+                for &k in chain.iter() {
+                    members.push(tokens[k].text.clone());
+                }
+            }
+        }
+        chain.clear();
+    };
+    for (k, v) in values.iter().enumerate() {
+        match v {
+            Some(n) => {
+                let extends = chain
+                    .last()
+                    .and_then(|&prev| values[prev])
+                    .is_some_and(|p| p + 1 == *n);
+                if extends {
+                    chain.push(k);
+                } else {
+                    flush(&mut chain, &mut members, &values);
+                    chain.push(k);
+                }
+            }
+            None => {
+                // Non-numeric template tokens (tags between numbered
+                // entries were already excluded by the uniqueness rule, but
+                // words may intervene) do not break a chain.
+            }
+        }
+    }
+    flush(&mut chain, &mut members, &values);
+    members.sort_unstable();
+    members.dedup();
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tableseg_html::lexer::tokenize;
+
+    fn page(body: &str) -> Vec<Token> {
+        tokenize(&format!(
+            "<html><body><h1>Results</h1><table>{body}</table><p>Copyright 2004</p></body></html>"
+        ))
+    }
+
+    #[test]
+    fn template_is_shared_structure() {
+        let pages = vec![
+            page("<tr><td>John Smith</td></tr><tr><td>Jane Doe</td></tr>"),
+            page("<tr><td>Bob Jones</td></tr>"),
+        ];
+        let ind = induce(&pages);
+        let tpl: Vec<&str> = ind.template.tokens.iter().map(|t| t.text.as_str()).collect();
+        // Header and footer must be in the template.
+        assert!(tpl.contains(&"Results"));
+        assert!(tpl.contains(&"Copyright"));
+        // Data must not be.
+        assert!(!tpl.contains(&"John"));
+        assert!(!tpl.contains(&"Bob"));
+    }
+
+    #[test]
+    fn anchors_are_valid_embeddings() {
+        let pages = vec![
+            page("<tr><td>A B</td></tr>"),
+            page("<tr><td>C D E</td></tr>"),
+        ];
+        let ind = induce(&pages);
+        for (p, anchor) in ind.anchors.iter().enumerate() {
+            assert_eq!(anchor.len(), ind.template.len());
+            for (k, &pos) in anchor.iter().enumerate() {
+                assert_eq!(
+                    pages[p][pos].text, ind.template.tokens[k].text,
+                    "anchor {k} of page {p}"
+                );
+            }
+            // Strictly increasing.
+            for w in anchor.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn table_found_in_largest_text_slot() {
+        let pages = vec![
+            page("<tr><td>John Smith</td><td>New Holland</td></tr><tr><td>Mary Major</td><td>Springfield</td></tr>"),
+            page("<tr><td>Bob Jones</td><td>Columbus</td></tr><tr><td>Ann Fuller</td><td>Dayton</td></tr><tr><td>Tom Tailor</td><td>Akron</td></tr>"),
+        ];
+        let ind = induce(&pages);
+        let slots = ind.slots(&pages);
+        let table = slots.table_slot(&pages).expect("a table slot");
+        let slot = &slots.slots[table];
+        // The table slot must contain the record data on both pages.
+        for (p, r) in slot.ranges.iter().enumerate() {
+            let texts: Vec<&str> = pages[p][r.clone()]
+                .iter()
+                .filter(|t| t.is_text())
+                .map(|t| t.text.as_str())
+                .collect();
+            assert!(texts.len() >= 4, "page {p} table slot has data: {texts:?}");
+        }
+        let texts0: String = pages[0][slot.ranges[0].clone()]
+            .iter()
+            .map(|t| t.text.clone())
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert!(texts0.contains("John"));
+        assert!(texts0.contains("Mary"));
+        assert!(!texts0.contains("Results"));
+    }
+
+    #[test]
+    fn fewer_than_two_pages_falls_back_to_whole_page() {
+        let pages = vec![page("<tr><td>A</td></tr>")];
+        let ind = induce(&pages);
+        assert!(ind.template.is_empty());
+        let slots = ind.slots(&pages);
+        assert_eq!(slots.slots.len(), 1);
+        assert_eq!(slots.slots[0].ranges[0], 0..pages[0].len());
+    }
+
+    #[test]
+    fn identical_pages_yield_full_template() {
+        let p = page("<tr><td>Same</td></tr>");
+        let pages = vec![p.clone(), p.clone()];
+        let ind = induce(&pages);
+        assert_eq!(ind.template.len(), p.len());
+        let slots = ind.slots(&pages);
+        assert!(slots.slots.iter().all(Slot::is_empty));
+        assert_eq!(slots.table_slot(&pages), None);
+    }
+
+    #[test]
+    fn disjoint_pages_yield_empty_template() {
+        let pages = vec![tokenize("alpha beta"), tokenize("gamma delta")];
+        let ind = induce(&pages);
+        assert!(ind.template.is_empty());
+        let slots = ind.slots(&pages);
+        assert_eq!(slots.slots.len(), 1);
+        // The single slot covers both whole pages.
+        assert_eq!(slots.slots[0].ranges[0], 0..2);
+        assert_eq!(slots.slots[0].ranges[1], 0..2);
+    }
+
+    #[test]
+    fn three_pages_progressive() {
+        let pages = vec![
+            page("<tr><td>A1 A2</td></tr>"),
+            page("<tr><td>B1</td></tr>"),
+            page("<tr><td>C1 C2 C3</td></tr>"),
+        ];
+        let ind = induce(&pages);
+        let tpl: Vec<&str> = ind.template.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(tpl.contains(&"Results"));
+        assert!(!tpl.contains(&"A1"));
+        assert!(!tpl.contains(&"B1"));
+        assert!(!tpl.contains(&"C1"));
+        assert_eq!(ind.anchors.len(), 3);
+    }
+
+    #[test]
+    fn slot_count_is_template_len_plus_one() {
+        let pages = vec![page("<tr><td>X</td></tr>"), page("<tr><td>Y</td></tr>")];
+        let ind = induce(&pages);
+        let slots = ind.slots(&pages);
+        assert_eq!(slots.slots.len(), ind.template.len() + 1);
+    }
+}

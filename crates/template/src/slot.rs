@@ -1,0 +1,126 @@
+//! Slots: the page sections that are not part of the page template.
+
+use std::ops::Range;
+
+use tableseg_html::Token;
+
+/// One slot: for each example page, the token range that fills the gap
+/// between two consecutive template anchors (or before the first / after
+/// the last anchor).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Slot {
+    /// Slot index: slot `i` is the gap *before* template token `i`;
+    /// slot `template_len` is the gap after the last template token.
+    pub index: usize,
+    /// Per-page token ranges filling this slot.
+    pub ranges: Vec<Range<usize>>,
+}
+
+impl Slot {
+    /// Total number of tokens across all pages in this slot.
+    pub fn token_count(&self) -> usize {
+        self.ranges.iter().map(Range::len).sum()
+    }
+
+    /// Total number of visible-text tokens across all pages in this slot.
+    pub fn text_token_count(&self, pages: &[Vec<Token>]) -> usize {
+        self.ranges
+            .iter()
+            .zip(pages)
+            .map(|(r, page)| page[r.clone()].iter().filter(|t| t.is_text()).count())
+            .sum()
+    }
+
+    /// Returns `true` if the slot is empty on every page.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.iter().all(|r| r.is_empty())
+    }
+}
+
+/// All slots derived from a template over a set of pages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotSet {
+    /// Slots in page order. There are `template_len + 1` of them.
+    pub slots: Vec<Slot>,
+}
+
+impl SlotSet {
+    /// The index of the slot containing the most text tokens — the paper's
+    /// table-slot heuristic ("we use a heuristic that the table will be
+    /// found in the slot that contains the largest number of text tokens").
+    ///
+    /// Returns `None` if every slot is empty of text.
+    pub fn table_slot(&self, pages: &[Vec<Token>]) -> Option<usize> {
+        self.slots
+            .iter()
+            .map(|s| s.text_token_count(pages))
+            .enumerate()
+            .filter(|&(_, n)| n > 0)
+            .max_by_key(|&(_, n)| n)
+            .map(|(i, _)| i)
+    }
+
+    /// Sum of text tokens over all slots.
+    pub fn total_text_tokens(&self, pages: &[Vec<Token>]) -> usize {
+        self.slots.iter().map(|s| s.text_token_count(pages)).sum()
+    }
+
+    /// Number of slots that are non-empty on at least one page.
+    pub fn non_empty_count(&self) -> usize {
+        self.slots.iter().filter(|s| !s.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tableseg_html::lexer::tokenize;
+
+    #[test]
+    fn token_counts() {
+        let pages = vec![tokenize("<b>a b c</b>"), tokenize("<b>x</b>")];
+        let slot = Slot {
+            index: 0,
+            ranges: vec![1..4, 1..2],
+        };
+        assert_eq!(slot.token_count(), 4);
+        assert_eq!(slot.text_token_count(&pages), 4);
+        assert!(!slot.is_empty());
+    }
+
+    #[test]
+    fn empty_slot() {
+        let slot = Slot {
+            index: 3,
+            ranges: vec![2..2, 5..5],
+        };
+        assert!(slot.is_empty());
+        assert_eq!(slot.token_count(), 0);
+    }
+
+    #[test]
+    fn table_slot_picks_largest_text_slot() {
+        let pages = vec![tokenize("h <td>one two three</td> f"), tokenize("h <td>x y</td> f")];
+        // Construct a slot set manually: slot 0 = header word, slot 1 = cell
+        // contents, slot 2 = footer word.
+        let set = SlotSet {
+            slots: vec![
+                Slot { index: 0, ranges: vec![0..1, 0..1] },
+                Slot { index: 1, ranges: vec![2..5, 2..4] },
+                Slot { index: 2, ranges: vec![6..7, 5..6] },
+            ],
+        };
+        assert_eq!(set.table_slot(&pages), Some(1));
+        assert_eq!(set.total_text_tokens(&pages), 1 + 1 + 5 + 1 + 1);
+        assert_eq!(set.non_empty_count(), 3);
+    }
+
+    #[test]
+    fn table_slot_none_when_all_empty() {
+        let pages: Vec<Vec<tableseg_html::Token>> = vec![vec![], vec![]];
+        let set = SlotSet {
+            slots: vec![Slot { index: 0, ranges: vec![0..0, 0..0] }],
+        };
+        assert_eq!(set.table_slot(&pages), None);
+    }
+}

@@ -1,0 +1,70 @@
+//! Automatic detail-page identification (the paper's Section 6.1 future
+//! work): given *all* pages linked from a list page — real detail pages
+//! mixed with advertisements — cluster them by template similarity and
+//! keep the detail cluster, then segment as usual.
+//!
+//! ```sh
+//! cargo run --example detail_classification
+//! ```
+
+use tableseg::{identify_detail_pages, prepare, CspSegmenter, Segmenter, SitePages};
+use tableseg_sitegen::ads::ad_pages;
+use tableseg_sitegen::paper_sites;
+use tableseg_sitegen::site::generate;
+
+fn main() {
+    let spec = paper_sites::ohio();
+    let site = generate(&spec);
+    let page = &site.pages[0];
+
+    // Interleave the real detail pages with advertisement pages, as a
+    // crawler following every link would collect them.
+    let ads = ad_pages(3, 42);
+    let mut linked: Vec<&str> = Vec::new();
+    let mut truth_is_detail = Vec::new();
+    for (i, d) in page.detail_html.iter().enumerate() {
+        if i % 4 == 1 {
+            if let Some(ad) = ads.get(i / 4) {
+                linked.push(ad);
+                truth_is_detail.push(false);
+            }
+        }
+        linked.push(d);
+        truth_is_detail.push(true);
+    }
+    println!(
+        "crawled {} linked pages ({} detail, {} ads)",
+        linked.len(),
+        truth_is_detail.iter().filter(|&&d| d).count(),
+        truth_is_detail.iter().filter(|&&d| !d).count()
+    );
+
+    // Classify.
+    let detail_idx = identify_detail_pages(&linked);
+    let correct = detail_idx.iter().all(|&i| truth_is_detail[i]);
+    let complete = detail_idx.len() == truth_is_detail.iter().filter(|&&d| d).count();
+    println!(
+        "classifier kept {} pages — all detail pages: {correct}, none missed: {complete}",
+        detail_idx.len()
+    );
+
+    // Segment with the classified subset (order preserved = row order).
+    let details: Vec<&str> = detail_idx.iter().map(|&i| linked[i]).collect();
+    let prepared = prepare(&SitePages {
+        list_pages: site.list_htmls(),
+        target: 0,
+        detail_pages: details,
+    });
+    let outcome = CspSegmenter::default().segment(&prepared.observations);
+    let segmented = outcome
+        .segmentation
+        .records()
+        .iter()
+        .filter(|r| !r.is_empty())
+        .count();
+    println!(
+        "segmentation over classified detail pages: {segmented}/{} records (relaxed: {})",
+        page.truth.len(),
+        outcome.relaxed
+    );
+}

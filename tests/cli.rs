@@ -1,0 +1,124 @@
+//! Smoke tests for the `tableseg` CLI binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn write_temp(dir: &std::path::Path, name: &str, content: &str) -> std::path::PathBuf {
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create temp file");
+    f.write_all(content.as_bytes()).expect("write temp file");
+    path
+}
+
+fn fixture(dir: &std::path::Path) -> (Vec<std::path::PathBuf>, Vec<std::path::PathBuf>) {
+    let page = |body: &str| {
+        format!(
+            "<html><h1>CLI Test Results</h1><table>{body}</table>\
+             <p>Copyright 2004 CLI Test Inc</p></html>"
+        )
+    };
+    let lists = vec![
+        write_temp(
+            dir,
+            "list1.html",
+            &page(
+                "<tr><td>Ada Lovelace</td><td>(555) 100-0001</td></tr>\
+                 <tr><td>Alan Turing</td><td>(555) 100-0002</td></tr>",
+            ),
+        ),
+        write_temp(
+            dir,
+            "list2.html",
+            &page("<tr><td>Grace Hopper</td><td>(555) 100-0003</td></tr>"),
+        ),
+    ];
+    let details = vec![
+        write_temp(
+            dir,
+            "d1.html",
+            "<html><h2>Ada Lovelace</h2><p>(555) 100-0001</p></html>",
+        ),
+        write_temp(
+            dir,
+            "d2.html",
+            "<html><h2>Alan Turing</h2><p>(555) 100-0002</p></html>",
+        ),
+    ];
+    (lists, details)
+}
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_tableseg"))
+        .args(args)
+        .output()
+        .expect("run tableseg binary")
+}
+
+#[test]
+fn segments_files_from_disk() {
+    let dir = std::env::temp_dir().join("tableseg-cli-test-1");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let (lists, details) = fixture(&dir);
+
+    for method in ["csp", "prob", "hybrid"] {
+        let out = run(&[
+            "--list",
+            lists[0].to_str().unwrap(),
+            "--list",
+            lists[1].to_str().unwrap(),
+            "--detail",
+            details[0].to_str().unwrap(),
+            "--detail",
+            details[1].to_str().unwrap(),
+            "--method",
+            method,
+        ]);
+        assert!(out.status.success(), "{method}: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("Ada Lovelace"), "{method}: {stdout}");
+        assert!(stdout.contains("Alan Turing"), "{method}: {stdout}");
+        assert_eq!(stdout.lines().count(), 2, "{method}: {stdout}");
+    }
+}
+
+#[test]
+fn wrapper_and_columns_flags() {
+    let dir = std::env::temp_dir().join("tableseg-cli-test-2");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let (lists, details) = fixture(&dir);
+    let out = run(&[
+        "--list",
+        lists[0].to_str().unwrap(),
+        "--list",
+        lists[1].to_str().unwrap(),
+        "--detail",
+        details[0].to_str().unwrap(),
+        "--detail",
+        details[1].to_str().unwrap(),
+        "--method",
+        "prob",
+        "--columns",
+        "--wrapper",
+        "--verbose",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("column annotation"), "{stderr}");
+    assert!(stderr.contains("person-name"), "{stderr}");
+    assert!(stderr.contains("induced row wrapper"), "{stderr}");
+    assert!(stderr.contains("front end:"), "{stderr}");
+}
+
+#[test]
+fn missing_arguments_fail_cleanly() {
+    let out = run(&[]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage"), "{stderr}");
+
+    let out = run(&["--bogus"]);
+    assert!(!out.status.success());
+
+    let out = run(&["--list", "/nonexistent/x.html", "--detail", "/nonexistent/y.html"]);
+    assert!(!out.status.success());
+}
