@@ -20,10 +20,14 @@ pub fn segment(html: &str) -> BaselineSegmentation {
         .into_iter()
         .max_by_key(|t| t.text_token_count())
     else {
-        return BaselineSegmentation { records: Vec::new() };
+        return BaselineSegmentation {
+            records: Vec::new(),
+        };
     };
     if best.text_token_count() == 0 {
-        return BaselineSegmentation { records: Vec::new() };
+        return BaselineSegmentation {
+            records: Vec::new(),
+        };
     }
 
     // Re-scan the token stream for the <tr> spans of that table. The DOM
@@ -101,7 +105,6 @@ fn table_ranges(tokens: &[Token], page_len: usize) -> Vec<std::ops::Range<usize>
 #[cfg(test)]
 mod tests {
     use super::*;
-
 
     #[test]
     fn one_record_per_data_row() {

@@ -44,7 +44,9 @@ pub fn segment(html: &str) -> BaselineSegmentation {
         .map(|(off, s)| (*off, s.as_str()))
         .collect();
     if tags.len() < MIN_REPEATS {
-        return BaselineSegmentation { records: Vec::new() };
+        return BaselineSegmentation {
+            records: Vec::new(),
+        };
     }
 
     // Count n-gram occurrences of tag sequences, longest first; prefer
@@ -74,7 +76,9 @@ pub fn segment(html: &str) -> BaselineSegmentation {
     }
 
     let Some((_, starts)) = best else {
-        return BaselineSegmentation { records: Vec::new() };
+        return BaselineSegmentation {
+            records: Vec::new(),
+        };
     };
 
     // Records = regions between consecutive pattern occurrences that

@@ -24,8 +24,7 @@ use tableseg_html::Token;
 fn same_symbol(a: &Token, b: &Token) -> bool {
     match (a.is_html(), b.is_html()) {
         (true, true) => {
-            is_closing(&a.text) == is_closing(&b.text)
-                && tag_name(&a.text) == tag_name(&b.text)
+            is_closing(&a.text) == is_closing(&b.text) && tag_name(&a.text) == tag_name(&b.text)
         }
         (false, false) => a.text == b.text,
         _ => false,
@@ -136,11 +135,17 @@ fn align(a: &[Token], b: &[Token], depth: usize) -> InductionResult {
     // Tails: whatever remains on either page is optional.
     if i < a.len() {
         out.push(GrammarNode::Optional(
-            a[i..].iter().map(|t| GrammarNode::Fixed(symbol_text(t))).collect(),
+            a[i..]
+                .iter()
+                .map(|t| GrammarNode::Fixed(symbol_text(t)))
+                .collect(),
         ));
     } else if j < b.len() {
         out.push(GrammarNode::Optional(
-            b[j..].iter().map(|t| GrammarNode::Fixed(symbol_text(t))).collect(),
+            b[j..]
+                .iter()
+                .map(|t| GrammarNode::Fixed(symbol_text(t)))
+                .collect(),
         ));
     }
     Ok(out)
@@ -285,7 +290,10 @@ mod tests {
         let b = page(&["Edsger Dijkstra", "Donald Knuth"]);
         let g = induce(&a, &b).expect("union-free grammar exists");
         assert!(data_slots(&g) > 0);
-        assert!(g.iter().any(|n| matches!(n, GrammarNode::Iterator(_))), "{g:?}");
+        assert!(
+            g.iter().any(|n| matches!(n, GrammarNode::Iterator(_))),
+            "{g:?}"
+        );
     }
 
     #[test]

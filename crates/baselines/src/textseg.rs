@@ -41,10 +41,7 @@ const COLUMN_AGREEMENT: f64 = 0.9;
 /// Returns `None` if the text has fewer than two non-blank lines or no
 /// consistent column structure (a prose paragraph, for instance).
 pub fn segment(text: &str) -> Option<TextTable> {
-    let lines: Vec<&str> = text
-        .lines()
-        .filter(|l| !l.trim().is_empty())
-        .collect();
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
     if lines.len() < 2 {
         return None;
     }
@@ -70,8 +67,8 @@ pub fn segment(text: &str) -> Option<TextTable> {
     // 2 wide (single spaces inside values must not split them).
     let mut gaps: Vec<(usize, usize)> = Vec::new();
     let mut run_start = None;
-    for c in 0..width {
-        let is_gap = blank[c] >= needed;
+    for (c, &blanks) in blank.iter().enumerate() {
+        let is_gap = blanks >= needed;
         match (is_gap, run_start) {
             (true, None) => run_start = Some(c),
             (false, Some(s)) => {
@@ -96,10 +93,8 @@ pub fn segment(text: &str) -> Option<TextTable> {
     let mut records: Vec<Vec<String>> = Vec::new();
     for line in &lines {
         let cells = split_at(line, &columns);
-        let is_continuation = cells
-            .first()
-            .is_some_and(|c0| c0.is_empty())
-            && cells.iter().any(|c| !c.is_empty());
+        let is_continuation =
+            cells.first().is_some_and(|c0| c0.is_empty()) && cells.iter().any(|c| !c.is_empty());
         if is_continuation {
             if let Some(prev) = records.last_mut() {
                 // The paper's non-locality: re-attach wrapped fragments to
@@ -162,9 +157,7 @@ pub fn render_text_table(rows: &[Vec<String>], max_cell_width: usize) -> String 
             let mut rest = v.as_str();
             while rest.len() > max_cell_width {
                 // Wrap at the last space within the width, or hard-wrap.
-                let cut = rest[..max_cell_width]
-                    .rfind(' ')
-                    .unwrap_or(max_cell_width);
+                let cut = rest[..max_cell_width].rfind(' ').unwrap_or(max_cell_width);
                 parts.push(rest[..cut].trim_end());
                 rest = rest[cut..].trim_start();
             }
@@ -173,13 +166,13 @@ pub fn render_text_table(rows: &[Vec<String>], max_cell_width: usize) -> String 
         }
         let depth = fragments.iter().map(Vec::len).max().unwrap_or(1);
         for d in 0..depth {
-            for c in 0..cols {
+            for (c, &colw) in widths.iter().enumerate() {
                 let piece = fragments
                     .get(c)
                     .and_then(|p| p.get(d).copied())
                     .unwrap_or("");
                 out.push_str(piece);
-                for _ in piece.len()..widths[c] + 2 {
+                for _ in piece.len()..colw + 2 {
                     out.push(' ');
                 }
             }
@@ -219,7 +212,11 @@ mod tests {
     fn wrapped_cells_are_reattached() {
         // The paper's non-locality: a long value wraps to the next line.
         let data = rows(&[
-            &["Ada Lovelace", "Analytical Engines Research Division of Computing", "4411"],
+            &[
+                "Ada Lovelace",
+                "Analytical Engines Research Division of Computing",
+                "4411",
+            ],
             &["Alan Turing", "Machines", "4422"],
         ]);
         let text = render_text_table(&data, 24);

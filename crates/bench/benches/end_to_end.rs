@@ -21,11 +21,7 @@ fn bench_pipeline(c: &mut Criterion) {
     ] {
         let site = generate(&spec);
         let details: Vec<String> = site.pages[0].detail_html.clone();
-        let lists: Vec<String> = site
-            .pages
-            .iter()
-            .map(|p| p.list_html.clone())
-            .collect();
+        let lists: Vec<String> = site.pages.iter().map(|p| p.list_html.clone()).collect();
 
         for (label, segmenter) in [
             ("csp", &CspSegmenter::default() as &dyn Segmenter),
@@ -37,8 +33,7 @@ fn bench_pipeline(c: &mut Criterion) {
                 |b, (lists, details)| {
                     b.iter(|| {
                         let list_refs: Vec<&str> = lists.iter().map(String::as_str).collect();
-                        let detail_refs: Vec<&str> =
-                            details.iter().map(String::as_str).collect();
+                        let detail_refs: Vec<&str> = details.iter().map(String::as_str).collect();
                         let prepared = prepare(&SitePages {
                             list_pages: list_refs,
                             target: 0,

@@ -22,11 +22,9 @@ fn bench_tokenize(c: &mut Criterion) {
         let site = generate(&spec);
         let html = &site.pages[0].list_html;
         group.throughput(Throughput::Bytes(html.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(&spec.name),
-            html,
-            |b, html| b.iter(|| tokenize(black_box(html))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(&spec.name), html, |b, html| {
+            b.iter(|| tokenize(black_box(html)))
+        });
     }
     group.finish();
 }
@@ -35,11 +33,7 @@ fn bench_template(c: &mut Criterion) {
     let mut group = c.benchmark_group("template_induction");
     for spec in [paper_sites::allegheny(), paper_sites::amazon()] {
         let site = generate(&spec);
-        let pages: Vec<Vec<Token>> = site
-            .pages
-            .iter()
-            .map(|p| tokenize(&p.list_html))
-            .collect();
+        let pages: Vec<Vec<Token>> = site.pages.iter().map(|p| tokenize(&p.list_html)).collect();
         group.bench_with_input(
             BenchmarkId::from_parameter(&spec.name),
             &pages,

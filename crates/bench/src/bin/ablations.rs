@@ -12,11 +12,10 @@
 //!   different from others in the sample", Section 6.3).
 
 use tableseg::{prepare, CspSegmenter, HybridSegmenter, ProbSegmenter, Segmenter, SitePages};
-use tableseg_bench::{evaluate_segmenter, prepare_page, run_site_with};
+use tableseg_bench::{evaluate_segmenter, prepare_page_cached, prepare_site, run_site_with};
 use tableseg_eval::classify::{classify, PageCounts};
 use tableseg_eval::Metrics;
 use tableseg_sitegen::paper_sites;
-use tableseg_sitegen::site::generate;
 
 fn aggregate(runs: &[tableseg_bench::PageRun]) -> (PageCounts, PageCounts) {
     let mut prob = PageCounts::default();
@@ -91,11 +90,12 @@ fn main() {
     let mut whole_page = PageCounts::default();
     let csp = CspSegmenter::default();
     for spec in &sites {
-        let site = generate(spec);
+        let ps = prepare_site(spec);
+        let site = &ps.site;
         for page in 0..site.pages.len() {
-            // Normal pipeline (template when usable).
-            let prepared = prepare_page(&site, page);
-            let (counts, _) = evaluate_segmenter(&site, page, &prepared, &csp);
+            // Normal pipeline (template when usable, induced once per site).
+            let prepared = prepare_page_cached(&ps, page);
+            let (counts, _) = evaluate_segmenter(site, page, &prepared, &csp);
             with_template = with_template.add(&counts);
 
             // Forced whole page: give the pipeline only the target page so
@@ -116,8 +116,7 @@ fn main() {
                 .iter()
                 .map(|r| r.start..r.end)
                 .collect();
-            let truth =
-                tableseg_eval::classify::truth_of_extracts(&forced.extract_offsets, &spans);
+            let truth = tableseg_eval::classify::truth_of_extracts(&forced.extract_offsets, &spans);
             let outcome = csp.segment(&forced.observations);
             let counts = classify(
                 &outcome.segmentation.records(),
@@ -154,10 +153,10 @@ fn main() {
     let hybrid = HybridSegmenter::default();
     let mut hybrid_total = PageCounts::default();
     for spec in &sites {
-        let site = generate(spec);
-        for page in 0..site.pages.len() {
-            let prepared = prepare_page(&site, page);
-            let (counts, _) = evaluate_segmenter(&site, page, &prepared, &hybrid);
+        let ps = prepare_site(spec);
+        for page in 0..ps.site.pages.len() {
+            let prepared = prepare_page_cached(&ps, page);
+            let (counts, _) = evaluate_segmenter(&ps.site, page, &prepared, &hybrid);
             hybrid_total = hybrid_total.add(&counts);
         }
     }
@@ -192,21 +191,25 @@ fn main() {
     let mut continued = PageCounts::default();
     let mut fallback_before = 0usize;
     let mut fallback_after = 0usize;
-    for base in [paper_sites::amazon(), paper_sites::bn_books(), paper_sites::minnesota()] {
+    for base in [
+        paper_sites::amazon(),
+        paper_sites::bn_books(),
+        paper_sites::minnesota(),
+    ] {
         let mut fixed = base.clone();
         fixed.continuous_numbering = true;
         for (spec, acc, fb) in [
             (&base, &mut numbered, &mut fallback_before),
             (&fixed, &mut continued, &mut fallback_after),
         ] {
-            let site = generate(spec);
-            for page in 0..site.pages.len() {
-                let prepared = prepare_page(&site, page);
+            let ps = prepare_site(spec);
+            for page in 0..ps.site.pages.len() {
+                let prepared = prepare_page_cached(&ps, page);
                 if prepared.used_whole_page {
                     *fb += 1;
                 }
                 let (counts, _) =
-                    evaluate_segmenter(&site, page, &prepared, &CspSegmenter::default());
+                    evaluate_segmenter(&ps.site, page, &prepared, &CspSegmenter::default());
                 *acc = acc.add(&counts);
             }
         }

@@ -7,7 +7,7 @@ use std::ops::Range;
 
 use tableseg::{CspSegmenter, ProbSegmenter};
 use tableseg_baselines::{domtable, iepad, roadrunner, textseg};
-use tableseg_bench::{evaluate_segmenter, prepare_page};
+use tableseg_bench::{evaluate_segmenter, prepare_page_cached, prepare_site};
 use tableseg_eval::classify::{classify_spans, PageCounts};
 use tableseg_eval::Metrics;
 use tableseg_sitegen::paper_sites;
@@ -26,7 +26,8 @@ fn main() {
         "site", "DOM", "IEPAD", "RoadRunner", "CSP", "prob"
     );
     for spec in paper_sites::all() {
-        let site = generate(&spec);
+        let ps = prepare_site(&spec);
+        let site = &ps.site;
         let mut dom_site = PageCounts::default();
         let mut iepad_site = PageCounts::default();
         let mut csp_site = PageCounts::default();
@@ -40,13 +41,12 @@ fn main() {
                 .collect();
             let html = &site.pages[page].list_html;
             dom_site = dom_site.add(&classify_spans(&domtable::segment(html).records, &truth));
-            iepad_site =
-                iepad_site.add(&classify_spans(&iepad::segment(html).records, &truth));
+            iepad_site = iepad_site.add(&classify_spans(&iepad::segment(html).records, &truth));
 
-            let prepared = prepare_page(&site, page);
-            let (c, _) = evaluate_segmenter(&site, page, &prepared, &CspSegmenter::default());
+            let prepared = prepare_page_cached(&ps, page);
+            let (c, _) = evaluate_segmenter(site, page, &prepared, &CspSegmenter::default());
             csp_site = csp_site.add(&c);
-            let (p, _) = evaluate_segmenter(&site, page, &prepared, &ProbSegmenter::default());
+            let (p, _) = evaluate_segmenter(site, page, &prepared, &ProbSegmenter::default());
             prob_site = prob_site.add(&p);
         }
         let rr = roadrunner::induce(&site.pages[0].list_html, &site.pages[1].list_html);
@@ -92,8 +92,12 @@ fn main() {
     for spec in paper_sites::all() {
         let site = generate(&spec);
         for page in &site.pages {
-            let rows: Vec<Vec<String>> =
-                page.truth.records.iter().map(|r| r.values.clone()).collect();
+            let rows: Vec<Vec<String>> = page
+                .truth
+                .records
+                .iter()
+                .map(|r| r.values.clone())
+                .collect();
             let text = textseg::render_text_table(&rows, 28);
             if let Some(table) = textseg::segment(&text) {
                 total += rows.len();

@@ -8,11 +8,8 @@ use tableseg_template::{assess, induce};
 fn main() {
     for spec in paper_sites::all() {
         let site = generate(&spec);
-        let pages: Vec<Vec<tableseg_html::Token>> = site
-            .pages
-            .iter()
-            .map(|p| tokenize(&p.list_html))
-            .collect();
+        let pages: Vec<Vec<tableseg_html::Token>> =
+            site.pages.iter().map(|p| tokenize(&p.list_html)).collect();
         let ind = induce(&pages);
         let q = assess(&ind, &pages);
         println!(
@@ -26,7 +23,12 @@ fn main() {
             q.is_usable()
         );
         if std::env::args().any(|a| a == "-v") {
-            let tpl: Vec<&str> = ind.template.tokens.iter().map(|t| t.text.as_str()).collect();
+            let tpl: Vec<&str> = ind
+                .template
+                .tokens
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect();
             println!("  template: {tpl:?}");
         }
     }

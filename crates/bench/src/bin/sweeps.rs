@@ -14,7 +14,7 @@ use std::time::Instant;
 
 use tableseg::prob::ProbOptions;
 use tableseg::{prepare, CspSegmenter, ProbSegmenter, Segmenter, SitePages};
-use tableseg_bench::{evaluate_segmenter, page_truth, prepare_page};
+use tableseg_bench::{evaluate_segmenter, page_truth, prepare_page_cached, prepare_site};
 use tableseg_eval::classify::classify;
 use tableseg_eval::Metrics;
 use tableseg_sitegen::domains::Domain;
@@ -36,10 +36,10 @@ fn spec(domain: Domain, records: usize, missing: f64, seed: u64) -> SiteSpec {
 }
 
 fn run_one(s: &SiteSpec, segmenter: &dyn Segmenter) -> (Metrics, f64) {
-    let site = generate(s);
-    let prepared = prepare_page(&site, 0);
+    let ps = prepare_site(s);
+    let prepared = prepare_page_cached(&ps, 0);
     let start = Instant::now();
-    let (counts, _) = evaluate_segmenter(&site, 0, &prepared, segmenter);
+    let (counts, _) = evaluate_segmenter(&ps.site, 0, &prepared, segmenter);
     let secs = start.elapsed().as_secs_f64();
     (Metrics::from_counts(&counts), secs)
 }
@@ -63,7 +63,10 @@ fn main() {
         let s = spec(Domain::PropertyTax, 15, missing, 4321);
         let (csp_m, _) = run_one(&s, &CspSegmenter::default());
         let (prob_m, _) = run_one(&s, &ProbSegmenter::default());
-        println!("| {missing:>10.1} | {:>5.2} | {:>6.2} |", csp_m.f1, prob_m.f1);
+        println!(
+            "| {missing:>10.1} | {:>5.2} | {:>6.2} |",
+            csp_m.f1, prob_m.f1
+        );
     }
 
     println!("\nsweep 3: shared-town white pages (position-constraint stress)");
@@ -73,11 +76,12 @@ fn main() {
             quirks: vec![Quirk::SharedValueMissingOnDetail { field: "city" }],
             ..spec(Domain::WhitePages, records, 0.05, 9000 + records as u64)
         };
-        let site = generate(&s);
-        let prepared = prepare_page(&site, 0);
+        let ps = prepare_site(&s);
+        let prepared = prepare_page_cached(&ps, 0);
         let (csp_counts, relaxed) =
-            evaluate_segmenter(&site, 0, &prepared, &CspSegmenter::default());
-        let (prob_counts, _) = evaluate_segmenter(&site, 0, &prepared, &ProbSegmenter::default());
+            evaluate_segmenter(&ps.site, 0, &prepared, &CspSegmenter::default());
+        let (prob_counts, _) =
+            evaluate_segmenter(&ps.site, 0, &prepared, &ProbSegmenter::default());
         println!(
             "| {records:>7} | {:>5.2} | {:>7} | {:>6.2} |",
             Metrics::from_counts(&csp_counts).f1,
@@ -114,6 +118,9 @@ fn main() {
             &truth,
             site.pages[0].truth.len(),
         );
-        println!("| {eps:>7.0e} | {:>6.2} |", Metrics::from_counts(&counts).f1);
+        println!(
+            "| {eps:>7.0e} | {:>6.2} |",
+            Metrics::from_counts(&counts).f1
+        );
     }
 }

@@ -2,49 +2,60 @@
 //! results for the probabilistic and CSP approaches over the twelve
 //! simulated sites, with aggregate precision / recall / F.
 //!
-//! Pass `--clean-only` to reproduce the Section 6.3 analysis that excludes
-//! the pages for which the CSP could not find a (strict) solution — the
-//! paper reports CSP P=0.99 R=0.92 F=0.95 and probabilistic P=0.78 R=1.0
-//! F=0.88 on those 17 pages.
+//! The sites run through the work-stealing batch engine; results are
+//! collected in job order, so the report is byte-identical for any
+//! `--threads` value.
+//!
+//! Flags:
+//!
+//! * `--clean-only` — reproduce the Section 6.3 analysis that excludes
+//!   the pages for which the CSP could not find a (strict) solution —
+//!   the paper reports CSP P=0.99 R=0.92 F=0.95 and probabilistic P=0.78
+//!   R=1.0 F=0.88 on those 17 pages;
+//! * `--threads N` — worker threads (default: available parallelism);
+//! * `--rt` — append the RT report: per-site wall-clock time per pipeline
+//!   stage (tokenize / template / extract / match / solve / decode).
 
-use tableseg_bench::{run_sites_parallel, to_rows};
-use tableseg_eval::classify::PageCounts;
-use tableseg_eval::report::{render_aggregate, render_table4};
+use std::process::ExitCode;
+
+use tableseg::batch;
+use tableseg_bench::{run_sites, table4_report};
 use tableseg_sitegen::paper_sites;
 
-fn main() {
-    let clean_only = std::env::args().any(|a| a == "--clean-only");
-
-    let specs = paper_sites::all();
-    eprintln!("running {} sites in parallel ...", specs.len());
-    let all_runs = run_sites_parallel(&specs);
-
-    if clean_only {
-        let clean: Vec<_> = all_runs.iter().filter(|r| !r.csp_relaxed).cloned().collect();
-        let mut prob = PageCounts::default();
-        let mut csp = PageCounts::default();
-        for r in &clean {
-            prob = prob.add(&r.prob);
-            csp = csp.add(&r.csp);
+fn main() -> ExitCode {
+    let mut clean_only = false;
+    let mut rt = false;
+    let mut threads = batch::default_threads();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--clean-only" => clean_only = true,
+            "--rt" => rt = true,
+            "--threads" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--threads needs a positive number");
+                    return ExitCode::FAILURE;
+                };
+                threads = n;
+            }
+            other => {
+                eprintln!("unknown flag {other} (try --clean-only, --threads N, --rt)");
+                return ExitCode::FAILURE;
+            }
         }
-        println!(
-            "{}",
-            render_aggregate(
-                &format!(
-                    "Pages where the CSP found a solution ({} of {} pages) — cf. Section 6.3:",
-                    clean.len(),
-                    all_runs.len()
-                ),
-                &prob,
-                &csp,
-            )
-        );
-        return;
     }
 
-    println!("Table 4: results of automatic record segmentation (simulated sites)\n");
-    println!("{}", render_table4(&to_rows(&all_runs)));
+    let specs = paper_sites::all();
+    eprintln!("running {} sites on {threads} thread(s) ...", specs.len());
+    let outcome = run_sites(&specs, threads);
 
-    // Paper reference values for comparison.
-    println!("Paper (live 2004 sites):  probabilistic P=0.74 R=0.99 F=0.85 | CSP P=0.85 R=0.84 F=0.84");
+    print!("{}", table4_report(&outcome.runs, clean_only));
+
+    if rt {
+        // Timings vary run to run; keep them off stdout so the report
+        // stays byte-identical (and pipeable) with or without --rt.
+        eprintln!("\nRT: per-stage wall clock by site ({threads} thread(s))\n");
+        eprint!("{}", outcome.timing.render());
+    }
+    ExitCode::SUCCESS
 }

@@ -1,14 +1,29 @@
 //! The shared experiment harness: runs the full pipeline (template →
 //! extraction → both segmenters → evaluation) over simulated sites and
 //! produces Table-4-style rows.
+//!
+//! Batch runs go through [`tableseg::batch`], the work-stealing engine:
+//! site preparation (generation + tokenization + template induction),
+//! per-page front-end preparation, and `(site, page, segmenter)`
+//! evaluation jobs each fan out across worker threads, with results
+//! collected in job order so every report is byte-identical regardless of
+//! thread count. Template induction runs **once per site** — pages share
+//! the [`SiteTemplate`] built in the site-preparation phase — and every
+//! stage's wall-clock time lands in a [`timing::Registry`] keyed by site
+//! (the RT report).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::Range;
 
-use tableseg::{prepare, PreparedPage, Segmenter, SitePages};
+use tableseg::timing::{self, Stage, StageTimes};
+use tableseg::{
+    batch, prepare_with_template, CspSegmenter, PreparedPage, ProbSegmenter, Segmenter, SitePages,
+    SiteTemplate,
+};
 use tableseg_eval::classify::{classify, truth_of_extracts, PageCounts};
+use tableseg_eval::report::{render_aggregate, render_table4};
 use tableseg_sitegen::site::{generate, GeneratedSite, SiteSpec};
 
 /// The outcome of running both approaches on one list page.
@@ -46,7 +61,44 @@ impl PageRun {
     }
 }
 
-/// Prepares one page of a generated site for segmentation.
+/// A generated site with its per-site front-end state (the cached
+/// template): the unit of the batch engine's site-preparation phase.
+#[derive(Debug)]
+pub struct PreparedSite {
+    /// The site specification.
+    pub spec: SiteSpec,
+    /// The generated pages and ground truth.
+    pub site: GeneratedSite,
+    /// Tokenized list pages + induced template, built exactly once.
+    pub template: SiteTemplate,
+}
+
+/// Generates a site and builds its [`SiteTemplate`] (tokenization +
+/// template induction — the once-per-site work).
+pub fn prepare_site(spec: &SiteSpec) -> PreparedSite {
+    let site = generate(spec);
+    let list_htmls = site.list_htmls();
+    let template = SiteTemplate::build(&list_htmls);
+    PreparedSite {
+        spec: spec.clone(),
+        site,
+        template,
+    }
+}
+
+/// Prepares one page of a prepared site, reusing the cached template.
+pub fn prepare_page_cached(ps: &PreparedSite, page: usize) -> PreparedPage {
+    let details: Vec<&str> = ps.site.pages[page]
+        .detail_html
+        .iter()
+        .map(String::as_str)
+        .collect();
+    prepare_with_template(&ps.template, page, &details)
+}
+
+/// Prepares one page of a generated site for segmentation (one-shot:
+/// re-induces the template; batch callers use [`prepare_site`] +
+/// [`prepare_page_cached`] instead).
 pub fn prepare_page(site: &GeneratedSite, page: usize) -> PreparedPage {
     let list_htmls = site.list_htmls();
     let details: Vec<&str> = site.pages[page]
@@ -54,7 +106,7 @@ pub fn prepare_page(site: &GeneratedSite, page: usize) -> PreparedPage {
         .iter()
         .map(String::as_str)
         .collect();
-    prepare(&SitePages {
+    tableseg::prepare(&SitePages {
         list_pages: list_htmls,
         target: page,
         detail_pages: details,
@@ -62,7 +114,11 @@ pub fn prepare_page(site: &GeneratedSite, page: usize) -> PreparedPage {
 }
 
 /// Ground-truth record index per kept extract of a prepared page.
-pub fn page_truth(site: &GeneratedSite, page: usize, prepared: &PreparedPage) -> Vec<Option<usize>> {
+pub fn page_truth(
+    site: &GeneratedSite,
+    page: usize,
+    prepared: &PreparedPage,
+) -> Vec<Option<usize>> {
     let spans: Vec<Range<usize>> = site.pages[page]
         .truth
         .records
@@ -79,62 +135,141 @@ pub fn evaluate_segmenter(
     prepared: &PreparedPage,
     segmenter: &dyn Segmenter,
 ) -> (PageCounts, bool) {
-    let truth = page_truth(site, page, prepared);
-    let outcome = segmenter.segment(&prepared.observations);
-    let groups = outcome.segmentation.records();
-    let counts = classify(&groups, &truth, site.pages[page].truth.len());
-    (counts, outcome.relaxed)
+    let (counts, relaxed, _) = evaluate_segmenter_timed(site, page, prepared, segmenter);
+    (counts, relaxed)
 }
 
-/// Runs both approaches over every list page of a site.
-pub fn run_site(spec: &SiteSpec) -> Vec<PageRun> {
-    run_site_with(
-        spec,
-        &tableseg::ProbSegmenter::default(),
-        &tableseg::CspSegmenter::default(),
+/// Like [`evaluate_segmenter`], also returning the wall-clock time of the
+/// solve (segmentation) and decode (truth alignment + classification)
+/// stages.
+pub fn evaluate_segmenter_timed(
+    site: &GeneratedSite,
+    page: usize,
+    prepared: &PreparedPage,
+    segmenter: &dyn Segmenter,
+) -> (PageCounts, bool, StageTimes) {
+    let mut times = StageTimes::new();
+    let outcome = times.time(Stage::Solve, || segmenter.segment(&prepared.observations));
+    let counts = times.time(Stage::Decode, || {
+        let truth = page_truth(site, page, prepared);
+        let groups = outcome.segmentation.records();
+        classify(&groups, &truth, site.pages[page].truth.len())
+    });
+    (counts, outcome.relaxed, times)
+}
+
+/// The result of a batch run: page runs in `(site, page)` order plus the
+/// per-site per-stage timing registry (the RT report input).
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// One entry per `(site, page)`, in input order.
+    pub runs: Vec<PageRun>,
+    /// Per-site wall-clock time per pipeline stage.
+    pub timing: timing::Registry,
+}
+
+/// Runs the default probabilistic and CSP segmenters over every list page
+/// of every site on `threads` worker threads.
+pub fn run_sites(specs: &[SiteSpec], threads: usize) -> BatchOutcome {
+    run_sites_with(
+        specs,
+        threads,
+        &ProbSegmenter::default(),
+        &CspSegmenter::default(),
     )
 }
 
 /// Runs two arbitrary segmenters (labelled "prob" and "csp" in the output)
-/// over every list page of a site — the ablation binaries use this with
-/// variant configurations.
-pub fn run_site_with(
-    spec: &SiteSpec,
+/// over every list page of every site, through the batch engine.
+///
+/// Three phases, each a fan-out over [`batch::execute`] with results in
+/// job order:
+///
+/// 1. **site jobs** — generate the site, tokenize its list pages, induce
+///    the template (once per site);
+/// 2. **page jobs** — per-page front end against the cached template;
+/// 3. **`(site, page, segmenter)` jobs** — solve and decode.
+pub fn run_sites_with(
+    specs: &[SiteSpec],
+    threads: usize,
     prob: &dyn Segmenter,
     csp: &dyn Segmenter,
-) -> Vec<PageRun> {
-    let site = generate(spec);
-    (0..site.pages.len())
-        .map(|page| {
-            let prepared = prepare_page(&site, page);
-            let (prob_counts, _) = evaluate_segmenter(&site, page, &prepared, prob);
-            let (csp_counts, csp_relaxed) = evaluate_segmenter(&site, page, &prepared, csp);
-            PageRun {
-                site: spec.name.clone(),
+) -> BatchOutcome {
+    // Phase 1: per-site preparation.
+    let sites: Vec<PreparedSite> =
+        batch::execute(threads, specs.to_vec(), |_, spec| prepare_site(&spec));
+
+    // Phase 2: per-page front end. Jobs are (site, page); `offsets[si]`
+    // locates a site's pages in the flat result vector.
+    let mut page_jobs: Vec<(usize, usize)> = Vec::new();
+    let mut offsets: Vec<usize> = Vec::with_capacity(sites.len());
+    for (si, ps) in sites.iter().enumerate() {
+        offsets.push(page_jobs.len());
+        for page in 0..ps.site.pages.len() {
+            page_jobs.push((si, page));
+        }
+    }
+    let prepared: Vec<PreparedPage> =
+        batch::execute(threads, page_jobs.clone(), |_, (si, page)| {
+            prepare_page_cached(&sites[si], page)
+        });
+
+    // Phase 3: (site, page, segmenter) evaluation jobs.
+    let segmenters: [&dyn Segmenter; 2] = [prob, csp];
+    let eval_jobs: Vec<(usize, usize)> = (0..page_jobs.len())
+        .flat_map(|pj| [(pj, 0), (pj, 1)])
+        .collect();
+    let evaluated: Vec<(PageCounts, bool, StageTimes)> =
+        batch::execute(threads, eval_jobs, |_, (pj, seg)| {
+            let (si, page) = page_jobs[pj];
+            evaluate_segmenter_timed(&sites[si].site, page, &prepared[pj], segmenters[seg])
+        });
+
+    // Assemble runs and the timing registry in deterministic site order.
+    let registry = timing::Registry::new();
+    let mut runs = Vec::with_capacity(page_jobs.len());
+    for (si, ps) in sites.iter().enumerate() {
+        let mut site_times = ps.template.timings;
+        for page in 0..ps.site.pages.len() {
+            let pj = offsets[si] + page;
+            site_times.merge(&prepared[pj].timings);
+            let (prob_counts, _, prob_times) = &evaluated[2 * pj];
+            let (csp_counts, csp_relaxed, csp_times) = &evaluated[2 * pj + 1];
+            site_times.merge(prob_times);
+            site_times.merge(csp_times);
+            runs.push(PageRun {
+                site: ps.spec.name.clone(),
                 page,
-                prob: prob_counts,
-                csp: csp_counts,
-                used_whole_page: prepared.used_whole_page,
-                csp_relaxed,
-            }
-        })
-        .collect()
+                prob: *prob_counts,
+                csp: *csp_counts,
+                used_whole_page: prepared[pj].used_whole_page,
+                csp_relaxed: *csp_relaxed,
+            });
+        }
+        registry.record(&ps.spec.name, &site_times);
+    }
+    BatchOutcome {
+        runs,
+        timing: registry,
+    }
 }
 
-/// Runs both approaches over many sites in parallel (one thread per
-/// site). Results come back in input order, so reports are deterministic
+/// Runs both approaches over every list page of a site.
+pub fn run_site(spec: &SiteSpec) -> Vec<PageRun> {
+    run_sites(std::slice::from_ref(spec), 1).runs
+}
+
+/// Runs two arbitrary segmenters over every list page of a site — the
+/// ablation binaries use this with variant configurations.
+pub fn run_site_with(spec: &SiteSpec, prob: &dyn Segmenter, csp: &dyn Segmenter) -> Vec<PageRun> {
+    run_sites_with(std::slice::from_ref(spec), 1, prob, csp).runs
+}
+
+/// Runs both approaches over many sites on the default number of threads.
+/// Results come back in input order, so reports are deterministic
 /// regardless of scheduling.
 pub fn run_sites_parallel(specs: &[SiteSpec]) -> Vec<PageRun> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = specs
-            .iter()
-            .map(|spec| scope.spawn(move || run_site(spec)))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("site run panicked"))
-            .collect()
-    })
+    run_sites(specs, batch::default_threads()).runs
 }
 
 /// Converts page runs into report rows.
@@ -147,6 +282,81 @@ pub fn to_rows(runs: &[PageRun]) -> Vec<tableseg_eval::report::Row> {
             notes: r.notes(),
         })
         .collect()
+}
+
+/// Renders the Table 4 report (or the `--clean-only` Section 6.3
+/// aggregate) from a batch run's page runs. Shared by the `table4` binary
+/// and the determinism tests; contains no timing data, so its output is
+/// byte-identical across thread counts.
+pub fn table4_report(runs: &[PageRun], clean_only: bool) -> String {
+    if clean_only {
+        let clean: Vec<_> = runs.iter().filter(|r| !r.csp_relaxed).cloned().collect();
+        let mut prob = PageCounts::default();
+        let mut csp = PageCounts::default();
+        for r in &clean {
+            prob = prob.add(&r.prob);
+            csp = csp.add(&r.csp);
+        }
+        return format!(
+            "{}\n",
+            render_aggregate(
+                &format!(
+                    "Pages where the CSP found a solution ({} of {} pages) — cf. Section 6.3:",
+                    clean.len(),
+                    runs.len()
+                ),
+                &prob,
+                &csp,
+            )
+        );
+    }
+    format!(
+        "Table 4: results of automatic record segmentation (simulated sites)\n\n\
+         {}\n\
+         Paper (live 2004 sites):  probabilistic P=0.74 R=0.99 F=0.85 | CSP P=0.85 R=0.84 F=0.84\n",
+        render_table4(&to_rows(runs))
+    )
+}
+
+/// Renders the Tables 1–3 report — the Superpages running example (the
+/// observation table `D_i`, the CSP assignment of extracts to records,
+/// and the positions of extracts on detail pages). Fully in-process and
+/// deterministic; shared by the `tables123` binary and the determinism
+/// tests.
+pub fn tables123_report() -> String {
+    use tableseg_extract::build_observations;
+    use tableseg_extract::positions::render_table;
+    use tableseg_html::lexer::tokenize;
+    use tableseg_html::Token;
+
+    // The paper's Figure 1 / Table 1 example: two "John Smith" listings
+    // sharing a phone number, plus a third record.
+    let list = tokenize(
+        "<tr><td>John Smith</td><td>221 Washington</td><td>New Holland</td><td>(740) 335-5555</td></tr>\
+         <tr><td>John Smith</td><td>221R Washington St</td><td>Wash CH</td><td>(740) 335-5555</td></tr>\
+         <tr><td>George W. Smith</td><td>Findlay, OH</td><td>(419) 423-1212</td></tr>",
+    );
+    let details = [
+        tokenize("<h1>John Smith</h1><p>221 Washington</p><p>New Holland</p><p>(740) 335-5555</p>"),
+        tokenize("<h1>John Smith</h1><p>221R Washington St</p><p>Wash CH</p><p>(740) 335-5555</p>"),
+        tokenize("<h1>George W. Smith</h1><p>Findlay, OH</p><p>(419) 423-1212</p>"),
+    ];
+    let detail_refs: Vec<&[Token]> = details.iter().map(Vec::as_slice).collect();
+    let obs = build_observations(&list, &[], &detail_refs);
+
+    let mut out = String::new();
+    out.push_str("Table 1: observations of extracts on detail pages D_i\n\n");
+    out.push_str(&obs.render_table());
+    out.push('\n');
+
+    let outcome = CspSegmenter::default().segment(&obs);
+    out.push_str("Table 2: assignment of extracts to records (CSP solution)\n\n");
+    out.push_str(&outcome.segmentation.render_table(&obs));
+    out.push('\n');
+
+    out.push_str("Table 3: positions of extracts on detail pages\n\n");
+    out.push_str(&render_table(&obs));
+    out
 }
 
 #[cfg(test)]
@@ -179,5 +389,37 @@ mod tests {
             csp_relaxed: true,
         };
         assert_eq!(run.notes(), "a, b, c, d");
+    }
+
+    #[test]
+    fn batch_timing_covers_every_site_and_stage() {
+        let specs = vec![paper_sites::butler(), paper_sites::lee()];
+        let outcome = run_sites(&specs, 2);
+        assert_eq!(outcome.runs.len(), 4);
+        let rows = outcome.timing.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "Butler County");
+        assert_eq!(rows[1].0, "Lee County");
+        for (site, times) in &rows {
+            for stage in Stage::ALL {
+                assert!(
+                    times.get(stage) > std::time::Duration::ZERO,
+                    "{site}: stage {} recorded no time",
+                    stage.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_prepare_matches_one_shot() {
+        let ps = prepare_site(&paper_sites::butler());
+        for page in 0..ps.site.pages.len() {
+            let cached = prepare_page_cached(&ps, page);
+            let oneshot = prepare_page(&ps.site, page);
+            assert_eq!(cached.used_whole_page, oneshot.used_whole_page);
+            assert_eq!(cached.extract_offsets, oneshot.extract_offsets);
+            assert_eq!(cached.observations.len(), oneshot.observations.len());
+        }
     }
 }

@@ -127,7 +127,11 @@ pub fn recognize(tokens: &[Token]) -> SemanticLabel {
     }
 
     // Money: d+ . dd
-    if n == 3 && is_num(&tokens[0]) && texts[1] == "." && is_num(&tokens[2]) && digits(&tokens[2]) == 2
+    if n == 3
+        && is_num(&tokens[0])
+        && texts[1] == "."
+        && is_num(&tokens[2])
+        && digits(&tokens[2]) == 2
     {
         return SemanticLabel::Money;
     }

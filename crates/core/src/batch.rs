@@ -1,0 +1,187 @@
+//! Work-stealing parallel batch execution with deterministic results.
+//!
+//! [`execute`] runs a fixed set of jobs across worker threads and returns
+//! the results **in job order**, so reports built from them are
+//! byte-identical regardless of thread count or scheduling. The experiment
+//! harness uses it for `(site, page, segmenter)` jobs; the CLI uses it to
+//! run several segmentation methods at once.
+//!
+//! The scheduler is a classic fixed-set work-stealing design built on
+//! `std` primitives only: jobs are dealt round-robin onto one deque per
+//! worker; a worker pops from the front of its own deque and, when empty,
+//! steals from the back of a victim's. Because the job set is fixed (no
+//! job spawns another), a worker that finds every deque empty can exit —
+//! no condition variables or termination protocol needed.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// The number of worker threads to use by default: the machine's available
+/// parallelism, or 1 if that cannot be determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `jobs` through `worker` on up to `threads` threads and returns the
+/// results in job order.
+///
+/// `threads` is clamped to `1..=jobs.len()`; with one thread (or one job)
+/// the jobs run sequentially on the calling thread. The worker receives
+/// `(job_index, job)`. If a worker panics, the panic propagates to the
+/// caller once all threads have stopped.
+pub fn execute<J, R, F>(threads: usize, jobs: Vec<J>, worker: F) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+    F: Fn(usize, J) -> R + Sync,
+{
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, jobs.len());
+    if threads == 1 {
+        return jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, j)| worker(i, j))
+            .collect();
+    }
+
+    let n_jobs = jobs.len();
+    // Deal jobs round-robin onto one deque per worker.
+    let mut queues: Vec<VecDeque<(usize, J)>> = (0..threads).map(|_| VecDeque::new()).collect();
+    for (i, job) in jobs.into_iter().enumerate() {
+        queues[i % threads].push_back((i, job));
+    }
+    let queues: Vec<Mutex<VecDeque<(usize, J)>>> = queues.into_iter().map(Mutex::new).collect();
+
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for me in 0..threads {
+            let tx = tx.clone();
+            let queues = &queues;
+            let worker = &worker;
+            scope.spawn(move || {
+                loop {
+                    // Own queue first (front), then steal (back) walking
+                    // the ring from the next worker on. Each lock must be a
+                    // statement-scoped temporary: under edition 2021, an
+                    // `if let` condition's guard would live through the
+                    // `else` branch, so holding our own queue's lock while
+                    // probing victims deadlocks two stealing workers.
+                    let mut found = queues[me].lock().expect("job queue poisoned").pop_front();
+                    if found.is_none() {
+                        for step in 1..queues.len() {
+                            let victim = (me + step) % queues.len();
+                            found = queues[victim]
+                                .lock()
+                                .expect("job queue poisoned")
+                                .pop_back();
+                            if found.is_some() {
+                                break;
+                            }
+                        }
+                    }
+                    let Some((index, job)) = found else { break };
+                    let result = worker(index, job);
+                    if tx.send((index, result)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    drop(tx);
+
+    // All threads joined (the scope waits, re-raising any panic); the jobs
+    // are a fixed set, so every index arrived exactly once.
+    let mut slots: Vec<Option<R>> = (0..n_jobs).map(|_| None).collect();
+    for (index, result) in rx {
+        debug_assert!(slots[index].is_none(), "job {index} ran twice");
+        slots[index] = Some(result);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("job {i} produced no result")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        for threads in [1, 2, 3, 8] {
+            let jobs: Vec<usize> = (0..50).collect();
+            let out = execute(threads, jobs, |_, j| {
+                // Make late jobs finish first to stress the reordering.
+                if j % 7 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                j * 2
+            });
+            assert_eq!(
+                out,
+                (0..50).map(|j| j * 2).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let ran = AtomicUsize::new(0);
+        let out = execute(4, (0..100).collect::<Vec<usize>>(), |i, j| {
+            assert_eq!(i, j);
+            ran.fetch_add(1, Ordering::Relaxed);
+            j
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let out = execute(64, vec![1, 2, 3], |_, j| j + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_job_set() {
+        let out: Vec<u32> = execute(4, Vec::<u32>::new(), |_, j| j);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let out = execute(0, vec![10, 20], |_, j| j);
+        assert_eq!(out, vec![10, 20]);
+    }
+
+    #[test]
+    fn stealing_engages_with_unbalanced_jobs() {
+        // One huge job on worker 0's queue; the rest must be stolen.
+        let slow = AtomicUsize::new(0);
+        let jobs: Vec<usize> = (0..32).collect();
+        let out = execute(4, jobs, |_, j| {
+            if j == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                slow.fetch_add(1, Ordering::Relaxed);
+            }
+            j
+        });
+        assert_eq!(out.len(), 32);
+        assert_eq!(slow.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

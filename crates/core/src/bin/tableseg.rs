@@ -3,25 +3,33 @@
 //! ```text
 //! tableseg --list page1.html [--list page2.html ...]
 //!          --detail d1.html --detail d2.html ...
-//!          [--target 0] [--method csp|prob|hybrid]
-//!          [--columns] [--wrapper] [--verbose]
+//!          [--target 0] [--method csp|prob|hybrid[,method...]]
+//!          [--threads N] [--time] [--columns] [--wrapper] [--verbose]
 //! ```
 //!
 //! Detail pages must be given in row order of the target list page. The
 //! output is one line per record with its `|`-separated fields.
+//!
+//! `--method` accepts a comma-separated list; multiple methods run as
+//! jobs on the batch engine (`--threads` workers) against the same
+//! prepared page, and each method's records print under a `== method`
+//! header. `--time` reports per-stage wall-clock times on stderr.
 
 use std::process::ExitCode;
 
+use tableseg::timing::{Stage, StageTimes};
 use tableseg::{
-    annotate_columns, assemble_records, induce_wrapper, prepare, CspSegmenter, HybridSegmenter,
-    ProbSegmenter, Segmenter, SitePages,
+    annotate_columns, assemble_records, batch, induce_wrapper, prepare, CspSegmenter,
+    HybridSegmenter, ProbSegmenter, Segmenter, SitePages,
 };
 
 struct Args {
     lists: Vec<String>,
     details: Vec<String>,
     target: usize,
-    method: String,
+    methods: Vec<String>,
+    threads: usize,
+    time: bool,
     columns: bool,
     wrapper: bool,
     verbose: bool,
@@ -29,7 +37,8 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: tableseg --list FILE [--list FILE ...] --detail FILE [--detail FILE ...]\n\
-     \x20       [--target N] [--method csp|prob|hybrid] [--columns] [--wrapper] [--verbose]"
+     \x20       [--target N] [--method csp|prob|hybrid[,method...]] [--threads N]\n\
+     \x20       [--time] [--columns] [--wrapper] [--verbose]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,7 +46,9 @@ fn parse_args() -> Result<Args, String> {
         lists: Vec::new(),
         details: Vec::new(),
         target: 0,
-        method: "csp".to_owned(),
+        methods: vec!["csp".to_owned()],
+        threads: batch::default_threads(),
+        time: false,
         columns: false,
         wrapper: false,
         verbose: false,
@@ -45,12 +56,8 @@ fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
-            "--list" => args
-                .lists
-                .push(it.next().ok_or("--list needs a file")?),
-            "--detail" => args
-                .details
-                .push(it.next().ok_or("--detail needs a file")?),
+            "--list" => args.lists.push(it.next().ok_or("--list needs a file")?),
+            "--detail" => args.details.push(it.next().ok_or("--detail needs a file")?),
             "--target" => {
                 args.target = it
                     .next()
@@ -58,7 +65,18 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--target: {e}"))?;
             }
-            "--method" => args.method = it.next().ok_or("--method needs a value")?,
+            "--method" => {
+                let value = it.next().ok_or("--method needs a value")?;
+                args.methods = value.split(',').map(str::to_owned).collect();
+            }
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .ok_or("--threads needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--time" => args.time = true,
             "--columns" => args.columns = true,
             "--wrapper" => args.wrapper = true,
             "--verbose" => args.verbose = true,
@@ -105,6 +123,20 @@ fn main() -> ExitCode {
         }
     };
 
+    let mut segmenters: Vec<(String, Box<dyn Segmenter>)> = Vec::new();
+    for method in &args.methods {
+        let segmenter: Box<dyn Segmenter> = match method.as_str() {
+            "csp" => Box::new(CspSegmenter::default()),
+            "prob" => Box::new(ProbSegmenter::default()),
+            "hybrid" => Box::new(HybridSegmenter::default()),
+            other => {
+                eprintln!("unknown method {other} (csp|prob|hybrid)");
+                return ExitCode::FAILURE;
+            }
+        };
+        segmenters.push((method.clone(), segmenter));
+    }
+
     let prepared = prepare(&SitePages {
         list_pages: lists.iter().map(String::as_str).collect(),
         target: args.target,
@@ -119,54 +151,73 @@ fn main() -> ExitCode {
         );
     }
 
-    let segmenter: Box<dyn Segmenter> = match args.method.as_str() {
-        "csp" => Box::new(CspSegmenter::default()),
-        "prob" => Box::new(ProbSegmenter::default()),
-        "hybrid" => Box::new(HybridSegmenter::default()),
-        other => {
-            eprintln!("unknown method {other} (csp|prob|hybrid)");
-            return ExitCode::FAILURE;
+    // Solve every requested method as a job on the batch engine; results
+    // come back in `--method` order regardless of thread count.
+    let jobs: Vec<usize> = (0..segmenters.len()).collect();
+    let outcomes = batch::execute(args.threads, jobs, |_, m| {
+        let mut times = StageTimes::new();
+        let outcome = times.time(Stage::Solve, || {
+            segmenters[m].1.segment(&prepared.observations)
+        });
+        let records = times.time(Stage::Decode, || {
+            assemble_records(&prepared, &outcome.segmentation)
+        });
+        (outcome, records, times)
+    });
+
+    let registry = tableseg::timing::Registry::new();
+    for ((method, _), (outcome, records, times)) in segmenters.iter().zip(&outcomes) {
+        if segmenters.len() > 1 {
+            println!("== {method}");
         }
-    };
-    let outcome = segmenter.segment(&prepared.observations);
-    if args.verbose && outcome.relaxed {
-        eprintln!("note: constraints were relaxed (inconsistent source data)");
-    }
+        if args.verbose && outcome.relaxed {
+            eprintln!("note: [{method}] constraints were relaxed (inconsistent source data)");
+        }
 
-    for record in assemble_records(&prepared, &outcome.segmentation) {
-        println!("{}\t{}", record.index + 1, record.fields.join(" | "));
-    }
+        for record in records {
+            println!("{}\t{}", record.index + 1, record.fields.join(" | "));
+        }
 
-    if args.columns {
-        match &outcome.columns {
-            Some(columns) => {
-                eprintln!("column annotation:");
-                for ann in annotate_columns(&prepared.observations, columns) {
-                    eprintln!(
-                        "  L{} -> {} ({:.0}%, n={})",
-                        ann.column + 1,
-                        ann.label,
-                        ann.confidence * 100.0,
-                        ann.support
-                    );
+        if args.columns {
+            match &outcome.columns {
+                Some(columns) => {
+                    eprintln!("column annotation:");
+                    for ann in annotate_columns(&prepared.observations, columns) {
+                        eprintln!(
+                            "  L{} -> {} ({:.0}%, n={})",
+                            ann.column + 1,
+                            ann.label,
+                            ann.confidence * 100.0,
+                            ann.support
+                        );
+                    }
                 }
+                None => eprintln!("--columns requires --method prob or hybrid on dirty data"),
             }
-            None => eprintln!("--columns requires --method prob or hybrid on dirty data"),
         }
+
+        if args.wrapper {
+            match induce_wrapper(&prepared, &outcome.segmentation) {
+                Some(w) => {
+                    eprintln!("induced row wrapper:");
+                    eprintln!("  head: {:?}", w.head);
+                    for (i, s) in w.seps.iter().enumerate() {
+                        eprintln!("  sep{}: {:?}", i + 1, s);
+                    }
+                    eprintln!("  tail: {:?}", w.tail);
+                }
+                None => eprintln!("no consistent row wrapper could be induced"),
+            }
+        }
+
+        let mut row = prepared.timings;
+        row.merge(times);
+        registry.record(method, &row);
     }
 
-    if args.wrapper {
-        match induce_wrapper(&prepared, &outcome.segmentation) {
-            Some(w) => {
-                eprintln!("induced row wrapper:");
-                eprintln!("  head: {:?}", w.head);
-                for (i, s) in w.seps.iter().enumerate() {
-                    eprintln!("  sep{}: {:?}", i + 1, s);
-                }
-                eprintln!("  tail: {:?}", w.tail);
-            }
-            None => eprintln!("no consistent row wrapper could be induced"),
-        }
+    if args.time {
+        eprintln!("per-stage wall clock ({} thread(s)):\n", args.threads);
+        eprint!("{}", registry.render());
     }
 
     ExitCode::SUCCESS

@@ -110,7 +110,7 @@ mod tests {
 
     #[test]
     fn picks_the_template_cluster() {
-        let pages = vec![
+        let pages = [
             ad(0),
             detail("Ada Lovelace", "(555) 100-0001"),
             detail("Alan Turing", "(555) 100-0002"),
@@ -123,7 +123,7 @@ mod tests {
 
     #[test]
     fn all_details_all_returned() {
-        let pages = vec![
+        let pages = [
             detail("A B", "(555) 100-0001"),
             detail("C D", "(555) 100-0002"),
         ];

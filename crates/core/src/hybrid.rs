@@ -72,7 +72,11 @@ mod tests {
     fn clean_data_is_pure_csp() {
         let obs = obs(
             "<td>Alpha One</td><td>100</td><td>Beta Two</td><td>200</td>",
-            &["<p>Alpha One</p><p>100</p>", "<p>Beta Two</p><p>200</p>", "<p>x</p>"],
+            &[
+                "<p>Alpha One</p><p>100</p>",
+                "<p>Beta Two</p><p>200</p>",
+                "<p>x</p>",
+            ],
         );
         let out = HybridSegmenter::default().segment(&obs);
         assert!(!out.relaxed);
@@ -90,7 +94,10 @@ mod tests {
         // extracts unassigned; the hybrid fills them probabilistically.
         let obs = obs(
             "<td>Alpha One</td><td>Parole</td><td>Beta Two</td><td>Parole</td>",
-            &["<p>Alpha One</p><p>Parole</p>", "<p>Beta Two</p><p>Parolee</p>"],
+            &[
+                "<p>Alpha One</p><p>Parole</p>",
+                "<p>Beta Two</p><p>Parolee</p>",
+            ],
         );
         let csp_only = CspSegmenter::default().segment(&obs);
         assert!(csp_only.relaxed);

@@ -61,12 +61,14 @@
 #![warn(missing_docs)]
 
 pub mod annotate;
+pub mod batch;
 pub mod detail_id;
 pub mod hybrid;
 pub mod navigate;
 pub mod pipeline;
 pub mod record;
 pub mod segmenter;
+pub mod timing;
 pub mod vertical;
 pub mod wrapper;
 
@@ -74,9 +76,9 @@ pub use annotate::{annotate_columns, recognize, ColumnAnnotation, SemanticLabel}
 pub use detail_id::identify_detail_pages;
 pub use hybrid::HybridSegmenter;
 pub use navigate::{navigate, NavigatedSite};
-pub use pipeline::{prepare, PreparedPage, SitePages};
+pub use pipeline::{prepare, prepare_with_template, PreparedPage, SitePages, SiteTemplate};
 pub use record::{assemble_records, AssembledRecord};
-pub use segmenter::{CspSegmenter, ProbSegmenter, SegmenterOutcome, Segmenter};
+pub use segmenter::{CspSegmenter, ProbSegmenter, Segmenter, SegmenterOutcome};
 pub use wrapper::{induce_wrapper, RowWrapper};
 
 // Re-export the building blocks for advanced use.

@@ -146,9 +146,7 @@ mod tests {
     use tableseg_sitegen::paper_sites;
     use tableseg_sitegen::site::generate;
 
-    fn fetcher(
-        map: std::collections::HashMap<String, String>,
-    ) -> impl Fn(&str) -> Option<String> {
+    fn fetcher(map: std::collections::HashMap<String, String>) -> impl Fn(&str) -> Option<String> {
         move |url: &str| map.get(url).cloned()
     }
 

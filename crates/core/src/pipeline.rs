@@ -1,10 +1,20 @@
 //! The shared front end of both approaches (Sections 3.1–3.2): template
 //! finding, table-slot detection, extraction, detail-page matching.
+//!
+//! Template induction is the front end's most expensive step and depends
+//! only on the site's sample list pages — not on which page is being
+//! segmented. [`SiteTemplate`] owns that per-site work (tokenization +
+//! induction + quality assessment) so batch runs do it once per site;
+//! [`prepare_with_template`] then does the per-page work (extraction,
+//! detail matching) against the cached template. [`prepare`] remains the
+//! one-shot convenience wrapper.
 
-use tableseg_extract::{build_observations, Observations};
+use tableseg_extract::{derive_extracts, match_extracts, Observations};
 use tableseg_html::lexer::tokenize;
 use tableseg_html::Token;
-use tableseg_template::{assess, induce, TemplateQuality};
+use tableseg_template::{assess, induce, Induction, TemplateQuality};
+
+use crate::timing::{Stage, StageTimes};
 
 /// The input: sample list pages plus the detail pages of the page to
 /// segment.
@@ -41,38 +51,103 @@ pub struct PreparedPage {
     /// `Extract::start` indexes into this stream; wrapper induction
     /// ([`crate::wrapper`]) consumes it.
     pub slot_tokens: Vec<Token>,
+    /// Wall-clock time of the per-page stages (detail tokenization,
+    /// extraction, matching). [`prepare`] additionally merges in the
+    /// per-site stages; [`prepare_with_template`] does not — the caller
+    /// owns the site-level [`SiteTemplate::timings`].
+    pub timings: StageTimes,
+}
+
+/// The per-site front-end state: tokenized sample list pages plus the
+/// induced template and its quality verdict. Build it once per site with
+/// [`SiteTemplate::build`], then call [`prepare_with_template`] for each
+/// page — template induction (Hirschberg LCS over every page pair) runs
+/// exactly once no matter how many pages are segmented.
+#[derive(Debug, Clone)]
+pub struct SiteTemplate {
+    /// Token streams of the sample list pages, in input order.
+    pub pages: Vec<Vec<Token>>,
+    /// The induced template and its per-page anchors.
+    pub induction: Induction,
+    /// The template diagnostics driving the slot-vs-whole-page decision.
+    pub quality: TemplateQuality,
+    /// Wall-clock time of the per-site stages (list-page tokenization and
+    /// template induction).
+    pub timings: StageTimes,
+}
+
+impl SiteTemplate {
+    /// Tokenizes the sample list pages and induces the site's template.
+    pub fn build(list_pages: &[&str]) -> SiteTemplate {
+        let mut timings = StageTimes::new();
+        let pages: Vec<Vec<Token>> = timings.time(Stage::Tokenize, || {
+            list_pages.iter().map(|p| tokenize(p)).collect()
+        });
+        let (induction, quality) = timings.time(Stage::TemplateInduction, || {
+            let induction = induce(&pages);
+            let quality = assess(&induction, &pages);
+            (induction, quality)
+        });
+        SiteTemplate {
+            pages,
+            induction,
+            quality,
+            timings,
+        }
+    }
 }
 
 /// Runs the shared front end on a site's pages.
+///
+/// Convenience wrapper over [`SiteTemplate::build`] +
+/// [`prepare_with_template`]; the returned page's `timings` include the
+/// site-level stages. Batch callers segmenting several pages of one site
+/// should build the [`SiteTemplate`] once instead.
 ///
 /// # Panics
 ///
 /// Panics if `target` is out of bounds — the caller controls both fields.
 pub fn prepare(input: &SitePages<'_>) -> PreparedPage {
-    assert!(
-        input.target < input.list_pages.len(),
-        "target page {} out of bounds ({} pages)",
-        input.target,
-        input.list_pages.len()
-    );
-    let pages: Vec<Vec<Token>> = input.list_pages.iter().map(|p| tokenize(p)).collect();
-    let detail_tokens: Vec<Vec<Token>> =
-        input.detail_pages.iter().map(|p| tokenize(p)).collect();
+    let template = SiteTemplate::build(&input.list_pages);
+    let mut prepared = prepare_with_template(&template, input.target, &input.detail_pages);
+    prepared.timings.merge(&template.timings);
+    prepared
+}
 
-    // Template induction over all sample pages.
-    let induction = induce(&pages);
-    let quality = assess(&induction, &pages);
+/// Runs the per-page front end against a prebuilt [`SiteTemplate`]:
+/// table-slot selection, extraction, and detail-page matching for the
+/// list page at index `target`.
+///
+/// # Panics
+///
+/// Panics if `target` is out of bounds for the template's pages.
+pub fn prepare_with_template(
+    template: &SiteTemplate,
+    target: usize,
+    detail_pages: &[&str],
+) -> PreparedPage {
+    assert!(
+        target < template.pages.len(),
+        "target page {} out of bounds ({} pages)",
+        target,
+        template.pages.len()
+    );
+    let mut timings = StageTimes::new();
+    let detail_tokens: Vec<Vec<Token>> = timings.time(Stage::Tokenize, || {
+        detail_pages.iter().map(|p| tokenize(p)).collect()
+    });
 
     // Table slot: the slot with the most text tokens, unless the template
     // is degenerate — then the entire page (Section 6.2: "In cases where
     // the template finding algorithm could not find a good page template,
     // we have taken the entire text of the list page").
-    let target_tokens = &pages[input.target];
-    let (slot_tokens, used_whole_page): (&[Token], bool) = if quality.is_usable() {
-        let slots = induction.slots(&pages);
-        match slots.table_slot(&pages) {
+    let pages = &template.pages;
+    let target_tokens = &pages[target];
+    let (slot_tokens, used_whole_page): (&[Token], bool) = if template.quality.is_usable() {
+        let slots = template.induction.slots(pages);
+        match slots.table_slot(pages) {
             Some(idx) => {
-                let range = slots.slots[idx].ranges[input.target].clone();
+                let range = slots.slots[idx].ranges[target].clone();
                 (&target_tokens[range], false)
             }
             None => (&target_tokens[..], true),
@@ -84,12 +159,15 @@ pub fn prepare(input: &SitePages<'_>) -> PreparedPage {
     let other_pages: Vec<&[Token]> = pages
         .iter()
         .enumerate()
-        .filter(|&(i, _)| i != input.target)
+        .filter(|&(i, _)| i != target)
         .map(|(_, p)| p.as_slice())
         .collect();
     let detail_refs: Vec<&[Token]> = detail_tokens.iter().map(Vec::as_slice).collect();
 
-    let observations = build_observations(slot_tokens, &other_pages, &detail_refs);
+    let extracts = timings.time(Stage::Extraction, || derive_extracts(slot_tokens));
+    let observations = timings.time(Stage::Matching, || {
+        match_extracts(extracts, &other_pages, &detail_refs)
+    });
     let extract_offsets = observations
         .items
         .iter()
@@ -106,8 +184,9 @@ pub fn prepare(input: &SitePages<'_>) -> PreparedPage {
         extract_offsets,
         skipped_offsets,
         used_whole_page,
-        template_quality: quality,
+        template_quality: template.quality,
         slot_tokens: slot_tokens.to_vec(),
+        timings,
     }
 }
 

@@ -18,7 +18,10 @@ pub struct SegmenterOutcome {
 }
 
 /// A record-segmentation algorithm operating on an observation table.
-pub trait Segmenter {
+///
+/// `Send + Sync` so segmenters can be shared across [`crate::batch`]
+/// worker threads; every implementation is a plain configuration struct.
+pub trait Segmenter: Send + Sync {
     /// Segments the observation table into records.
     fn segment(&self, obs: &Observations) -> SegmenterOutcome;
 
@@ -115,7 +118,10 @@ mod tests {
     fn both_segmenters_agree_on_clean_data() {
         let obs = obs();
         let expected = vec![Some(0), Some(0), Some(1), Some(1)];
-        for s in [&CspSegmenter::default() as &dyn Segmenter, &ProbSegmenter::default()] {
+        for s in [
+            &CspSegmenter::default() as &dyn Segmenter,
+            &ProbSegmenter::default(),
+        ] {
             let out = s.segment(&obs);
             assert_eq!(out.segmentation.assignments, expected, "{}", s.name());
             assert!(!out.relaxed, "{}", s.name());
@@ -141,9 +147,11 @@ mod tests {
 
     #[test]
     fn ablation_constructors() {
-        assert!(!CspSegmenter::without_position_constraints()
-            .options
-            .position_constraints);
+        assert!(
+            !CspSegmenter::without_position_constraints()
+                .options
+                .position_constraints
+        );
         assert!(!ProbSegmenter::without_period_model().options.period_model);
     }
 }

@@ -1,0 +1,250 @@
+//! Per-stage wall-clock timing for batch pipeline runs.
+//!
+//! The pipeline decomposes into six stages (tokenization, template
+//! induction, extraction, detail-page matching, solving, decoding); each
+//! job records a [`StageTimes`] and a [`Registry`] aggregates them per
+//! label (typically per site) into the RT experiment report.
+//!
+//! Timing is collected unconditionally — the cost is a handful of
+//! `Instant::now()` calls per page — but it is kept out of the default
+//! report output so that result tables stay byte-identical across thread
+//! counts and machines.
+
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A pipeline stage, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Lexing list and detail pages into token streams.
+    Tokenize,
+    /// Page-template induction and quality assessment (once per site).
+    TemplateInduction,
+    /// Deriving extracts from the table slot.
+    Extraction,
+    /// Matching extracts against the detail pages.
+    Matching,
+    /// Running a segmenter (CSP / probabilistic / hybrid).
+    Solve,
+    /// Decoding the solution: truth alignment, classification, assembly.
+    Decode,
+}
+
+impl Stage {
+    /// Every stage, in execution order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Tokenize,
+        Stage::TemplateInduction,
+        Stage::Extraction,
+        Stage::Matching,
+        Stage::Solve,
+        Stage::Decode,
+    ];
+
+    /// Short column label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Tokenize => "tokenize",
+            Stage::TemplateInduction => "template",
+            Stage::Extraction => "extract",
+            Stage::Matching => "match",
+            Stage::Solve => "solve",
+            Stage::Decode => "decode",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Tokenize => 0,
+            Stage::TemplateInduction => 1,
+            Stage::Extraction => 2,
+            Stage::Matching => 3,
+            Stage::Solve => 4,
+            Stage::Decode => 5,
+        }
+    }
+}
+
+/// Wall-clock time spent per stage by one job (or merged over many).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    nanos: [u128; 6],
+}
+
+impl StageTimes {
+    /// No time recorded anywhere.
+    pub fn new() -> StageTimes {
+        StageTimes::default()
+    }
+
+    /// Adds `elapsed` to one stage.
+    pub fn add(&mut self, stage: Stage, elapsed: Duration) {
+        self.nanos[stage.index()] += elapsed.as_nanos();
+    }
+
+    /// Runs `f`, charging its wall-clock time to `stage`.
+    pub fn time<T>(&mut self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.add(stage, start.elapsed());
+        out
+    }
+
+    /// Time recorded for one stage.
+    pub fn get(&self, stage: Stage) -> Duration {
+        nanos_to_duration(self.nanos[stage.index()])
+    }
+
+    /// Sums another record into this one.
+    pub fn merge(&mut self, other: &StageTimes) {
+        for (a, b) in self.nanos.iter_mut().zip(other.nanos.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Total time across all stages.
+    pub fn total(&self) -> Duration {
+        nanos_to_duration(self.nanos.iter().sum())
+    }
+}
+
+fn nanos_to_duration(n: u128) -> Duration {
+    Duration::from_nanos(u64::try_from(n).unwrap_or(u64::MAX))
+}
+
+impl fmt::Display for StageTimes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for stage in Stage::ALL {
+            if !first {
+                write!(f, "  ")?;
+            }
+            first = false;
+            write!(f, "{} {}", stage.label(), human(self.get(stage)))?;
+        }
+        Ok(())
+    }
+}
+
+/// Thread-safe aggregation of [`StageTimes`] keyed by label, preserving
+/// first-insertion order. Batch runs record one entry per site.
+#[derive(Debug, Default)]
+pub struct Registry {
+    rows: Mutex<Vec<(String, StageTimes)>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Merges `times` into the entry for `label` (created on first use).
+    pub fn record(&self, label: &str, times: &StageTimes) {
+        let mut rows = self.rows.lock().expect("timing registry poisoned");
+        match rows.iter_mut().find(|(l, _)| l == label) {
+            Some((_, acc)) => acc.merge(times),
+            None => rows.push((label.to_owned(), *times)),
+        }
+    }
+
+    /// A snapshot of every entry, in first-insertion order.
+    pub fn rows(&self) -> Vec<(String, StageTimes)> {
+        self.rows.lock().expect("timing registry poisoned").clone()
+    }
+
+    /// Renders the per-stage wall-clock report (the RT table).
+    pub fn render(&self) -> String {
+        let rows = self.rows();
+        let mut out = String::new();
+        out.push_str(&format!("{:<24}", "site"));
+        for stage in Stage::ALL {
+            out.push_str(&format!(" | {:>9}", stage.label()));
+        }
+        out.push_str(&format!(" | {:>9}\n", "total"));
+        let mut grand = StageTimes::new();
+        for (label, times) in &rows {
+            grand.merge(times);
+            out.push_str(&format!("{label:<24}"));
+            for stage in Stage::ALL {
+                out.push_str(&format!(" | {:>9}", human(times.get(stage))));
+            }
+            out.push_str(&format!(" | {:>9}\n", human(times.total())));
+        }
+        if rows.len() > 1 {
+            out.push_str(&format!("{:<24}", "TOTAL"));
+            for stage in Stage::ALL {
+                out.push_str(&format!(" | {:>9}", human(grand.get(stage))));
+            }
+            out.push_str(&format!(" | {:>9}\n", human(grand.total())));
+        }
+        out
+    }
+}
+
+/// Compact human-readable duration (`12.3µs`, `4.56ms`, `1.23s`).
+fn human(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs < 1e-6 {
+        format!("{:.1}ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.1}µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{secs:.2}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_charges_the_right_stage() {
+        let mut t = StageTimes::new();
+        let v = t.time(Stage::Solve, || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(t.get(Stage::Solve) > Duration::ZERO);
+        assert_eq!(t.get(Stage::Tokenize), Duration::ZERO);
+        assert_eq!(t.total(), t.get(Stage::Solve));
+    }
+
+    #[test]
+    fn merge_sums_stages() {
+        let mut a = StageTimes::new();
+        a.add(Stage::Tokenize, Duration::from_micros(5));
+        let mut b = StageTimes::new();
+        b.add(Stage::Tokenize, Duration::from_micros(7));
+        b.add(Stage::Decode, Duration::from_micros(1));
+        a.merge(&b);
+        assert_eq!(a.get(Stage::Tokenize), Duration::from_micros(12));
+        assert_eq!(a.get(Stage::Decode), Duration::from_micros(1));
+    }
+
+    #[test]
+    fn registry_merges_by_label_in_order() {
+        let reg = Registry::new();
+        let mut t = StageTimes::new();
+        t.add(Stage::Solve, Duration::from_micros(3));
+        reg.record("b", &t);
+        reg.record("a", &t);
+        reg.record("b", &t);
+        let rows = reg.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "b");
+        assert_eq!(rows[0].1.get(Stage::Solve), Duration::from_micros(6));
+        assert_eq!(rows[1].0, "a");
+        let report = reg.render();
+        assert!(report.contains("solve"), "{report}");
+        assert!(report.contains("TOTAL"), "{report}");
+    }
+
+    #[test]
+    fn stage_indices_match_all_order() {
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            assert_eq!(stage.index(), i);
+        }
+    }
+}

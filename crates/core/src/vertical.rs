@@ -48,10 +48,7 @@ pub fn detect_vertical(obs: &Observations) -> bool {
     if hints.len() < 4 {
         return false;
     }
-    let backward = hints
-        .windows(2)
-        .filter(|w| w[1].1 < w[0].1)
-        .count();
+    let backward = hints.windows(2).filter(|w| w[1].1 < w[0].1).count();
     backward >= MIN_BACKWARD_STEPS
         && backward as f64 / (hints.len() - 1) as f64 > VERTICAL_THRESHOLD
 }

@@ -97,8 +97,7 @@ impl RowWrapper {
 }
 
 fn matches_at(texts: &[&str], pos: usize, delim: &[String]) -> bool {
-    pos + delim.len() <= texts.len()
-        && delim.iter().zip(&texts[pos..]).all(|(d, t)| d == t)
+    pos + delim.len() <= texts.len() && delim.iter().zip(&texts[pos..]).all(|(d, t)| d == t)
 }
 
 /// Reads one field starting at `pos`, terminated by `delim`. Returns the
@@ -296,7 +295,9 @@ mod tests {
             target: 0,
             detail_pages: details,
         });
-        let seg = CspSegmenter::default().segment(&prepared.observations).segmentation;
+        let seg = CspSegmenter::default()
+            .segment(&prepared.observations)
+            .segmentation;
         (prepared, seg)
     }
 
@@ -338,7 +339,9 @@ mod tests {
             target: 0,
             detail_pages: details,
         });
-        let seg = CspSegmenter::default().segment(&prepared.observations).segmentation;
+        let seg = CspSegmenter::default()
+            .segment(&prepared.observations)
+            .segmentation;
         assert!(induce_wrapper(&prepared, &seg).is_none());
     }
 

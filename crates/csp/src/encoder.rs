@@ -71,14 +71,16 @@ pub fn encode(obs: &Observations, opts: &EncodeOptions) -> Encoding {
         }
     }
     let mut model = Model::new(vars.len());
-    let uniq_rel = if opts.relaxed { Relation::Le } else { Relation::Eq };
+    let uniq_rel = if opts.relaxed {
+        Relation::Le
+    } else {
+        Relation::Eq
+    };
 
     // Uniqueness.
     for (i, item) in obs.items.iter().enumerate() {
         let vs: Vec<usize> = item.pages.iter().map(|&j| var_of[&(i, j)]).collect();
-        model.add(
-            Constraint::sum(vs, uniq_rel, 1).labeled(format!("uniq(E{})", i + 1)),
-        );
+        model.add(Constraint::sum(vs, uniq_rel, 1).labeled(format!("uniq(E{})", i + 1)));
     }
 
     // Consecutiveness, per record.
@@ -95,10 +97,12 @@ pub fn encode(obs: &Observations, opts: &EncodeOptions) -> Encoding {
                 if blocked {
                     if seen_pairs.insert((k, i, j)) {
                         let vs = [var_of[&(k, j)], var_of[&(i, j)]];
-                        model.add(
-                            Constraint::sum(vs, Relation::Le, 1)
-                                .labeled(format!("consec(E{},E{}|r{})", k + 1, i + 1, j + 1)),
-                        );
+                        model.add(Constraint::sum(vs, Relation::Le, 1).labeled(format!(
+                            "consec(E{},E{}|r{})",
+                            k + 1,
+                            i + 1,
+                            j + 1
+                        )));
                     }
                 } else {
                     // Every in-between extract is a candidate: the pair may
@@ -106,19 +110,22 @@ pub fn encode(obs: &Observations, opts: &EncodeOptions) -> Encoding {
                     for n in k + 1..i {
                         model.add(Constraint {
                             terms: vec![
-                                Term { var: var_of[&(k, j)], coef: 1 },
-                                Term { var: var_of[&(i, j)], coef: 1 },
-                                Term { var: var_of[&(n, j)], coef: -1 },
+                                Term {
+                                    var: var_of[&(k, j)],
+                                    coef: 1,
+                                },
+                                Term {
+                                    var: var_of[&(i, j)],
+                                    coef: 1,
+                                },
+                                Term {
+                                    var: var_of[&(n, j)],
+                                    coef: -1,
+                                },
                             ],
                             rel: Relation::Le,
                             rhs: 1,
-                            label: format!(
-                                "consec(E{},E{}-E{}|r{})",
-                                k + 1,
-                                i + 1,
-                                n + 1,
-                                j + 1
-                            ),
+                            label: format!("consec(E{},E{}-E{}|r{})", k + 1, i + 1, n + 1, j + 1),
                         });
                     }
                 }
@@ -128,7 +135,11 @@ pub fn encode(obs: &Observations, opts: &EncodeOptions) -> Encoding {
 
     // Position constraints (Section 4.2).
     if opts.position_constraints {
-        let pos_rel = if opts.relaxed { Relation::Le } else { Relation::Eq };
+        let pos_rel = if opts.relaxed {
+            Relation::Le
+        } else {
+            Relation::Eq
+        };
         for group in position_groups(obs) {
             let vs: Vec<usize> = group
                 .extracts
@@ -173,8 +184,7 @@ pub(crate) mod tests {
         let d2 = tokenize(
             "<h1>John Smith</h1><p>221R Washington St</p><p>Wash CH</p><p>(740) 335-5555</p>",
         );
-        let d3 =
-            tokenize("<h1>George W. Smith</h1><p>Findlay, OH</p><p>(419) 423-1212</p>");
+        let d3 = tokenize("<h1>George W. Smith</h1><p>Findlay, OH</p><p>(419) 423-1212</p>");
         let details: Vec<&[Token]> = vec![&d1, &d2, &d3];
         build_observations(&list, &[], &details)
     }
@@ -219,11 +229,7 @@ pub(crate) mod tests {
                 position_constraints: true,
             },
         );
-        assert!(enc
-            .model
-            .constraints
-            .iter()
-            .all(|c| c.rel == Relation::Le));
+        assert!(enc.model.constraints.iter().all(|c| c.rel == Relation::Le));
         assert_eq!(enc.model.objective.len(), enc.vars.len());
     }
 
@@ -257,9 +263,11 @@ pub(crate) mod tests {
         // between them sit E2/E3 which cannot be in r2... in this fixture
         // E1..E4 are row 1, E5..E8 row 2. E1 and E8 are both candidates of
         // r1 and r2, with blocked middles for r1 (E6, E7 not on r1).
-        let has_pair = enc.model.constraints.iter().any(|c| {
-            c.label.starts_with("consec") && c.terms.len() == 2
-        });
+        let has_pair = enc
+            .model
+            .constraints
+            .iter()
+            .any(|c| c.label.starts_with("consec") && c.terms.len() == 2);
         assert!(has_pair);
         let has_triple = enc
             .model
@@ -298,10 +306,7 @@ pub(crate) mod tests {
         assert_eq!(c.rel, Relation::Eq);
         assert_eq!(c.rhs, 1);
         let vars: Vec<usize> = c.terms.iter().map(|t| t.var).collect();
-        assert_eq!(
-            vars,
-            vec![enc.var(0, 0).unwrap(), enc.var(0, 1).unwrap()]
-        );
+        assert_eq!(vars, vec![enc.var(0, 0).unwrap(), enc.var(0, 1).unwrap()]);
         // x21 = 1 (E2 can only be in r1).
         let c = uniq(1);
         assert_eq!(c.terms.len(), 1);

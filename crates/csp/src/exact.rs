@@ -107,7 +107,9 @@ pub fn solve_bnb(model: &Model, node_budget: u64) -> BnbOutcome {
 
         /// Incremental bound check: only the constraints of `var`.
         fn pruned_after(&self, var: usize) -> bool {
-            self.occurs[var].iter().any(|&(ci, _)| self.constraint_bad(ci))
+            self.occurs[var]
+                .iter()
+                .any(|&(ci, _)| self.constraint_bad(ci))
         }
 
         /// Upper bound on the objective: fixed part (maintained
@@ -316,9 +318,9 @@ pub fn solve_ordered(candidates: &[&[u32]], num_records: usize) -> OrderedSoluti
     // determinism.
     let mut best_state = 0;
     let mut best = NEG;
-    for st in 0..states {
-        if dp[st] > best {
-            best = dp[st];
+    for (st, &score) in dp.iter().enumerate() {
+        if score > best {
+            best = score;
             best_state = st;
         }
     }
@@ -450,10 +452,7 @@ mod tests {
         let d: Vec<&[u32]> = cands(&[&[0], &[1], &[2]]);
         let sol = solve_ordered(&d, 3);
         assert!(sol.is_total());
-        assert_eq!(
-            sol.assignments,
-            vec![Some(0), Some(1), Some(2)]
-        );
+        assert_eq!(sol.assignments, vec![Some(0), Some(1), Some(2)]);
     }
 
     #[test]

@@ -144,7 +144,13 @@ impl Model {
     pub fn objective_value(&self, assignment: &[bool]) -> i64 {
         self.objective
             .iter()
-            .map(|t| if assignment[t.var] { i64::from(t.coef) } else { 0 })
+            .map(|t| {
+                if assignment[t.var] {
+                    i64::from(t.coef)
+                } else {
+                    0
+                }
+            })
             .sum()
     }
 

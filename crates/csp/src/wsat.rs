@@ -232,8 +232,7 @@ pub fn solve(model: &Model, cfg: &WsatConfig) -> WsatResult {
                 }
             } else {
                 let ci = state.violated[rng.random_range(0..state.violated.len())];
-                match pick_constraint_move(&state, ci, cfg, total_flips, best_violation, &mut rng)
-                {
+                match pick_constraint_move(&state, ci, cfg, total_flips, best_violation, &mut rng) {
                     Some(v) => v,
                     None => continue,
                 }
@@ -317,11 +316,7 @@ fn pick_constraint_move(
 }
 
 /// Chooses an objective-improving move when the state is feasible.
-fn pick_objective_move(
-    state: &SearchState<'_>,
-    model: &Model,
-    rng: &mut StdRng,
-) -> Option<usize> {
+fn pick_objective_move(state: &SearchState<'_>, model: &Model, rng: &mut StdRng) -> Option<usize> {
     // Candidate moves: objective variables whose flip improves the
     // objective.
     let improving: Vec<usize> = model

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 
 use tableseg_csp::exact::{solve_bnb, solve_ordered, BnbOutcome};
-use tableseg_csp::model::{Constraint, Model, Relation};
+use tableseg_csp::model::{Constraint, Model, Relation, Term};
 use tableseg_csp::wsat::{solve, WsatConfig};
 
 /// A random small pseudo-boolean model.
@@ -26,6 +26,120 @@ fn arb_model() -> impl Strategy<Value = Model> {
             m
         })
     })
+}
+
+/// A random small model with non-unit (including negative) coefficients —
+/// the shape the encoder's consecutiveness triples take.
+fn arb_weighted_model() -> impl Strategy<Value = Model> {
+    let num_vars = 2usize..7;
+    num_vars.prop_flat_map(|n| {
+        let term = (0..n, prop_oneof![Just(-2i32), Just(-1), Just(1), Just(2)]);
+        let constraint = (
+            proptest::collection::vec(term, 1..=n.min(4)),
+            prop_oneof![Just(Relation::Le), Just(Relation::Ge), Just(Relation::Eq)],
+            -2i32..4,
+        );
+        proptest::collection::vec(constraint, 0..5).prop_map(move |cs| {
+            let mut m = Model::new(n);
+            for (terms, rel, rhs) in cs {
+                let mut seen = vec![false; n];
+                let terms: Vec<Term> = terms
+                    .into_iter()
+                    .filter(|&(var, _)| !std::mem::replace(&mut seen[var], true))
+                    .map(|(var, coef)| Term { var, coef })
+                    .collect();
+                m.add(Constraint {
+                    terms,
+                    rel,
+                    rhs,
+                    label: String::new(),
+                });
+            }
+            m
+        })
+    })
+}
+
+/// Builds the pseudo-boolean translation of an ordered segmentation
+/// instance: occurrence (variables only for candidate records), relaxed
+/// uniqueness, consecutiveness (pairs and triples, as the encoder emits
+/// them), plus the horizontal-layout monotonicity the ordered DP assumes,
+/// maximizing the number of assigned extracts.
+fn ordered_instance_model(cands: &[&[u32]]) -> (Model, Vec<(usize, u32)>) {
+    let mut vars: Vec<(usize, u32)> = Vec::new();
+    let mut var_of = std::collections::HashMap::new();
+    for (i, c) in cands.iter().enumerate() {
+        for &j in *c {
+            var_of.insert((i, j), vars.len());
+            vars.push((i, j));
+        }
+    }
+    let mut m = Model::new(vars.len());
+    // Uniqueness (relaxed): each extract in at most one record.
+    for (i, c) in cands.iter().enumerate() {
+        m.add(Constraint::sum(
+            c.iter().map(|&j| var_of[&(i, j)]),
+            Relation::Le,
+            1,
+        ));
+    }
+    // Consecutiveness per record.
+    for (i, ci) in cands.iter().enumerate() {
+        for &j in *ci {
+            for (k, ck) in cands.iter().enumerate().skip(i + 1) {
+                if !ck.contains(&j) {
+                    continue;
+                }
+                if (i + 1..k).all(|n| cands[n].contains(&j)) {
+                    for n in i + 1..k {
+                        m.add(Constraint {
+                            terms: vec![
+                                Term {
+                                    var: var_of[&(i, j)],
+                                    coef: 1,
+                                },
+                                Term {
+                                    var: var_of[&(k, j)],
+                                    coef: 1,
+                                },
+                                Term {
+                                    var: var_of[&(n, j)],
+                                    coef: -1,
+                                },
+                            ],
+                            rel: Relation::Le,
+                            rhs: 1,
+                            label: String::new(),
+                        });
+                    }
+                } else {
+                    m.add(Constraint::sum(
+                        [var_of[&(i, j)], var_of[&(k, j)]],
+                        Relation::Le,
+                        1,
+                    ));
+                }
+            }
+        }
+    }
+    // Monotone record labels in stream order.
+    for (i, ci) in cands.iter().enumerate() {
+        for &j in *ci {
+            for (k, ck) in cands.iter().enumerate().skip(i + 1) {
+                for &j2 in *ck {
+                    if j2 < j {
+                        m.add(Constraint::sum(
+                            [var_of[&(i, j)], var_of[&(k, j2)]],
+                            Relation::Le,
+                            1,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    m.maximize_sum(0..vars.len());
+    (m, vars)
 }
 
 proptest! {
@@ -123,5 +237,61 @@ proptest! {
             }
         }
         prop_assert!(sol.assigned >= best_run);
+    }
+
+    /// Feasibility agreement extends to non-unit (and negative)
+    /// coefficients — the shape the encoder's consecutiveness triples use.
+    #[test]
+    fn wsat_agrees_with_bnb_on_weighted_models(model in arb_weighted_model()) {
+        let exact = solve_bnb(&model, 1_000_000);
+        let stochastic = solve(&model, &WsatConfig::default());
+        match exact {
+            BnbOutcome::Optimal { .. } => {
+                prop_assert!(stochastic.feasible, "WSAT missed a solution");
+                prop_assert!(model.feasible(&stochastic.assignment));
+            }
+            BnbOutcome::Infeasible => {
+                prop_assert!(!stochastic.feasible, "WSAT claims feasible on infeasible model");
+            }
+            BnbOutcome::Unknown => unreachable!("budget is ample for <=7 vars"),
+        }
+    }
+
+    /// Three-way differential on ordered segmentation instances: the
+    /// branch-and-bound optimum of the pseudo-boolean translation must
+    /// equal the ordered DP's assigned count, and WSAT must reach it too.
+    #[test]
+    fn dp_bnb_wsat_agree_on_segmentation_instances(
+        spec in proptest::collection::vec(
+            proptest::collection::btree_set(0u32..4, 0..3), 1..8),
+    ) {
+        let owned: Vec<Vec<u32>> = spec.iter().map(|s| s.iter().copied().collect()).collect();
+        let cands: Vec<&[u32]> = owned.iter().map(Vec::as_slice).collect();
+        let dp = solve_ordered(&cands, 4);
+
+        let (model, vars) = ordered_instance_model(&cands);
+        let exact = solve_bnb(&model, 1_000_000);
+        let BnbOutcome::Optimal { objective, .. } = exact else {
+            // All-zero is always feasible under the relaxed encoding.
+            return Err(TestCaseError::fail("B&B must find the all-zero solution"));
+        };
+        prop_assert_eq!(
+            objective,
+            dp.assigned as i64,
+            "B&B optimum disagrees with ordered DP on {:?}",
+            owned
+        );
+
+        // The DP's own assignment must be feasible in the model.
+        let mut assignment = vec![false; model.num_vars];
+        for (v, &(i, j)) in vars.iter().enumerate() {
+            assignment[v] = dp.assignments[i] == Some(j);
+        }
+        prop_assert!(model.feasible(&assignment), "DP solution infeasible in PB model");
+
+        // And WSAT, given the same model, reaches the optimum.
+        let stochastic = solve(&model, &WsatConfig { max_flips: 10_000, ..WsatConfig::default() });
+        prop_assert!(stochastic.feasible);
+        prop_assert_eq!(stochastic.objective, objective);
     }
 }

@@ -127,19 +127,14 @@ pub fn classify(groups: &[Vec<usize>], truth: &[Option<usize>], num_truth: usize
 /// prediction it is **FN**; otherwise **InCor**. Predictions intersecting
 /// no truth record are **FP**.
 pub fn classify_spans(pred: &[Range<usize>], truth: &[Range<usize>]) -> PageCounts {
-    let intersects =
-        |a: &Range<usize>, b: &Range<usize>| a.start < b.end && b.start < a.end;
+    let intersects = |a: &Range<usize>, b: &Range<usize>| a.start < b.end && b.start < a.end;
     let mut counts = PageCounts::default();
     for t in truth {
         let hits: Vec<&Range<usize>> = pred.iter().filter(|p| intersects(p, t)).collect();
         match hits.as_slice() {
             [] => counts.fneg += 1,
             [p] => {
-                let exclusive = truth
-                    .iter()
-                    .filter(|t2| intersects(p, t2))
-                    .count()
-                    == 1;
+                let exclusive = truth.iter().filter(|t2| intersects(p, t2)).count() == 1;
                 if exclusive {
                     counts.cor += 1;
                 } else {
@@ -170,6 +165,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::single_range_in_vec_init)] // one span, not a range of values
     fn spans_merged_prediction_is_incorrect() {
         let truth = vec![0..10, 10..20];
         let c = classify_spans(&[0..20], &truth);
@@ -178,6 +174,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::single_range_in_vec_init)] // one span, not a range of values
     fn spans_split_prediction_is_incorrect() {
         let truth = vec![0..10];
         let c = classify_spans(&[0..4, 5..9], &truth);

@@ -27,6 +27,6 @@ pub mod segmentation;
 pub mod separator;
 
 pub use extracts::{derive_extracts, Extract};
-pub use observations::{build_observations, ObsItem, Observations};
+pub use observations::{build_observations, match_extracts, ObsItem, Observations};
 pub use segmentation::Segmentation;
 pub use separator::is_separator;

@@ -98,6 +98,19 @@ pub fn build_observations(
     other_list_pages: &[&[Token]],
     detail_pages: &[&[Token]],
 ) -> Observations {
+    let extracts = derive_extracts(slot_tokens);
+    match_extracts(extracts, other_list_pages, detail_pages)
+}
+
+/// The matching half of [`build_observations`]: observes already-derived
+/// extracts on the detail pages (and filters against the other list
+/// pages). Split out so callers can time extraction and matching as
+/// separate stages.
+pub fn match_extracts(
+    extracts: Vec<Extract>,
+    other_list_pages: &[&[Token]],
+    detail_pages: &[&[Token]],
+) -> Observations {
     let detail_streams: Vec<MatchStream> =
         detail_pages.iter().map(|p| MatchStream::new(p)).collect();
     let other_streams: Vec<MatchStream> = other_list_pages
@@ -105,7 +118,6 @@ pub fn build_observations(
         .map(|p| MatchStream::new(p))
         .collect();
 
-    let extracts = derive_extracts(slot_tokens);
     let mut items = Vec::new();
     let mut skipped = Vec::new();
 
@@ -156,8 +168,12 @@ mod tests {
              <tr><td>George W. Smith</td><td>Findlay, OH</td><td>(419) 423-1212</td></tr>",
         );
         let details = vec![
-            tokenize("<h1>John Smith</h1><p>221 Washington</p><p>New Holland</p><p>(740) 335-5555</p>"),
-            tokenize("<h1>John Smith</h1><p>221R Washington</p><p>Washington</p><p>(740) 335-5555</p>"),
+            tokenize(
+                "<h1>John Smith</h1><p>221 Washington</p><p>New Holland</p><p>(740) 335-5555</p>",
+            ),
+            tokenize(
+                "<h1>John Smith</h1><p>221R Washington</p><p>Washington</p><p>(740) 335-5555</p>",
+            ),
             tokenize("<h1>George W. Smith</h1><p>Findlay, OH</p><p>(419) 423-1212</p>"),
         ];
         (list, details)

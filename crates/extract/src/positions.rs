@@ -109,10 +109,8 @@ mod tests {
              <td>John Smith</td><td>221R Washington</td><td>(740) 335-5555</td>\
              <td>George Major</td><td>Findlay, OH</td><td>(419) 423-1212</td>",
         );
-        let d1 =
-            tokenize("<h1>John Smith</h1><p>221 Washington</p><p>(740) 335-5555</p>");
-        let d2 =
-            tokenize("<h1>John Smith</h1><p>221R Washington</p><p>(740) 335-5555</p>");
+        let d1 = tokenize("<h1>John Smith</h1><p>221 Washington</p><p>(740) 335-5555</p>");
+        let d2 = tokenize("<h1>John Smith</h1><p>221R Washington</p><p>(740) 335-5555</p>");
         let d3 = tokenize("<h1>George Major</h1><p>Findlay, OH</p><p>(419) 423-1212</p>");
         let details: Vec<&[Token]> = vec![&d1, &d2, &d3];
         build_observations(&list, &[], &details)

@@ -91,7 +91,11 @@ impl Segmentation {
             }
             out.push_str(&format!("| r{} |", r + 1));
             for i in 0..obs.items.len() {
-                out.push_str(if extracts.contains(&i) { " 1 |" } else { "   |" });
+                out.push_str(if extracts.contains(&i) {
+                    " 1 |"
+                } else {
+                    "   |"
+                });
             }
             out.push('\n');
         }

@@ -183,8 +183,7 @@ fn find_ci(haystack: &str, needle: &str) -> Option<usize> {
     if n.is_empty() || h.len() < n.len() {
         return None;
     }
-    (0..=h.len() - n.len())
-        .find(|&i| h[i..i + n.len()].eq_ignore_ascii_case(n))
+    (0..=h.len() - n.len()).find(|&i| h[i..i + n.len()].eq_ignore_ascii_case(n))
 }
 
 /// Normalizes a raw tag: lowercases the tag name, collapses whitespace runs

@@ -51,3 +51,4 @@ pub mod writer;
 
 pub use links::{extract_links, Link};
 pub use token::{Token, TokenType, TypeSet};
+pub use writer::render_tokens;

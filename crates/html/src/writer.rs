@@ -5,6 +5,28 @@
 //! well-formed enough for the lexer to round-trip.
 
 use crate::entities::encode_text;
+use crate::Token;
+
+/// Renders a token stream back to HTML that re-tokenizes to an identical
+/// stream (same texts, same [`TypeSet`](crate::TypeSet)s).
+///
+/// Tags are emitted verbatim; text and punctuation tokens are
+/// entity-escaped and followed by a space so adjacent words do not merge.
+/// Source offsets are not preserved — the original inter-token whitespace
+/// is gone — which is exactly why the pipeline compares token *streams*,
+/// never raw bytes.
+pub fn render_tokens(tokens: &[Token]) -> String {
+    let mut out = String::new();
+    for t in tokens {
+        if t.is_html() {
+            out.push_str(&t.text);
+        } else {
+            out.push_str(&encode_text(&t.text));
+            out.push(' ');
+        }
+    }
+    out
+}
 
 /// An append-only HTML builder.
 #[derive(Debug, Default, Clone)]
@@ -159,5 +181,20 @@ mod tests {
         let mut w = HtmlWriter::new();
         w.text("3 < 4 > 2 & so on");
         assert_eq!(w.finish(), "3 &lt; 4 &gt; 2 &amp; so on");
+    }
+
+    #[test]
+    fn render_tokens_round_trips_entities() {
+        let html = "<td>Smith &amp; Sons</td><p>3 &lt; 4</p>";
+        let tokens = crate::lexer::tokenize(html);
+        let rendered = render_tokens(&tokens);
+        let again = crate::lexer::tokenize(&rendered);
+        assert_eq!(tokens.len(), again.len(), "{rendered}");
+        for (a, b) in tokens.iter().zip(&again) {
+            assert_eq!(a.text, b.text);
+            assert_eq!(a.types, b.types);
+        }
+        // The decoded ampersand must have been re-escaped, not left bare.
+        assert!(rendered.contains("&amp;"), "{rendered}");
     }
 }

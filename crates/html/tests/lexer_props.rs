@@ -5,13 +5,40 @@ use proptest::prelude::*;
 
 use tableseg_html::dom::parse;
 use tableseg_html::lexer::tokenize;
-use tableseg_html::writer::HtmlWriter;
+use tableseg_html::writer::{render_tokens, HtmlWriter};
 use tableseg_html::TypeSet;
 
 /// Words safe to embed as text content (no markup characters; the writer
 /// escapes those anyway, but keeping them plain makes assertions direct).
 fn arb_word() -> impl Strategy<Value = String> {
     "[A-Za-z0-9]{1,10}"
+}
+
+/// A fragment of page markup: tags, words, entities, punctuation — the
+/// pieces are concatenated with or without separating spaces, so entity
+/// and word boundaries land in arbitrary places.
+fn arb_html_piece() -> impl Strategy<Value = String> {
+    prop_oneof![
+        arb_tag().prop_map(|t| format!("<{t}>")),
+        arb_tag().prop_map(|t| format!("</{t}>")),
+        arb_word(),
+        prop_oneof![
+            Just("&amp;".to_owned()),
+            Just("&lt;".to_owned()),
+            Just("&gt;".to_owned()),
+            Just("&quot;".to_owned()),
+            Just("&nbsp;".to_owned()),
+            Just("&#65;".to_owned()),
+        ],
+        prop_oneof![
+            Just("(".to_owned()),
+            Just(")".to_owned()),
+            Just(",".to_owned()),
+            Just(".".to_owned()),
+            Just("-".to_owned()),
+            Just("$".to_owned()),
+        ],
+    ]
 }
 
 fn arb_tag() -> impl Strategy<Value = String> {
@@ -92,6 +119,37 @@ proptest! {
     fn entities_total(input in "[a-zA-Z0-9 .,;:!?-]{0,100}") {
         let decoded = tableseg_html::entities::decode_all(&input);
         prop_assert_eq!(decoded, input);
+    }
+
+    /// Tokenizer round-trip: `tokenize → render_tokens → tokenize` yields
+    /// an identical token stream — same texts and same `TypeSet` bitsets —
+    /// over generated HTML that mixes tags, words, punctuation and
+    /// entities at arbitrary boundaries.
+    #[test]
+    fn tokenize_render_tokenize_is_identity(
+        pieces in proptest::collection::vec((arb_html_piece(), proptest::bool::ANY), 0..30),
+    ) {
+        let mut html = String::new();
+        for (piece, spaced) in &pieces {
+            html.push_str(piece);
+            if *spaced {
+                html.push(' ');
+            }
+        }
+        let tokens = tokenize(&html);
+        let rendered = render_tokens(&tokens);
+        let again = tokenize(&rendered);
+        prop_assert_eq!(
+            tokens.len(),
+            again.len(),
+            "token count changed\nsource:   {:?}\nrendered: {:?}",
+            html,
+            rendered
+        );
+        for (a, b) in tokens.iter().zip(&again) {
+            prop_assert_eq!(&a.text, &b.text, "text drifted in {:?}", rendered);
+            prop_assert_eq!(a.types, b.types, "types drifted for {:?} in {:?}", &a.text, rendered);
+        }
     }
 
     /// Type classification is deterministic and consistent with the

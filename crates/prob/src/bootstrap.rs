@@ -120,14 +120,7 @@ mod tests {
 
     #[test]
     fn initial_period_peaks_at_observed_lengths() {
-        let e = vec![
-            ev(&[0]),
-            ev(&[0]),
-            ev(&[1]),
-            ev(&[1]),
-            ev(&[2]),
-            ev(&[2]),
-        ];
+        let e = vec![ev(&[0]), ev(&[0]), ev(&[1]), ev(&[1]), ev(&[2]), ev(&[2])];
         let k = num_columns(&e);
         assert_eq!(k, 2);
         let pi = initial_period(&e, k);

@@ -88,7 +88,10 @@ pub fn build_chain(dims: Dims, params: &Params, opts: &ProbOptions) -> Chain {
                 out.push(Edge {
                     to: dims.state(r, cp),
                     logp: p.ln(),
-                    kind: EdgeKind::Continue { from_c: c, to_c: cp },
+                    kind: EdgeKind::Continue {
+                        from_c: c,
+                        to_c: cp,
+                    },
                 });
             }
         }
@@ -157,7 +160,7 @@ pub fn log_emissions(
                 .map(|s| {
                     let (r, c) = dims.unpack(s);
                     let d = if ev.on_page(r) {
-                        -( ev.pages.len() as f64).ln()
+                        -(ev.pages.len() as f64).ln()
                     } else {
                         log_eps
                     };
@@ -307,9 +310,9 @@ pub fn forward_backward(chain: &Chain, emits: &[Vec<f64>], evidence: &[Evidence]
         }
     }
     // The last extract ends its record at its column.
-    for s in 0..ns {
+    for (s, &g) in gamma[n - 1].iter().enumerate() {
         let (_, c) = chain.dims.unpack(s);
-        counts.end[c] += gamma[n - 1][s];
+        counts.end[c] += g;
     }
 
     FbResult {
@@ -441,8 +444,7 @@ mod tests {
         assert!((total - ev.len() as f64).abs() < 1e-6, "{total}");
         // Ends + continues ≈ n (every extract either continues or ends,
         // modulo fallback edges).
-        let flow: f64 =
-            fb.counts.end.iter().sum::<f64>() + fb.counts.cont.iter().sum::<f64>();
+        let flow: f64 = fb.counts.end.iter().sum::<f64>() + fb.counts.cont.iter().sum::<f64>();
         assert!((flow - ev.len() as f64).abs() < 0.05, "{flow}");
     }
 

@@ -153,7 +153,8 @@ mod tests {
     #[test]
     fn features_vector_matches_typeset() {
         let ev = Evidence {
-            types: TypeSet::single(TokenType::Numeric).union(TypeSet::single(TokenType::Alphanumeric)),
+            types: TypeSet::single(TokenType::Numeric)
+                .union(TypeSet::single(TokenType::Alphanumeric)),
             pages: vec![],
         };
         let f = ev.features();

@@ -105,20 +105,13 @@ impl Params {
     ) {
         let k = self.num_columns();
         for c in 0..k {
-            for t in 0..TokenType::COUNT {
-                self.theta[c][t] =
-                    (type_counts[c][t] + SMOOTH) / (col_counts[c] + 2.0 * SMOOTH);
+            for (t, &tc) in type_counts[c].iter().enumerate().take(TokenType::COUNT) {
+                self.theta[c][t] = (tc + SMOOTH) / (col_counts[c] + 2.0 * SMOOTH);
             }
         }
-        for c in 0..k {
+        for (c, tcounts) in trans_counts.iter().enumerate().take(k) {
             let mut row: Vec<f64> = (0..k)
-                .map(|cp| {
-                    if cp > c {
-                        trans_counts[c][cp] + SMOOTH
-                    } else {
-                        0.0
-                    }
-                })
+                .map(|cp| if cp > c { tcounts[cp] + SMOOTH } else { 0.0 })
                 .collect();
             normalize_or_uniform_tail(&mut row, c + 1);
             self.trans[c] = row;

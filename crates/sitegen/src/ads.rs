@@ -60,7 +60,10 @@ fn ad_page(index: usize, rng: &mut StdRng) -> String {
             w.open_attrs("table", "width=100%");
             w.open("tr");
             w.element("td", "Lowest prices guaranteed");
-            w.element("td", &format!("Deal of the day number {}", rng.random_range(1..99)));
+            w.element(
+                "td",
+                &format!("Deal of the day number {}", rng.random_range(1..99)),
+            );
             w.close();
             w.close();
             w.open("blockquote");

@@ -55,27 +55,121 @@ pub struct Record {
 
 /// First names.
 pub const FIRST_NAMES: &[&str] = &[
-    "John", "Mary", "Robert", "Patricia", "Michael", "Jennifer", "William", "Linda", "David",
-    "Elizabeth", "Richard", "Barbara", "Joseph", "Susan", "Thomas", "Jessica", "Charles", "Sarah",
-    "Christopher", "Karen", "Daniel", "Nancy", "Matthew", "Lisa", "Anthony", "Betty", "George",
-    "Margaret", "Donald", "Sandra", "Kenneth", "Ashley", "Steven", "Kimberly", "Edward", "Emily",
-    "Brian", "Donna", "Ronald", "Michelle",
+    "John",
+    "Mary",
+    "Robert",
+    "Patricia",
+    "Michael",
+    "Jennifer",
+    "William",
+    "Linda",
+    "David",
+    "Elizabeth",
+    "Richard",
+    "Barbara",
+    "Joseph",
+    "Susan",
+    "Thomas",
+    "Jessica",
+    "Charles",
+    "Sarah",
+    "Christopher",
+    "Karen",
+    "Daniel",
+    "Nancy",
+    "Matthew",
+    "Lisa",
+    "Anthony",
+    "Betty",
+    "George",
+    "Margaret",
+    "Donald",
+    "Sandra",
+    "Kenneth",
+    "Ashley",
+    "Steven",
+    "Kimberly",
+    "Edward",
+    "Emily",
+    "Brian",
+    "Donna",
+    "Ronald",
+    "Michelle",
 ];
 
 /// Last names.
 pub const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
-    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
-    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
-    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
-    "Scott", "Torres", "Nguyen", "Hill", "Flores",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Perez",
+    "Thompson",
+    "White",
+    "Harris",
+    "Sanchez",
+    "Clark",
+    "Ramirez",
+    "Lewis",
+    "Robinson",
+    "Walker",
+    "Young",
+    "Allen",
+    "King",
+    "Wright",
+    "Scott",
+    "Torres",
+    "Nguyen",
+    "Hill",
+    "Flores",
 ];
 
 /// Street names.
 pub const STREET_NAMES: &[&str] = &[
-    "Washington", "Main", "Oak", "Pine", "Maple", "Cedar", "Elm", "Lake", "Hill", "Park",
-    "Walnut", "Spring", "North", "Ridge", "Church", "Willow", "Mill", "Sunset", "Railroad",
-    "Jefferson", "Center", "Highland", "Forest", "Jackson", "River", "Meadow", "Chestnut",
+    "Washington",
+    "Main",
+    "Oak",
+    "Pine",
+    "Maple",
+    "Cedar",
+    "Elm",
+    "Lake",
+    "Hill",
+    "Park",
+    "Walnut",
+    "Spring",
+    "North",
+    "Ridge",
+    "Church",
+    "Willow",
+    "Mill",
+    "Sunset",
+    "Railroad",
+    "Jefferson",
+    "Center",
+    "Highland",
+    "Forest",
+    "Jackson",
+    "River",
+    "Meadow",
+    "Chestnut",
 ];
 
 /// Street suffixes.
@@ -83,10 +177,31 @@ pub const STREET_SUFFIXES: &[&str] = &["St", "Ave", "Rd", "Blvd", "Ln", "Dr", "C
 
 /// City names.
 pub const CITIES: &[&str] = &[
-    "Springfield", "Findlay", "Franklin", "Clinton", "Greenville", "Bristol", "Fairview",
-    "Salem", "Madison", "Georgetown", "Arlington", "Ashland", "Dover", "Hudson", "Kingston",
-    "Milton", "Newport", "Oxford", "Riverside", "Winchester", "Burlington", "Manchester",
-    "Milford", "Auburn", "Dayton",
+    "Springfield",
+    "Findlay",
+    "Franklin",
+    "Clinton",
+    "Greenville",
+    "Bristol",
+    "Fairview",
+    "Salem",
+    "Madison",
+    "Georgetown",
+    "Arlington",
+    "Ashland",
+    "Dover",
+    "Hudson",
+    "Kingston",
+    "Milton",
+    "Newport",
+    "Oxford",
+    "Riverside",
+    "Winchester",
+    "Burlington",
+    "Manchester",
+    "Milford",
+    "Auburn",
+    "Dayton",
 ];
 
 /// Two-letter state codes.
@@ -96,16 +211,50 @@ pub const STATES: &[&str] = &[
 
 /// Publishing houses (books domain).
 pub const PUBLISHERS: &[&str] = &[
-    "Harper Press", "Random House", "Penguin Books", "Vintage Press", "Orion Media",
-    "Scholastic Press", "Mariner Books", "Crown Publishing", "Anchor Books", "Back Bay Books",
+    "Harper Press",
+    "Random House",
+    "Penguin Books",
+    "Vintage Press",
+    "Orion Media",
+    "Scholastic Press",
+    "Mariner Books",
+    "Crown Publishing",
+    "Anchor Books",
+    "Back Bay Books",
 ];
 
 /// Title words (books domain).
 pub const TITLE_WORDS: &[&str] = &[
-    "Shadow", "River", "Empire", "Garden", "Winter", "Secret", "Journey", "Silent", "Golden",
-    "Broken", "Hidden", "Ancient", "Burning", "Crystal", "Distant", "Eternal", "Falling",
-    "Gentle", "Harvest", "Island", "Lost", "Midnight", "Northern", "Painted", "Quiet",
-    "Restless", "Scarlet", "Thunder", "Velvet", "Wandering",
+    "Shadow",
+    "River",
+    "Empire",
+    "Garden",
+    "Winter",
+    "Secret",
+    "Journey",
+    "Silent",
+    "Golden",
+    "Broken",
+    "Hidden",
+    "Ancient",
+    "Burning",
+    "Crystal",
+    "Distant",
+    "Eternal",
+    "Falling",
+    "Gentle",
+    "Harvest",
+    "Island",
+    "Lost",
+    "Midnight",
+    "Northern",
+    "Painted",
+    "Quiet",
+    "Restless",
+    "Scarlet",
+    "Thunder",
+    "Velvet",
+    "Wandering",
 ];
 
 /// Correctional facilities (corrections domain).

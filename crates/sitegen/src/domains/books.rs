@@ -67,7 +67,11 @@ pub fn generate(rng: &mut StdRng) -> Record {
             authors,
             db::pick(rng, db::PUBLISHERS).to_owned(),
             rng.random_range(1985..2004).to_string(),
-            format!("{}.{:02}", rng.random_range(5..60), rng.random_range(0..100)),
+            format!(
+                "{}.{:02}",
+                rng.random_range(5..60),
+                rng.random_range(0..100)
+            ),
         ],
     }
 }

@@ -71,8 +71,9 @@ mod tests {
     #[test]
     fn statuses_vary() {
         let mut rng = StdRng::seed_from_u64(4);
-        let statuses: std::collections::HashSet<String> =
-            (0..40).map(|_| generate(&mut rng).values[2].clone()).collect();
+        let statuses: std::collections::HashSet<String> = (0..40)
+            .map(|_| generate(&mut rng).values[2].clone())
+            .collect();
         assert!(statuses.len() >= 3);
     }
 }

@@ -80,8 +80,9 @@ mod tests {
     #[test]
     fn parcel_ids_are_mostly_unique() {
         let mut rng = StdRng::seed_from_u64(5);
-        let ids: std::collections::HashSet<String> =
-            (0..30).map(|_| generate(&mut rng).values[0].clone()).collect();
+        let ids: std::collections::HashSet<String> = (0..30)
+            .map(|_| generate(&mut rng).values[0].clone())
+            .collect();
         assert!(ids.len() >= 29);
     }
 }

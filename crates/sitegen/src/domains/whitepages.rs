@@ -41,7 +41,11 @@ pub fn schema() -> Schema {
 
 /// Generates one listing.
 pub fn generate(rng: &mut StdRng) -> Record {
-    let city = format!("{}, {}", db::pick(rng, db::CITIES), db::pick(rng, db::STATES));
+    let city = format!(
+        "{}, {}",
+        db::pick(rng, db::CITIES),
+        db::pick(rng, db::STATES)
+    );
     Record {
         values: vec![
             db::person_name(rng),

@@ -27,6 +27,9 @@ pub enum LayoutStyle {
 }
 
 /// Renders a list page; returns the HTML and the record ground truth.
+// The parameters mirror the independent page-chrome knobs of a 2004
+// search-results page; bundling them into a struct would only rename them.
+#[allow(clippy::too_many_arguments)]
 pub fn render_list_page(
     site_name: &str,
     style: LayoutStyle,
@@ -40,17 +43,21 @@ pub fn render_list_page(
 ) -> (String, GroundTruth) {
     let mut w = HtmlWriter::new();
     w.open("html");
-    w.open("head").element("title", &format!("{site_name} Search Results")).close();
+    w.open("head")
+        .element("title", &format!("{site_name} Search Results"))
+        .close();
     w.open("body");
     w.raw("<img src=\"/images/logo.gif\">");
     w.element("h1", site_name);
     w.newline();
-    w.element(
-        "h2",
-        &format!("{} Matching Listings", views.len()),
-    );
+    w.element("h2", &format!("{} Matching Listings", views.len()));
     if let Some(echo) = query_echo {
-        w.open("p").text("Results for ").open("b").text(echo).close().close();
+        w.open("p")
+            .text("Results for ")
+            .open("b")
+            .text(echo)
+            .close()
+            .close();
         w.newline();
     }
     w.element(
@@ -62,7 +69,9 @@ pub fn render_list_page(
             total_matches
         ),
     );
-    w.open_attrs("a", "href=\"/search\"").text("Search Again").close();
+    w.open_attrs("a", "href=\"/search\"")
+        .text("Search Again")
+        .close();
     w.newline();
 
     let mut spans = Vec::with_capacity(views.len());
@@ -75,8 +84,12 @@ pub fn render_list_page(
     }
 
     w.newline();
-    w.open_attrs("a", "href=\"/ads/0\"").text("Todays Special Offer").close();
-    w.open_attrs("a", "href=\"/ads/1\"").text("Win A Prize").close();
+    w.open_attrs("a", "href=\"/ads/0\"")
+        .text("Todays Special Offer")
+        .close();
+    w.open_attrs("a", "href=\"/ads/1\"")
+        .text("Win A Prize")
+        .close();
     w.newline();
     if !promos.is_empty() {
         w.element("h3", "Customers also bought");
@@ -90,7 +103,10 @@ pub fn render_list_page(
     w.open_attrs("a", &format!("href=\"/list/{}\"", page_index + 1))
         .text("Next")
         .close();
-    w.element("p", &format!("Copyright 2004 {site_name} Inc. All rights reserved."));
+    w.element(
+        "p",
+        &format!("Copyright 2004 {site_name} Inc. All rights reserved."),
+    );
     w.close(); // body
     w.close(); // html
     let html = w.finish();
@@ -252,7 +268,9 @@ fn render_numbered(
 pub fn render_detail_page(site_name: &str, schema: &Schema, view: &RecordView) -> String {
     let mut w = HtmlWriter::new();
     w.open("html");
-    w.open("head").element("title", &format!("{site_name} - Details")).close();
+    w.open("head")
+        .element("title", &format!("{site_name} - Details"))
+        .close();
     w.open("body");
     w.raw("<img src=\"/images/logo.gif\">");
     w.element("h1", site_name);
@@ -267,7 +285,12 @@ pub fn render_detail_page(site_name: &str, schema: &Schema, view: &RecordView) -
     for (fi, dv) in view.detail_values.iter().enumerate() {
         let Some(v) = dv else { continue };
         w.open("tr");
-        w.open("td").open("b").text(schema.fields[fi].label).text(":").close().close();
+        w.open("td")
+            .open("b")
+            .text(schema.fields[fi].label)
+            .text(":")
+            .close()
+            .close();
         w.element("td", v);
         w.close();
         w.newline();
@@ -279,8 +302,13 @@ pub fn render_detail_page(site_name: &str, schema: &Schema, view: &RecordView) -
         w.element("p", extra);
         w.newline();
     }
-    w.open_attrs("a", "href=\"/search\"").text("New Search").close();
-    w.element("p", &format!("Copyright 2004 {site_name} Inc. All rights reserved."));
+    w.open_attrs("a", "href=\"/search\"")
+        .text("New Search")
+        .close();
+    w.element(
+        "p",
+        &format!("Copyright 2004 {site_name} Inc. All rights reserved."),
+    );
     w.close(); // body
     w.close(); // html
     w.finish()
@@ -306,7 +334,17 @@ mod tests {
     #[test]
     fn grid_page_has_one_tr_per_record_plus_header() {
         let (schema, v) = views(Domain::PropertyTax, 5);
-        let (html, truth) = render_list_page("Testville County", LayoutStyle::GridTable, &schema, &v, &[], None, 0, 0, 35);
+        let (html, truth) = render_list_page(
+            "Testville County",
+            LayoutStyle::GridTable,
+            &schema,
+            &v,
+            &[],
+            None,
+            0,
+            0,
+            35,
+        );
         let dom = parse(&html);
         assert_eq!(dom.find_all("tr").len(), 6);
         assert_eq!(truth.len(), 5);
@@ -320,7 +358,8 @@ mod tests {
             LayoutStyle::NumberedList,
         ] {
             let (schema, v) = views(Domain::WhitePages, 4);
-            let (html, truth) = render_list_page("TestPages", style, &schema, &v, &[], None, 0, 0, 4);
+            let (html, truth) =
+                render_list_page("TestPages", style, &schema, &v, &[], None, 0, 0, 4);
             for span in &truth.records {
                 let row = &html[span.start..span.end];
                 for value in &span.values {
@@ -341,7 +380,17 @@ mod tests {
     #[test]
     fn freeform_has_more_info_links() {
         let (schema, v) = views(Domain::WhitePages, 3);
-        let (html, _) = render_list_page("TestPages", LayoutStyle::FreeForm, &schema, &v, &[], None, 0, 0, 3);
+        let (html, _) = render_list_page(
+            "TestPages",
+            LayoutStyle::FreeForm,
+            &schema,
+            &v,
+            &[],
+            None,
+            0,
+            0,
+            3,
+        );
         assert_eq!(html.matches("More Info").count(), 3);
         assert!(html.contains("Phone: "));
     }
@@ -349,7 +398,17 @@ mod tests {
     #[test]
     fn numbered_entries_carry_numbers() {
         let (schema, v) = views(Domain::Books, 3);
-        let (html, _) = render_list_page("TestBooks", LayoutStyle::NumberedList, &schema, &v, &[], None, 0, 0, 3);
+        let (html, _) = render_list_page(
+            "TestBooks",
+            LayoutStyle::NumberedList,
+            &schema,
+            &v,
+            &[],
+            None,
+            0,
+            0,
+            3,
+        );
         assert!(html.contains("1."));
         assert!(html.contains("2."));
         assert!(html.contains("3."));
@@ -377,8 +436,28 @@ mod tests {
     #[test]
     fn page_chrome_differs_between_pages() {
         let (schema, v) = views(Domain::WhitePages, 2);
-        let (p0, _) = render_list_page("TestPages", LayoutStyle::GridTable, &schema, &v, &[], None, 0, 0, 14);
-        let (p1, _) = render_list_page("TestPages", LayoutStyle::GridTable, &schema, &v, &[], None, 1, 2, 14);
+        let (p0, _) = render_list_page(
+            "TestPages",
+            LayoutStyle::GridTable,
+            &schema,
+            &v,
+            &[],
+            None,
+            0,
+            0,
+            14,
+        );
+        let (p1, _) = render_list_page(
+            "TestPages",
+            LayoutStyle::GridTable,
+            &schema,
+            &v,
+            &[],
+            None,
+            1,
+            2,
+            14,
+        );
         assert!(p0.contains("Displaying 1-2"));
         assert!(p1.contains("Displaying 3-4"));
     }

@@ -266,10 +266,7 @@ mod tests {
         use crate::domains::Domain;
         let sites = all();
         for d in Domain::ALL {
-            assert!(
-                sites.iter().any(|s| s.domain == d),
-                "missing domain {d:?}"
-            );
+            assert!(sites.iter().any(|s| s.domain == d), "missing domain {d:?}");
         }
     }
 
@@ -295,10 +292,7 @@ mod tests {
             assert_eq!(spec.records_per_page, counts.to_vec());
         }
         // Total records across all pages: 309, the paper's corpus size.
-        let total: usize = sites
-            .iter()
-            .flat_map(|s| s.records_per_page.iter())
-            .sum();
+        let total: usize = sites.iter().flat_map(|s| s.records_per_page.iter()).sum();
         assert_eq!(total, 309);
     }
 }

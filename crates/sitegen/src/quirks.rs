@@ -115,17 +115,15 @@ pub fn apply(
                     }
                 }
             }
-            Quirk::ValueInUnrelatedContext { field } => {
-                // Guarantee one affected record — but only on the first
-                // sample page. If the value also occurred on the other
-                // list page, the all-list-pages filter would discard the
-                // extract and hide the inconsistency (the paper's Michigan
-                // value evidently appeared on one sample page only).
-                if page == 0 {
-                    if let Some(fi) = schema.field_index(field) {
-                        if let Some(r) = records.get_mut(0) {
-                            r.values[fi] = "Parole".to_owned();
-                        }
+            // Guarantee one affected record — but only on the first
+            // sample page. If the value also occurred on the other
+            // list page, the all-list-pages filter would discard the
+            // extract and hide the inconsistency (the paper's Michigan
+            // value evidently appeared on one sample page only).
+            Quirk::ValueInUnrelatedContext { field } if page == 0 => {
+                if let Some(fi) = schema.field_index(field) {
+                    if let Some(r) = records.get_mut(0) {
+                        r.values[fi] = "Parole".to_owned();
                     }
                 }
             }
@@ -233,10 +231,7 @@ pub fn apply(
                 // browsing order — and hence which titles leak onto which
                 // detail pages — is arbitrary with respect to the record
                 // order; a fixed pseudo-random schedule reproduces that.
-                let titles: Vec<String> = records
-                    .iter()
-                    .map(|r| r.values[0].clone())
-                    .collect();
+                let titles: Vec<String> = records.iter().map(|r| r.values[0].clone()).collect();
                 let n = views.len();
                 if n >= 2 {
                     for (i, v) in views.iter_mut().enumerate() {
@@ -264,8 +259,7 @@ pub fn apply(
                     if any {
                         for v in &mut views {
                             if v.list_values[fi].is_none() {
-                                v.list_values[fi] =
-                                    Some(format!("{} not available", field));
+                                v.list_values[fi] = Some(format!("{} not available", field));
                                 v.alternate_markup[fi] = true;
                                 v.detail_values[fi] = None;
                             }
@@ -380,10 +374,7 @@ mod tests {
         assert_eq!(views[0].detail_values[fi].as_deref(), Some("Parolee"));
         // The next record's detail page mentions "Parole" in an unrelated
         // context.
-        assert!(views[1]
-            .detail_extras
-            .iter()
-            .any(|e| e.contains("Parole")));
+        assert!(views[1].detail_extras.iter().any(|e| e.contains("Parole")));
     }
 
     #[test]
@@ -413,7 +404,14 @@ mod tests {
     #[test]
     fn browsing_history_leaks_other_titles_onto_detail_pages() {
         let (schema, mut records, mut rng) = setup(Domain::Books, 4);
-        let views = apply(&[Quirk::BrowsingHistory], &schema, &mut records, 0.0, 0, &mut rng);
+        let views = apply(
+            &[Quirk::BrowsingHistory],
+            &schema,
+            &mut records,
+            0.0,
+            0,
+            &mut rng,
+        );
         let titles: Vec<&str> = records.iter().map(|r| r.values[0].as_str()).collect();
         for (i, v) in views.iter().enumerate() {
             // Every leaked title belongs to a *different* record.
@@ -448,7 +446,10 @@ mod tests {
         );
         let fi = schema.field_index("address").unwrap();
         let alt: Vec<&RecordView> = views.iter().filter(|v| v.alternate_markup[fi]).collect();
-        assert!(!alt.is_empty(), "at least one record takes the alternate branch");
+        assert!(
+            !alt.is_empty(),
+            "at least one record takes the alternate branch"
+        );
         for v in alt {
             assert_eq!(v.list_values[fi].as_deref(), Some("address not available"));
             assert!(v.detail_values[fi].is_none());

@@ -6,8 +6,8 @@ use rand::SeedableRng;
 use serde::Serialize;
 
 use crate::domains::Domain;
-use crate::layout::{render_detail_page, render_list_page};
 pub use crate::layout::LayoutStyle;
+use crate::layout::{render_detail_page, render_list_page};
 use crate::quirks::{apply, Quirk};
 use crate::truth::GroundTruth;
 

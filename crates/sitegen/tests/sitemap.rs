@@ -28,9 +28,9 @@ fn site_map_contains_all_pages() {
 #[test]
 fn every_record_links_its_detail_page_in_order() {
     for spec in [
-        paper_sites::butler(),    // grid table
+        paper_sites::butler(),     // grid table
         paper_sites::superpages(), // free form
-        paper_sites::bn_books(),  // numbered list
+        paper_sites::bn_books(),   // numbered list
     ] {
         let site = generate(&spec);
         for (p, page) in site.pages.iter().enumerate() {
@@ -57,9 +57,14 @@ fn every_record_links_its_detail_page_in_order() {
 fn list_pages_chain_via_next_links() {
     let site = generate(&paper_sites::ohio());
     let links = extract_links(&tokenize(&site.pages[0].list_html));
-    assert!(links.iter().any(|l| l.href == "/list/1" && l.text == "Next"));
+    assert!(links
+        .iter()
+        .any(|l| l.href == "/list/1" && l.text == "Next"));
     let links = extract_links(&tokenize(&site.pages[1].list_html));
-    assert!(links.iter().any(|l| l.href == "/list/2"), "dangling next is fine");
+    assert!(
+        links.iter().any(|l| l.href == "/list/2"),
+        "dangling next is fine"
+    );
 }
 
 #[test]
@@ -87,7 +92,11 @@ fn generated_pages_parse_into_dom() {
             );
             for d in &page.detail_html {
                 let dom = tableseg_html::dom::parse(d);
-                assert!(dom.text_token_count() > 5, "{}: thin detail page", spec.name);
+                assert!(
+                    dom.text_token_count() > 5,
+                    "{}: thin detail page",
+                    spec.name
+                );
             }
         }
     }
@@ -102,12 +111,8 @@ fn truth_values_visible_in_dom_text() {
         for span in &page.truth.records {
             for value in &span.values {
                 // DOM text joins tokens with spaces; compare whitespace-free.
-                let squash =
-                    |s: &str| s.chars().filter(|c| !c.is_whitespace()).collect::<String>();
-                assert!(
-                    squash(&text).contains(&squash(value)),
-                    "missing {value:?}"
-                );
+                let squash = |s: &str| s.chars().filter(|c| !c.is_whitespace()).collect::<String>();
+                assert!(squash(&text).contains(&squash(value)), "missing {value:?}");
             }
         }
     }

@@ -7,12 +7,25 @@
 //! list pages and is invariant from page to page"). Everything between
 //! consecutive template anchors is a slot.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use serde::{Deserialize, Serialize};
 use tableseg_html::Token;
 
 use crate::intern::{Interner, Symbol};
 use crate::lcs::lcs_indices;
 use crate::slot::{Slot, SlotSet};
+
+/// Process-wide count of [`induce`] calls.
+static INDUCTIONS: AtomicUsize = AtomicUsize::new(0);
+
+/// How many times [`induce`] has run in this process. Template induction
+/// is the front end's most expensive step; batch runs cache it per site,
+/// and tests assert on the *delta* of this counter to prove the cache
+/// works (absolute values include other tests in the same process).
+pub fn induction_count() -> usize {
+    INDUCTIONS.load(Ordering::Relaxed)
+}
 
 /// The induced page template: a sequence of tokens common to all pages.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -81,6 +94,7 @@ impl Induction {
 /// empty template and a single slot covering each whole page, which makes
 /// the downstream pipeline equivalent to the paper's whole-page fallback.
 pub fn induce(pages: &[Vec<Token>]) -> Induction {
+    INDUCTIONS.fetch_add(1, Ordering::Relaxed);
     if pages.len() < 2 {
         return Induction {
             template: Template { tokens: Vec::new() },
@@ -160,9 +174,7 @@ pub fn induce(pages: &[Vec<Token>]) -> Induction {
 
     // Anchor positions are increasing on every page because the template is
     // an LCS of every filtered stream and each symbol is unique per page.
-    debug_assert!(anchors
-        .iter()
-        .all(|a| a.windows(2).all(|w| w[0] < w[1])));
+    debug_assert!(anchors.iter().all(|a| a.windows(2).all(|w| w[0] < w[1])));
 
     let mut induction = Induction {
         template: Template {
@@ -170,7 +182,10 @@ pub fn induce(pages: &[Vec<Token>]) -> Induction {
         },
         anchors,
     };
-    drop_unstable_anchors(&mut induction, &pages.iter().map(Vec::len).collect::<Vec<_>>());
+    drop_unstable_anchors(
+        &mut induction,
+        &pages.iter().map(Vec::len).collect::<Vec<_>>(),
+    );
     induction
 }
 
@@ -214,8 +229,9 @@ fn drop_unstable_anchors(induction: &mut Induction, _page_lens: &[usize]) {
             .collect();
         let mut drop = vec![false; t];
         let mut run_start = 0;
-        for k in 0..t {
-            let run_ends = k + 1 == t || !linked[k];
+        // `linked` has t-1 entries; the appended `false` ends the last run.
+        for (k, &lk) in linked.iter().chain(std::iter::once(&false)).enumerate() {
+            let run_ends = !lk;
             if run_ends {
                 let run_len = k + 1 - run_start;
                 if run_len < MIN_RUN {
@@ -227,13 +243,13 @@ fn drop_unstable_anchors(induction: &mut Induction, _page_lens: &[usize]) {
             }
         }
         // Enumeration members are exempt.
-        for k in 0..t {
-            if drop[k]
+        for (k, d) in drop.iter_mut().enumerate() {
+            if *d
                 && enumeration
                     .binary_search(&induction.template.tokens[k].text)
                     .is_ok()
             {
-                drop[k] = false;
+                *d = false;
             }
         }
         if !drop.iter().any(|&d| d) {
@@ -268,25 +284,26 @@ fn enumeration_members(tokens: &[Token]) -> Vec<String> {
         chain.clear();
     };
     for (k, v) in values.iter().enumerate() {
-        match v {
-            Some(n) => {
-                let extends = chain
-                    .last()
-                    .and_then(|&prev| values[prev])
-                    .is_some_and(|p| p + 1 == *n);
-                if extends {
-                    chain.push(k);
-                } else {
-                    flush(&mut chain, &mut members, &values);
-                    chain.push(k);
-                }
-            }
-            None => {
-                // Non-numeric template tokens (tags between numbered
-                // entries were already excluded by the uniqueness rule, but
-                // words may intervene) do not break a chain.
-            }
+        let Some(n) = v else {
+            // Non-numeric template tokens (tags between numbered entries
+            // were already excluded by the uniqueness rule, but words may
+            // intervene) do not break a chain.
+            continue;
+        };
+        let extends = chain
+            .last()
+            .and_then(|&prev| values[prev])
+            .is_some_and(|p| p + 1 == *n);
+        if extends {
+            chain.push(k);
+        } else if *n <= 2 {
+            // A plausible chain start: close out the previous chain.
+            flush(&mut chain, &mut members, &values);
+            chain.push(k);
         }
+        // Any other numeric (a year, a price fragment that happens to
+        // align once per page) is an interloper inside the enumeration
+        // region; like words, it does not break the chain.
     }
     flush(&mut chain, &mut members, &values);
     members.sort_unstable();
@@ -312,7 +329,12 @@ mod tests {
             page("<tr><td>Bob Jones</td></tr>"),
         ];
         let ind = induce(&pages);
-        let tpl: Vec<&str> = ind.template.tokens.iter().map(|t| t.text.as_str()).collect();
+        let tpl: Vec<&str> = ind
+            .template
+            .tokens
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
         // Header and footer must be in the template.
         assert!(tpl.contains(&"Results"));
         assert!(tpl.contains(&"Copyright"));
@@ -413,7 +435,12 @@ mod tests {
             page("<tr><td>C1 C2 C3</td></tr>"),
         ];
         let ind = induce(&pages);
-        let tpl: Vec<&str> = ind.template.tokens.iter().map(|t| t.text.as_str()).collect();
+        let tpl: Vec<&str> = ind
+            .template
+            .tokens
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
         assert!(tpl.contains(&"Results"));
         assert!(!tpl.contains(&"A1"));
         assert!(!tpl.contains(&"B1"));

@@ -61,7 +61,13 @@ fn backward_row(a: &[Symbol], b: &[Symbol]) -> Vec<u32> {
     row
 }
 
-fn hirschberg(a: &[Symbol], b: &[Symbol], a_off: usize, b_off: usize, out: &mut Vec<(usize, usize)>) {
+fn hirschberg(
+    a: &[Symbol],
+    b: &[Symbol],
+    a_off: usize,
+    b_off: usize,
+    out: &mut Vec<(usize, usize)>,
+) {
     if a.is_empty() || b.is_empty() {
         return;
     }
@@ -177,6 +183,25 @@ mod tests {
                 prop_assert_eq!(i, k);
                 prop_assert_eq!(j, k);
             }
+        }
+
+        /// Oracle at page-like scale: Hirschberg output equals the naive
+        /// quadratic DP on random sequences up to length 200, across
+        /// alphabet sizes from near-constant (dense repeats, the worst
+        /// case for split-point recursion) to near-unique.
+        #[test]
+        fn prop_oracle_up_to_length_200(
+            ab in (1u32..16).prop_flat_map(|k| (
+                proptest::collection::vec(0..k, 0..201),
+                proptest::collection::vec(0..k, 0..201),
+            )),
+        ) {
+            let (a, b) = ab;
+            let pairs = lcs_indices(&a, &b);
+            check_valid(&a, &b, &pairs);
+            let want = lcs_reference(&a, &b);
+            prop_assert_eq!(pairs.len(), want, "Hirschberg trace shorter than DP optimum");
+            prop_assert_eq!(lcs_length(&a, &b), want, "linear-space length disagrees with DP");
         }
 
         #[test]

@@ -31,6 +31,6 @@ pub mod lcs;
 pub mod quality;
 pub mod slot;
 
-pub use induce::{induce, Induction, Template};
+pub use induce::{induce, induction_count, Induction, Template};
 pub use quality::{assess, TemplateQuality};
 pub use slot::{Slot, SlotSet};

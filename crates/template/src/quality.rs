@@ -135,7 +135,12 @@ mod tests {
         let ind = induce(&pages);
         let q = assess(&ind, &pages);
         // The entry numbers are anchors...
-        let tpl: Vec<&str> = ind.template.tokens.iter().map(|t| t.text.as_str()).collect();
+        let tpl: Vec<&str> = ind
+            .template
+            .tokens
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
         assert!(tpl.contains(&"1"), "{tpl:?}");
         assert!(tpl.contains(&"2"), "{tpl:?}");
         // ...so the data is fragmented and the template is not usable.

@@ -100,14 +100,26 @@ mod tests {
 
     #[test]
     fn table_slot_picks_largest_text_slot() {
-        let pages = vec![tokenize("h <td>one two three</td> f"), tokenize("h <td>x y</td> f")];
+        let pages = vec![
+            tokenize("h <td>one two three</td> f"),
+            tokenize("h <td>x y</td> f"),
+        ];
         // Construct a slot set manually: slot 0 = header word, slot 1 = cell
         // contents, slot 2 = footer word.
         let set = SlotSet {
             slots: vec![
-                Slot { index: 0, ranges: vec![0..1, 0..1] },
-                Slot { index: 1, ranges: vec![2..5, 2..4] },
-                Slot { index: 2, ranges: vec![6..7, 5..6] },
+                Slot {
+                    index: 0,
+                    ranges: vec![0..1, 0..1],
+                },
+                Slot {
+                    index: 1,
+                    ranges: vec![2..5, 2..4],
+                },
+                Slot {
+                    index: 2,
+                    ranges: vec![6..7, 5..6],
+                },
             ],
         };
         assert_eq!(set.table_slot(&pages), Some(1));
@@ -119,7 +131,10 @@ mod tests {
     fn table_slot_none_when_all_empty() {
         let pages: Vec<Vec<tableseg_html::Token>> = vec![vec![], vec![]];
         let set = SlotSet {
-            slots: vec![Slot { index: 0, ranges: vec![0..0, 0..0] }],
+            slots: vec![Slot {
+                index: 0,
+                ranges: vec![0..0, 0..0],
+            }],
         };
         assert_eq!(set.table_slot(&pages), None);
     }

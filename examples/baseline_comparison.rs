@@ -18,7 +18,7 @@ use tableseg_sitegen::site::generate;
 
 fn main() {
     for spec in [
-        paper_sites::allegheny(), // clean grid table
+        paper_sites::allegheny(),  // clean grid table
         paper_sites::superpages(), // free form + disjunctive formatting
     ] {
         let site = generate(&spec);
@@ -27,11 +27,17 @@ fn main() {
 
         // DOM heuristic.
         let dom = domtable::segment(&page.list_html);
-        println!("  DOM <table>/<tr> heuristic: {} records detected", dom.len());
+        println!(
+            "  DOM <table>/<tr> heuristic: {} records detected",
+            dom.len()
+        );
 
         // IEPAD-style repeated tag patterns.
         let pat = iepad::segment(&page.list_html);
-        println!("  IEPAD-style tag patterns:   {} records detected", pat.len());
+        println!(
+            "  IEPAD-style tag patterns:   {} records detected",
+            pat.len()
+        );
 
         // RoadRunner-style union-free grammar over the two sample pages.
         match roadrunner::induce(&site.pages[0].list_html, &site.pages[1].list_html) {

@@ -41,8 +41,7 @@ fn main() {
         .zip(columns)
         .enumerate()
     {
-        relation[record as usize][column as usize] =
-            prepared.observations.items[i].extract.text();
+        relation[record as usize][column as usize] = prepared.observations.items[i].extract.text();
     }
 
     println!("reconstructed relation from {} (page 2):\n", spec.name);

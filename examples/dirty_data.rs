@@ -49,7 +49,10 @@ fn main() {
     );
 
     let prob = ProbSegmenter::default().segment(&prepared.observations);
-    println!("probabilistic approach:  relaxed constraints: {}", prob.relaxed);
+    println!(
+        "probabilistic approach:  relaxed constraints: {}",
+        prob.relaxed
+    );
     println!(
         "                         assigned {}/{} extracts (inconsistencies get probability \u{3b5}, not 0)",
         prob.segmentation.assigned_count(),

@@ -32,12 +32,8 @@ fn main() {
             prepared.used_whole_page
         );
 
-        let spans: Vec<std::ops::Range<usize>> = page
-            .truth
-            .records
-            .iter()
-            .map(|r| r.start..r.end)
-            .collect();
+        let spans: Vec<std::ops::Range<usize>> =
+            page.truth.records.iter().map(|r| r.start..r.end).collect();
         let truth = truth_of_extracts(&prepared.extract_offsets, &spans);
 
         for segmenter in [

@@ -81,13 +81,13 @@ fn main() {
     let matched = records
         .iter()
         .filter(|r| {
-            truth
-                .records
-                .iter()
-                .any(|t| !t.values.is_empty() && r.first().is_some_and(|f| {
-                    f.split_whitespace().collect::<String>()
-                        == t.values[0].split_whitespace().collect::<String>()
-                }))
+            truth.records.iter().any(|t| {
+                !t.values.is_empty()
+                    && r.first().is_some_and(|f| {
+                        f.split_whitespace().collect::<String>()
+                            == t.values[0].split_whitespace().collect::<String>()
+                    })
+            })
         })
         .count();
     println!(

@@ -1,0 +1,209 @@
+//! Offline stand-in for the `proptest` crate (see `shims/README.md`).
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro, the [`strategy::Strategy`] trait
+//! with `prop_map`/`prop_flat_map`/`boxed`, `prop_oneof!`, [`Just`],
+//! integer/float range strategies, regex-subset string strategies,
+//! tuple strategies, [`collection::vec`]/[`collection::btree_set`],
+//! [`option::of`], [`bool::ANY`], [`arbitrary::any`] and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — failing inputs are printed verbatim;
+//! * **deterministic** — the RNG seed derives from the test name, so a
+//!   failure reproduces on every run with no persistence files;
+//! * strategies are plain generation functions (no `ValueTree`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod bool;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::Just;
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests. Each `fn name(binding in strategy, ...) { .. }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: munches one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run_proptest(
+                &__config,
+                stringify!($name),
+                |__rng, __values| {
+                    $crate::__proptest_bind!(__rng, __values, $($args)*);
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: binds `name in strategy`
+/// parameters, recording each generated value for failure reports.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:expr, $values:expr $(,)?) => {};
+    ($rng:expr, $values:expr, mut $name:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        #[allow(unused_mut)]
+        let mut $name = $crate::strategy::Strategy::generate(&($strat), $rng);
+        $values.push(format!("{} = {:?}", stringify!($name), &$name));
+        $($crate::__proptest_bind!($rng, $values, $($rest)*);)?
+    };
+    ($rng:expr, $values:expr, $name:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), $rng);
+        $values.push(format!("{} = {:?}", stringify!($name), &$name));
+        $($crate::__proptest_bind!($rng, $values, $($rest)*);)?
+    };
+}
+
+/// Uniform choice between the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Like `assert!`, but fails the current proptest case with input report.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} ({}:{}): {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails the current proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return Err($crate::test_runner::TestCaseError::fail(format!(
+                        "assertion failed: `left == right` ({}:{})\n  left: {:?}\n right: {:?}",
+                        file!(),
+                        line!(),
+                        __l,
+                        __r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return Err($crate::test_runner::TestCaseError::fail(format!(
+                        "assertion failed: `left == right` ({}:{}): {}\n  left: {:?}\n right: {:?}",
+                        file!(),
+                        line!(),
+                        format!($($fmt)+),
+                        __l,
+                        __r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Like `assert_ne!`, but fails the current proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return Err($crate::test_runner::TestCaseError::fail(format!(
+                        "assertion failed: `left != right` ({}:{})\n  both: {:?}",
+                        file!(),
+                        line!(),
+                        __l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Discards the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(format!(
+                $($fmt)+
+            )));
+        }
+    };
+}

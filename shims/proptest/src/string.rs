@@ -1,0 +1,213 @@
+//! A tiny regex-subset generator backing `&str` strategies.
+//!
+//! Supports the shapes the workspace's tests use: a sequence of atoms,
+//! where an atom is `.`, a character class `[...]` (literal characters and
+//! `a-z` ranges), or a literal character, optionally followed by a `{m}`,
+//! `{m,n}`, `?`, `*` or `+` quantifier. Unsupported constructs fall back
+//! to emitting the pattern literally rather than failing, which matches
+//! how these tests only ever rely on the supported subset.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any printable character (plus occasional spice: whitespace,
+    /// non-ASCII, markup characters) except newline.
+    AnyChar,
+    /// `[...]` — one of an explicit set.
+    Class(Vec<char>),
+    /// A literal character.
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    match parse(pattern) {
+        Some(pieces) => {
+            let mut out = String::new();
+            for piece in &pieces {
+                let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+                for _ in 0..n {
+                    out.push(pick(&piece.atom, rng));
+                }
+            }
+            out
+        }
+        None => pattern.to_owned(),
+    }
+}
+
+fn pick(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(set) => set[rng.below(set.len() as u64) as usize],
+        Atom::AnyChar => {
+            // Mostly printable ASCII, with deliberate doses of the
+            // characters that stress an HTML lexer.
+            match rng.below(10) {
+                0 => ['<', '>', '&', ';', '#'][rng.below(5) as usize],
+                1 => [' ', '\t'][rng.below(2) as usize],
+                2 => ['é', 'ß', '中', '☃', 'π'][rng.below(5) as usize],
+                _ => (0x20u8 + rng.below(0x5F) as u8) as char,
+            }
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Option<Vec<Piece>> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::AnyChar
+            }
+            '[' => {
+                let close = chars[i + 1..].iter().position(|&c| c == ']')? + i + 1;
+                let set = parse_class(&chars[i + 1..close])?;
+                i = close + 1;
+                Atom::Class(set)
+            }
+            '\\' => {
+                let c = *chars.get(i + 1)?;
+                i += 2;
+                Atom::Literal(c)
+            }
+            // A quantifier with no preceding atom is not a pattern we
+            // understand; treat the whole string as a literal.
+            '{' | '}' | '?' | '*' | '+' | ']' | '(' | ')' | '|' | '^' | '$' => return None,
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i)?;
+        pieces.push(Piece { atom, min, max });
+    }
+    Some(pieces)
+}
+
+/// Parses an optional quantifier at `*i`, advancing past it.
+fn parse_quantifier(chars: &[char], i: &mut usize) -> Option<(usize, usize)> {
+    match chars.get(*i) {
+        Some('?') => {
+            *i += 1;
+            Some((0, 1))
+        }
+        Some('*') => {
+            *i += 1;
+            Some((0, 8))
+        }
+        Some('+') => {
+            *i += 1;
+            Some((1, 8))
+        }
+        Some('{') => {
+            let close = chars[*i + 1..].iter().position(|&c| c == '}')? + *i + 1;
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => {
+                    let min = lo.trim().parse().ok()?;
+                    let max = hi.trim().parse().ok()?;
+                    (min <= max).then_some((min, max))
+                }
+                None => {
+                    let n = body.trim().parse().ok()?;
+                    Some((n, n))
+                }
+            }
+        }
+        _ => Some((1, 1)),
+    }
+}
+
+/// Parses the interior of `[...]`: literals and `a-z` ranges; a leading or
+/// trailing `-` is literal.
+fn parse_class(body: &[char]) -> Option<Vec<char>> {
+    if body.is_empty() {
+        return None;
+    }
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if body[i] == '\\' {
+            set.push(*body.get(i + 1)?);
+            i += 2;
+        } else if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            if lo > hi {
+                return None;
+            }
+            for c in lo..=hi {
+                set.push(c);
+            }
+            i += 3;
+        } else {
+            set.push(body[i]);
+            i += 1;
+        }
+    }
+    Some(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = TestRng::seed_from_u64(4);
+        for _ in 0..500 {
+            let s = generate_pattern("[A-Za-z0-9]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_any_respects_bounds() {
+        let mut rng = TestRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let s = generate_pattern(".{0,300}", &mut rng);
+            assert!(s.chars().count() <= 300);
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut rng = TestRng::seed_from_u64(6);
+        for _ in 0..500 {
+            let s = generate_pattern("[a-zA-Z0-9 .,;:!?-]{0,100}", &mut rng);
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || " .,;:!?-".contains(c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn literal_sequences() {
+        let mut rng = TestRng::seed_from_u64(7);
+        assert_eq!(generate_pattern("abc", &mut rng), "abc");
+        let s = generate_pattern("a{3}", &mut rng);
+        assert_eq!(s, "aaa");
+    }
+
+    #[test]
+    fn unsupported_patterns_fall_back_to_literal() {
+        let mut rng = TestRng::seed_from_u64(8);
+        assert_eq!(generate_pattern("(a|b)", &mut rng), "(a|b)");
+    }
+}

@@ -1,0 +1,204 @@
+//! The test runner: deterministic RNG, configuration, case loop.
+
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Deterministic RNG driving value generation (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> TestRng {
+        let mut rng = TestRng {
+            state: seed ^ 0xA076_1D64_78BD_642F,
+        };
+        let _ = rng.next_u64();
+        rng
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+
+    /// Uniform value in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of rejected (`prop_assume!`) cases tolerated.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+    /// A `prop_assume!` precondition did not hold; the case is discarded.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Constructs a failure.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Constructs a rejection.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// FNV-1a, used to derive a stable per-test seed from the test name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs the case loop for one `proptest!` test. The closure generates its
+/// inputs from the RNG, records their `Debug` rendering into the second
+/// argument, and returns `Ok(())` on success.
+///
+/// Deterministic: the RNG seed derives from the test name, so a failure
+/// reproduces on every run (no shrinking is performed; the failing inputs
+/// are printed verbatim).
+pub fn run_proptest(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng, &mut Vec<String>) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::seed_from_u64(fnv1a(name.as_bytes()));
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        if rejected > config.max_global_rejects {
+            panic!(
+                "proptest '{name}': too many rejected cases \
+                 ({rejected} rejects for {passed}/{} passes) — \
+                 loosen the prop_assume! or the generators",
+                config.cases
+            );
+        }
+        let mut values = Vec::new();
+        let outcome = catch_unwind(AssertUnwindSafe(|| case(&mut rng, &mut values)));
+        match outcome {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject(_))) => rejected += 1,
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                report_failure(name, passed, &values, &msg);
+                panic!("proptest '{name}' failed: {msg}");
+            }
+            Err(payload) => {
+                report_failure(name, passed, &values, "panicked (see above)");
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+fn report_failure(name: &str, case_index: u32, values: &[String], msg: &str) {
+    eprintln!("proptest '{name}': case {case_index} failed: {msg}");
+    eprintln!("failing inputs (no shrinking; seed is derived from the test name):");
+    for v in values {
+        eprintln!("    {v}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_counts_cases() {
+        let mut runs = 0;
+        run_proptest(&ProptestConfig::with_cases(10), "counts", |_, _| {
+            runs += 1;
+            Ok(())
+        });
+        assert_eq!(runs, 10);
+    }
+
+    #[test]
+    fn rejects_are_retried() {
+        let mut total = 0;
+        run_proptest(&ProptestConfig::with_cases(5), "rejects", |rng, _| {
+            total += 1;
+            if rng.below(2) == 0 {
+                Err(TestCaseError::reject("coin"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(total >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_propagate() {
+        run_proptest(&ProptestConfig::with_cases(5), "fails", |_, _| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::seed_from_u64(9);
+        let mut b = TestRng::seed_from_u64(9);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

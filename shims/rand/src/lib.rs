@@ -1,0 +1,207 @@
+//! Offline deterministic stand-in for the `rand` crate (see
+//! `shims/README.md`).
+//!
+//! Provides the subset the workspace uses: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], plus [`RngExt::random_range`] over
+//! integer ranges and [`RngExt::random_bool`]. The generator is a
+//! SplitMix64 — statistically solid for simulation/testing workloads and,
+//! critically for this repo, **deterministic across platforms**, which
+//! keeps generated sites and solver runs byte-reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core RNG interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// RNGs constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named random generators.
+pub mod rngs {
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood): passes BigCrush, one
+            // add + three xor-shift-multiply steps.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Pre-mix the seed once so small seeds diverge immediately.
+            let mut rng = StdRng {
+                state: seed ^ 0x5DEE_CE66_D1CE_4E5B,
+            };
+            use super::RngCore;
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+}
+
+/// Integer types uniformly sampleable from a range.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Samples uniformly from `[low, high)`. `high > low` is the caller's
+    /// responsibility (checked by the range impls).
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Samples uniformly from `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as u128) - (low as u128);
+                low + (uniform_u128(rng, span) as $t)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as u128) - (low as u128) + 1;
+                low + (uniform_u128(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = ((high as i128) - (low as i128)) as u128;
+                ((low as i128) + (uniform_u128(rng, span) as i128)) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = ((high as i128) - (low as i128)) as u128 + 1;
+                ((low as i128) + (uniform_u128(rng, span) as i128)) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_uint!(u8, u16, u32, u64, usize);
+impl_uniform_int!(i8, i16, i32, i64, isize);
+
+/// Uniform value in `[0, span)` by widening multiplication (no modulo
+/// bias for spans below 2^64, which covers every caller here).
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0, "empty sampling range");
+    if span == 0 {
+        return 0;
+    }
+    if span > u64::MAX as u128 {
+        // Spans wider than 64 bits (full-width i64/u64 ranges): combine
+        // two words. Modulo bias is < 2^-63 here — irrelevant for tests.
+        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        return wide % span;
+    }
+    let x = rng.next_u64() as u128;
+    (x * span) >> 64
+}
+
+/// Range forms accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "random_range: empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "random_range: empty range");
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every RNG.
+pub trait RngExt: RngCore {
+    /// Uniform sample from an integer range (`a..b` or `a..=b`).
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // 53 uniform mantissa bits, the standard unit-interval recipe.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0usize..1000), b.random_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10..70);
+            assert!((10..70).contains(&v));
+            let w = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let u = rng.random_range(0u8..=255);
+            let _ = u; // full-width inclusive range must not overflow
+        }
+    }
+
+    #[test]
+    fn bool_probability_sane() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        use super::RngCore;
+        let mut a = StdRng::seed_from_u64(0);
+        let mut b = StdRng::seed_from_u64(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` facade (see `shims/README.md`).
+//!
+//! The workspace uses serde only as a marker (`#[derive(Serialize,
+//! Deserialize)]` on data types); nothing is serialized at runtime. The
+//! traits here are satisfied by every type via blanket impls, and the
+//! derive macros (re-exported from the `serde_derive` shim) expand to
+//! nothing.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -119,6 +119,11 @@ fn missing_arguments_fail_cleanly() {
     let out = run(&["--bogus"]);
     assert!(!out.status.success());
 
-    let out = run(&["--list", "/nonexistent/x.html", "--detail", "/nonexistent/y.html"]);
+    let out = run(&[
+        "--list",
+        "/nonexistent/x.html",
+        "--detail",
+        "/nonexistent/y.html",
+    ]);
     assert!(!out.status.success());
 }

@@ -53,7 +53,11 @@ fn clean_sites_segment_perfectly_with_both_approaches() {
                     spec.name,
                     segmenter.name()
                 );
-                assert!(!relaxed, "{} page {page} should not need relaxation", spec.name);
+                assert!(
+                    !relaxed,
+                    "{} page {page} should not need relaxation",
+                    spec.name
+                );
             }
         }
     }
@@ -72,7 +76,11 @@ fn dirty_sites_force_csp_relaxation_but_not_prob() {
         let (_, csp_relaxed) = run_page(&site, page, &CspSegmenter::default());
         assert!(csp_relaxed, "{} page {page}: CSP must relax", spec.name);
         let (prob_counts, prob_relaxed) = run_page(&site, page, &ProbSegmenter::default());
-        assert!(!prob_relaxed, "{}: the probabilistic approach never relaxes", spec.name);
+        assert!(
+            !prob_relaxed,
+            "{}: the probabilistic approach never relaxes",
+            spec.name
+        );
         // The probabilistic approach still gets most records right.
         let m = Metrics::from_counts(&prob_counts);
         assert!(m.recall > 0.8, "{} page {page}: {prob_counts:?}", spec.name);
@@ -101,7 +109,11 @@ fn probabilistic_is_at_least_as_accurate_as_csp_on_dirty_sites() {
 
 #[test]
 fn numbered_sites_trigger_whole_page_fallback() {
-    for spec in [paper_sites::amazon(), paper_sites::bn_books(), paper_sites::minnesota()] {
+    for spec in [
+        paper_sites::amazon(),
+        paper_sites::bn_books(),
+        paper_sites::minnesota(),
+    ] {
         let site = generate(&spec);
         let details: Vec<&str> = site.pages[0]
             .detail_html

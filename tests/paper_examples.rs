@@ -123,7 +123,10 @@ fn section4_relaxation_produces_partial_assignment() {
     assert!(!csp.segmentation.is_total(), "relaxed solution is partial");
 
     let prob = ProbSegmenter::default().segment(&obs);
-    assert!(prob.segmentation.is_total(), "the HMM tolerates the inconsistency");
+    assert!(
+        prob.segmentation.is_total(),
+        "the HMM tolerates the inconsistency"
+    );
 }
 
 #[test]
