@@ -1,5 +1,6 @@
-//! Front-end microbenchmarks: tokenization, template induction,
-//! observation-table construction.
+//! Front-end microbenchmarks: tokenization, interning, template
+//! induction, observation-table construction, and the naive-vs-indexed
+//! extract matcher comparison.
 //!
 //! The paper argues its content-based inference is fast because "the
 //! number of text strings on a typical Web page is very small compared to
@@ -9,9 +10,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use tableseg_bench::matchbench;
 use tableseg_extract::build_observations;
 use tableseg_html::lexer::tokenize;
-use tableseg_html::Token;
+use tableseg_html::{Interner, Token};
 use tableseg_sitegen::paper_sites;
 use tableseg_sitegen::site::generate;
 use tableseg_template::{assess, induce};
@@ -68,5 +70,53 @@ fn bench_observations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tokenize, bench_template, bench_observations);
+fn bench_intern(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intern");
+    for spec in [paper_sites::allegheny(), paper_sites::superpages()] {
+        let site = generate(&spec);
+        let tokens = tokenize(&site.pages[0].list_html);
+        group.throughput(Throughput::Elements(tokens.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&spec.name),
+            &tokens,
+            |b, tokens| {
+                b.iter(|| {
+                    let mut interner = Interner::new();
+                    interner.intern_tokens(black_box(tokens))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The headline comparison: per-page extract matching via the naive
+/// string scan (`match_extracts_naive`, the test oracle) vs. the indexed
+/// symbol matcher used in production. Same fixtures as the
+/// `BENCH_frontend.json` smoke run.
+fn bench_matcher(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matcher");
+    let fixtures = matchbench::corpus();
+    for f in fixtures.iter().filter(|f| {
+        f.page == 0 && ["Butler County", "Superpages", "Canada 411"].contains(&f.site.as_str())
+    }) {
+        group.throughput(Throughput::Elements(f.extracts.len() as u64));
+        group.bench_with_input(BenchmarkId::new("naive", &f.site), f, |b, f| {
+            b.iter(|| black_box(f.run_naive()))
+        });
+        group.bench_with_input(BenchmarkId::new("indexed", &f.site), f, |b, f| {
+            b.iter(|| black_box(f.run_indexed()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tokenize,
+    bench_intern,
+    bench_template,
+    bench_observations,
+    bench_matcher
+);
 criterion_main!(benches);

@@ -14,23 +14,36 @@
 //!   R=1.0 F=0.88 on those 17 pages;
 //! * `--threads N` — worker threads (default: available parallelism);
 //! * `--rt` — append the RT report: per-site wall-clock time per pipeline
-//!   stage (tokenize / template / extract / match / solve / decode).
+//!   stage (tokenize / template / extract / match / solve / decode);
+//! * `--bench-json PATH` — additionally run the naive-vs-indexed matcher
+//!   microbenchmark over the corpus and write `BENCH_frontend.json`-style
+//!   output (corpus shape, wall-clock per path, speedup, per-stage
+//!   totals) to PATH.
 
 use std::process::ExitCode;
 
 use tableseg::batch;
-use tableseg_bench::{run_sites, table4_report};
+use tableseg::timing::Stage;
+use tableseg_bench::{matchbench, run_sites, table4_report};
 use tableseg_sitegen::paper_sites;
 
 fn main() -> ExitCode {
     let mut clean_only = false;
     let mut rt = false;
+    let mut bench_json: Option<String> = None;
     let mut threads = batch::default_threads();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--clean-only" => clean_only = true,
             "--rt" => rt = true,
+            "--bench-json" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--bench-json needs an output path");
+                    return ExitCode::FAILURE;
+                };
+                bench_json = Some(path);
+            }
             "--threads" => {
                 let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
                     eprintln!("--threads needs a positive number");
@@ -39,7 +52,9 @@ fn main() -> ExitCode {
                 threads = n;
             }
             other => {
-                eprintln!("unknown flag {other} (try --clean-only, --threads N, --rt)");
+                eprintln!(
+                    "unknown flag {other} (try --clean-only, --threads N, --rt, --bench-json PATH)"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -56,6 +71,34 @@ fn main() -> ExitCode {
         // stays byte-identical (and pipeable) with or without --rt.
         eprintln!("\nRT: per-stage wall clock by site ({threads} thread(s))\n");
         eprint!("{}", outcome.timing.render());
+    }
+
+    if let Some(path) = bench_json {
+        eprintln!("running matcher microbenchmark ...");
+        let bench = matchbench::run_match_bench(7);
+        // Corpus-wide per-stage totals from the batch run above.
+        let mut stage_totals: Vec<(String, u128)> = Vec::new();
+        for stage in Stage::ALL {
+            let total: u128 = outcome
+                .timing
+                .rows()
+                .iter()
+                .map(|(_, times)| times.get(stage).as_nanos())
+                .sum();
+            stage_totals.push((stage.label().to_owned(), total));
+        }
+        let json = matchbench::render_json(&bench, &stage_totals);
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "matcher: naive {:.2} ms vs indexed {:.2} ms over {} pages → {:.2}x (written to {path})",
+            bench.naive_ns as f64 / 1e6,
+            bench.indexed_ns as f64 / 1e6,
+            bench.pages,
+            bench.speedup()
+        );
     }
     ExitCode::SUCCESS
 }

@@ -15,6 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod matchbench;
+
 use std::ops::Range;
 
 use tableseg::timing::{self, Stage, StageTimes};

@@ -9,10 +9,11 @@
 //! detail matching) against the cached template. [`prepare`] remains the
 //! one-shot convenience wrapper.
 
-use tableseg_extract::{derive_extracts, match_extracts, Observations};
+use tableseg_extract::{derive_extracts, match_extracts_indexed, Observations};
+use tableseg_extract::{PageIndex, SeparatorMask};
 use tableseg_html::lexer::tokenize;
-use tableseg_html::Token;
-use tableseg_template::{assess, induce, Induction, TemplateQuality};
+use tableseg_html::{Interner, Symbol, Token};
+use tableseg_template::{assess, induce_interned, Induction, TemplateQuality};
 
 use crate::timing::{Stage, StageTimes};
 
@@ -67,29 +68,59 @@ pub struct PreparedPage {
 pub struct SiteTemplate {
     /// Token streams of the sample list pages, in input order.
     pub pages: Vec<Vec<Token>>,
+    /// The site's token-text interner: every list-page token text, with its
+    /// [`tableseg_html::TypeSet`]. Detail pages are projected through it
+    /// read-only, so the template stays shareable across batch workers.
+    pub interner: Interner,
+    /// Interned symbol streams, aligned token-for-token with `pages`.
+    pub streams: Vec<Vec<Symbol>>,
+    /// The per-symbol separator classification, computed once per site.
+    pub separators: SeparatorMask,
+    /// Reduced occurrence index of each list page, aligned with `pages`.
+    /// [`prepare_with_template`] probes the indexes of the *other* list
+    /// pages for the all-list-pages filter, so they are built once here
+    /// rather than once per segmented page.
+    pub page_indexes: Vec<PageIndex>,
     /// The induced template and its per-page anchors.
     pub induction: Induction,
     /// The template diagnostics driving the slot-vs-whole-page decision.
     pub quality: TemplateQuality,
-    /// Wall-clock time of the per-site stages (list-page tokenization and
-    /// template induction).
+    /// Wall-clock time of the per-site stages (list-page tokenization +
+    /// interning, template induction, list-page index construction).
     pub timings: StageTimes,
 }
 
 impl SiteTemplate {
-    /// Tokenizes the sample list pages and induces the site's template.
+    /// Tokenizes and interns the sample list pages, induces the site's
+    /// template, and indexes each list page for extract matching.
     pub fn build(list_pages: &[&str]) -> SiteTemplate {
         let mut timings = StageTimes::new();
-        let pages: Vec<Vec<Token>> = timings.time(Stage::Tokenize, || {
-            list_pages.iter().map(|p| tokenize(p)).collect()
+        let (pages, interner, streams) = timings.time(Stage::Tokenize, || {
+            let pages: Vec<Vec<Token>> = list_pages.iter().map(|p| tokenize(p)).collect();
+            let mut interner = Interner::new();
+            let streams: Vec<Vec<Symbol>> =
+                pages.iter().map(|p| interner.intern_tokens(p)).collect();
+            (pages, interner, streams)
         });
         let (induction, quality) = timings.time(Stage::TemplateInduction, || {
-            let induction = induce(&pages);
+            let induction = induce_interned(&pages, &streams, interner.len());
             let quality = assess(&induction, &pages);
             (induction, quality)
         });
+        let (separators, page_indexes) = timings.time(Stage::Matching, || {
+            let separators = SeparatorMask::build(&interner);
+            let page_indexes: Vec<PageIndex> = streams
+                .iter()
+                .map(|s| PageIndex::from_interned(s, &separators))
+                .collect();
+            (separators, page_indexes)
+        });
         SiteTemplate {
             pages,
+            interner,
+            streams,
+            separators,
+            page_indexes,
             induction,
             quality,
             timings,
@@ -143,30 +174,46 @@ pub fn prepare_with_template(
     // we have taken the entire text of the list page").
     let pages = &template.pages;
     let target_tokens = &pages[target];
-    let (slot_tokens, used_whole_page): (&[Token], bool) = if template.quality.is_usable() {
+    let target_syms = &template.streams[target];
+    let (slot_range, used_whole_page) = if template.quality.is_usable() {
         let slots = template.induction.slots(pages);
         match slots.table_slot(pages) {
-            Some(idx) => {
-                let range = slots.slots[idx].ranges[target].clone();
-                (&target_tokens[range], false)
-            }
-            None => (&target_tokens[..], true),
+            Some(idx) => (slots.slots[idx].ranges[target].clone(), false),
+            None => (0..target_tokens.len(), true),
         }
     } else {
-        (&target_tokens[..], true)
+        (0..target_tokens.len(), true)
     };
-
-    let other_pages: Vec<&[Token]> = pages
-        .iter()
-        .enumerate()
-        .filter(|&(i, _)| i != target)
-        .map(|(_, p)| p.as_slice())
-        .collect();
-    let detail_refs: Vec<&[Token]> = detail_tokens.iter().map(Vec::as_slice).collect();
+    let slot_tokens = &target_tokens[slot_range.clone()];
+    // Streams align token-for-token with pages, so the slot's symbols are
+    // the same range of the target's interned stream.
+    let slot_syms = &target_syms[slot_range];
 
     let extracts = timings.time(Stage::Extraction, || derive_extracts(slot_tokens));
     let observations = timings.time(Stage::Matching, || {
-        match_extracts(extracts, &other_pages, &detail_refs)
+        // Needles are symbol slices of the slot stream: an extract is a
+        // contiguous separator-free token run, so its reduced form is the
+        // run itself.
+        let needles: Vec<&[Symbol]> = extracts
+            .iter()
+            .map(|e| &slot_syms[e.start..e.start + e.tokens.len()])
+            .collect();
+        // Other list pages come from the site-level index cache; only the
+        // detail pages (new input every call) are indexed here, projected
+        // read-only through the site interner.
+        let other_indexes: Vec<&PageIndex> = template
+            .page_indexes
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != target)
+            .map(|(_, idx)| idx)
+            .collect();
+        let detail_indexes: Vec<PageIndex> = detail_tokens
+            .iter()
+            .map(|p| PageIndex::build(p, &template.interner))
+            .collect();
+        let detail_refs: Vec<&PageIndex> = detail_indexes.iter().collect();
+        match_extracts_indexed(extracts, &needles, &other_indexes, &detail_refs)
     });
     let extract_offsets = observations
         .items

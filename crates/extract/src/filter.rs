@@ -9,9 +9,6 @@
 //! are kept aside so that the pipeline can later attach them to the record
 //! of the last assigned extract (Section 6.2).
 
-use crate::extracts::Extract;
-use crate::matcher::MatchStream;
-
 /// Why an extract was excluded from the observation table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SkipReason {
@@ -36,17 +33,19 @@ pub enum Decision {
 }
 
 /// Decides whether an extract is kept, given the detail pages on which it
-/// was observed and the other list pages of the site.
+/// was observed and its presence on the site's other list pages.
 ///
 /// `detail_hits` is the number of detail pages containing the extract and
-/// `num_details` the total number of detail pages. `other_lists` are the
-/// match streams of the list pages *other than* the one being segmented
-/// (the extract trivially appears on its own page).
+/// `num_details` the total number of detail pages. `on_every_other_list`
+/// reports whether the extract occurs on **every** list page other than
+/// the one being segmented (it trivially appears on its own page); it must
+/// return `false` when there are no other list pages. The closure is only
+/// evaluated when the detail-page rules keep the extract, so callers can
+/// make the (comparatively expensive) list-page probe lazy.
 pub fn decide(
-    extract: &Extract,
     detail_hits: usize,
     num_details: usize,
-    other_lists: &[MatchStream],
+    on_every_other_list: impl FnOnce() -> bool,
 ) -> Decision {
     if detail_hits == 0 {
         return Decision::Skip(SkipReason::OnNoDetailPage);
@@ -54,11 +53,8 @@ pub fn decide(
     if num_details > 1 && detail_hits == num_details {
         return Decision::Skip(SkipReason::OnAllDetailPages);
     }
-    if !other_lists.is_empty() {
-        let texts = extract.token_texts();
-        if other_lists.iter().all(|s| s.contains(&texts)) {
-            return Decision::Skip(SkipReason::OnAllListPages);
-        }
+    if on_every_other_list() {
+        return Decision::Skip(SkipReason::OnAllListPages);
     }
     Decision::Keep
 }
@@ -66,63 +62,70 @@ pub fn decide(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::extracts::derive_extracts;
+    use crate::matcher::MatchStream;
     use tableseg_html::lexer::tokenize;
-
-    fn extract(text: &str) -> Extract {
-        derive_extracts(&tokenize(text)).remove(0)
-    }
 
     fn stream(html: &str) -> MatchStream {
         MatchStream::new(&tokenize(html))
     }
 
+    /// The closure production callers build over the other list pages.
+    fn on_all(needle: &[&str], others: &[MatchStream]) -> bool {
+        !others.is_empty() && others.iter().all(|s| s.contains(needle))
+    }
+
     #[test]
     fn keeps_discriminating_extract() {
-        let e = extract("John Smith");
-        assert_eq!(decide(&e, 1, 3, &[stream("other page")]), Decision::Keep);
+        let others = vec![stream("other page")];
+        assert_eq!(
+            decide(1, 3, || on_all(&["John", "Smith"], &others)),
+            Decision::Keep
+        );
     }
 
     #[test]
     fn skips_on_no_detail_page() {
-        let e = extract("More Info");
         assert_eq!(
-            decide(&e, 0, 3, &[]),
+            decide(0, 3, || unreachable!("lazy: not evaluated")),
             Decision::Skip(SkipReason::OnNoDetailPage)
         );
     }
 
     #[test]
     fn skips_on_all_detail_pages() {
-        let e = extract("Springfield");
         assert_eq!(
-            decide(&e, 3, 3, &[]),
+            decide(3, 3, || unreachable!("lazy: not evaluated")),
             Decision::Skip(SkipReason::OnAllDetailPages)
         );
     }
 
     #[test]
     fn skips_on_all_list_pages() {
-        let e = extract("Search Again");
         let others = vec![stream("Search Again here"), stream("x Search Again")];
         assert_eq!(
-            decide(&e, 1, 3, &others),
+            decide(1, 3, || on_all(&["Search", "Again"], &others)),
             Decision::Skip(SkipReason::OnAllListPages)
         );
     }
 
     #[test]
     fn kept_when_absent_from_some_list_page() {
-        let e = extract("John Smith");
         let others = vec![stream("John Smith"), stream("nothing relevant")];
-        assert_eq!(decide(&e, 1, 3, &others), Decision::Keep);
+        assert_eq!(
+            decide(1, 3, || on_all(&["John", "Smith"], &others)),
+            Decision::Keep
+        );
+    }
+
+    #[test]
+    fn no_other_list_pages_never_skips_as_all_lists() {
+        assert_eq!(decide(1, 3, || on_all(&["John"], &[])), Decision::Keep);
     }
 
     #[test]
     fn single_detail_page_not_treated_as_all() {
         // With K = 1 every record extract appears on "all" detail pages;
         // the all-details rule only makes sense for K > 1.
-        let e = extract("John Smith");
-        assert_eq!(decide(&e, 1, 1, &[]), Decision::Keep);
+        assert_eq!(decide(1, 1, || false), Decision::Keep);
     }
 }

@@ -27,6 +27,10 @@ pub mod segmentation;
 pub mod separator;
 
 pub use extracts::{derive_extracts, Extract};
-pub use observations::{build_observations, match_extracts, ObsItem, Observations};
+pub use matcher::{MatchStream, PageIndex};
+pub use observations::{
+    build_observations, match_extracts, match_extracts_indexed, match_extracts_naive, ObsItem,
+    Observations, PagePos,
+};
 pub use segmentation::Segmentation;
-pub use separator::is_separator;
+pub use separator::{is_separator, SeparatorMask};

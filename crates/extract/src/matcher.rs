@@ -5,19 +5,33 @@
 //! `FirstName LastName` on list page will be matched to
 //! `FirstName <br>LastName` on the detail page."
 //!
-//! Both the extract and the page are reduced to their non-separator token
-//! texts; a match is a contiguous run in the reduced page stream. Matching
-//! is case-sensitive: the paper reports that a case mismatch between list
-//! and detail pages (Minnesota Corrections) breaks matching, and we want to
+//! Both the extract and the page are reduced to their non-separator tokens;
+//! a match is a contiguous run in the reduced page stream. Matching is
+//! case-sensitive: the paper reports that a case mismatch between list and
+//! detail pages (Minnesota Corrections) breaks matching, and we want to
 //! reproduce that behaviour faithfully.
+//!
+//! Two implementations coexist:
+//!
+//! * [`PageIndex`] — the production path. The reduced stream is interned
+//!   to [`Symbol`]s and indexed by first symbol, so a needle is verified
+//!   only at the positions where its first token actually occurs; each
+//!   comparison is one integer compare and page text is never cloned.
+//! * [`MatchStream`] — the original clone-and-scan string matcher, kept as
+//!   the differential-test **oracle** (see `tests/extract_props.rs`) and
+//!   as the reference semantics for the indexed path.
 
-use tableseg_html::Token;
+use tableseg_html::{Interner, Symbol, Token, UNKNOWN_SYMBOL};
 
-use crate::separator::is_separator;
+use crate::separator::{is_separator, SeparatorMask};
 
 /// A page reduced to its non-separator tokens, the form in which extract
 /// matching is performed. Construction is O(page length); each match query
-/// is a linear scan (pages are small — thousands of tokens at most).
+/// is a naive linear scan of the whole reduced stream.
+///
+/// This is the **oracle** implementation: simple enough to trust, used by
+/// the property tests to validate [`PageIndex`], which must return exactly
+/// the same positions. Production code goes through [`PageIndex`].
 #[derive(Debug, Clone)]
 pub struct MatchStream {
     texts: Vec<String>,
@@ -74,6 +88,125 @@ impl MatchStream {
     }
 }
 
+/// A page reduced to its non-separator **symbols**, with an occurrence
+/// index: `occ` holds every `(symbol, position)` pair of the reduced
+/// stream, sorted, so the positions of a symbol are one binary search
+/// away (and ascend within the run).
+///
+/// Matching a needle locates the run of its first symbol and verifies
+/// the rest symbol-by-symbol, so a page is scanned once at construction
+/// and never again — all of a list page's extracts are matched against
+/// the page in one pass over it. The flat sorted layout costs a single
+/// allocation per page (detail pages are indexed per segmentation call,
+/// so per-symbol bucket allocations would dominate on small pages).
+#[derive(Debug, Clone)]
+pub struct PageIndex {
+    syms: Vec<Symbol>,
+    occ: Vec<(Symbol, u32)>,
+}
+
+impl PageIndex {
+    /// Builds the index of a page by reducing its token stream and mapping
+    /// each text through `interner` **read-only** (texts the interner has
+    /// never seen become [`UNKNOWN_SYMBOL`], which matches nothing).
+    pub fn build(tokens: &[Token], interner: &Interner) -> PageIndex {
+        let mut syms = Vec::with_capacity(tokens.len());
+        for t in tokens {
+            if !is_separator(t) {
+                syms.push(interner.lookup(&t.text).unwrap_or(UNKNOWN_SYMBOL));
+            }
+        }
+        PageIndex::from_symbols(syms)
+    }
+
+    /// Builds the index of an already-interned page stream, reducing it
+    /// with the per-symbol separator mask (no string work at all).
+    pub fn from_interned(syms: &[Symbol], mask: &SeparatorMask) -> PageIndex {
+        let mut reduced = Vec::with_capacity(syms.len());
+        for &s in syms {
+            if !mask.is_separator(s) {
+                reduced.push(s);
+            }
+        }
+        PageIndex::from_symbols(reduced)
+    }
+
+    /// Builds the index over a pre-reduced symbol stream.
+    pub fn from_symbols(syms: Vec<Symbol>) -> PageIndex {
+        let mut occ: Vec<(Symbol, u32)> = Vec::with_capacity(syms.len());
+        for (i, &s) in syms.iter().enumerate() {
+            if s != UNKNOWN_SYMBOL {
+                occ.push((s, i as u32));
+            }
+        }
+        occ.sort_unstable();
+        PageIndex { syms, occ }
+    }
+
+    /// Number of matchable tokens.
+    pub fn len(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// True if the page has no matchable tokens.
+    pub fn is_empty(&self) -> bool {
+        self.syms.is_empty()
+    }
+
+    /// The reduced symbol stream.
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.syms
+    }
+
+    /// All starting positions (token number within the reduced stream) at
+    /// which `needle` occurs as a contiguous run, ascending — exactly the
+    /// positions [`MatchStream::find_all`] reports for the needle's texts.
+    pub fn find_all(&self, needle: &[Symbol]) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.for_each_match(needle, |pos| {
+            out.push(pos);
+            true
+        });
+        out
+    }
+
+    /// Returns `true` if `needle` occurs at least once (early exit).
+    pub fn contains(&self, needle: &[Symbol]) -> bool {
+        let mut found = false;
+        self.for_each_match(needle, |_| {
+            found = true;
+            false
+        });
+        found
+    }
+
+    /// Calls `hit` with each starting position of `needle`, ascending —
+    /// [`PageIndex::find_all`] without the intermediate allocation, for
+    /// callers accumulating hits across many pages. `hit` returns whether
+    /// to keep scanning.
+    pub fn for_each_match(&self, needle: &[Symbol], mut hit: impl FnMut(u32) -> bool) {
+        if needle.is_empty() || needle.len() > self.syms.len() || needle.contains(&UNKNOWN_SYMBOL) {
+            return;
+        }
+        let first = needle[0];
+        let lo = self.occ.partition_point(|&(s, _)| s < first);
+        let limit = (self.syms.len() - needle.len()) as u32;
+        for &(s, start) in &self.occ[lo..] {
+            if s != first || start > limit {
+                // The run is sorted: past the first symbol's occurrences,
+                // or past the last position the needle can fit, no later
+                // entry matches either.
+                break;
+            }
+            let at = start as usize + 1;
+            // Slice equality over symbols compiles to a memcmp.
+            if self.syms[at..at + needle.len() - 1] == needle[1..] && !hit(start) {
+                return;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,17 +216,34 @@ mod tests {
         MatchStream::new(&tokenize(html))
     }
 
+    /// Interner over the needle + index over the page, the way production
+    /// code pairs them.
+    fn indexed(needle_html: &str, page_html: &str) -> (Vec<Symbol>, PageIndex) {
+        let mut interner = Interner::new();
+        let needle: Vec<Symbol> = tokenize(needle_html)
+            .iter()
+            .filter(|t| !is_separator(t))
+            .map(|t| interner.intern_token(t))
+            .collect();
+        let index = PageIndex::build(&tokenize(page_html), &interner);
+        (needle, index)
+    }
+
     #[test]
     fn ignores_intervening_tags() {
         // The paper's footnote example.
         let s = stream("FirstName <br>LastName");
         assert!(s.contains(&["FirstName", "LastName"]));
+        let (needle, index) = indexed("FirstName LastName", "FirstName <br>LastName");
+        assert!(index.contains(&needle));
     }
 
     #[test]
     fn ignores_intervening_special_punctuation() {
         let s = stream("Name: John | Smith");
         assert!(s.contains(&["John", "Smith"]));
+        let (needle, index) = indexed("John Smith", "Name: John | Smith");
+        assert!(index.contains(&needle));
     }
 
     #[test]
@@ -101,6 +251,10 @@ mod tests {
         let s = stream("(740) 335-5555");
         assert!(s.contains(&["(", "740", ")", "335", "-", "5555"]));
         assert!(!s.contains(&["740", "335", "5555"]));
+        let (needle, index) = indexed("(740) 335-5555", "(740) 335-5555");
+        assert!(index.contains(&needle));
+        let (needle, index) = indexed("740 335 5555", "(740) 335-5555");
+        assert!(!index.contains(&needle));
     }
 
     #[test]
@@ -108,6 +262,10 @@ mod tests {
         let s = stream("PAROLE");
         assert!(!s.contains(&["Parole"]));
         assert!(s.contains(&["PAROLE"]));
+        let (needle, index) = indexed("Parole", "PAROLE");
+        assert!(!index.contains(&needle));
+        let (needle, index) = indexed("PAROLE", "PAROLE");
+        assert!(index.contains(&needle));
     }
 
     #[test]
@@ -116,6 +274,12 @@ mod tests {
         assert_eq!(s.find_all(&["a", "b"]), vec![0, 2]);
         assert_eq!(s.find_all(&["a"]), vec![0, 2, 4]);
         assert_eq!(s.find_all(&["b", "a"]), vec![1, 3]);
+
+        let (needle, index) = indexed("a b", "a b a b a");
+        assert_eq!(index.find_all(&needle), vec![0, 2]);
+        assert_eq!(index.find_all(&needle[..1]), vec![0, 2, 4]);
+        let (needle, index) = indexed("b a", "a b a b a");
+        assert_eq!(index.find_all(&needle), vec![1, 3]);
     }
 
     #[test]
@@ -123,6 +287,11 @@ mod tests {
         let s = stream("x");
         assert!(s.find_all(&["x", "y"]).is_empty());
         assert!(s.find_all(&[]).is_empty());
+
+        let (needle, index) = indexed("x y", "x");
+        assert!(index.find_all(&needle).is_empty());
+        assert!(index.find_all(&[]).is_empty());
+        assert!(!index.contains(&[]));
     }
 
     #[test]
@@ -130,6 +299,8 @@ mod tests {
         // Tags do not count towards positions.
         let s = stream("<html><body>first <b>second</b></body>");
         assert_eq!(s.find_all(&["second"]), vec![1]);
+        let (needle, index) = indexed("second", "<html><body>first <b>second</b></body>");
+        assert_eq!(index.find_all(&needle), vec![1]);
     }
 
     #[test]
@@ -138,5 +309,35 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.len(), 0);
         assert!(!s.contains(&["x"]));
+
+        let (needle, index) = indexed("x", "<br><td></td>");
+        assert!(index.is_empty());
+        assert_eq!(index.len(), 0);
+        assert!(!index.contains(&needle));
+    }
+
+    #[test]
+    fn unknown_symbols_never_match() {
+        let mut interner = Interner::new();
+        let needle = vec![interner.intern("known")];
+        // Page tokens were never interned → all UNKNOWN_SYMBOL.
+        let index = PageIndex::build(&tokenize("mystery words here"), &interner);
+        assert_eq!(index.len(), 3, "unknown tokens still occupy positions");
+        assert!(index.find_all(&needle).is_empty());
+        // A needle containing the sentinel matches nothing either, even if
+        // the page holds sentinel positions.
+        assert!(index.find_all(&[UNKNOWN_SYMBOL]).is_empty());
+    }
+
+    #[test]
+    fn from_interned_equals_build() {
+        let html = "<td>John (740) 335-5555</td> ~ stuff";
+        let toks = tokenize(html);
+        let mut interner = Interner::new();
+        let syms = interner.intern_tokens(&toks);
+        let mask = SeparatorMask::build(&interner);
+        let a = PageIndex::build(&toks, &interner);
+        let b = PageIndex::from_interned(&syms, &mask);
+        assert_eq!(a.symbols(), b.symbols());
     }
 }

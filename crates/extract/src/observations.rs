@@ -1,12 +1,19 @@
 //! The observation table: `D_i` and positions for every kept extract
 //! (the paper's Table 1 and Table 3).
+//!
+//! Matching runs in the interned-symbol domain ([`match_extracts`] /
+//! [`match_extracts_indexed`]): each page is reduced and indexed once
+//! ([`PageIndex`]), needles are symbol slices, and repeated extracts (the
+//! paper's E₁/E₅ "John Smith") are matched once and memoized. The original
+//! string-scanning implementation survives as [`match_extracts_naive`],
+//! the differential-test oracle.
 
 use serde::{Deserialize, Serialize};
-use tableseg_html::Token;
+use tableseg_html::{FastMap, Interner, Symbol, Token, TypeSet};
 
 use crate::extracts::{derive_extracts, Extract};
 use crate::filter::{decide, Decision, SkipReason};
-use crate::matcher::MatchStream;
+use crate::matcher::{MatchStream, PageIndex};
 
 /// One observation of an extract on a detail page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -24,6 +31,9 @@ pub struct PagePos {
 pub struct ObsItem {
     /// The extract.
     pub extract: Extract,
+    /// `T_i`: the union of the extract's token types, precomputed at match
+    /// time so that evidence building never revisits the tokens.
+    pub types: TypeSet,
     /// `D_i`: sorted, deduplicated indices of the detail pages on which the
     /// extract occurs. Never empty for a kept extract.
     pub pages: Vec<u32>,
@@ -32,6 +42,20 @@ pub struct ObsItem {
 }
 
 impl ObsItem {
+    /// Builds a row, deriving `T_i` from the extract's tokens.
+    pub fn new(extract: Extract, pages: Vec<u32>, positions: Vec<PagePos>) -> ObsItem {
+        let types = extract
+            .tokens
+            .iter()
+            .fold(TypeSet::EMPTY, |acc, t| acc.union(t.types));
+        ObsItem {
+            extract,
+            types,
+            pages,
+            positions,
+        }
+    }
+
     /// Returns `true` if the extract was observed on detail page `page`.
     pub fn on_page(&self, page: u32) -> bool {
         self.pages.binary_search(&page).is_ok()
@@ -106,7 +130,113 @@ pub fn build_observations(
 /// extracts on the detail pages (and filters against the other list
 /// pages). Split out so callers can time extraction and matching as
 /// separate stages.
+///
+/// One-shot symbol front end: interns the extract tokens, reduces and
+/// indexes every page against that interner, and runs the indexed match.
+/// Batch callers that already interned the site's pages should build the
+/// needles and [`PageIndex`]es themselves (once per site) and call
+/// [`match_extracts_indexed`].
 pub fn match_extracts(
+    extracts: Vec<Extract>,
+    other_list_pages: &[&[Token]],
+    detail_pages: &[&[Token]],
+) -> Observations {
+    let mut interner = Interner::new();
+    let needles: Vec<Vec<Symbol>> = extracts
+        .iter()
+        .map(|e| interner.intern_tokens(&e.tokens))
+        .collect();
+    let needle_refs: Vec<&[Symbol]> = needles.iter().map(Vec::as_slice).collect();
+    let details: Vec<PageIndex> = detail_pages
+        .iter()
+        .map(|p| PageIndex::build(p, &interner))
+        .collect();
+    let others: Vec<PageIndex> = other_list_pages
+        .iter()
+        .map(|p| PageIndex::build(p, &interner))
+        .collect();
+    let detail_refs: Vec<&PageIndex> = details.iter().collect();
+    let other_refs: Vec<&PageIndex> = others.iter().collect();
+    match_extracts_indexed(extracts, &needle_refs, &other_refs, &detail_refs)
+}
+
+/// The match outcome of one distinct needle, memoized across duplicate
+/// extracts (the same string appearing twice yields two extracts with
+/// identical observations — the paper's E₁ and E₅).
+#[derive(Clone)]
+struct NeedleMatch {
+    pages: Vec<u32>,
+    positions: Vec<PagePos>,
+    decision: Decision,
+}
+
+/// The indexed matcher core: observes extracts on the pre-indexed detail
+/// pages and filters against the pre-indexed other list pages.
+///
+/// `needles[i]` must be the symbol stream of `extracts[i]`'s tokens, under
+/// the same interner the [`PageIndex`]es were built against. Every page is
+/// scanned only at index-construction time; per extract, matching probes
+/// the first-symbol bucket of each page. Results — `D_i` ascending,
+/// positions in `(page, pos)` order — are byte-identical to
+/// [`match_extracts_naive`].
+pub fn match_extracts_indexed(
+    extracts: Vec<Extract>,
+    needles: &[&[Symbol]],
+    other_list_pages: &[&PageIndex],
+    detail_pages: &[&PageIndex],
+) -> Observations {
+    assert_eq!(extracts.len(), needles.len(), "one needle per extract");
+    let num_details = detail_pages.len();
+    let mut memo: FastMap<&[Symbol], NeedleMatch> = FastMap::default();
+
+    let mut items = Vec::new();
+    let mut skipped = Vec::new();
+    for (extract, &needle) in extracts.into_iter().zip(needles) {
+        let m = memo.entry(needle).or_insert_with(|| {
+            let mut pages = Vec::new();
+            let mut positions = Vec::new();
+            for (j, index) in detail_pages.iter().enumerate() {
+                let before = positions.len();
+                index.for_each_match(needle, |pos| {
+                    positions.push(PagePos {
+                        page: j as u32,
+                        pos,
+                    });
+                    true
+                });
+                if positions.len() > before {
+                    pages.push(j as u32);
+                }
+            }
+            let decision = decide(pages.len(), num_details, || {
+                !other_list_pages.is_empty()
+                    && other_list_pages.iter().all(|idx| idx.contains(needle))
+            });
+            NeedleMatch {
+                pages,
+                positions,
+                decision,
+            }
+        });
+        match m.decision {
+            Decision::Keep => {
+                items.push(ObsItem::new(extract, m.pages.clone(), m.positions.clone()))
+            }
+            Decision::Skip(reason) => skipped.push(SkippedExtract { extract, reason }),
+        }
+    }
+
+    Observations {
+        num_records: num_details,
+        items,
+        skipped,
+    }
+}
+
+/// The original per-extract string scan over [`MatchStream`]s, kept as the
+/// **test oracle** for the indexed path (see `tests/extract_props.rs`):
+/// trivially correct, no interning, no index, no memoization.
+pub fn match_extracts_naive(
     extracts: Vec<Extract>,
     other_list_pages: &[&[Token]],
     detail_pages: &[&[Token]],
@@ -137,12 +267,11 @@ pub fn match_extracts(
                 }
             }
         }
-        match decide(&extract, pages.len(), detail_streams.len(), &other_streams) {
-            Decision::Keep => items.push(ObsItem {
-                extract,
-                pages,
-                positions,
-            }),
+        let decision = decide(pages.len(), detail_streams.len(), || {
+            !other_streams.is_empty() && other_streams.iter().all(|s| s.contains(&texts))
+        });
+        match decision {
+            Decision::Keep => items.push(ObsItem::new(extract, pages, positions)),
             Decision::Skip(reason) => skipped.push(SkippedExtract { extract, reason }),
         }
     }
@@ -217,6 +346,17 @@ mod tests {
     }
 
     #[test]
+    fn indexed_agrees_with_naive_on_superpages() {
+        let (list, details) = superpages_fixture();
+        let detail_refs: Vec<&[Token]> = details.iter().map(Vec::as_slice).collect();
+        let fast = match_extracts(derive_extracts(&list), &[], &detail_refs);
+        let naive = match_extracts_naive(derive_extracts(&list), &[], &detail_refs);
+        assert_eq!(fast.items, naive.items);
+        assert_eq!(fast.skipped, naive.skipped);
+        assert_eq!(fast.num_records, naive.num_records);
+    }
+
+    #[test]
     fn extraneous_strings_are_skipped() {
         let list = tokenize("<td>John Smith</td><td>More Info</td>");
         let d1 = tokenize("<h1>John Smith</h1>");
@@ -242,12 +382,42 @@ mod tests {
     }
 
     #[test]
+    fn extract_on_every_list_page_is_skipped() {
+        let list = tokenize("<td>Search Again</td><td>John</td>");
+        let other1 = tokenize("<p>Search Again</p><p>Alice</p>");
+        let other2 = tokenize("<p>x</p><p>Search Again</p>");
+        let others: Vec<&[Token]> = vec![&other1, &other2];
+        let d1 = tokenize("<p>John</p><p>Search Again</p>");
+        let d2 = tokenize("<p>Jane</p>");
+        let details: Vec<&[Token]> = vec![&d1, &d2];
+        let obs = build_observations(&list, &others, &details);
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs.items[0].extract.text(), "John");
+        assert_eq!(obs.skipped[0].reason, SkipReason::OnAllListPages);
+    }
+
+    #[test]
+    fn types_are_precomputed_union() {
+        use tableseg_html::TokenType;
+        let list = tokenize("<td>John 42</td>");
+        let d1 = tokenize("<p>John 42</p>");
+        let d2 = tokenize("<p>other</p>");
+        let details: Vec<&[Token]> = vec![&d1, &d2];
+        let obs = build_observations(&list, &[], &details);
+        assert_eq!(obs.len(), 1);
+        let types = obs.items[0].types;
+        assert!(types.contains(TokenType::Capitalized));
+        assert!(types.contains(TokenType::Numeric));
+        assert!(!types.contains(TokenType::Html));
+    }
+
+    #[test]
     fn on_page_lookup() {
-        let item = ObsItem {
-            extract: crate::extracts::derive_extracts(&tokenize("x")).remove(0),
-            pages: vec![0, 2, 5],
-            positions: vec![],
-        };
+        let item = ObsItem::new(
+            crate::extracts::derive_extracts(&tokenize("x")).remove(0),
+            vec![0, 2, 5],
+            vec![],
+        );
         assert!(item.on_page(0));
         assert!(!item.on_page(1));
         assert!(item.on_page(5));

@@ -4,6 +4,7 @@
 //! character that is not in the set `.,()-`)."
 
 use tableseg_html::Token;
+use tableseg_html::{Interner, Symbol, TokenType, TypeSet, UNKNOWN_SYMBOL};
 
 /// Punctuation characters that are **not** separators — they may appear
 /// inside an extract (street numbers `221-B`, phone numbers `(740)
@@ -16,18 +17,64 @@ pub fn is_separator_char(ch: char) -> bool {
     !NON_SEPARATOR_PUNCT.contains(&ch)
 }
 
-/// Returns `true` if a token is a separator: an HTML tag, or a punctuation
-/// token whose character is outside `.,()-`.
-pub fn is_separator(token: &Token) -> bool {
-    if token.is_html() {
+/// The separator decision on a token's raw parts; shared by the
+/// [`Token`]-level test and the per-symbol [`SeparatorMask`].
+#[inline]
+fn is_separator_parts(text: &str, types: TypeSet) -> bool {
+    if types.contains(TokenType::Html) {
         return true;
     }
-    if token.is_punctuation() {
+    if types.contains(TokenType::Punctuation) {
         // Punctuation tokens produced by the lexer are single characters.
-        let ch = token.text.chars().next().expect("non-empty token");
+        let ch = text.chars().next().expect("non-empty token");
         return is_separator_char(ch);
     }
     false
+}
+
+/// Returns `true` if a token is a separator: an HTML tag, or a punctuation
+/// token whose character is outside `.,()-`.
+pub fn is_separator(token: &Token) -> bool {
+    is_separator_parts(&token.text, token.types)
+}
+
+/// The separator decision precomputed for every symbol of an interner.
+///
+/// Token text determines the separator verdict, so on interned streams the
+/// per-token classification collapses to one bit lookup per symbol —
+/// computed once per site, not once per token occurrence.
+#[derive(Debug, Clone)]
+pub struct SeparatorMask {
+    flags: Vec<bool>,
+}
+
+impl SeparatorMask {
+    /// Classifies every symbol of `interner`.
+    pub fn build(interner: &Interner) -> SeparatorMask {
+        let flags = (0..interner.len() as Symbol)
+            .map(|sym| is_separator_parts(interner.text(sym), interner.types(sym)))
+            .collect();
+        SeparatorMask { flags }
+    }
+
+    /// Returns `true` if `sym` is a separator. [`UNKNOWN_SYMBOL`] (and any
+    /// symbol interned after the mask was built) is treated as
+    /// non-separator; pipeline streams are fully interned before masks are
+    /// built, so neither occurs there.
+    #[inline]
+    pub fn is_separator(&self, sym: Symbol) -> bool {
+        sym != UNKNOWN_SYMBOL && self.flags.get(sym as usize).copied().unwrap_or(false)
+    }
+
+    /// Number of classified symbols.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Returns `true` if no symbol was classified.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -63,5 +110,25 @@ mod tests {
             let toks = tokenize(w);
             assert!(!is_separator(&toks[0]), "{w}");
         }
+    }
+
+    #[test]
+    fn mask_agrees_with_token_classification() {
+        let toks = tokenize("<td>John (740) 335-5555</td> ~ | more");
+        let mut interner = Interner::new();
+        let syms = interner.intern_tokens(&toks);
+        let mask = SeparatorMask::build(&interner);
+        assert_eq!(mask.len(), interner.len());
+        for (tok, &sym) in toks.iter().zip(&syms) {
+            assert_eq!(mask.is_separator(sym), is_separator(tok), "{:?}", tok.text);
+        }
+    }
+
+    #[test]
+    fn mask_treats_unknown_as_non_separator() {
+        let mask = SeparatorMask::build(&Interner::new());
+        assert!(mask.is_empty());
+        assert!(!mask.is_separator(UNKNOWN_SYMBOL));
+        assert!(!mask.is_separator(7));
     }
 }

@@ -18,6 +18,9 @@
 //!
 //! * [`lexer::tokenize`] — the page tokenizer, producing [`Token`]s with
 //!   source offsets,
+//! * [`intern`] — token-text interning: pages are mapped once to dense
+//!   `u32` [`Symbol`]s so that every downstream comparison (template LCS,
+//!   extract matching, separator tests) is an integer compare,
 //! * [`entities`] — HTML entity decoding (escape sequences → ASCII),
 //! * [`dom`] — a small, forgiving DOM parser used by the DOM-heuristic
 //!   baseline and by the site simulator's round-trip tests,
@@ -44,11 +47,13 @@
 
 pub mod dom;
 pub mod entities;
+pub mod intern;
 pub mod lexer;
 pub mod links;
 pub mod token;
 pub mod writer;
 
+pub use intern::{FastHasher, FastMap, Interner, Symbol, UNKNOWN_SYMBOL};
 pub use links::{extract_links, Link};
 pub use token::{Token, TokenType, TypeSet};
 pub use writer::render_tokens;

@@ -73,11 +73,8 @@ pub fn evidence(obs: &Observations) -> Vec<Evidence> {
     obs.items
         .iter()
         .map(|item| Evidence {
-            types: item
-                .extract
-                .tokens
-                .iter()
-                .fold(TypeSet::EMPTY, |acc, t| acc.union(t.types)),
+            // `T_i` was unioned once at match time; no token walk here.
+            types: item.types,
             pages: item.pages.clone(),
         })
         .collect()

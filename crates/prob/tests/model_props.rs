@@ -86,15 +86,15 @@ proptest! {
         let items: Vec<ObsItem> = ev_spec
             .iter()
             .enumerate()
-            .map(|(i, ev)| ObsItem {
-                extract: Extract {
+            .map(|(i, ev)| ObsItem::new(
+                Extract {
                     index: i,
                     tokens: vec![Token::text(format!("w{i}"), i)],
                     start: i,
                 },
-                pages: ev.pages.clone(),
-                positions: vec![],
-            })
+                ev.pages.clone(),
+                vec![],
+            ))
             .collect();
         let obs = Observations { num_records: 4, items, skipped: vec![] };
         let opts = ProbOptions::default();

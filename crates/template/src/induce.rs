@@ -93,8 +93,30 @@ impl Induction {
 /// With fewer than two pages no template can be derived; the result has an
 /// empty template and a single slot covering each whole page, which makes
 /// the downstream pipeline equivalent to the paper's whole-page fallback.
+///
+/// Convenience wrapper over [`induce_interned`] that interns the pages
+/// itself; pipeline callers that already interned the site's pages should
+/// pass their streams to [`induce_interned`] directly.
 pub fn induce(pages: &[Vec<Token>]) -> Induction {
+    let mut interner = Interner::new();
+    let streams: Vec<Vec<Symbol>> = pages.iter().map(|p| interner.intern_tokens(p)).collect();
+    induce_interned(pages, &streams, interner.len())
+}
+
+/// [`induce`] over pre-interned symbol streams.
+///
+/// `streams[p]` must be the symbol stream of `pages[p]` (same length, same
+/// order) and `num_symbols` an upper bound on the symbol ids appearing in
+/// the streams (typically `Interner::len`). The interner itself is not
+/// needed: induction compares symbols and takes representative tokens from
+/// the first page.
+pub fn induce_interned(
+    pages: &[Vec<Token>],
+    streams: &[Vec<Symbol>],
+    num_symbols: usize,
+) -> Induction {
     INDUCTIONS.fetch_add(1, Ordering::Relaxed);
+    debug_assert_eq!(pages.len(), streams.len());
     if pages.len() < 2 {
         return Induction {
             template: Template { tokens: Vec::new() },
@@ -102,14 +124,11 @@ pub fn induce(pages: &[Vec<Token>]) -> Induction {
         };
     }
 
-    let mut interner = Interner::new();
-    let streams: Vec<Vec<Symbol>> = pages.iter().map(|p| interner.intern_tokens(p)).collect();
-
     // Count symbol occurrences per page; a candidate occurs exactly once on
     // every page.
-    let mut counts = vec![0u32; interner.len()];
-    let mut candidate = vec![true; interner.len()];
-    for stream in &streams {
+    let mut counts = vec![0u32; num_symbols];
+    let mut candidate = vec![true; num_symbols];
+    for stream in streams {
         counts.iter_mut().for_each(|c| *c = 0);
         for &s in stream {
             counts[s as usize] += 1;

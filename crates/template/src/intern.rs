@@ -1,92 +1,10 @@
-//! Token-text interning.
+//! Token-text interning — re-exported from [`tableseg_html::intern`].
 //!
-//! Template induction compares token *texts* millions of times; comparing
-//! interned `u32` symbols instead of strings keeps the LCS inner loop to a
-//! single integer compare.
+//! Interning began life here as a private detail of template induction
+//! (the LCS inner loop compares symbols, not strings). It is now the
+//! pipeline-wide front end — extract matching, separator classification
+//! and evidence building all run on symbols — so the implementation lives
+//! in `tableseg-html` next to the tokenizer; this module re-exports it
+//! for template-local callers and backwards compatibility.
 
-use std::collections::HashMap;
-
-use tableseg_html::Token;
-
-/// A symbol id for an interned token text.
-pub type Symbol = u32;
-
-/// Interns token texts to dense `u32` symbols.
-#[derive(Debug, Default)]
-pub struct Interner {
-    map: HashMap<String, Symbol>,
-    texts: Vec<String>,
-}
-
-impl Interner {
-    /// Creates an empty interner.
-    pub fn new() -> Interner {
-        Interner::default()
-    }
-
-    /// Interns one text, returning its symbol.
-    pub fn intern(&mut self, text: &str) -> Symbol {
-        if let Some(&sym) = self.map.get(text) {
-            return sym;
-        }
-        let sym = Symbol::try_from(self.texts.len()).expect("fewer than 2^32 distinct tokens");
-        self.map.insert(text.to_owned(), sym);
-        self.texts.push(text.to_owned());
-        sym
-    }
-
-    /// Interns a whole token stream.
-    pub fn intern_tokens(&mut self, tokens: &[Token]) -> Vec<Symbol> {
-        tokens.iter().map(|t| self.intern(&t.text)).collect()
-    }
-
-    /// Looks up the text of a symbol.
-    pub fn text(&self, sym: Symbol) -> &str {
-        &self.texts[sym as usize]
-    }
-
-    /// Number of distinct symbols.
-    pub fn len(&self) -> usize {
-        self.texts.len()
-    }
-
-    /// Returns `true` if no symbol has been interned.
-    pub fn is_empty(&self) -> bool {
-        self.texts.is_empty()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn interning_is_stable() {
-        let mut i = Interner::new();
-        let a = i.intern("foo");
-        let b = i.intern("bar");
-        let a2 = i.intern("foo");
-        assert_eq!(a, a2);
-        assert_ne!(a, b);
-        assert_eq!(i.text(a), "foo");
-        assert_eq!(i.text(b), "bar");
-        assert_eq!(i.len(), 2);
-    }
-
-    #[test]
-    fn intern_tokens_maps_stream() {
-        let toks = tableseg_html::lexer::tokenize("<td>a</td><td>a</td>");
-        let mut i = Interner::new();
-        let syms = i.intern_tokens(&toks);
-        assert_eq!(syms.len(), 6);
-        assert_eq!(syms[0], syms[3], "<td> interned identically");
-        assert_eq!(syms[1], syms[4], "'a' interned identically");
-    }
-
-    #[test]
-    fn empty_interner() {
-        let i = Interner::new();
-        assert!(i.is_empty());
-        assert_eq!(i.len(), 0);
-    }
-}
+pub use tableseg_html::intern::{Interner, Symbol, UNKNOWN_SYMBOL};

@@ -31,6 +31,7 @@ pub mod lcs;
 pub mod quality;
 pub mod slot;
 
-pub use induce::{induce, induction_count, Induction, Template};
+pub use induce::{induce, induce_interned, induction_count, Induction, Template};
+pub use intern::{Interner, Symbol};
 pub use quality::{assess, TemplateQuality};
 pub use slot::{Slot, SlotSet};
