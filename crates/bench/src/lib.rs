@@ -19,13 +19,16 @@ pub mod matchbench;
 
 use std::ops::Range;
 
+use tableseg::outcome::PageOutcome;
+use tableseg::robustness::RobustnessReport;
 use tableseg::timing::{self, Stage, StageTimes};
 use tableseg::{
-    batch, prepare_with_template, CspSegmenter, PreparedPage, ProbSegmenter, Segmenter, SitePages,
-    SiteTemplate,
+    batch, prepare_outcome, prepare_with_template, CspSegmenter, PreparedPage, ProbSegmenter,
+    SegError, Segmenter, SitePages, SiteTemplate,
 };
 use tableseg_eval::classify::{classify, truth_of_extracts, PageCounts};
 use tableseg_eval::report::{render_aggregate, render_table4};
+use tableseg_sitegen::chaos::{apply_chaos, ChaosConfig, ChaosLog, FaultKind};
 use tableseg_sitegen::site::{generate, GeneratedSite, SiteSpec};
 
 /// The outcome of running both approaches on one list page.
@@ -256,6 +259,187 @@ pub fn run_sites_with(
     }
 }
 
+/// One site of a fault-injected batch run: the damaged site, the chaos
+/// log, and the (possibly failed) site-level front end.
+#[derive(Debug)]
+pub struct RobustSite {
+    /// The site specification.
+    pub spec: SiteSpec,
+    /// The generated site *after* fault injection.
+    pub site: GeneratedSite,
+    /// Every fault that fired on this site.
+    pub log: ChaosLog,
+    /// The cached template, or why the site-level front end failed.
+    pub template: Result<SiteTemplate, SegError>,
+}
+
+/// The result of a fault-injected batch run.
+#[derive(Debug)]
+pub struct RobustBatchOutcome {
+    /// One entry per page that was fully processed (front end + both
+    /// segmenters), in `(site, page)` order. Failed pages have no run —
+    /// accuracy is measured over the pages that produced output.
+    pub runs: Vec<PageRun>,
+    /// Per-page outcome accounting over *all* pages, including failed
+    /// ones.
+    pub report: RobustnessReport,
+    /// Injected-fault counts by kind, aggregated over every site, in
+    /// [`FaultKind::ALL`] order.
+    pub fault_counts: Vec<(FaultKind, usize)>,
+    /// Per-site wall-clock time per pipeline stage.
+    pub timing: timing::Registry,
+}
+
+impl RobustBatchOutcome {
+    /// Summed counts over all completed runs: `(prob, csp)`.
+    pub fn totals(&self) -> (PageCounts, PageCounts) {
+        let mut prob = PageCounts::default();
+        let mut csp = PageCounts::default();
+        for r in &self.runs {
+            prob = prob.add(&r.prob);
+            csp = csp.add(&r.csp);
+        }
+        (prob, csp)
+    }
+}
+
+/// Runs both default segmenters over every list page of every site with
+/// faults injected under `cfg` — and **never aborts**: a damaged page
+/// (or a whole damaged site) becomes a failed or degraded entry in the
+/// returned [`RobustnessReport`] while every other page proceeds.
+///
+/// Accuracy is measured against the ground truth of the *damaged* pages
+/// (the chaos layer remaps record spans through every byte edit). With a
+/// no-op config this is [`run_sites`] plus outcome accounting: same jobs,
+/// same results, a clean report.
+pub fn run_sites_robust(
+    specs: &[SiteSpec],
+    cfg: &ChaosConfig,
+    threads: usize,
+) -> RobustBatchOutcome {
+    // Phase 1: generate, damage, and prepare each site.
+    let sites: Vec<RobustSite> = batch::execute(threads, specs.to_vec(), |_, spec| {
+        let (site, log) = apply_chaos(&generate(&spec), cfg);
+        let list_htmls = site.list_htmls();
+        let template = SiteTemplate::try_build(&list_htmls);
+        RobustSite {
+            spec,
+            site,
+            log,
+            template,
+        }
+    });
+
+    // Phase 2: per-page front end, as outcomes. A site whose template
+    // failed fails all of its pages with the same error.
+    let mut page_jobs: Vec<(usize, usize)> = Vec::new();
+    let mut offsets: Vec<usize> = Vec::with_capacity(sites.len());
+    for (si, rs) in sites.iter().enumerate() {
+        offsets.push(page_jobs.len());
+        for page in 0..rs.site.pages.len() {
+            page_jobs.push((si, page));
+        }
+    }
+    let outcomes: Vec<PageOutcome> = batch::execute(threads, page_jobs.clone(), |_, (si, page)| {
+        let rs = &sites[si];
+        match &rs.template {
+            Ok(template) => {
+                let details: Vec<&str> = rs.site.pages[page]
+                    .detail_html
+                    .iter()
+                    .map(String::as_str)
+                    .collect();
+                prepare_outcome(template, page, &details)
+            }
+            Err(error) => PageOutcome::Failed {
+                error: error.clone(),
+            },
+        }
+    });
+
+    // Phase 3: (page, segmenter) evaluation through the fallible path.
+    // Failed pages yield `None`; a solver failure is an `Err` that fails
+    // just that page.
+    type EvalResult = Option<(Result<(PageCounts, bool), SegError>, StageTimes)>;
+    let prob = ProbSegmenter::default();
+    let csp = CspSegmenter::default();
+    let segmenters: [&dyn Segmenter; 2] = [&prob, &csp];
+    let eval_jobs: Vec<(usize, usize)> = (0..page_jobs.len())
+        .flat_map(|pj| [(pj, 0), (pj, 1)])
+        .collect();
+    let evaluated: Vec<EvalResult> = batch::execute(threads, eval_jobs, |_, (pj, seg)| {
+        let prepared = outcomes[pj].page()?;
+        let (si, page) = page_jobs[pj];
+        let mut times = StageTimes::new();
+        let solved = times.time(Stage::Solve, || {
+            segmenters[seg].try_segment(&prepared.observations)
+        });
+        let result = solved.map(|outcome| {
+            times.time(Stage::Decode, || {
+                let truth = page_truth(&sites[si].site, page, prepared);
+                let groups = outcome.segmentation.records();
+                let counts = classify(&groups, &truth, sites[si].site.pages[page].truth.len());
+                (counts, outcome.relaxed)
+            })
+        });
+        Some((result, times))
+    });
+
+    // Assemble: runs for fully processed pages, report rows for all.
+    let registry = timing::Registry::new();
+    let mut report = RobustnessReport::new();
+    let mut runs = Vec::new();
+    let mut fault_counts: Vec<(FaultKind, usize)> =
+        FaultKind::ALL.iter().map(|&k| (k, 0)).collect();
+    for (si, rs) in sites.iter().enumerate() {
+        for (slot, &(_, n)) in fault_counts.iter_mut().zip(&rs.log.counts()) {
+            slot.1 += n;
+        }
+        let mut site_times = match &rs.template {
+            Ok(t) => t.timings,
+            Err(_) => StageTimes::new(),
+        };
+        for page in 0..rs.site.pages.len() {
+            let pj = offsets[si] + page;
+            let outcome = &outcomes[pj];
+            let Some(prepared) = outcome.page() else {
+                report.record(outcome);
+                continue;
+            };
+            site_times.merge(&prepared.timings);
+            let (prob_result, prob_times) = evaluated[2 * pj]
+                .as_ref()
+                .unwrap_or_else(|| unreachable!("prepared page {pj} has an eval result"));
+            let (csp_result, csp_times) = evaluated[2 * pj + 1]
+                .as_ref()
+                .unwrap_or_else(|| unreachable!("prepared page {pj} has an eval result"));
+            site_times.merge(prob_times);
+            site_times.merge(csp_times);
+            match (prob_result, csp_result) {
+                (Ok((prob_counts, _)), Ok((csp_counts, csp_relaxed))) => {
+                    report.record(outcome);
+                    runs.push(PageRun {
+                        site: rs.spec.name.clone(),
+                        page,
+                        prob: *prob_counts,
+                        csp: *csp_counts,
+                        used_whole_page: prepared.used_whole_page,
+                        csp_relaxed: *csp_relaxed,
+                    });
+                }
+                (Err(e), _) | (_, Err(e)) => report.record_error(e),
+            }
+        }
+        registry.record(&rs.spec.name, &site_times);
+    }
+    RobustBatchOutcome {
+        runs,
+        report,
+        fault_counts,
+        timing: registry,
+    }
+}
+
 /// Runs both approaches over every list page of a site.
 pub fn run_site(spec: &SiteSpec) -> Vec<PageRun> {
     run_sites(std::slice::from_ref(spec), 1).runs
@@ -410,6 +594,36 @@ mod tests {
                     stage.label()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn robust_run_with_noop_chaos_matches_plain_run() {
+        let specs = vec![paper_sites::butler(), paper_sites::lee()];
+        let plain = run_sites(&specs, 2);
+        let robust = run_sites_robust(&specs, &ChaosConfig::off(1), 2);
+        assert_eq!(robust.report.failed, 0);
+        assert_eq!(robust.runs.len(), plain.runs.len());
+        assert_eq!(
+            table4_report(&robust.runs, false),
+            table4_report(&plain.runs, false),
+            "robust path must reproduce the plain report under a no-op config"
+        );
+        assert!(robust.fault_counts.iter().all(|&(_, n)| n == 0));
+    }
+
+    #[test]
+    fn robust_run_survives_heavy_chaos() {
+        let specs = vec![paper_sites::butler(), paper_sites::ohio()];
+        for seed in [7, 8] {
+            let outcome = run_sites_robust(&specs, &ChaosConfig::uniform(0.5, seed), 2);
+            let r = &outcome.report;
+            assert_eq!(r.pages, 4, "every page gets an outcome");
+            assert_eq!(r.pages, r.ok + r.degraded + r.failed);
+            // Failed pages have no run; every processed page has one.
+            assert_eq!(outcome.runs.len(), r.ok + r.degraded);
+            let injected: usize = outcome.fault_counts.iter().map(|&(_, n)| n).sum();
+            assert!(injected > 0, "50% chaos must fire");
         }
     }
 

@@ -224,19 +224,17 @@ pub fn annotate_columns(obs: &Observations, columns: &[u32]) -> Vec<ColumnAnnota
     votes
         .into_iter()
         .enumerate()
-        .filter(|(_, v)| !v.is_empty())
-        .map(|(c, v)| {
+        .filter_map(|(c, v)| {
             let support: usize = v.values().sum();
-            let (label, count) = v
-                .into_iter()
+            // An unvoted column yields no max and drops out here.
+            v.into_iter()
                 .max_by_key(|&(l, n)| (n, std::cmp::Reverse(l.name())))
-                .expect("non-empty");
-            ColumnAnnotation {
-                column: c as u32,
-                label,
-                confidence: count as f64 / support as f64,
-                support,
-            }
+                .map(|(label, count)| ColumnAnnotation {
+                    column: c as u32,
+                    label,
+                    confidence: count as f64 / support as f64,
+                    support,
+                })
         })
         .collect()
 }

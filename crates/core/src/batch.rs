@@ -72,13 +72,19 @@ where
                     // `if let` condition's guard would live through the
                     // `else` branch, so holding our own queue's lock while
                     // probing victims deadlocks two stealing workers.
-                    let mut found = queues[me].lock().expect("job queue poisoned").pop_front();
+                    // Poisoning is recovered: a queue is just jobs, valid
+                    // regardless of which worker died holding the lock, and
+                    // the scope re-raises the panic once all threads stop.
+                    let mut found = queues[me]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .pop_front();
                     if found.is_none() {
                         for step in 1..queues.len() {
                             let victim = (me + step) % queues.len();
                             found = queues[victim]
                                 .lock()
-                                .expect("job queue poisoned")
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
                                 .pop_back();
                             if found.is_some() {
                                 break;

@@ -65,8 +65,10 @@ pub mod batch;
 pub mod detail_id;
 pub mod hybrid;
 pub mod navigate;
+pub mod outcome;
 pub mod pipeline;
 pub mod record;
+pub mod robustness;
 pub mod segmenter;
 pub mod timing;
 pub mod vertical;
@@ -76,8 +78,13 @@ pub use annotate::{annotate_columns, recognize, ColumnAnnotation, SemanticLabel}
 pub use detail_id::identify_detail_pages;
 pub use hybrid::HybridSegmenter;
 pub use navigate::{navigate, NavigatedSite};
-pub use pipeline::{prepare, prepare_with_template, PreparedPage, SitePages, SiteTemplate};
+pub use outcome::{caught, prepare_outcome, PageOutcome, Warning};
+pub use pipeline::{
+    prepare, prepare_with_template, try_prepare, try_prepare_with_template, PreparedPage,
+    SitePages, SiteTemplate,
+};
 pub use record::{assemble_records, AssembledRecord};
+pub use robustness::RobustnessReport;
 pub use segmenter::{CspSegmenter, ProbSegmenter, Segmenter, SegmenterOutcome};
 pub use wrapper::{induce_wrapper, RowWrapper};
 
@@ -85,5 +92,6 @@ pub use wrapper::{induce_wrapper, RowWrapper};
 pub use tableseg_csp as csp;
 pub use tableseg_extract as extract;
 pub use tableseg_html as html;
+pub use tableseg_html::SegError;
 pub use tableseg_prob as prob;
 pub use tableseg_template as template;

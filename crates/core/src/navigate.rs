@@ -83,20 +83,20 @@ pub fn navigate(
             if fetched.contains_key(&link.href) {
                 continue;
             }
-            let body = fetch(&link.href);
-            let is_list = body.as_deref().is_some_and(|html| {
-                let stream = tokens_of(html, &mut interner);
-                page_similarity(&start_stream, &stream) >= LIST_SIMILARITY
-            });
-            if is_list {
-                let html = body.expect("checked above");
-                fetched.insert(link.href.clone(), None);
-                list_urls.push(link.href);
-                list_pages.push(html);
-            } else {
+            match fetch(&link.href) {
+                Some(html)
+                    if page_similarity(&start_stream, &tokens_of(&html, &mut interner))
+                        >= LIST_SIMILARITY =>
+                {
+                    fetched.insert(link.href.clone(), None);
+                    list_urls.push(link.href);
+                    list_pages.push(html);
+                }
                 // Cache for phase 2 (detail candidates), including dead
                 // links as None.
-                fetched.insert(link.href, body);
+                body => {
+                    fetched.insert(link.href, body);
+                }
             }
         }
         frontier += 1;

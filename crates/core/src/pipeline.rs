@@ -12,9 +12,10 @@
 use tableseg_extract::{derive_extracts, match_extracts_indexed, Observations};
 use tableseg_extract::{PageIndex, SeparatorMask};
 use tableseg_html::lexer::tokenize;
-use tableseg_html::{Interner, Symbol, Token};
+use tableseg_html::{Interner, SegError, Symbol, Token};
 use tableseg_template::{assess, induce_interned, Induction, TemplateQuality};
 
+use crate::outcome::caught;
 use crate::timing::{Stage, StageTimes};
 
 /// The input: sample list pages plus the detail pages of the page to
@@ -126,6 +127,17 @@ impl SiteTemplate {
             timings,
         }
     }
+
+    /// Fallible [`SiteTemplate::build`]: empty input is reported as
+    /// [`SegError::EmptyInput`] and a panic anywhere in the site-level
+    /// stages is caught and attributed to the template stage, so one
+    /// poisoned site cannot abort a batch run.
+    pub fn try_build(list_pages: &[&str]) -> Result<SiteTemplate, SegError> {
+        if list_pages.is_empty() {
+            return Err(SegError::EmptyInput { what: "list pages" });
+        }
+        caught("template", || SiteTemplate::build(list_pages))
+    }
 }
 
 /// Runs the shared front end on a site's pages.
@@ -145,28 +157,52 @@ pub fn prepare(input: &SitePages<'_>) -> PreparedPage {
     prepared
 }
 
+/// Fallible [`prepare`]: returns a [`SegError`] instead of panicking on
+/// bad input (no list pages, target out of bounds) or an internal bug.
+pub fn try_prepare(input: &SitePages<'_>) -> Result<PreparedPage, SegError> {
+    let template = SiteTemplate::try_build(&input.list_pages)?;
+    let mut prepared = try_prepare_with_template(&template, input.target, &input.detail_pages)?;
+    prepared.timings.merge(&template.timings);
+    Ok(prepared)
+}
+
 /// Runs the per-page front end against a prebuilt [`SiteTemplate`]:
 /// table-slot selection, extraction, and detail-page matching for the
 /// list page at index `target`.
 ///
 /// # Panics
 ///
-/// Panics if `target` is out of bounds for the template's pages.
+/// Panics if `target` is out of bounds for the template's pages. Use
+/// [`try_prepare_with_template`] to get a [`SegError`] instead.
 pub fn prepare_with_template(
     template: &SiteTemplate,
     target: usize,
     detail_pages: &[&str],
 ) -> PreparedPage {
-    assert!(
-        target < template.pages.len(),
-        "target page {} out of bounds ({} pages)",
-        target,
-        template.pages.len()
-    );
+    try_prepare_with_template(template, target, detail_pages).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`prepare_with_template`]: an out-of-bounds target is reported
+/// as [`SegError::TargetOutOfBounds`], and a panic in any per-page stage
+/// is caught and attributed to that stage — one poisoned page cannot
+/// abort a site or a batch.
+pub fn try_prepare_with_template(
+    template: &SiteTemplate,
+    target: usize,
+    detail_pages: &[&str],
+) -> Result<PreparedPage, SegError> {
+    if target >= template.pages.len() {
+        return Err(SegError::TargetOutOfBounds {
+            target,
+            pages: template.pages.len(),
+        });
+    }
     let mut timings = StageTimes::new();
-    let detail_tokens: Vec<Vec<Token>> = timings.time(Stage::Tokenize, || {
-        detail_pages.iter().map(|p| tokenize(p)).collect()
-    });
+    let detail_tokens: Vec<Vec<Token>> = caught("tokenize", || {
+        timings.time(Stage::Tokenize, || {
+            detail_pages.iter().map(|p| tokenize(p)).collect()
+        })
+    })?;
 
     // Table slot: the slot with the most text tokens, unless the template
     // is degenerate — then the entire page (Section 6.2: "In cases where
@@ -175,46 +211,59 @@ pub fn prepare_with_template(
     let pages = &template.pages;
     let target_tokens = &pages[target];
     let target_syms = &template.streams[target];
-    let (slot_range, used_whole_page) = if template.quality.is_usable() {
-        let slots = template.induction.slots(pages);
-        match slots.table_slot(pages) {
-            Some(idx) => (slots.slots[idx].ranges[target].clone(), false),
-            None => (0..target_tokens.len(), true),
+    let (slot_range, used_whole_page) = caught("template", || {
+        if template.quality.is_usable() {
+            let slots = template.induction.slots(pages);
+            match slots.table_slot(pages) {
+                Some(idx) => (slots.slots[idx].ranges[target].clone(), false),
+                None => (0..target_tokens.len(), true),
+            }
+        } else {
+            (0..target_tokens.len(), true)
         }
-    } else {
-        (0..target_tokens.len(), true)
-    };
+    })?;
+    if slot_range.end > target_tokens.len() || slot_range.start > slot_range.end {
+        return Err(SegError::StreamMisaligned {
+            what: "table-slot range",
+            expected: target_tokens.len(),
+            got: slot_range.end,
+        });
+    }
     let slot_tokens = &target_tokens[slot_range.clone()];
     // Streams align token-for-token with pages, so the slot's symbols are
     // the same range of the target's interned stream.
     let slot_syms = &target_syms[slot_range];
 
-    let extracts = timings.time(Stage::Extraction, || derive_extracts(slot_tokens));
-    let observations = timings.time(Stage::Matching, || {
-        // Needles are symbol slices of the slot stream: an extract is a
-        // contiguous separator-free token run, so its reduced form is the
-        // run itself.
-        let needles: Vec<&[Symbol]> = extracts
-            .iter()
-            .map(|e| &slot_syms[e.start..e.start + e.tokens.len()])
-            .collect();
-        // Other list pages come from the site-level index cache; only the
-        // detail pages (new input every call) are indexed here, projected
-        // read-only through the site interner.
-        let other_indexes: Vec<&PageIndex> = template
-            .page_indexes
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| i != target)
-            .map(|(_, idx)| idx)
-            .collect();
-        let detail_indexes: Vec<PageIndex> = detail_tokens
-            .iter()
-            .map(|p| PageIndex::build(p, &template.interner))
-            .collect();
-        let detail_refs: Vec<&PageIndex> = detail_indexes.iter().collect();
-        match_extracts_indexed(extracts, &needles, &other_indexes, &detail_refs)
-    });
+    let extracts = caught("extract", || {
+        timings.time(Stage::Extraction, || derive_extracts(slot_tokens))
+    })?;
+    let observations = caught("match", || {
+        timings.time(Stage::Matching, || {
+            // Needles are symbol slices of the slot stream: an extract is a
+            // contiguous separator-free token run, so its reduced form is the
+            // run itself.
+            let needles: Vec<&[Symbol]> = extracts
+                .iter()
+                .map(|e| &slot_syms[e.start..e.start + e.tokens.len()])
+                .collect();
+            // Other list pages come from the site-level index cache; only the
+            // detail pages (new input every call) are indexed here, projected
+            // read-only through the site interner.
+            let other_indexes: Vec<&PageIndex> = template
+                .page_indexes
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != target)
+                .map(|(_, idx)| idx)
+                .collect();
+            let detail_indexes: Vec<PageIndex> = detail_tokens
+                .iter()
+                .map(|p| PageIndex::build(p, &template.interner))
+                .collect();
+            let detail_refs: Vec<&PageIndex> = detail_indexes.iter().collect();
+            match_extracts_indexed(extracts, &needles, &other_indexes, &detail_refs)
+        })
+    })?;
     let extract_offsets = observations
         .items
         .iter()
@@ -226,7 +275,7 @@ pub fn prepare_with_template(
         .map(|s| s.extract.tokens[0].offset)
         .collect();
 
-    PreparedPage {
+    Ok(PreparedPage {
         observations,
         extract_offsets,
         skipped_offsets,
@@ -234,7 +283,7 @@ pub fn prepare_with_template(
         template_quality: template.quality,
         slot_tokens: slot_tokens.to_vec(),
         timings,
-    }
+    })
 }
 
 #[cfg(test)]

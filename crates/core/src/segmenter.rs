@@ -2,6 +2,7 @@
 
 use tableseg_csp::{segment_csp, CspOptions, CspStatus};
 use tableseg_extract::{Observations, Segmentation};
+use tableseg_html::SegError;
 use tableseg_prob::{segment_prob, ProbOptions};
 
 /// The result of a segmenter run.
@@ -27,6 +28,20 @@ pub trait Segmenter: Send + Sync {
 
     /// A short display name ("CSP", "probabilistic").
     fn name(&self) -> &'static str;
+
+    /// Fallible [`Segmenter::segment`]: a panic inside the solver is
+    /// caught and reported as [`SegError::SolverFailed`], so a degenerate
+    /// observation table (chaos-damaged input) costs one failed page, not
+    /// the batch. Provided for every implementation.
+    fn try_segment(&self, obs: &Observations) -> Result<SegmenterOutcome, SegError> {
+        crate::outcome::caught("solve", || self.segment(obs)).map_err(|e| match e {
+            SegError::Internal { detail, .. } => SegError::SolverFailed {
+                solver: self.name(),
+                detail,
+            },
+            other => other,
+        })
+    }
 }
 
 /// The constraint-satisfaction approach (Section 4).

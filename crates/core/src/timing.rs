@@ -141,8 +141,13 @@ impl Registry {
     }
 
     /// Merges `times` into the entry for `label` (created on first use).
+    /// Poisoning is recovered — timing rows stay valid even if a worker
+    /// panicked while recording.
     pub fn record(&self, label: &str, times: &StageTimes) {
-        let mut rows = self.rows.lock().expect("timing registry poisoned");
+        let mut rows = self
+            .rows
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         match rows.iter_mut().find(|(l, _)| l == label) {
             Some((_, acc)) => acc.merge(times),
             None => rows.push((label.to_owned(), *times)),
@@ -151,7 +156,10 @@ impl Registry {
 
     /// A snapshot of every entry, in first-insertion order.
     pub fn rows(&self) -> Vec<(String, StageTimes)> {
-        self.rows.lock().expect("timing registry poisoned").clone()
+        self.rows
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Renders the per-stage wall-clock report (the RT table).

@@ -25,9 +25,12 @@ fn is_separator_parts(text: &str, types: TypeSet) -> bool {
         return true;
     }
     if types.contains(TokenType::Punctuation) {
-        // Punctuation tokens produced by the lexer are single characters.
-        let ch = text.chars().next().expect("non-empty token");
-        return is_separator_char(ch);
+        // Punctuation tokens produced by the lexer are single characters;
+        // a pathological empty text (never lexer-produced) separates.
+        return match text.chars().next() {
+            Some(ch) => is_separator_char(ch),
+            None => true,
+        };
     }
     false
 }

@@ -1,0 +1,176 @@
+//! The pipeline-wide error taxonomy.
+//!
+//! Real hidden-web input is messy — truncated pages, dead detail links,
+//! encoding damage — and the paper's own failure analysis (Section 6.3)
+//! is a catalogue of inputs that break naive assumptions. Instead of
+//! panicking, every stage of the pipeline reports a [`SegError`]; the
+//! batch layer turns them into per-page outcomes so one poisoned page
+//! cannot abort a site or a run.
+//!
+//! The taxonomy lives in this crate because `tableseg-html` is the root
+//! of the workspace dependency graph: template induction, extraction,
+//! both solvers and the core pipeline all see it without a new crate.
+//!
+//! Every variant knows which pipeline stage it is attributed to
+//! ([`SegError::stage`]); the labels match the timing registry's stage
+//! labels, so run-level reports can pivot failures by stage.
+
+use std::fmt;
+
+/// Why a page (or site) could not be processed.
+///
+/// A `thiserror`-style enum, hand-rolled because the workspace builds
+/// offline: each variant carries enough context to diagnose the failure
+/// without a debugger, and [`SegError::stage`] attributes it to one of
+/// the pipeline stages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SegError {
+    /// An input that must be non-empty was empty (no list pages, an empty
+    /// token stream where content was required, ...).
+    EmptyInput {
+        /// What was empty.
+        what: &'static str,
+    },
+    /// The requested target page index does not exist.
+    TargetOutOfBounds {
+        /// The requested page index.
+        target: usize,
+        /// How many pages exist.
+        pages: usize,
+    },
+    /// Two streams that must align token-for-token do not.
+    StreamMisaligned {
+        /// What was misaligned.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// The table slot produced no extracts at all (blank or fully
+    /// separator page).
+    NoExtracts,
+    /// Every extract was filtered out of the observation table, so there
+    /// is nothing to segment.
+    NoObservations {
+        /// How many extracts were derived (and skipped).
+        skipped: usize,
+    },
+    /// A solver could not produce a usable assignment.
+    SolverFailed {
+        /// Which solver ("CSP", "probabilistic", ...).
+        solver: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A stage panicked; the panic was caught and converted. This is the
+    /// last-resort backstop — any `Internal` error in a run is a bug, but
+    /// it is a *reported* bug instead of an aborted batch.
+    Internal {
+        /// Stage label the panic was caught in.
+        stage: &'static str,
+        /// The panic payload, if it was a string.
+        detail: String,
+    },
+}
+
+impl SegError {
+    /// The pipeline stage this error is attributed to. Labels match
+    /// `tableseg::timing::Stage::label()` so failure counts can share the
+    /// timing registry's stage axis.
+    pub fn stage(&self) -> &'static str {
+        match self {
+            SegError::EmptyInput { .. } => "tokenize",
+            SegError::TargetOutOfBounds { .. } | SegError::StreamMisaligned { .. } => "template",
+            SegError::NoExtracts => "extract",
+            SegError::NoObservations { .. } => "match",
+            SegError::SolverFailed { .. } => "solve",
+            SegError::Internal { stage, .. } => stage,
+        }
+    }
+}
+
+impl fmt::Display for SegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegError::EmptyInput { what } => write!(f, "empty input: {what}"),
+            SegError::TargetOutOfBounds { target, pages } => {
+                write!(f, "target page {target} out of bounds ({pages} pages)")
+            }
+            SegError::StreamMisaligned {
+                what,
+                expected,
+                got,
+            } => write!(f, "misaligned {what}: expected {expected}, got {got}"),
+            SegError::NoExtracts => write!(f, "table slot yielded no extracts"),
+            SegError::NoObservations { skipped } => {
+                write!(f, "no observations: all {skipped} extracts filtered out")
+            }
+            SegError::SolverFailed { solver, detail } => {
+                write!(f, "{solver} solver failed: {detail}")
+            }
+            SegError::Internal { stage, detail } => {
+                write!(f, "internal error in {stage} stage: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SegError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_context() {
+        let e = SegError::TargetOutOfBounds {
+            target: 3,
+            pages: 2,
+        };
+        assert_eq!(e.to_string(), "target page 3 out of bounds (2 pages)");
+        let e = SegError::SolverFailed {
+            solver: "CSP",
+            detail: "no assignment".into(),
+        };
+        assert!(e.to_string().contains("CSP"));
+    }
+
+    #[test]
+    fn stages_cover_the_pipeline() {
+        assert_eq!(SegError::EmptyInput { what: "x" }.stage(), "tokenize");
+        assert_eq!(
+            SegError::TargetOutOfBounds {
+                target: 0,
+                pages: 0
+            }
+            .stage(),
+            "template"
+        );
+        assert_eq!(SegError::NoExtracts.stage(), "extract");
+        assert_eq!(SegError::NoObservations { skipped: 4 }.stage(), "match");
+        assert_eq!(
+            SegError::SolverFailed {
+                solver: "CSP",
+                detail: String::new()
+            }
+            .stage(),
+            "solve"
+        );
+        assert_eq!(
+            SegError::Internal {
+                stage: "decode",
+                detail: String::new()
+            }
+            .stage(),
+            "decode"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(SegError::NoExtracts);
+        assert!(e.to_string().contains("no extracts"));
+    }
+}

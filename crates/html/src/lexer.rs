@@ -31,6 +31,18 @@ pub fn tokenize_text(input: &str) -> Vec<Token> {
     tokenize(input).into_iter().filter(Token::is_text).collect()
 }
 
+/// Tokenizes an arbitrary byte string — the form pages arrive in off the
+/// wire, where nothing guarantees valid UTF-8 (truncated multi-byte
+/// sequences, mixed encodings, binary junk behind a dead link).
+///
+/// Invalid sequences are decoded lossily (replaced with U+FFFD) before
+/// tokenization, so this function is total: any byte string produces a
+/// token stream. Token offsets refer to the *decoded* text; when the
+/// input is valid UTF-8 they are byte offsets into `bytes` as usual.
+pub fn tokenize_bytes(bytes: &[u8]) -> Vec<Token> {
+    tokenize(&String::from_utf8_lossy(bytes))
+}
+
 struct Lexer<'a> {
     input: &'a str,
     bytes: &'a [u8],
@@ -145,8 +157,19 @@ impl<'a> Lexer<'a> {
                     None => ('&', 1),
                 }
             } else {
-                let ch = self.input[self.pos..].chars().next().expect("in bounds");
-                (ch, ch.len_utf8())
+                match self.input.get(self.pos..).and_then(|s| s.chars().next()) {
+                    Some(ch) => (ch, ch.len_utf8()),
+                    // `pos` is always advanced by whole characters, so this
+                    // is unreachable — but if the invariant ever breaks,
+                    // resynchronize by skipping one byte instead of
+                    // panicking mid-page.
+                    None => {
+                        self.flush_word(&mut word, word_start);
+                        self.pos += 1;
+                        word_start = self.pos;
+                        continue;
+                    }
+                }
             };
             if ch.is_whitespace() {
                 self.flush_word(&mut word, word_start);

@@ -47,12 +47,14 @@
 
 pub mod dom;
 pub mod entities;
+pub mod error;
 pub mod intern;
 pub mod lexer;
 pub mod links;
 pub mod token;
 pub mod writer;
 
+pub use error::SegError;
 pub use intern::{FastHasher, FastMap, Interner, Symbol, UNKNOWN_SYMBOL};
 pub use links::{extract_links, Link};
 pub use token::{Token, TokenType, TypeSet};

@@ -67,6 +67,22 @@ proptest! {
         }
     }
 
+    /// The byte-level entry point is total: arbitrary byte strings —
+    /// including invalid UTF-8, stray `<`, and NUL bytes — tokenize
+    /// without panicking, and every token's text is non-empty.
+    #[test]
+    fn tokenize_bytes_total_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let tokens = tableseg_html::lexer::tokenize_bytes(&bytes);
+        for t in &tokens {
+            prop_assert!(!t.text.is_empty());
+            // Lossy decoding can grow the text — each invalid byte may
+            // become one 3-byte U+FFFD — so offsets are bounded by 3x.
+            prop_assert!(t.offset <= bytes.len() * 3);
+        }
+    }
+
     /// Writer output tokenizes back to exactly the words written, in
     /// order, with balanced tags.
     #[test]

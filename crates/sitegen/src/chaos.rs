@@ -1,0 +1,605 @@
+//! Fault injection: deterministic, seeded corruption of generated sites.
+//!
+//! The simulator in [`crate::site`] emits well-formed sites; real
+//! hidden-web servers do not. Detail links die (404s), proxies truncate
+//! responses mid-tag, mixed encodings smuggle replacement characters into
+//! values, CMS bugs duplicate rows, and template engines reorder
+//! attributes between renders. AMBER (Furche et al., 2012) and the web
+//! table surveys both report that noise tolerance, not clean-page
+//! accuracy, decides whether automatic-supervision extraction is usable.
+//!
+//! This module turns a clean [`GeneratedSite`] into a damaged one under a
+//! [`ChaosConfig`]: a set of independently toggleable [`FaultSpec`]s, each
+//! a [`FaultKind`] with an injection probability, driven by a per-page RNG
+//! derived from the config seed and the site seed. The same config and
+//! site always produce the same damage; a config with every probability at
+//! zero returns a byte-identical site — the differential tests rely on
+//! both properties.
+//!
+//! Ground truth stays meaningful under damage: every byte edit remaps the
+//! record spans of the page's [`GroundTruth`](crate::truth::GroundTruth),
+//! and records whose rows are destroyed (truncated away, blanked) are
+//! dropped from the truth rather than left pointing at bytes that no
+//! longer exist. Accuracy-vs-fault-rate curves (the `chaossweep` bench)
+//! are therefore measured against the truth of the *damaged* page.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::Serialize;
+
+use crate::site::{GeneratedPage, GeneratedSite};
+use crate::truth::RecordSpan;
+
+/// One class of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FaultKind {
+    /// The page is cut off mid-stream (a dropped connection or a proxy
+    /// limit): the trailing half of the HTML disappears, usually leaving
+    /// the last tag unclosed. Records truncated away leave the truth.
+    TruncateHtml,
+    /// Closing tags are deleted at random — the unclosed-element soup real
+    /// table markup is famous for.
+    UnclosedTags,
+    /// A detail page is replaced by a 404 error page: the link rotted, the
+    /// row's record evidence is gone, but the row itself remains.
+    DropDetailPage,
+    /// A record row is duplicated verbatim outside the truth — the
+    /// duplicate competes with the original for detail-page matches.
+    DuplicateRow,
+    /// Random characters are replaced by U+FFFD — the visible residue of a
+    /// server mixing encodings.
+    EncodingDamage,
+    /// The attributes of a multi-attribute tag are reordered — a template
+    /// engine emitting attributes from an unordered map, which perturbs
+    /// tag-exact template induction.
+    AttributeShuffle,
+    /// The whole page is served empty (an error page with a 200 status).
+    /// On a list page this also empties its ground truth.
+    BlankPage,
+}
+
+impl FaultKind {
+    /// Every fault kind, in a fixed canonical order.
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::TruncateHtml,
+        FaultKind::UnclosedTags,
+        FaultKind::DropDetailPage,
+        FaultKind::DuplicateRow,
+        FaultKind::EncodingDamage,
+        FaultKind::AttributeShuffle,
+        FaultKind::BlankPage,
+    ];
+
+    /// Short stable label for reports and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::TruncateHtml => "truncate",
+            FaultKind::UnclosedTags => "unclosed_tags",
+            FaultKind::DropDetailPage => "detail_404",
+            FaultKind::DuplicateRow => "duplicate_row",
+            FaultKind::EncodingDamage => "encoding",
+            FaultKind::AttributeShuffle => "attr_shuffle",
+            FaultKind::BlankPage => "blank_page",
+        }
+    }
+
+    /// Whether this fault can hit a list page.
+    fn applies_to_list(self) -> bool {
+        !matches!(self, FaultKind::DropDetailPage)
+    }
+
+    /// Whether this fault can hit a detail page.
+    fn applies_to_detail(self) -> bool {
+        !matches!(self, FaultKind::DuplicateRow)
+    }
+
+    fn index(self) -> u64 {
+        FaultKind::ALL
+            .iter()
+            .position(|&k| k == self)
+            .unwrap_or_default() as u64
+    }
+}
+
+/// One independently toggleable fault: a kind and the probability that it
+/// fires on any given (applicable) page.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FaultSpec {
+    /// The fault class.
+    pub kind: FaultKind,
+    /// Per-page injection probability in `[0, 1]`.
+    pub probability: f64,
+}
+
+/// A fault-injection configuration: which faults, how often, and the
+/// master chaos seed (independent of the site seed, so the same damage
+/// pattern can be replayed over different sites and vice versa).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ChaosConfig {
+    /// The faults to inject, applied per page in this order.
+    pub faults: Vec<FaultSpec>,
+    /// Master chaos seed.
+    pub seed: u64,
+}
+
+impl ChaosConfig {
+    /// No faults at all: [`apply_chaos`] returns a byte-identical site.
+    pub fn off(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            faults: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Every fault kind at the same probability `p`.
+    pub fn uniform(p: f64, seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            faults: FaultKind::ALL
+                .iter()
+                .map(|&kind| FaultSpec {
+                    kind,
+                    probability: p,
+                })
+                .collect(),
+            seed,
+        }
+    }
+
+    /// A single fault kind at probability `p`.
+    pub fn only(kind: FaultKind, p: f64, seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            faults: vec![FaultSpec {
+                kind,
+                probability: p,
+            }],
+            seed,
+        }
+    }
+
+    /// `true` when no fault can ever fire (no specs, or all probabilities
+    /// at zero or below).
+    pub fn is_noop(&self) -> bool {
+        self.faults.iter().all(|f| f.probability <= 0.0)
+    }
+}
+
+/// One fault that actually fired.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct InjectedFault {
+    /// The fault class.
+    pub kind: FaultKind,
+    /// Where it hit: `list/{p}` or `detail/{p}/{i}`.
+    pub location: String,
+}
+
+/// Everything [`apply_chaos`] injected, in deterministic page order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct ChaosLog {
+    /// The injected faults.
+    pub injected: Vec<InjectedFault>,
+}
+
+impl ChaosLog {
+    /// Number of injected faults.
+    pub fn len(&self) -> usize {
+        self.injected.len()
+    }
+
+    /// `true` if nothing fired.
+    pub fn is_empty(&self) -> bool {
+        self.injected.is_empty()
+    }
+
+    /// Fault counts by kind, in [`FaultKind::ALL`] order, zero-count kinds
+    /// included (reports want a stable axis).
+    pub fn counts(&self) -> Vec<(FaultKind, usize)> {
+        FaultKind::ALL
+            .iter()
+            .map(|&kind| {
+                let n = self.injected.iter().filter(|f| f.kind == kind).count();
+                (kind, n)
+            })
+            .collect()
+    }
+}
+
+/// Applies a chaos configuration to a generated site, returning the
+/// damaged site and the log of every fault that fired. Deterministic in
+/// `(cfg.seed, site.spec.seed)`; a no-op config returns a byte-identical
+/// clone.
+pub fn apply_chaos(site: &GeneratedSite, cfg: &ChaosConfig) -> (GeneratedSite, ChaosLog) {
+    let mut log = ChaosLog::default();
+    let mut pages = Vec::with_capacity(site.pages.len());
+    for (p, page) in site.pages.iter().enumerate() {
+        let mut list_html = page.list_html.clone();
+        let mut spans = page.truth.records.clone();
+        for spec in &cfg.faults {
+            if !spec.kind.applies_to_list() {
+                continue;
+            }
+            let mut rng = page_rng(cfg, site, (p as u64) << 2, spec.kind);
+            if rng.random_bool(spec.probability) {
+                apply_fault(spec.kind, &mut list_html, Some(&mut spans), &mut rng);
+                log.injected.push(InjectedFault {
+                    kind: spec.kind,
+                    location: format!("list/{p}"),
+                });
+            }
+        }
+        let detail_html: Vec<String> = page
+            .detail_html
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let mut html = d.clone();
+                for spec in &cfg.faults {
+                    if !spec.kind.applies_to_detail() {
+                        continue;
+                    }
+                    let tag = (((p as u64) << 24) | (i as u64 + 1)) << 2 | 1;
+                    let mut rng = page_rng(cfg, site, tag, spec.kind);
+                    if rng.random_bool(spec.probability) {
+                        apply_fault(spec.kind, &mut html, None, &mut rng);
+                        log.injected.push(InjectedFault {
+                            kind: spec.kind,
+                            location: format!("detail/{p}/{i}"),
+                        });
+                    }
+                }
+                html
+            })
+            .collect();
+        let mut truth = page.truth.clone();
+        truth.records = spans;
+        pages.push(GeneratedPage {
+            list_html,
+            detail_html,
+            truth,
+        });
+    }
+    (
+        GeneratedSite {
+            spec: site.spec.clone(),
+            pages,
+        },
+        log,
+    )
+}
+
+/// Generates a site and applies a chaos configuration in one step.
+pub fn generate_chaotic(
+    spec: &crate::site::SiteSpec,
+    cfg: &ChaosConfig,
+) -> (GeneratedSite, ChaosLog) {
+    apply_chaos(&crate::site::generate(spec), cfg)
+}
+
+/// A deterministic RNG for one `(page, fault-kind)` cell, independent of
+/// the order pages are visited in: every cell seeds from a hash of the
+/// chaos seed, the site seed, a page tag and the fault index.
+fn page_rng(cfg: &ChaosConfig, site: &GeneratedSite, page_tag: u64, kind: FaultKind) -> StdRng {
+    let mut h = cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(23)
+        ^ site.spec.seed.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    h ^= page_tag.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    h ^= kind.index().wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    StdRng::seed_from_u64(h)
+}
+
+/// Applies one fault operator to a page. `spans` is the page's truth
+/// (list pages only); operators keep it consistent with the edited HTML.
+fn apply_fault(
+    kind: FaultKind,
+    html: &mut String,
+    spans: Option<&mut Vec<RecordSpan>>,
+    rng: &mut StdRng,
+) {
+    match kind {
+        FaultKind::TruncateHtml => truncate_html(html, spans, rng),
+        FaultKind::UnclosedTags => drop_closing_tags(html, spans, rng),
+        FaultKind::DropDetailPage => {
+            *html = NOT_FOUND_PAGE.to_owned();
+        }
+        FaultKind::DuplicateRow => duplicate_row(html, spans, rng),
+        FaultKind::EncodingDamage => encoding_damage(html, spans, rng),
+        FaultKind::AttributeShuffle => shuffle_attributes(html, spans, rng),
+        FaultKind::BlankPage => {
+            html.clear();
+            if let Some(spans) = spans {
+                spans.clear();
+            }
+        }
+    }
+}
+
+/// The body served for a rotted detail link.
+const NOT_FOUND_PAGE: &str = "<html><head><title>404 Not Found</title></head>\
+     <body><h1>Not Found</h1><p>The requested document was not found on this \
+     server.</p></body></html>";
+
+/// Cuts the page at a random char boundary in its second half. Truth
+/// records not fully inside the surviving prefix are dropped: their rows
+/// are damaged goods, not ground truth.
+fn truncate_html(html: &mut String, spans: Option<&mut Vec<RecordSpan>>, rng: &mut StdRng) {
+    if html.len() < 2 {
+        return;
+    }
+    let mut cut = rng.random_range(html.len() / 2..html.len());
+    while cut < html.len() && !html.is_char_boundary(cut) {
+        cut += 1;
+    }
+    html.truncate(cut);
+    if let Some(spans) = spans {
+        spans.retain(|s| s.end <= cut);
+    }
+}
+
+/// Deletes a few closing tags, remapping truth spans through each edit.
+fn drop_closing_tags(html: &mut String, mut spans: Option<&mut Vec<RecordSpan>>, rng: &mut StdRng) {
+    // Collect closing-tag ranges first, then delete a random subset in
+    // descending position order so earlier ranges stay valid.
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    let bytes = html.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b'<' && bytes[i + 1] == b'/' {
+            if let Some(end) = html[i..].find('>') {
+                ranges.push((i, i + end + 1));
+                i += end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    if ranges.is_empty() {
+        return;
+    }
+    let victims = 1 + ranges.len() / 8;
+    let mut picked: Vec<usize> = (0..victims)
+        .map(|_| rng.random_range(0..ranges.len()))
+        .collect();
+    picked.sort_unstable();
+    picked.dedup();
+    for &k in picked.iter().rev() {
+        let (s, e) = ranges[k];
+        html.replace_range(s..e, "");
+        if let Some(spans) = spans.as_deref_mut() {
+            remap_spans(spans, s, e, 0);
+        }
+    }
+}
+
+/// Duplicates one truth record's row bytes immediately after the row. The
+/// copy is *not* added to the truth — it is noise that competes with the
+/// original for detail-page matches. Without truth spans (detail pages)
+/// this is a no-op.
+fn duplicate_row(html: &mut String, spans: Option<&mut Vec<RecordSpan>>, rng: &mut StdRng) {
+    let Some(spans) = spans else { return };
+    if spans.is_empty() {
+        return;
+    }
+    let k = rng.random_range(0..spans.len());
+    let (s, e) = (spans[k].start, spans[k].end);
+    if e > html.len() || s >= e {
+        return;
+    }
+    let row = html[s..e].to_owned();
+    html.insert_str(e, &row);
+    remap_spans(spans, e, e, row.len());
+}
+
+/// Replaces a few characters with U+FFFD, remapping spans through each
+/// edit. Only characters outside tags are hit (damage inside a tag name is
+/// what [`FaultKind::TruncateHtml`] and unclosed tags already cover).
+fn encoding_damage(html: &mut String, mut spans: Option<&mut Vec<RecordSpan>>, rng: &mut StdRng) {
+    if html.is_empty() {
+        return;
+    }
+    let hits = 1 + html.len() / 800;
+    let mut positions: Vec<usize> = Vec::new();
+    for _ in 0..hits {
+        let mut p = rng.random_range(0..html.len());
+        while p < html.len() && !html.is_char_boundary(p) {
+            p += 1;
+        }
+        if p < html.len() {
+            positions.push(p);
+        }
+    }
+    positions.sort_unstable();
+    positions.dedup();
+    for &p in positions.iter().rev() {
+        let Some(ch) = html[p..].chars().next() else {
+            continue;
+        };
+        if ch == '<' || ch == '>' {
+            continue;
+        }
+        let end = p + ch.len_utf8();
+        html.replace_range(p..end, "\u{FFFD}");
+        if let Some(spans) = spans.as_deref_mut() {
+            remap_spans(spans, p, end, '\u{FFFD}'.len_utf8());
+        }
+    }
+}
+
+/// Reverses the attribute order of one randomly chosen multi-attribute
+/// tag. Attribute values in generated pages never contain spaces, so
+/// splitting on whitespace is exact; on foreign pages a quoted space would
+/// merely make the shuffle a different (still well-formed) corruption.
+fn shuffle_attributes(
+    html: &mut String,
+    spans: Option<&mut Vec<RecordSpan>>,
+    rng: &mut StdRng,
+) {
+    // Find tags of the form `<name attr1 attr2 ...>` with ≥ 2 attributes.
+    let mut candidates: Vec<(usize, usize)> = Vec::new();
+    let mut at = 0;
+    while let Some(open) = html[at..].find('<') {
+        let start = at + open;
+        let Some(close) = html[start..].find('>') else {
+            break;
+        };
+        let end = start + close + 1;
+        let inner = &html[start + 1..end - 1];
+        if !inner.starts_with('/') && inner.split_whitespace().count() >= 3 {
+            candidates.push((start, end));
+        }
+        at = end;
+    }
+    if candidates.is_empty() {
+        return;
+    }
+    let (s, e) = candidates[rng.random_range(0..candidates.len())];
+    let inner = &html[s + 1..e - 1];
+    let mut parts: Vec<&str> = inner.split_whitespace().collect();
+    parts[1..].reverse();
+    let shuffled = format!("<{}>", parts.join(" "));
+    let old_len = e - s;
+    let new_len = shuffled.len();
+    html.replace_range(s..e, &shuffled);
+    if let Some(spans) = spans {
+        remap_spans(spans, s, s + old_len, new_len);
+    }
+}
+
+/// Remaps record spans through one edit that replaced `[start, end)` with
+/// `new_len` bytes. Monotone: positions before the edit are unchanged,
+/// positions after shift by the length delta, positions inside clamp into
+/// the replacement. Spans that collapse to nothing are dropped.
+fn remap_spans(spans: &mut Vec<RecordSpan>, start: usize, end: usize, new_len: usize) {
+    let map = |p: usize| -> usize {
+        if p <= start {
+            p
+        } else if p >= end {
+            p - (end - start) + new_len
+        } else {
+            start + (p - start).min(new_len)
+        }
+    };
+    for s in spans.iter_mut() {
+        s.start = map(s.start);
+        s.end = map(s.end);
+    }
+    spans.retain(|s| s.start < s.end);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::Domain;
+    use crate::site::{generate, LayoutStyle, SiteSpec};
+
+    fn spec() -> SiteSpec {
+        SiteSpec {
+            name: "Chaos County".into(),
+            domain: Domain::PropertyTax,
+            layout: LayoutStyle::GridTable,
+            records_per_page: vec![8, 6],
+            quirks: vec![],
+            missing_field_prob: 0.1,
+            continuous_numbering: false,
+            overlap: 0,
+            seed: 0xC4405,
+        }
+    }
+
+    #[test]
+    fn noop_config_is_byte_identical() {
+        let site = generate(&spec());
+        for cfg in [ChaosConfig::off(9), ChaosConfig::uniform(0.0, 9)] {
+            assert!(cfg.is_noop());
+            let (out, log) = apply_chaos(&site, &cfg);
+            assert!(log.is_empty());
+            assert_eq!(out, site);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_the_seeds() {
+        let site = generate(&spec());
+        let cfg = ChaosConfig::uniform(0.4, 77);
+        let (a, la) = apply_chaos(&site, &cfg);
+        let (b, lb) = apply_chaos(&site, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+        let (c, _) = apply_chaos(&site, &ChaosConfig::uniform(0.4, 78));
+        assert_ne!(a, c, "different chaos seeds must damage differently");
+    }
+
+    #[test]
+    fn every_fault_kind_fires_and_mutates_at_p1() {
+        let site = generate(&spec());
+        for kind in FaultKind::ALL {
+            let cfg = ChaosConfig::only(kind, 1.0, 3);
+            let (out, log) = apply_chaos(&site, &cfg);
+            assert!(!log.is_empty(), "{kind:?} never fired");
+            assert!(log.injected.iter().all(|f| f.kind == kind));
+            assert_ne!(out, site, "{kind:?} fired but changed nothing");
+        }
+    }
+
+    #[test]
+    fn truth_spans_stay_inside_damaged_html() {
+        let site = generate(&spec());
+        for seed in 0..20u64 {
+            let (out, _) = apply_chaos(&site, &ChaosConfig::uniform(0.6, seed));
+            for page in &out.pages {
+                for span in &page.truth.records {
+                    assert!(span.start < span.end, "{span:?}");
+                    assert!(span.end <= page.list_html.len(), "{span:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_row_preserves_surviving_truth_bytes() {
+        let site = generate(&spec());
+        let cfg = ChaosConfig::only(FaultKind::DuplicateRow, 1.0, 5);
+        let (out, log) = apply_chaos(&site, &cfg);
+        assert!(!log.is_empty());
+        for (clean, dirty) in site.pages.iter().zip(&out.pages) {
+            assert_eq!(clean.truth.len(), dirty.truth.len());
+            for (cs, ds) in clean.truth.records.iter().zip(&dirty.truth.records) {
+                assert_eq!(
+                    &clean.list_html[cs.start..cs.end],
+                    &dirty.list_html[ds.start..ds.end],
+                    "remapped span must hold the same row bytes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detail_404_replaces_detail_pages_only() {
+        let site = generate(&spec());
+        let cfg = ChaosConfig::only(FaultKind::DropDetailPage, 1.0, 5);
+        let (out, _) = apply_chaos(&site, &cfg);
+        for (clean, dirty) in site.pages.iter().zip(&out.pages) {
+            assert_eq!(clean.list_html, dirty.list_html);
+            assert!(dirty.detail_html.iter().all(|d| d.contains("404")));
+        }
+    }
+
+    #[test]
+    fn blank_page_empties_truth() {
+        let site = generate(&spec());
+        let cfg = ChaosConfig::only(FaultKind::BlankPage, 1.0, 5);
+        let (out, _) = apply_chaos(&site, &cfg);
+        for page in &out.pages {
+            assert!(page.list_html.is_empty());
+            assert!(page.truth.is_empty());
+        }
+    }
+
+    #[test]
+    fn counts_cover_all_kinds() {
+        let site = generate(&spec());
+        let (_, log) = apply_chaos(&site, &ChaosConfig::uniform(0.5, 11));
+        let counts = log.counts();
+        assert_eq!(counts.len(), FaultKind::ALL.len());
+        let total: usize = counts.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, log.len());
+    }
+}

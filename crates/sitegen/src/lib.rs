@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod ads;
+pub mod chaos;
 pub mod db;
 pub mod domains;
 pub mod layout;
@@ -40,6 +41,9 @@ pub mod quirks;
 pub mod site;
 pub mod truth;
 
+pub use chaos::{
+    apply_chaos, generate_chaotic, ChaosConfig, ChaosLog, FaultKind, FaultSpec, InjectedFault,
+};
 pub use quirks::Quirk;
 pub use site::{generate, GeneratedSite, LayoutStyle, SiteSpec};
 pub use truth::{GroundTruth, RecordSpan};

@@ -1,0 +1,104 @@
+//! Chaos-layer integration and property tests: every corruption operator
+//! applied to real generated pages must leave the downstream tokenizer
+//! total (no panic, guaranteed termination) and keep ground truth
+//! well-formed. These tests live in `tableseg-sitegen` (not
+//! `tableseg-html`) because the html crate cannot dev-depend on the
+//! simulator without a dependency cycle.
+
+use proptest::prelude::*;
+
+use tableseg_html::lexer::{tokenize, tokenize_bytes};
+use tableseg_sitegen::chaos::{apply_chaos, generate_chaotic, ChaosConfig, FaultKind};
+use tableseg_sitegen::paper_sites;
+use tableseg_sitegen::site::generate;
+
+/// Every page (list and detail) of a chaos-damaged site.
+fn all_pages(site: &tableseg_sitegen::GeneratedSite) -> Vec<&str> {
+    site.pages
+        .iter()
+        .flat_map(|p| {
+            std::iter::once(p.list_html.as_str()).chain(p.detail_html.iter().map(String::as_str))
+        })
+        .collect()
+}
+
+#[test]
+fn every_operator_leaves_pages_tokenizable() {
+    // Each fault kind alone at p=1, over several real site generators:
+    // the damaged HTML must tokenize without panicking and with sane
+    // offsets. This is the tokenizer-vs-corruption contract the pipeline
+    // relies on.
+    let specs = [paper_sites::butler(), paper_sites::amazon()];
+    for spec in &specs {
+        for kind in FaultKind::ALL {
+            let (site, log) = generate_chaotic(spec, &ChaosConfig::only(kind, 1.0, 0xFEED));
+            assert!(!log.is_empty(), "{kind:?} on {}", spec.name);
+            for html in all_pages(&site) {
+                let tokens = tokenize(html);
+                for t in &tokens {
+                    assert!(!t.text.is_empty());
+                    assert!(t.offset < html.len().max(1), "{kind:?}: {t:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn stacked_chaos_keeps_pages_tokenizable_across_seeds() {
+    let spec = paper_sites::ohio();
+    let clean = generate(&spec);
+    for seed in 0..8u64 {
+        let (site, _) = apply_chaos(&clean, &ChaosConfig::uniform(0.7, seed));
+        for html in all_pages(&site) {
+            // Termination + no panic; byte path too (encoding damage).
+            let a = tokenize(html);
+            let b = tokenize_bytes(html.as_bytes());
+            assert_eq!(a.len(), b.len(), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn truth_values_survive_where_rows_survive() {
+    // After chaos, every surviving truth span must still hold bytes the
+    // evaluation can align: in-bounds and on char boundaries.
+    let clean = generate(&paper_sites::lee());
+    for seed in 0..10u64 {
+        let (site, _) = apply_chaos(&clean, &ChaosConfig::uniform(0.5, seed));
+        for page in &site.pages {
+            for span in &page.truth.records {
+                assert!(span.end <= page.list_html.len());
+                assert!(page.list_html.is_char_boundary(span.start), "{span:?}");
+                assert!(page.list_html.is_char_boundary(span.end), "{span:?}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any (probability, seed) pair produces a site whose every page
+    /// tokenizes — the chaos layer cannot construct HTML the front end
+    /// chokes on, no matter the knobs.
+    #[test]
+    fn arbitrary_chaos_is_always_tokenizable(p in 0.0f64..1.0, seed in any::<u64>()) {
+        let (site, _) = generate_chaotic(
+            &paper_sites::butler(),
+            &ChaosConfig::uniform(p, seed),
+        );
+        for html in all_pages(&site) {
+            let _ = tokenize(html);
+        }
+    }
+
+    /// Chaos is a pure function of (site seed, chaos seed, probability).
+    #[test]
+    fn chaos_is_deterministic(p in 0.0f64..1.0, seed in any::<u64>()) {
+        let cfg = ChaosConfig::uniform(p, seed);
+        let a = generate_chaotic(&paper_sites::ohio(), &cfg);
+        let b = generate_chaotic(&paper_sites::ohio(), &cfg);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -131,7 +131,12 @@ pub fn induce_interned(
     for stream in streams {
         counts.iter_mut().for_each(|c| *c = 0);
         for &s in stream {
-            counts[s as usize] += 1;
+            // Symbols outside the declared range (e.g. UNKNOWN_SYMBOL from
+            // a read-only projection) can never be template candidates;
+            // ignore them instead of indexing out of bounds.
+            if let Some(c) = counts.get_mut(s as usize) {
+                *c += 1;
+            }
         }
         for (sym, &n) in counts.iter().enumerate() {
             if n != 1 {
@@ -167,28 +172,35 @@ pub fn induce_interned(
         }
     }
 
-    let template_tokens: Vec<Token> = template
-        .iter()
-        .map(|&(_, first_idx)| pages[0][first_idx].clone())
-        .collect();
-
     // Embed the template into every page. Every template symbol occurs
     // exactly once per page, so the embedding is unique: look the position
-    // up in the filtered stream.
-    let anchors: Vec<Vec<usize>> = filtered
+    // up in the filtered stream. If an embedding is ever missing (the
+    // candidate invariant was broken by degenerate input), the offending
+    // symbol is dropped from the template rather than panicking — a
+    // smaller template degrades the slot decision, not the process.
+    let embeddings: Vec<Vec<Option<usize>>> = filtered
         .iter()
         .map(|stream| {
             template
                 .iter()
-                .map(|&(sym, _)| {
-                    stream
-                        .iter()
-                        .find(|&&(s, _)| s == sym)
-                        .map(|&(_, pos)| pos)
-                        .expect("template symbol present on every page")
-                })
+                .map(|&(sym, _)| stream.iter().find(|&&(s, _)| s == sym).map(|&(_, pos)| pos))
                 .collect()
         })
+        .collect();
+    let kept: Vec<usize> = (0..template.len())
+        .filter(|&col| embeddings.iter().all(|e| e[col].is_some()))
+        .collect();
+    if kept.len() < template.len() {
+        template = kept.iter().map(|&col| template[col]).collect();
+    }
+    let anchors: Vec<Vec<usize>> = embeddings
+        .iter()
+        .map(|e| kept.iter().map(|&col| e[col].unwrap_or_default()).collect())
+        .collect();
+
+    let template_tokens: Vec<Token> = template
+        .iter()
+        .map(|&(_, first_idx)| pages[0][first_idx].clone())
         .collect();
 
     // Anchor positions are increasing on every page because the template is

@@ -11,8 +11,10 @@
 //! Differences from real proptest, by design:
 //!
 //! * **no shrinking** — failing inputs are printed verbatim;
-//! * **deterministic** — the RNG seed derives from the test name, so a
-//!   failure reproduces on every run with no persistence files;
+//! * **deterministic** — the RNG seed derives from the test name (mixed
+//!   with the `PROPTEST_SEED` environment variable when set, for CI seed
+//!   matrices), so a failure reproduces on every run with no persistence
+//!   files;
 //! * strategies are plain generation functions (no `ValueTree`).
 
 #![forbid(unsafe_code)]

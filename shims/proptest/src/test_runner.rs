@@ -108,19 +108,44 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Reads `PROPTEST_SEED` (decimal or `0x`-prefixed hex). When set, the
+/// value is mixed into every test's name-derived seed so a CI seed matrix
+/// genuinely explores different cases; when unset each test keeps its
+/// stable default seed.
+fn env_seed() -> Option<u64> {
+    let raw = std::env::var("PROPTEST_SEED").ok()?;
+    match parse_seed(&raw) {
+        Some(seed) => Some(seed),
+        None => panic!("PROPTEST_SEED must be a u64 (decimal or 0x hex), got {raw:?}"),
+    }
+}
+
+fn parse_seed(raw: &str) -> Option<u64> {
+    let raw = raw.trim();
+    match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => raw.parse().ok(),
+    }
+}
+
 /// Runs the case loop for one `proptest!` test. The closure generates its
 /// inputs from the RNG, records their `Debug` rendering into the second
 /// argument, and returns `Ok(())` on success.
 ///
-/// Deterministic: the RNG seed derives from the test name, so a failure
-/// reproduces on every run (no shrinking is performed; the failing inputs
+/// Deterministic: the RNG seed derives from the test name (perturbed by
+/// `PROPTEST_SEED` when set), so a failure reproduces on every run with
+/// the same environment (no shrinking is performed; the failing inputs
 /// are printed verbatim).
 pub fn run_proptest(
     config: &ProptestConfig,
     name: &str,
     mut case: impl FnMut(&mut TestRng, &mut Vec<String>) -> Result<(), TestCaseError>,
 ) {
-    let mut rng = TestRng::seed_from_u64(fnv1a(name.as_bytes()));
+    let mut seed = fnv1a(name.as_bytes());
+    if let Some(env) = env_seed() {
+        seed ^= env.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+    }
+    let mut rng = TestRng::seed_from_u64(seed);
     let mut passed = 0u32;
     let mut rejected = 0u32;
     while passed < config.cases {
@@ -151,7 +176,12 @@ pub fn run_proptest(
 
 fn report_failure(name: &str, case_index: u32, values: &[String], msg: &str) {
     eprintln!("proptest '{name}': case {case_index} failed: {msg}");
-    eprintln!("failing inputs (no shrinking; seed is derived from the test name):");
+    match std::env::var("PROPTEST_SEED") {
+        Ok(seed) => {
+            eprintln!("failing inputs (no shrinking; reproduce with PROPTEST_SEED={seed}):")
+        }
+        Err(_) => eprintln!("failing inputs (no shrinking; seed is derived from the test name):"),
+    }
     for v in values {
         eprintln!("    {v}");
     }
@@ -191,6 +221,15 @@ mod tests {
         run_proptest(&ProptestConfig::with_cases(5), "fails", |_, _| {
             Err(TestCaseError::fail("boom"))
         });
+    }
+
+    #[test]
+    fn seed_parsing_accepts_decimal_and_hex() {
+        assert_eq!(parse_seed("193"), Some(193));
+        assert_eq!(parse_seed(" 0xC1 "), Some(0xC1));
+        assert_eq!(parse_seed("0Xff"), Some(255));
+        assert_eq!(parse_seed("nope"), None);
+        assert_eq!(parse_seed("0x"), None);
     }
 
     #[test]
