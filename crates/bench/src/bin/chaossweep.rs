@@ -26,6 +26,7 @@
 use std::process::ExitCode;
 
 use tableseg::batch;
+use tableseg::timing::Stage;
 use tableseg_bench::{run_sites_robust, table4_report, RobustBatchOutcome};
 use tableseg_eval::metrics::Metrics;
 use tableseg_sitegen::chaos::{apply_chaos, ChaosConfig};
@@ -100,6 +101,9 @@ fn main() -> ExitCode {
                     acc.runs.extend(outcome.runs);
                     for (slot, &(_, n)) in acc.fault_counts.iter_mut().zip(&outcome.fault_counts) {
                         slot.1 += n;
+                    }
+                    for (label, times) in outcome.timing.rows() {
+                        acc.timing.record(&label, &times);
                     }
                     acc
                 }
@@ -226,6 +230,19 @@ fn render_rate_row(
             s.push(',');
         }
         s.push_str(&format!(" \"{label}\": {n}"));
+    }
+    // Corpus-wide solve total split by solver method and EM phase
+    // (nanoseconds; varies run to run, unlike the accuracy fields).
+    s.push_str(" },\n      \"solve_ns\": {");
+    let rows = outcome.timing.rows();
+    let total_ns = |stage: Stage| -> u128 {
+        rows.iter()
+            .map(|(_, times)| times.get(stage).as_nanos())
+            .sum()
+    };
+    s.push_str(&format!(" \"total\": {}", total_ns(Stage::Solve)));
+    for stage in Stage::SOLVE_SPLIT {
+        s.push_str(&format!(", \"{}\": {}", stage.label(), total_ns(stage)));
     }
     s.push_str(" } }");
     s

@@ -1,0 +1,133 @@
+//! Emits `BENCH_solver.json`: the solver-layer microbenchmark over the
+//! twelve simulated paper sites — pre-overhaul baselines (sequential
+//! uncached WSAT, log-space EM) vs. the production solvers (cached-delta
+//! parallel WSAT, arena-based scaled EM) — plus the corpus-wide per-stage
+//! totals of a full batch run, with the solve stage split by method.
+//!
+//! Before anything is written, the batch run's Table 4 report is checked
+//! against `tests/golden/table4.txt` — a speedup that changes results is
+//! not a speedup.
+//!
+//! Flags:
+//!
+//! * `--iters N` — corpus passes per solver path (default 3; the fastest
+//!   pass is reported);
+//! * `--threads N` — batch worker threads for the stage-total run
+//!   (default: available parallelism);
+//! * `--out PATH` — where to write the JSON (default `BENCH_solver.json`);
+//! * `--skip-golden` — skip the golden Table 4 comparison (for runs
+//!   outside the repository checkout).
+
+use std::process::ExitCode;
+
+use tableseg::batch;
+use tableseg::timing::Stage;
+use tableseg_bench::{run_sites, solvebench, table4_report};
+use tableseg_sitegen::paper_sites;
+
+fn main() -> ExitCode {
+    let mut iters = 3usize;
+    let mut threads = batch::default_threads();
+    let mut out_path = String::from("BENCH_solver.json");
+    let mut check_golden = true;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--iters" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--iters needs a positive number");
+                    return ExitCode::FAILURE;
+                };
+                iters = n.max(1);
+            }
+            "--threads" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--threads needs a positive number");
+                    return ExitCode::FAILURE;
+                };
+                threads = n;
+            }
+            "--out" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                };
+                out_path = path;
+            }
+            "--skip-golden" => check_golden = false,
+            other => {
+                eprintln!(
+                    "unknown flag {other} (try --iters N, --threads N, --out PATH, --skip-golden)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // A full batch run: feeds the per-stage totals and proves the
+    // production solvers still reproduce the golden Table 4.
+    let specs = paper_sites::all();
+    eprintln!("running {} sites on {threads} thread(s) ...", specs.len());
+    let outcome = run_sites(&specs, threads);
+    if check_golden {
+        let golden_path =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/table4.txt");
+        match std::fs::read_to_string(&golden_path) {
+            Ok(golden) => {
+                let report = table4_report(&outcome.runs, false);
+                if report != golden {
+                    eprintln!(
+                        "FAIL: Table 4 report differs from {}",
+                        golden_path.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("Table 4 report matches golden");
+            }
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", golden_path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!("running solver microbenchmark ({iters} pass(es) per path) ...");
+    let bench = solvebench::run_solve_bench(iters);
+
+    let mut stage_totals: Vec<(String, u128)> = Vec::new();
+    for stage in Stage::ALL.into_iter().chain(Stage::SOLVE_SPLIT) {
+        let total: u128 = outcome
+            .timing
+            .rows()
+            .iter()
+            .map(|(_, times)| times.get(stage).as_nanos())
+            .sum();
+        stage_totals.push((stage.label().to_owned(), total));
+    }
+
+    let json = solvebench::render_json(&bench, &stage_totals);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "csp: reference {:.2} ms vs cached-delta {:.2} ms → {:.2}x ({:.0} flips/s)",
+        bench.csp.baseline_ns as f64 / 1e6,
+        bench.csp.optimized_ns as f64 / 1e6,
+        bench.csp.speedup(),
+        bench.csp.units_per_sec()
+    );
+    eprintln!(
+        "prob: log-space {:.2} ms vs scaled {:.2} ms → {:.2}x ({:.0} EM iters/s)",
+        bench.prob.baseline_ns as f64 / 1e6,
+        bench.prob.optimized_ns as f64 / 1e6,
+        bench.prob.speedup(),
+        bench.prob.units_per_sec()
+    );
+    eprintln!(
+        "solve stage: {:.2}x over {} pages (written to {out_path})",
+        bench.solve_speedup(),
+        bench.pages
+    );
+    ExitCode::SUCCESS
+}

@@ -71,6 +71,8 @@ fn main() -> ExitCode {
         // stays byte-identical (and pipeable) with or without --rt.
         eprintln!("\nRT: per-stage wall clock by site ({threads} thread(s))\n");
         eprint!("{}", outcome.timing.render());
+        eprintln!("\nRT: solve split by method and EM phase\n");
+        eprint!("{}", outcome.timing.render_solve_split());
     }
 
     if let Some(path) = bench_json {
@@ -78,7 +80,7 @@ fn main() -> ExitCode {
         let bench = matchbench::run_match_bench(7);
         // Corpus-wide per-stage totals from the batch run above.
         let mut stage_totals: Vec<(String, u128)> = Vec::new();
-        for stage in Stage::ALL {
+        for stage in Stage::ALL.into_iter().chain(Stage::SOLVE_SPLIT) {
             let total: u128 = outcome
                 .timing
                 .rows()

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod matchbench;
+pub mod solvebench;
 
 use std::ops::Range;
 
@@ -155,6 +156,7 @@ pub fn evaluate_segmenter_timed(
 ) -> (PageCounts, bool, StageTimes) {
     let mut times = StageTimes::new();
     let outcome = times.time(Stage::Solve, || segmenter.segment(&prepared.observations));
+    times.merge(&outcome.solver_times);
     let counts = times.time(Stage::Decode, || {
         let truth = page_truth(site, page, prepared);
         let groups = outcome.segmentation.records();
@@ -375,6 +377,7 @@ pub fn run_sites_robust(
             segmenters[seg].try_segment(&prepared.observations)
         });
         let result = solved.map(|outcome| {
+            times.merge(&outcome.solver_times);
             times.time(Stage::Decode, || {
                 let truth = page_truth(&sites[si].site, page, prepared);
                 let groups = outcome.segmentation.records();

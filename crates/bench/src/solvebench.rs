@@ -1,0 +1,282 @@
+//! The solver microbenchmark behind `BENCH_solver.json`: the pre-overhaul
+//! solver implementations (sequential uncached WSAT, log-space
+//! forward–backward EM) vs. the production ones (cached-delta parallel
+//! WSAT, arena-based scaled EM), over the twelve simulated paper sites.
+//!
+//! The baselines are the real pre-overhaul algorithms, kept in-tree:
+//! [`CspOptions::reference_solver`] selects the verbatim sequential WSAT
+//! and [`ProbOptions::log_space`] the per-cell log-space EM loop. Both
+//! paths solve the *same* observation tables, so the comparison isolates
+//! the solver layer — front-end preparation is done once, outside every
+//! timed region.
+
+use std::time::Instant;
+
+use tableseg_csp::{segment_csp, CspOptions, CspStatus};
+use tableseg_extract::Observations;
+use tableseg_prob::{segment_prob, ProbOptions};
+use tableseg_sitegen::paper_sites;
+
+use crate::{prepare_page_cached, prepare_site};
+
+/// One list page of the benchmark corpus, prepared for segmentation.
+pub struct SolveFixture {
+    /// Site name.
+    pub site: String,
+    /// List-page index within the site.
+    pub page: usize,
+    /// The page's observation table (the solver input).
+    pub observations: Observations,
+}
+
+/// Builds the benchmark corpus: every list page of every simulated paper
+/// site, front end run once per page.
+pub fn corpus() -> Vec<SolveFixture> {
+    let mut fixtures = Vec::new();
+    for spec in paper_sites::all() {
+        let ps = prepare_site(&spec);
+        for page in 0..ps.site.pages.len() {
+            let prepared = prepare_page_cached(&ps, page);
+            fixtures.push(SolveFixture {
+                site: spec.name.clone(),
+                page,
+                observations: prepared.observations,
+            });
+        }
+    }
+    fixtures
+}
+
+/// Baseline-vs-optimized wall clock for one solver method.
+#[derive(Debug, Clone, Copy)]
+pub struct MethodBench {
+    /// Best (minimum) nanoseconds of one baseline corpus pass.
+    pub baseline_ns: u128,
+    /// Best (minimum) nanoseconds of one optimized corpus pass.
+    pub optimized_ns: u128,
+    /// Method-specific work units performed by one optimized pass
+    /// (WSAT flips for the CSP, EM iterations for the probabilistic
+    /// approach) — the throughput numerator.
+    pub work_units: u64,
+}
+
+impl MethodBench {
+    /// baseline / optimized wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_ns as f64 / self.optimized_ns.max(1) as f64
+    }
+
+    /// Work units per second of the optimized pass.
+    pub fn units_per_sec(&self) -> f64 {
+        self.work_units as f64 / (self.optimized_ns.max(1) as f64 / 1e9)
+    }
+}
+
+/// The corpus-level result of the solver comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveBench {
+    /// Number of sites in the corpus.
+    pub sites: usize,
+    /// Number of list pages solved per pass.
+    pub pages: usize,
+    /// Total extracts across the corpus.
+    pub extracts: usize,
+    /// The CSP approach (reference sequential WSAT vs. cached-delta).
+    pub csp: MethodBench,
+    /// The probabilistic approach (log-space vs. scaled EM).
+    pub prob: MethodBench,
+    /// Corpus passes each path ran; the reported time is the fastest
+    /// pass, which is robust to interference from other load.
+    pub iters: usize,
+}
+
+impl SolveBench {
+    /// Whole-solve-stage speedup: summed baselines over summed optimized.
+    pub fn solve_speedup(&self) -> f64 {
+        (self.csp.baseline_ns + self.prob.baseline_ns) as f64
+            / (self.csp.optimized_ns + self.prob.optimized_ns).max(1) as f64
+    }
+}
+
+/// Times all four solver paths over the full corpus, `iters` times each,
+/// verifying up front that each optimized path reproduces its baseline's
+/// segmentation on every page.
+pub fn run_solve_bench(iters: usize) -> SolveBench {
+    let fixtures = corpus();
+    let sites = {
+        let mut names: Vec<&str> = fixtures.iter().map(|f| f.site.as_str()).collect();
+        names.dedup();
+        names.len()
+    };
+    let extracts = fixtures.iter().map(|f| f.observations.len()).sum();
+
+    let csp_base = CspOptions {
+        reference_solver: true,
+        ..CspOptions::default()
+    };
+    let csp_opt = CspOptions::default();
+    let prob_base = ProbOptions {
+        log_space: true,
+        ..ProbOptions::default()
+    };
+    let prob_opt = ProbOptions::default();
+
+    // Verification pass: the scaled EM must decode the same path as the
+    // log-space oracle, and the cached-delta WSAT must do no worse than
+    // the reference on solve status (the search trajectories differ —
+    // per-try seeding vs. one sequential stream — so assignments may
+    // legitimately differ on relaxed pages).
+    for f in &fixtures {
+        let slow = segment_prob(&f.observations, &prob_base);
+        let fast = segment_prob(&f.observations, &prob_opt);
+        assert_eq!(
+            slow.segmentation.assignments, fast.segmentation.assignments,
+            "{} page {}: scaled EM diverged from log-space oracle",
+            f.site, f.page
+        );
+        let slow = segment_csp(&f.observations, &csp_base);
+        let fast = segment_csp(&f.observations, &csp_opt);
+        assert!(
+            !(slow.status == CspStatus::Solved && fast.status != CspStatus::Solved),
+            "{} page {}: cached-delta WSAT lost a solution the reference found",
+            f.site,
+            f.page
+        );
+    }
+
+    let mut csp = MethodBench {
+        baseline_ns: u128::MAX,
+        optimized_ns: u128::MAX,
+        work_units: 0,
+    };
+    let mut prob = MethodBench {
+        baseline_ns: u128::MAX,
+        optimized_ns: u128::MAX,
+        work_units: 0,
+    };
+    for _ in 0..iters {
+        let t = Instant::now();
+        for f in &fixtures {
+            std::hint::black_box(segment_csp(&f.observations, &csp_base));
+        }
+        csp.baseline_ns = csp.baseline_ns.min(t.elapsed().as_nanos());
+
+        let t = Instant::now();
+        let mut flips = 0u64;
+        for f in &fixtures {
+            flips += std::hint::black_box(segment_csp(&f.observations, &csp_opt)).flips;
+        }
+        csp.optimized_ns = csp.optimized_ns.min(t.elapsed().as_nanos());
+        csp.work_units = flips;
+
+        let t = Instant::now();
+        for f in &fixtures {
+            std::hint::black_box(segment_prob(&f.observations, &prob_base));
+        }
+        prob.baseline_ns = prob.baseline_ns.min(t.elapsed().as_nanos());
+
+        let t = Instant::now();
+        let mut em_iters = 0u64;
+        for f in &fixtures {
+            em_iters +=
+                std::hint::black_box(segment_prob(&f.observations, &prob_opt)).iterations as u64;
+        }
+        prob.optimized_ns = prob.optimized_ns.min(t.elapsed().as_nanos());
+        prob.work_units = em_iters;
+    }
+
+    SolveBench {
+        sites,
+        pages: fixtures.len(),
+        extracts,
+        csp,
+        prob,
+        iters,
+    }
+}
+
+/// Renders the benchmark (plus per-stage totals of a batch run, if given)
+/// as the `BENCH_solver.json` document.
+pub fn render_json(bench: &SolveBench, stage_totals: &[(String, u128)]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"solver\",\n");
+    s.push_str(&format!(
+        "  \"corpus\": {{ \"sites\": {}, \"pages\": {}, \"extracts\": {} }},\n",
+        bench.sites, bench.pages, bench.extracts
+    ));
+    s.push_str(&format!("  \"iters\": {},\n", bench.iters));
+    s.push_str(&format!(
+        "  \"csp\": {{ \"baseline_ns\": {}, \"optimized_ns\": {}, \"speedup\": {:.2}, \
+         \"flips\": {}, \"flips_per_sec\": {:.0} }},\n",
+        bench.csp.baseline_ns,
+        bench.csp.optimized_ns,
+        bench.csp.speedup(),
+        bench.csp.work_units,
+        bench.csp.units_per_sec()
+    ));
+    s.push_str(&format!(
+        "  \"prob\": {{ \"baseline_ns\": {}, \"optimized_ns\": {}, \"speedup\": {:.2}, \
+         \"em_iters\": {}, \"em_iters_per_sec\": {:.0} }},\n",
+        bench.prob.baseline_ns,
+        bench.prob.optimized_ns,
+        bench.prob.speedup(),
+        bench.prob.work_units,
+        bench.prob.units_per_sec()
+    ));
+    s.push_str(&format!(
+        "  \"solve_speedup\": {:.2},\n",
+        bench.solve_speedup()
+    ));
+    s.push_str("  \"stage_totals_ns\": {");
+    for (i, (stage, ns)) in stage_totals.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(" \"{stage}\": {ns}"));
+    }
+    s.push_str(" }\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_covers_all_sites() {
+        let fixtures = corpus();
+        assert_eq!(
+            fixtures.len(),
+            paper_sites::all().len() * 2,
+            "two list pages per site"
+        );
+        assert!(fixtures.iter().all(|f| !f.observations.items.is_empty()));
+    }
+
+    #[test]
+    fn json_shape() {
+        let bench = SolveBench {
+            sites: 12,
+            pages: 24,
+            extracts: 500,
+            csp: MethodBench {
+                baseline_ns: 9000,
+                optimized_ns: 3000,
+                work_units: 60,
+            },
+            prob: MethodBench {
+                baseline_ns: 6000,
+                optimized_ns: 2000,
+                work_units: 40,
+            },
+            iters: 2,
+        };
+        assert!((bench.solve_speedup() - 3.0).abs() < 1e-9);
+        let json = render_json(&bench, &[("solve.csp".into(), 42)]);
+        assert!(json.contains("\"solve_speedup\": 3.00"));
+        assert!(json.contains("\"flips\": 60"));
+        assert!(json.contains("\"em_iters\": 40"));
+        assert!(json.contains("\"solve.csp\": 42"));
+        assert!(json.starts_with('{') && json.ends_with("}\n"));
+    }
+}

@@ -43,10 +43,13 @@ impl Segmenter for HybridSegmenter {
                 *slot = *prob_a;
             }
         }
+        let mut solver_times = csp.solver_times;
+        solver_times.merge(&prob.solver_times);
         SegmenterOutcome {
             segmentation: merged,
             relaxed: csp.relaxed,
             columns: prob.columns,
+            solver_times,
         }
     }
 

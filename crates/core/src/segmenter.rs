@@ -1,9 +1,13 @@
 //! The two segmentation approaches behind one trait.
 
+use std::time::{Duration, Instant};
+
 use tableseg_csp::{segment_csp, CspOptions, CspStatus};
 use tableseg_extract::{Observations, Segmentation};
 use tableseg_html::SegError;
 use tableseg_prob::{segment_prob, ProbOptions};
+
+use crate::timing::{Stage, StageTimes};
 
 /// The result of a segmenter run.
 #[derive(Debug, Clone)]
@@ -16,6 +20,11 @@ pub struct SegmenterOutcome {
     /// Column labels per extract, if the approach produces them (the
     /// probabilistic approach does; the CSP does not — Section 3.4).
     pub columns: Option<Vec<u32>>,
+    /// The solver's own time, split into the [`Stage::SOLVE_SPLIT`]
+    /// sub-stages. Harnesses merge this into their per-site
+    /// [`StageTimes`] so reports can break the `solve` total down by
+    /// method.
+    pub solver_times: StageTimes,
 }
 
 /// A record-segmentation algorithm operating on an observation table.
@@ -66,11 +75,15 @@ impl CspSegmenter {
 
 impl Segmenter for CspSegmenter {
     fn segment(&self, obs: &Observations) -> SegmenterOutcome {
+        let start = Instant::now();
         let out = segment_csp(obs, &self.options);
+        let mut solver_times = StageTimes::new();
+        solver_times.add(Stage::SolveCsp, start.elapsed());
         SegmenterOutcome {
             segmentation: out.segmentation,
             relaxed: out.status != CspStatus::Solved,
             columns: None,
+            solver_times,
         }
     }
 
@@ -101,11 +114,27 @@ impl ProbSegmenter {
 
 impl Segmenter for ProbSegmenter {
     fn segment(&self, obs: &Observations) -> SegmenterOutcome {
+        let start = Instant::now();
         let out = segment_prob(obs, &self.options);
+        let mut solver_times = StageTimes::new();
+        solver_times.add(Stage::SolveProb, start.elapsed());
+        solver_times.add(
+            Stage::SolveEmEStep,
+            Duration::from_nanos(out.timing.e_step_ns),
+        );
+        solver_times.add(
+            Stage::SolveEmMStep,
+            Duration::from_nanos(out.timing.m_step_ns),
+        );
+        solver_times.add(
+            Stage::SolveViterbi,
+            Duration::from_nanos(out.timing.viterbi_ns),
+        );
         SegmenterOutcome {
             segmentation: out.segmentation,
             relaxed: false,
             columns: Some(out.columns),
+            solver_times,
         }
     }
 

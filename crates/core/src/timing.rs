@@ -14,7 +14,10 @@ use std::fmt;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// A pipeline stage, in execution order.
+/// A pipeline stage, in execution order. The first six are the disjoint
+/// top-level stages; the rest are *sub-stages* of `Solve` (they overlap
+/// it, attributing its time to one solver method or EM phase) and are
+/// excluded from [`StageTimes::total`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
     /// Lexing list and detail pages into token streams.
@@ -29,10 +32,21 @@ pub enum Stage {
     Solve,
     /// Decoding the solution: truth alignment, classification, assembly.
     Decode,
+    /// Sub-stage of `Solve`: the WSAT(OIP)/branch-and-bound CSP solve.
+    SolveCsp,
+    /// Sub-stage of `Solve`: the whole probabilistic (EM) solve.
+    SolveProb,
+    /// Sub-stage of `SolveProb`: emissions + forward–backward.
+    SolveEmEStep,
+    /// Sub-stage of `SolveProb`: parameter updates + chain refreshes.
+    SolveEmMStep,
+    /// Sub-stage of `SolveProb`: the final MAP decode.
+    SolveViterbi,
 }
 
 impl Stage {
-    /// Every stage, in execution order.
+    /// Every *top-level* stage, in execution order. Sub-stages of `Solve`
+    /// are listed in [`Stage::SOLVE_SPLIT`] instead.
     pub const ALL: [Stage; 6] = [
         Stage::Tokenize,
         Stage::TemplateInduction,
@@ -40,6 +54,15 @@ impl Stage {
         Stage::Matching,
         Stage::Solve,
         Stage::Decode,
+    ];
+
+    /// The sub-stages splitting `Solve` by method, in report order.
+    pub const SOLVE_SPLIT: [Stage; 5] = [
+        Stage::SolveCsp,
+        Stage::SolveProb,
+        Stage::SolveEmEStep,
+        Stage::SolveEmMStep,
+        Stage::SolveViterbi,
     ];
 
     /// Short column label for reports.
@@ -51,6 +74,11 @@ impl Stage {
             Stage::Matching => "match",
             Stage::Solve => "solve",
             Stage::Decode => "decode",
+            Stage::SolveCsp => "solve.csp",
+            Stage::SolveProb => "solve.prob",
+            Stage::SolveEmEStep => "solve.em.e_step",
+            Stage::SolveEmMStep => "solve.em.m_step",
+            Stage::SolveViterbi => "solve.viterbi",
         }
     }
 
@@ -62,14 +90,22 @@ impl Stage {
             Stage::Matching => 3,
             Stage::Solve => 4,
             Stage::Decode => 5,
+            Stage::SolveCsp => 6,
+            Stage::SolveProb => 7,
+            Stage::SolveEmEStep => 8,
+            Stage::SolveEmMStep => 9,
+            Stage::SolveViterbi => 10,
         }
     }
 }
 
+/// Number of tracked stages (top-level + solve sub-stages).
+const NUM_STAGES: usize = Stage::ALL.len() + Stage::SOLVE_SPLIT.len();
+
 /// Wall-clock time spent per stage by one job (or merged over many).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageTimes {
-    nanos: [u128; 6],
+    nanos: [u128; NUM_STAGES],
 }
 
 impl StageTimes {
@@ -103,9 +139,10 @@ impl StageTimes {
         }
     }
 
-    /// Total time across all stages.
+    /// Total time across the top-level stages. Solve sub-stages are
+    /// excluded: they re-attribute time already counted under `Solve`.
     pub fn total(&self) -> Duration {
-        nanos_to_duration(self.nanos.iter().sum())
+        nanos_to_duration(self.nanos[..Stage::ALL.len()].iter().sum())
     }
 }
 
@@ -189,6 +226,39 @@ impl Registry {
         }
         out
     }
+
+    /// Renders the `solve` stage split by solver method and EM phase
+    /// (the [`Stage::SOLVE_SPLIT`] columns), as a separate table so the
+    /// main report keeps its golden shape.
+    pub fn render_solve_split(&self) -> String {
+        let rows = self.rows();
+        let mut out = String::new();
+        out.push_str(&format!("{:<24}", "site"));
+        out.push_str(&format!(" | {:>9}", Stage::Solve.label()));
+        for stage in Stage::SOLVE_SPLIT {
+            out.push_str(&format!(" | {:>15}", stage.label()));
+        }
+        out.push('\n');
+        let mut grand = StageTimes::new();
+        for (label, times) in &rows {
+            grand.merge(times);
+            out.push_str(&format!("{label:<24}"));
+            out.push_str(&format!(" | {:>9}", human(times.get(Stage::Solve))));
+            for stage in Stage::SOLVE_SPLIT {
+                out.push_str(&format!(" | {:>15}", human(times.get(stage))));
+            }
+            out.push('\n');
+        }
+        if rows.len() > 1 {
+            out.push_str(&format!("{:<24}", "TOTAL"));
+            out.push_str(&format!(" | {:>9}", human(grand.get(Stage::Solve))));
+            for stage in Stage::SOLVE_SPLIT {
+                out.push_str(&format!(" | {:>15}", human(grand.get(stage))));
+            }
+            out.push('\n');
+        }
+        out
+    }
 }
 
 /// Compact human-readable duration (`12.3µs`, `4.56ms`, `1.23s`).
@@ -254,5 +324,32 @@ mod tests {
         for (i, stage) in Stage::ALL.iter().enumerate() {
             assert_eq!(stage.index(), i);
         }
+        for (i, stage) in Stage::SOLVE_SPLIT.iter().enumerate() {
+            assert_eq!(stage.index(), Stage::ALL.len() + i);
+        }
+    }
+
+    #[test]
+    fn total_excludes_solve_substages() {
+        let mut t = StageTimes::new();
+        t.add(Stage::Solve, Duration::from_micros(10));
+        t.add(Stage::SolveCsp, Duration::from_micros(4));
+        t.add(Stage::SolveProb, Duration::from_micros(6));
+        t.add(Stage::SolveEmEStep, Duration::from_micros(5));
+        assert_eq!(t.total(), Duration::from_micros(10));
+    }
+
+    #[test]
+    fn solve_split_render_lists_substages() {
+        let reg = Registry::new();
+        let mut t = StageTimes::new();
+        t.add(Stage::Solve, Duration::from_micros(9));
+        t.add(Stage::SolveCsp, Duration::from_micros(3));
+        t.add(Stage::SolveEmMStep, Duration::from_micros(2));
+        reg.record("site", &t);
+        let report = reg.render_solve_split();
+        assert!(report.contains("solve.csp"), "{report}");
+        assert!(report.contains("solve.em.m_step"), "{report}");
+        assert!(report.contains("solve.viterbi"), "{report}");
     }
 }

@@ -58,6 +58,19 @@ impl Encoding {
     pub fn var(&self, extract: usize, record: u32) -> Option<usize> {
         self.var_of.get(&(extract, record)).copied()
     }
+
+    /// Upper bound on the objective, derived from the relaxation itself:
+    /// the objective counts assigned extracts and uniqueness caps each
+    /// extract at one record, so no assignment can exceed the number of
+    /// distinct extracts with at least one candidate record. `None` when
+    /// the encoding has no objective (the strict, pure-satisfaction case).
+    pub fn objective_upper_bound(&self) -> Option<i64> {
+        if self.model.objective.is_empty() {
+            return None;
+        }
+        let extracts: HashSet<usize> = self.vars.iter().map(|&(i, _)| i).collect();
+        Some(extracts.len() as i64)
+    }
 }
 
 /// Builds the encoding of an observation table.

@@ -21,8 +21,9 @@ use tableseg_extract::{Observations, Segmentation};
 
 use crate::encoder::{encode, EncodeOptions};
 use crate::exact::{solve_bnb, BnbOutcome};
+use crate::model::Model;
 use crate::solution::decode;
-use crate::wsat::{solve, WsatConfig};
+use crate::wsat::{reference::solve_reference, solve, WsatConfig, WsatResult};
 
 /// Options for [`segment_csp`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,6 +38,10 @@ pub struct CspOptions {
     /// skip branch-and-bound entirely (treated as `Unknown`) and go
     /// straight to the stochastic relaxation path.
     pub bnb_var_cap: usize,
+    /// Use the pre-overhaul sequential WSAT implementation instead of the
+    /// cached-delta parallel one. The `solvebench` baseline; leave `false`
+    /// everywhere else.
+    pub reference_solver: bool,
 }
 
 impl Default for CspOptions {
@@ -46,6 +51,7 @@ impl Default for CspOptions {
             position_constraints: true,
             bnb_budget: 2_000_000,
             bnb_var_cap: 220,
+            reference_solver: false,
         }
     }
 }
@@ -74,6 +80,9 @@ pub struct CspOutcome {
     /// assignment found (0 when `status == Solved`). A diagnostic for how
     /// inconsistent the site data is.
     pub strict_violation: i64,
+    /// Total WSAT flips spent across the strict and relaxed solves —
+    /// the throughput denominator reported by `solvebench`.
+    pub flips: u64,
 }
 
 impl CspOutcome {
@@ -90,8 +99,14 @@ pub fn segment_csp(obs: &Observations, opts: &CspOptions) -> CspOutcome {
             segmentation: Segmentation::unassigned(obs.num_records, 0),
             status: CspStatus::Solved,
             strict_violation: 0,
+            flips: 0,
         };
     }
+    let solver: fn(&Model, &WsatConfig) -> WsatResult = if opts.reference_solver {
+        solve_reference
+    } else {
+        solve
+    };
 
     // Step 1: strict problem via stochastic search.
     let strict_enc = encode(
@@ -101,12 +116,13 @@ pub fn segment_csp(obs: &Observations, opts: &CspOptions) -> CspOutcome {
             position_constraints: opts.position_constraints,
         },
     );
-    let strict = solve(&strict_enc.model, &opts.wsat);
+    let strict = solver(&strict_enc.model, &opts.wsat);
     if strict.feasible {
         return CspOutcome {
             segmentation: decode(&strict_enc, &strict.assignment, obs),
             status: CspStatus::Solved,
             strict_violation: 0,
+            flips: strict.flips,
         };
     }
 
@@ -122,6 +138,7 @@ pub fn segment_csp(obs: &Observations, opts: &CspOptions) -> CspOutcome {
                 segmentation: decode(&strict_enc, &assignment, obs),
                 status: CspStatus::Solved,
                 strict_violation: 0,
+                flips: strict.flips,
             };
         }
         BnbOutcome::Infeasible | BnbOutcome::Unknown => {}
@@ -140,12 +157,21 @@ pub fn segment_csp(obs: &Observations, opts: &CspOptions) -> CspOutcome {
     // good local optimum but not necessarily the global maximum — which is
     // precisely why the paper's relaxed solutions on dirty sites were
     // partial ("not every extract was assigned to a record", Section 6.3).
-    let relaxed = solve(&relaxed_enc.model, &opts.wsat);
+    // The relaxation itself yields an objective upper bound (one record
+    // per extract), letting the search stop as soon as every extract is
+    // assigned rather than burning the remaining restart budget.
+    let relaxed_cfg = WsatConfig {
+        objective_target: relaxed_enc.objective_upper_bound(),
+        ..opts.wsat
+    };
+    let relaxed = solver(&relaxed_enc.model, &relaxed_cfg);
+    let flips = strict.flips + relaxed.flips;
     if !relaxed.feasible {
         return CspOutcome {
             segmentation: Segmentation::unassigned(obs.num_records, obs.items.len()),
             status: CspStatus::Failed,
             strict_violation: strict.violation,
+            flips,
         };
     }
     let best_assignment = relaxed.assignment;
@@ -154,6 +180,7 @@ pub fn segment_csp(obs: &Observations, opts: &CspOptions) -> CspOutcome {
         segmentation: decode(&relaxed_enc, &best_assignment, obs),
         status: CspStatus::SolvedRelaxed,
         strict_violation: strict.violation,
+        flips,
     }
 }
 

@@ -16,7 +16,35 @@
 //!    feasible assignment seen;
 //! 4. restart with a fresh random assignment every `max_flips` flips.
 //!
-//! All randomness is seeded: identical configs give identical results.
+//! Two throughput mechanisms on top of the basic strategy:
+//!
+//! * **Cached flip deltas.** The change in total violation caused by
+//!   flipping each variable is kept in a per-variable table (`vdelta`)
+//!   that `flip` patches incrementally — only variables sharing a
+//!   constraint with the flipped one are touched. Move selection then
+//!   reads a single cell instead of re-scanning the occurrence lists of
+//!   every candidate (the classic make/break cache of local-search SAT
+//!   solvers).
+//! * **Parallel restarts.** Each of the `max_tries` restarts runs an
+//!   independent search seeded `seed ^ mix64(try_no)`, so a try's
+//!   trajectory does not depend on which thread runs it or in what order.
+//!   The results are reduced by `(violation asc, objective desc, try_no
+//!   asc)`; 1, 2 and N worker threads therefore return byte-identical
+//!   [`WsatResult`]s. The only cross-try dependency is a deterministic
+//!   gate: when try 0 is already perfect (feasible, and the objective —
+//!   if any — has reached [`WsatConfig::objective_target`]), the
+//!   remaining tries are skipped.
+//!
+//! All randomness is seeded: identical configs give identical results,
+//! regardless of `threads`.
+//!
+//! The pre-overhaul implementation (per-candidate occurrence-list scans,
+//! one RNG threaded through sequential restarts) is preserved verbatim in
+//! [`reference`] as the benchmark baseline for `solvebench`.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -35,12 +63,25 @@ pub struct WsatConfig {
     /// Tabu tenure: a variable flipped within the last `tabu` flips is not
     /// flipped again unless doing so reaches a new best (aspiration).
     pub tabu: usize,
-    /// Stagnation cutoff: restart when the best assignment has not
+    /// Stagnation cutoff: end a try when its best assignment has not
     /// improved within this many flips. Keeps converged searches from
     /// burning the whole flip budget.
     pub stall: usize,
     /// Random seed.
     pub seed: u64,
+    /// Weight of a unit of constraint violation against a unit of
+    /// objective when scoring greedy moves: `score = violation_delta *
+    /// violation_weight - objective_delta`. Violation dominates as long as
+    /// this exceeds the largest objective swing of a single flip.
+    pub violation_weight: i64,
+    /// Worker threads for parallel restarts. `1` runs tries sequentially;
+    /// `0` uses the machine's available parallelism. The result is
+    /// byte-identical for every value.
+    pub threads: usize,
+    /// Known upper bound on the objective. A try (and the whole solve)
+    /// ends early once a feasible assignment reaches it. `None` disables
+    /// the early exit.
+    pub objective_target: Option<i64>,
 }
 
 impl Default for WsatConfig {
@@ -52,6 +93,9 @@ impl Default for WsatConfig {
             tabu: 2,
             stall: 3_000,
             seed: 0x5EED,
+            violation_weight: 10_000,
+            threads: 1,
+            objective_target: None,
         }
     }
 }
@@ -67,8 +111,41 @@ pub struct WsatResult {
     pub violation: i64,
     /// Objective value of the best assignment.
     pub objective: i64,
-    /// Total number of flips performed.
+    /// Total number of flips performed, summed over all tries that ran.
     pub flips: u64,
+}
+
+/// SplitMix64 finalizer: decorrelates per-try seeds derived from
+/// consecutive try numbers.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Immutable per-solve tables shared by every try.
+struct Problem {
+    /// Occurrence lists: constraints (and coefficients) touching each var.
+    occurs: Vec<Vec<(usize, i32)>>,
+    /// Objective coefficient of each variable.
+    obj_coef: Vec<i64>,
+}
+
+impl Problem {
+    fn new(model: &Model) -> Problem {
+        let mut occurs: Vec<Vec<(usize, i32)>> = vec![Vec::new(); model.num_vars];
+        for (ci, c) in model.constraints.iter().enumerate() {
+            for t in &c.terms {
+                occurs[t.var].push((ci, t.coef));
+            }
+        }
+        let mut obj_coef = vec![0i64; model.num_vars];
+        for &Term { var, coef } in &model.objective {
+            obj_coef[var] += i64::from(coef);
+        }
+        Problem { occurs, obj_coef }
+    }
 }
 
 /// Incremental search state for one restart.
@@ -82,6 +159,9 @@ struct SearchState<'a> {
     violated: Vec<usize>,
     /// Position of each constraint in `violated` (usize::MAX when absent).
     violated_pos: Vec<usize>,
+    /// Cached change in total violation if each variable were flipped.
+    /// Patched incrementally in [`SearchState::flip`].
+    vdelta: Vec<i64>,
     /// Occurrence lists: constraints (and coefficients) touching each var.
     occurs: &'a [Vec<(usize, i32)>],
     /// Objective coefficient of each variable.
@@ -95,19 +175,15 @@ struct SearchState<'a> {
 }
 
 impl<'a> SearchState<'a> {
-    fn new(
-        model: &'a Model,
-        occurs: &'a [Vec<(usize, i32)>],
-        obj_coef: &'a [i64],
-        assign: Vec<bool>,
-    ) -> SearchState<'a> {
+    fn new(model: &'a Model, problem: &'a Problem, assign: Vec<bool>) -> SearchState<'a> {
         let mut state = SearchState {
             model,
             lhs: vec![0; model.constraints.len()],
             violated: Vec::new(),
             violated_pos: vec![usize::MAX; model.constraints.len()],
-            occurs,
-            obj_coef,
+            vdelta: vec![0; model.num_vars],
+            occurs: &problem.occurs,
+            obj_coef: &problem.obj_coef,
             last_flip: vec![0; model.num_vars],
             total_violation: 0,
             objective: 0,
@@ -122,22 +198,21 @@ impl<'a> SearchState<'a> {
                 state.violated_pos[ci] = state.violated.len();
                 state.violated.push(ci);
             }
+            // Seed the delta cache: each variable's contribution from this
+            // constraint is v(lhs with the var flipped) - v(lhs).
+            for t in &c.terms {
+                let dir: i32 = if state.assign[t.var] { -1 } else { 1 };
+                state.vdelta[t.var] +=
+                    i64::from(violation_of(c.rel, lhs + dir * t.coef, c.rhs) - v);
+            }
         }
         state.objective = model.objective_value(&state.assign);
         state
     }
 
-    /// Change in total violation if `var` were flipped.
+    /// Change in total violation if `var` were flipped (cached).
     fn violation_delta(&self, var: usize) -> i64 {
-        let dir: i32 = if self.assign[var] { -1 } else { 1 };
-        let mut delta = 0i64;
-        for &(ci, coef) in &self.occurs[var] {
-            let c = &self.model.constraints[ci];
-            let old = violation_of(c.rel, self.lhs[ci], c.rhs);
-            let new = violation_of(c.rel, self.lhs[ci] + dir * coef, c.rhs);
-            delta += i64::from(new - old);
-        }
-        delta
+        self.vdelta[var]
     }
 
     /// Change in objective if `var` were flipped.
@@ -156,9 +231,11 @@ impl<'a> SearchState<'a> {
         self.assign[var] = !self.assign[var];
         for &(ci, coef) in &self.occurs[var] {
             let c = &self.model.constraints[ci];
-            let old_v = violation_of(c.rel, self.lhs[ci], c.rhs);
-            self.lhs[ci] += dir * coef;
-            let new_v = violation_of(c.rel, self.lhs[ci], c.rhs);
+            let old_lhs = self.lhs[ci];
+            let new_lhs = old_lhs + dir * coef;
+            let old_v = violation_of(c.rel, old_lhs, c.rhs);
+            let new_v = violation_of(c.rel, new_lhs, c.rhs);
+            self.lhs[ci] = new_lhs;
             self.total_violation += i64::from(new_v - old_v);
             if old_v == 0 && new_v > 0 {
                 self.violated_pos[ci] = self.violated.len();
@@ -172,107 +249,221 @@ impl<'a> SearchState<'a> {
                 }
                 self.violated_pos[ci] = usize::MAX;
             }
+            // Patch the delta cache of every variable in this constraint:
+            // its contribution from `ci` changed from one relative to
+            // `old_lhs`/`old_v` to one relative to `new_lhs`/`new_v`. For
+            // `var` itself the pre-flip direction was the opposite of its
+            // current one.
+            for t in &c.terms {
+                let du: i32 = if self.assign[t.var] { -1 } else { 1 };
+                let old_du = if t.var == var { -du } else { du };
+                let old_contrib = violation_of(c.rel, old_lhs + old_du * t.coef, c.rhs) - old_v;
+                let new_contrib = violation_of(c.rel, new_lhs + du * t.coef, c.rhs) - new_v;
+                self.vdelta[t.var] += i64::from(new_contrib) - i64::from(old_contrib);
+            }
         }
-        debug_assert_eq!(self.objective, self.model.objective_value(&self.assign));
         self.last_flip[var] = flip_no;
+        self.paranoid_audit();
     }
+
+    /// Full recomputation of the incremental state, compiled in only under
+    /// the `wsat-paranoid` feature (it makes every flip O(model size),
+    /// turning debug test runs quadratic).
+    #[cfg(feature = "wsat-paranoid")]
+    fn paranoid_audit(&self) {
+        assert_eq!(self.objective, self.model.objective_value(&self.assign));
+        assert_eq!(
+            self.total_violation,
+            Model::total_violation(self.model, &self.assign)
+        );
+        for var in 0..self.model.num_vars {
+            let dir: i32 = if self.assign[var] { -1 } else { 1 };
+            let mut delta = 0i64;
+            for &(ci, coef) in &self.occurs[var] {
+                let c = &self.model.constraints[ci];
+                let old = violation_of(c.rel, self.lhs[ci], c.rhs);
+                let new = violation_of(c.rel, self.lhs[ci] + dir * coef, c.rhs);
+                delta += i64::from(new - old);
+            }
+            assert_eq!(self.vdelta[var], delta, "stale vdelta for x{var}");
+        }
+    }
+
+    #[cfg(not(feature = "wsat-paranoid"))]
+    #[inline]
+    fn paranoid_audit(&self) {}
 }
 
-/// Solves `model`, returning the best assignment found within the
-/// configured search budget.
-pub fn solve(model: &Model, cfg: &WsatConfig) -> WsatResult {
-    let mut occurs: Vec<Vec<(usize, i32)>> = vec![Vec::new(); model.num_vars];
-    for (ci, c) in model.constraints.iter().enumerate() {
-        for t in &c.terms {
-            occurs[t.var].push((ci, t.coef));
+/// The best assignment one try found, plus its flip count.
+struct TryOutcome {
+    violation: i64,
+    objective: i64,
+    assignment: Vec<bool>,
+    flips: u64,
+}
+
+/// `true` when an outcome cannot be improved upon: feasible, and the
+/// objective (if any) has provably reached its upper bound.
+fn is_perfect(outcome: &TryOutcome, model: &Model, cfg: &WsatConfig) -> bool {
+    outcome.violation == 0
+        && (model.objective.is_empty()
+            || cfg.objective_target.is_some_and(|t| outcome.objective >= t))
+}
+
+/// Runs one independent restart. The trajectory depends only on
+/// `(model, cfg, try_no)` — never on other tries or the thread it runs on.
+fn run_try(model: &Model, problem: &Problem, cfg: &WsatConfig, try_no: usize) -> TryOutcome {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ mix64(try_no as u64));
+    // First try starts all-false (often near-feasible for ≤ constraints);
+    // later tries are random.
+    let init: Vec<bool> = if try_no == 0 {
+        vec![false; model.num_vars]
+    } else {
+        (0..model.num_vars).map(|_| rng.random_bool(0.5)).collect()
+    };
+    let mut state = SearchState::new(model, problem, init);
+    let mut best = TryOutcome {
+        violation: state.total_violation,
+        objective: state.objective,
+        assignment: state.assign.clone(),
+        flips: 0,
+    };
+
+    let mut last_best_flip = 0u64;
+    let mut flips = 0u64;
+    while flips < cfg.max_flips as u64 {
+        // Early exit: nothing left to improve in this try.
+        if is_perfect(&best, model, cfg) {
+            break;
         }
-    }
-    let mut obj_coef = vec![0i64; model.num_vars];
-    for &Term { var, coef } in &model.objective {
-        obj_coef[var] += i64::from(coef);
-    }
-
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut best_assign = vec![false; model.num_vars];
-    let mut best_violation = Model::total_violation(model, &best_assign);
-    let mut best_objective = model.objective_value(&best_assign);
-    let mut total_flips = 0u64;
-
-    'tries: for try_no in 0..cfg.max_tries.max(1) {
-        // First try starts all-false (often near-feasible for ≤
-        // constraints); later tries are random.
-        let init: Vec<bool> = if try_no == 0 {
-            vec![false; model.num_vars]
+        flips += 1;
+        if cfg.stall > 0 && flips - last_best_flip > cfg.stall as u64 {
+            break; // stagnated
+        }
+        let var = if state.violated.is_empty() {
+            // Feasible: try to improve the objective. Stop if there is
+            // no objective to improve.
+            if model.objective.is_empty() {
+                flips -= 1;
+                break;
+            }
+            match pick_objective_move(&state, model, &mut rng) {
+                Some(v) => v,
+                None => {
+                    flips -= 1;
+                    break; // objective is at a local maximum
+                }
+            }
         } else {
-            (0..model.num_vars).map(|_| rng.random_bool(0.5)).collect()
+            let ci = state.violated[rng.random_range(0..state.violated.len())];
+            match pick_constraint_move(&state, ci, cfg, flips, best.violation, &mut rng) {
+                Some(v) => v,
+                None => continue,
+            }
         };
-        let mut state = SearchState::new(model, &occurs, &obj_coef, init);
-        consider_best(
-            &state,
-            &mut best_assign,
-            &mut best_violation,
-            &mut best_objective,
-        );
-
-        let mut last_best_flip = total_flips;
-        for _ in 0..cfg.max_flips {
-            total_flips += 1;
-            if cfg.stall > 0 && total_flips - last_best_flip > cfg.stall as u64 {
-                break; // stagnated: restart
-            }
-            let var = if state.violated.is_empty() {
-                // Feasible: try to improve the objective. Stop if there is
-                // no objective to improve.
-                if model.objective.is_empty() {
-                    break 'tries;
-                }
-                match pick_objective_move(&state, model, &mut rng) {
-                    Some(v) => v,
-                    None => break 'tries, // objective is at its maximum
-                }
-            } else {
-                let ci = state.violated[rng.random_range(0..state.violated.len())];
-                match pick_constraint_move(&state, ci, cfg, total_flips, best_violation, &mut rng) {
-                    Some(v) => v,
-                    None => continue,
-                }
-            };
-            state.flip(var, total_flips);
-            let improved = consider_best(
-                &state,
-                &mut best_assign,
-                &mut best_violation,
-                &mut best_objective,
-            );
-            if improved {
-                last_best_flip = total_flips;
-            }
+        state.flip(var, flips);
+        let better = state.total_violation < best.violation
+            || (state.total_violation == best.violation && state.objective > best.objective);
+        if better {
+            best.violation = state.total_violation;
+            best.objective = state.objective;
+            best.assignment.clone_from(&state.assign);
+            last_best_flip = flips;
         }
     }
+    best.flips = flips;
+    best
+}
 
+/// Runs tries `range` (sequentially or on a small worker pool) and returns
+/// their outcomes in try order.
+fn run_tries(
+    model: &Model,
+    problem: &Problem,
+    cfg: &WsatConfig,
+    range: Range<usize>,
+) -> Vec<TryOutcome> {
+    let tries: Vec<usize> = range.collect();
+    let threads = match cfg.threads {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+    .min(tries.len());
+    if threads <= 1 {
+        return tries
+            .iter()
+            .map(|&t| run_try(model, problem, cfg, t))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, TryOutcome)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let tries = &tries;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&t) = tries.get(i) else { break };
+                if tx.send((i, run_try(model, problem, cfg, t))).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<TryOutcome>> = tries.iter().map(|_| None).collect();
+    for (i, outcome) in rx {
+        slots[i] = Some(outcome);
+    }
+    slots
+        .into_iter()
+        .map(|o| o.expect("every try produced an outcome"))
+        .collect()
+}
+
+/// Deterministic reduction: best `(violation asc, objective desc, try_no
+/// asc)`; flips are summed over all tries that ran. Independent of the
+/// order tries finished in.
+fn reduce(outcomes: Vec<TryOutcome>) -> WsatResult {
+    let total_flips: u64 = outcomes.iter().map(|o| o.flips).sum();
+    let best = outcomes
+        .into_iter()
+        .reduce(|best, o| {
+            if o.violation < best.violation
+                || (o.violation == best.violation && o.objective > best.objective)
+            {
+                o
+            } else {
+                best
+            }
+        })
+        .expect("at least one try ran");
     WsatResult {
-        feasible: best_violation == 0,
-        violation: best_violation,
-        objective: best_objective,
-        assignment: best_assign,
+        feasible: best.violation == 0,
+        violation: best.violation,
+        objective: best.objective,
+        assignment: best.assignment,
         flips: total_flips,
     }
 }
 
-fn consider_best(
-    state: &SearchState<'_>,
-    best_assign: &mut Vec<bool>,
-    best_violation: &mut i64,
-    best_objective: &mut i64,
-) -> bool {
-    let better = state.total_violation < *best_violation
-        || (state.total_violation == *best_violation && state.objective > *best_objective);
-    if better {
-        *best_violation = state.total_violation;
-        *best_objective = state.objective;
-        best_assign.clone_from(&state.assign);
+/// Solves `model`, returning the best assignment found within the
+/// configured search budget. Results are identical for any
+/// [`WsatConfig::threads`] value.
+pub fn solve(model: &Model, cfg: &WsatConfig) -> WsatResult {
+    let problem = Problem::new(model);
+    let tries = cfg.max_tries.max(1);
+    // Try 0 always runs first: when it is already perfect the remaining
+    // tries are skipped — a deterministic gate (it depends only on try
+    // 0's own outcome), so the result is still thread-count-invariant.
+    let first = run_try(model, &problem, cfg, 0);
+    let skip_rest = is_perfect(&first, model, cfg);
+    let mut outcomes = vec![first];
+    if !skip_rest && tries > 1 {
+        outcomes.extend(run_tries(model, &problem, cfg, 1..tries));
     }
-    better
+    reduce(outcomes)
 }
 
 /// Chooses a variable from a violated constraint.
@@ -305,7 +496,7 @@ fn pick_constraint_move(
             continue;
         }
         // Score: violation first, objective as a tie-breaker.
-        let score = dv * 10_000 - state.objective_delta(var);
+        let score = dv * cfg.violation_weight - state.objective_delta(var);
         if score < best_score {
             best_score = score;
             best_var = Some(var);
@@ -340,6 +531,261 @@ fn pick_objective_move(state: &SearchState<'_>, model: &Model, rng: &mut StdRng)
         &harmless
     };
     Some(pool[rng.random_range(0..pool.len())])
+}
+
+/// The pre-overhaul sequential solver, kept verbatim as the `solvebench`
+/// baseline and as an independent implementation for differential tests.
+///
+/// Differences from [`solve`]: per-candidate `violation_delta` re-scans
+/// the occurrence lists (no cache), one RNG is threaded through the
+/// restarts sequentially, the aspiration/stall bookkeeping is global
+/// across tries, and there is no objective-target early exit and no
+/// parallelism. `violation_weight` is honoured so the scoring rule stays
+/// comparable; `threads` and `objective_target` are ignored.
+pub mod reference {
+    use super::{mix64, Problem, WsatConfig, WsatResult};
+    use crate::model::{violation_of, Model};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    struct RefState<'a> {
+        model: &'a Model,
+        assign: Vec<bool>,
+        lhs: Vec<i32>,
+        violated: Vec<usize>,
+        violated_pos: Vec<usize>,
+        occurs: &'a [Vec<(usize, i32)>],
+        obj_coef: &'a [i64],
+        last_flip: Vec<u64>,
+        total_violation: i64,
+        objective: i64,
+    }
+
+    impl<'a> RefState<'a> {
+        fn new(model: &'a Model, problem: &'a Problem, assign: Vec<bool>) -> RefState<'a> {
+            let mut state = RefState {
+                model,
+                lhs: vec![0; model.constraints.len()],
+                violated: Vec::new(),
+                violated_pos: vec![usize::MAX; model.constraints.len()],
+                occurs: &problem.occurs,
+                obj_coef: &problem.obj_coef,
+                last_flip: vec![0; model.num_vars],
+                total_violation: 0,
+                objective: 0,
+                assign,
+            };
+            for (ci, c) in model.constraints.iter().enumerate() {
+                let lhs = c.lhs(&state.assign);
+                state.lhs[ci] = lhs;
+                let v = violation_of(c.rel, lhs, c.rhs);
+                state.total_violation += i64::from(v);
+                if v > 0 {
+                    state.violated_pos[ci] = state.violated.len();
+                    state.violated.push(ci);
+                }
+            }
+            state.objective = model.objective_value(&state.assign);
+            state
+        }
+
+        /// The uncached per-candidate scan [`super::solve`] replaced.
+        fn violation_delta(&self, var: usize) -> i64 {
+            let dir: i32 = if self.assign[var] { -1 } else { 1 };
+            let mut delta = 0i64;
+            for &(ci, coef) in &self.occurs[var] {
+                let c = &self.model.constraints[ci];
+                let old = violation_of(c.rel, self.lhs[ci], c.rhs);
+                let new = violation_of(c.rel, self.lhs[ci] + dir * coef, c.rhs);
+                delta += i64::from(new - old);
+            }
+            delta
+        }
+
+        fn objective_delta(&self, var: usize) -> i64 {
+            if self.assign[var] {
+                -self.obj_coef[var]
+            } else {
+                self.obj_coef[var]
+            }
+        }
+
+        fn flip(&mut self, var: usize, flip_no: u64) {
+            let dir: i32 = if self.assign[var] { -1 } else { 1 };
+            self.objective += self.objective_delta(var);
+            self.assign[var] = !self.assign[var];
+            for &(ci, coef) in &self.occurs[var] {
+                let c = &self.model.constraints[ci];
+                let old_v = violation_of(c.rel, self.lhs[ci], c.rhs);
+                self.lhs[ci] += dir * coef;
+                let new_v = violation_of(c.rel, self.lhs[ci], c.rhs);
+                self.total_violation += i64::from(new_v - old_v);
+                if old_v == 0 && new_v > 0 {
+                    self.violated_pos[ci] = self.violated.len();
+                    self.violated.push(ci);
+                } else if old_v > 0 && new_v == 0 {
+                    let pos = self.violated_pos[ci];
+                    let last = *self.violated.last().expect("non-empty");
+                    self.violated.swap_remove(pos);
+                    if pos < self.violated.len() {
+                        self.violated_pos[last] = pos;
+                    }
+                    self.violated_pos[ci] = usize::MAX;
+                }
+            }
+            self.last_flip[var] = flip_no;
+        }
+    }
+
+    /// Sequential restarts, global best, uncached deltas — the pre-PR
+    /// `solve`. (The only change: the first-try RNG seed matches the new
+    /// per-try derivation so the two solvers explore comparable spaces.)
+    pub fn solve_reference(model: &Model, cfg: &WsatConfig) -> WsatResult {
+        let problem = Problem::new(model);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ mix64(0));
+        let mut best_assign = vec![false; model.num_vars];
+        let mut best_violation = Model::total_violation(model, &best_assign);
+        let mut best_objective = model.objective_value(&best_assign);
+        let mut total_flips = 0u64;
+
+        'tries: for try_no in 0..cfg.max_tries.max(1) {
+            let init: Vec<bool> = if try_no == 0 {
+                vec![false; model.num_vars]
+            } else {
+                (0..model.num_vars).map(|_| rng.random_bool(0.5)).collect()
+            };
+            let mut state = RefState::new(model, &problem, init);
+            consider_best(
+                &state,
+                &mut best_assign,
+                &mut best_violation,
+                &mut best_objective,
+            );
+
+            let mut last_best_flip = total_flips;
+            for _ in 0..cfg.max_flips {
+                total_flips += 1;
+                if cfg.stall > 0 && total_flips - last_best_flip > cfg.stall as u64 {
+                    break; // stagnated: restart
+                }
+                let var = if state.violated.is_empty() {
+                    if model.objective.is_empty() {
+                        break 'tries;
+                    }
+                    match pick_objective_move(&state, model, &mut rng) {
+                        Some(v) => v,
+                        None => break 'tries,
+                    }
+                } else {
+                    let ci = state.violated[rng.random_range(0..state.violated.len())];
+                    match pick_constraint_move(
+                        &state,
+                        ci,
+                        cfg,
+                        total_flips,
+                        best_violation,
+                        &mut rng,
+                    ) {
+                        Some(v) => v,
+                        None => continue,
+                    }
+                };
+                state.flip(var, total_flips);
+                let improved = consider_best(
+                    &state,
+                    &mut best_assign,
+                    &mut best_violation,
+                    &mut best_objective,
+                );
+                if improved {
+                    last_best_flip = total_flips;
+                }
+            }
+        }
+
+        WsatResult {
+            feasible: best_violation == 0,
+            violation: best_violation,
+            objective: best_objective,
+            assignment: best_assign,
+            flips: total_flips,
+        }
+    }
+
+    fn consider_best(
+        state: &RefState<'_>,
+        best_assign: &mut Vec<bool>,
+        best_violation: &mut i64,
+        best_objective: &mut i64,
+    ) -> bool {
+        let better = state.total_violation < *best_violation
+            || (state.total_violation == *best_violation && state.objective > *best_objective);
+        if better {
+            *best_violation = state.total_violation;
+            *best_objective = state.objective;
+            best_assign.clone_from(&state.assign);
+        }
+        better
+    }
+
+    fn pick_constraint_move(
+        state: &RefState<'_>,
+        ci: usize,
+        cfg: &WsatConfig,
+        flip_no: u64,
+        best_violation: i64,
+        rng: &mut StdRng,
+    ) -> Option<usize> {
+        let terms = &state.model.constraints[ci].terms;
+        if terms.is_empty() {
+            return None;
+        }
+        if rng.random_bool(cfg.noise) {
+            return Some(terms[rng.random_range(0..terms.len())].var);
+        }
+        let mut best_var = None;
+        let mut best_score = i64::MAX;
+        for t in terms {
+            let var = t.var;
+            let dv = state.violation_delta(var);
+            let reaches_new_best = state.total_violation + dv < best_violation;
+            let tabu_active = cfg.tabu > 0
+                && state.last_flip[var] != 0
+                && flip_no.saturating_sub(state.last_flip[var]) <= cfg.tabu as u64;
+            if tabu_active && !reaches_new_best {
+                continue;
+            }
+            let score = dv * cfg.violation_weight - state.objective_delta(var);
+            if score < best_score {
+                best_score = score;
+                best_var = Some(var);
+            }
+        }
+        best_var.or_else(|| Some(terms[rng.random_range(0..terms.len())].var))
+    }
+
+    fn pick_objective_move(state: &RefState<'_>, model: &Model, rng: &mut StdRng) -> Option<usize> {
+        let improving: Vec<usize> = model
+            .objective
+            .iter()
+            .map(|t| t.var)
+            .filter(|&v| state.objective_delta(v) > 0)
+            .collect();
+        if improving.is_empty() {
+            return None;
+        }
+        let harmless: Vec<usize> = improving
+            .iter()
+            .copied()
+            .filter(|&v| state.violation_delta(v) == 0)
+            .collect();
+        let pool = if harmless.is_empty() {
+            &improving
+        } else {
+            &harmless
+        };
+        Some(pool[rng.random_range(0..pool.len())])
+    }
 }
 
 #[cfg(test)]
@@ -414,6 +860,52 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_does_not_change_the_result() {
+        let mut m = Model::new(8);
+        m.add(Constraint::sum([0, 1, 2, 3], Relation::Eq, 2));
+        m.add(Constraint::sum([4, 5, 6, 7], Relation::Le, 1));
+        m.add(Constraint::sum([0, 4], Relation::Ge, 1));
+        m.maximize_sum([0, 1, 2, 3, 4, 5, 6, 7]);
+        let base = solve(
+            &m,
+            &WsatConfig {
+                threads: 1,
+                ..cfg()
+            },
+        );
+        for threads in [2, 3, 0] {
+            let r = solve(&m, &WsatConfig { threads, ..cfg() });
+            assert_eq!(r, base, "result changed at threads={threads}");
+        }
+    }
+
+    #[test]
+    fn objective_target_short_circuits() {
+        // The bound (2) is reachable: the solver must stop there with far
+        // fewer flips than the untargeted search.
+        let mut m = Model::new(4);
+        m.add(Constraint::sum([0, 1, 2, 3], Relation::Le, 2));
+        m.maximize_sum([0, 1, 2, 3]);
+        let capped = solve(
+            &m,
+            &WsatConfig {
+                objective_target: Some(2),
+                ..cfg()
+            },
+        );
+        assert!(capped.feasible);
+        assert_eq!(capped.objective, 2);
+        let uncapped = solve(&m, &cfg());
+        assert_eq!(uncapped.objective, 2);
+        assert!(
+            capped.flips < uncapped.flips,
+            "target {} vs untargeted {}",
+            capped.flips,
+            uncapped.flips
+        );
+    }
+
+    #[test]
     fn empty_model_is_feasible() {
         let m = Model::new(0);
         let r = solve(&m, &cfg());
@@ -440,5 +932,19 @@ mod tests {
         let r = solve(&m, &cfg());
         assert!(r.feasible, "{r:?}");
         assert_eq!(r.assignment, vec![true, true, true]);
+    }
+
+    #[test]
+    fn reference_solver_agrees_on_feasibility() {
+        let mut m = Model::new(6);
+        m.add(Constraint::sum([0, 1, 2], Relation::Eq, 1));
+        m.add(Constraint::sum([3, 4, 5], Relation::Eq, 2));
+        m.add(Constraint::sum([0, 3], Relation::Le, 1));
+        m.maximize_sum([0, 1, 2, 3, 4, 5]);
+        let new = solve(&m, &cfg());
+        let old = reference::solve_reference(&m, &cfg());
+        assert_eq!(new.feasible, old.feasible);
+        assert_eq!(new.violation, old.violation);
+        assert_eq!(new.objective, old.objective);
     }
 }

@@ -294,4 +294,53 @@ proptest! {
         prop_assert!(stochastic.feasible);
         prop_assert_eq!(stochastic.objective, objective);
     }
+
+    /// Parallel restarts are a pure scheduling change: 1, 2 and N worker
+    /// threads return byte-identical results (assignment, feasibility,
+    /// violation, objective *and* total flips) on random weighted models,
+    /// for arbitrary seeds, with and without an objective.
+    #[test]
+    fn parallel_restarts_equal_sequential(
+        mut model in arb_weighted_model(),
+        with_objective in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        if with_objective {
+            model.maximize_sum(0..model.num_vars);
+        }
+        let base = WsatConfig {
+            max_flips: 400,
+            max_tries: 5,
+            seed,
+            threads: 1,
+            ..WsatConfig::default()
+        };
+        let sequential = solve(&model, &base);
+        for threads in [2, 4, 0] {
+            let parallel = solve(&model, &WsatConfig { threads, ..base });
+            prop_assert_eq!(&sequential, &parallel, "threads = {}", threads);
+        }
+    }
+
+    /// The objective-target early exit never *changes* the answer when the
+    /// target is the true optimum — it only saves flips. (A looser bound
+    /// could stop at any feasible assignment reaching it; the relaxation
+    /// ladder always passes the exact relaxed optimum.)
+    #[test]
+    fn objective_target_preserves_optimum(model in arb_model()) {
+        let mut model = model;
+        model.maximize_sum(0..model.num_vars);
+        let BnbOutcome::Optimal { objective, .. } = solve_bnb(&model, 1_000_000) else {
+            return Ok(()); // infeasible models have no target to reach
+        };
+        let free = solve(&model, &WsatConfig { max_flips: 5_000, ..WsatConfig::default() });
+        let capped = solve(&model, &WsatConfig {
+            max_flips: 5_000,
+            objective_target: Some(objective),
+            ..WsatConfig::default()
+        });
+        prop_assert!(capped.feasible);
+        prop_assert_eq!(capped.objective, free.objective);
+        prop_assert!(capped.flips <= free.flips);
+    }
 }

@@ -7,14 +7,19 @@
 //! 5. And finally we update `P(R_i|R_{i-1},D_i,S_i)`. In the end we output
 //! the most likely assignment to R and C."
 
+use std::time::Instant;
+
 use tableseg_extract::{Observations, Segmentation};
 
 use crate::bootstrap;
-use crate::forward_backward::{build_chain, forward_backward, log_emissions};
-use crate::model::{evidence, Dims};
+use crate::forward_backward::{
+    build_chain, emissions_into, forward_backward, forward_backward_scaled, log_emissions,
+    refresh_chain, FbWorkspace,
+};
+use crate::model::{evidence, Dims, Evidence};
 use crate::params::Params;
-use crate::viterbi::viterbi;
-use crate::{ProbOptions, ProbOutcome};
+use crate::viterbi::{viterbi, viterbi_scaled};
+use crate::{EmTiming, ProbOptions, ProbOutcome};
 
 /// Runs bootstrapped EM and decodes the MAP segmentation.
 pub fn run(obs: &Observations, opts: &ProbOptions) -> ProbOutcome {
@@ -26,6 +31,7 @@ pub fn run(obs: &Observations, opts: &ProbOptions) -> ProbOutcome {
             log_likelihood: 0.0,
             iterations: 0,
             period: Vec::new(),
+            timing: EmTiming::default(),
         };
     }
 
@@ -39,31 +45,12 @@ pub fn run(obs: &Observations, opts: &ProbOptions) -> ProbOutcome {
     let pi0 = bootstrap::initial_period(&ev, k);
     let mut params = Params::uniform(k, pi0);
 
-    let mut prev_ll = f64::NEG_INFINITY;
-    let mut iterations = 0;
-    for it in 0..opts.max_iterations {
-        iterations = it + 1;
-        let chain = build_chain(dims, &params, opts);
-        let emits = log_emissions(&ev, &params, dims, opts);
-        let fb = forward_backward(&chain, &emits, &ev);
-        params.update(
-            &fb.counts.types,
-            &fb.counts.col,
-            &fb.counts.trans,
-            &fb.counts.end,
-            &fb.counts.cont,
-        );
-        if (fb.log_likelihood - prev_ll).abs() < opts.tolerance {
-            prev_ll = fb.log_likelihood;
-            break;
-        }
-        prev_ll = fb.log_likelihood;
-    }
-
-    // MAP decode with the final parameters.
-    let chain = build_chain(dims, &params, opts);
-    let emits = log_emissions(&ev, &params, dims, opts);
-    let path = viterbi(&chain, &emits);
+    let mut timing = EmTiming::default();
+    let (log_likelihood, iterations, path) = if opts.log_space {
+        run_log_space(&ev, dims, &mut params, opts, &mut timing)
+    } else {
+        run_scaled(&ev, dims, &mut params, opts, &mut timing)
+    };
 
     let mut assignments = Vec::with_capacity(ev.len());
     let mut columns = Vec::with_capacity(ev.len());
@@ -79,10 +66,105 @@ pub fn run(obs: &Observations, opts: &ProbOptions) -> ProbOutcome {
             assignments,
         },
         columns,
-        log_likelihood: prev_ll,
+        log_likelihood,
         iterations,
         period: params.pi.clone(),
+        timing,
     }
+}
+
+/// The production EM loop: the chain is built once and only its edge
+/// probabilities refresh each iteration, emissions/posteriors live in
+/// flat arenas reused across iterations, and inference runs in scaled
+/// linear space.
+fn run_scaled(
+    ev: &[Evidence],
+    dims: Dims,
+    params: &mut Params,
+    opts: &ProbOptions,
+    timing: &mut EmTiming,
+) -> (f64, usize, Vec<usize>) {
+    let mut ws = FbWorkspace::new();
+    let mut chain = build_chain(dims, params, opts);
+    let mut prev_ll = f64::NEG_INFINITY;
+    let mut iterations = 0;
+    for it in 0..opts.max_iterations {
+        iterations = it + 1;
+        let t = Instant::now();
+        emissions_into(ev, params, dims, opts, &mut ws);
+        let ll = forward_backward_scaled(&chain, &mut ws, ev);
+        timing.e_step_ns += t.elapsed().as_nanos() as u64;
+
+        let t = Instant::now();
+        params.update(
+            &ws.counts.types,
+            &ws.counts.col,
+            &ws.counts.trans,
+            &ws.counts.end,
+            &ws.counts.cont,
+        );
+        refresh_chain(&mut chain, params, opts);
+        timing.m_step_ns += t.elapsed().as_nanos() as u64;
+
+        if (ll - prev_ll).abs() < opts.tolerance {
+            prev_ll = ll;
+            break;
+        }
+        prev_ll = ll;
+    }
+
+    // MAP decode with the final parameters (the chain already carries
+    // them; only the emissions need a refresh).
+    let t = Instant::now();
+    emissions_into(ev, params, dims, opts, &mut ws);
+    let path = viterbi_scaled(&chain, &ws);
+    timing.viterbi_ns += t.elapsed().as_nanos() as u64;
+    (prev_ll, iterations, path)
+}
+
+/// The pre-overhaul log-space EM loop, kept verbatim (fresh chain and
+/// emission tables every iteration, per-cell `ln`/`exp` inference) as the
+/// differential oracle and `solvebench` baseline.
+fn run_log_space(
+    ev: &[Evidence],
+    dims: Dims,
+    params: &mut Params,
+    opts: &ProbOptions,
+    timing: &mut EmTiming,
+) -> (f64, usize, Vec<usize>) {
+    let mut prev_ll = f64::NEG_INFINITY;
+    let mut iterations = 0;
+    for it in 0..opts.max_iterations {
+        iterations = it + 1;
+        let t = Instant::now();
+        let chain = build_chain(dims, params, opts);
+        let emits = log_emissions(ev, params, dims, opts);
+        let fb = forward_backward(&chain, &emits, ev);
+        timing.e_step_ns += t.elapsed().as_nanos() as u64;
+
+        let t = Instant::now();
+        params.update(
+            &fb.counts.types,
+            &fb.counts.col,
+            &fb.counts.trans,
+            &fb.counts.end,
+            &fb.counts.cont,
+        );
+        timing.m_step_ns += t.elapsed().as_nanos() as u64;
+
+        if (fb.log_likelihood - prev_ll).abs() < opts.tolerance {
+            prev_ll = fb.log_likelihood;
+            break;
+        }
+        prev_ll = fb.log_likelihood;
+    }
+
+    let t = Instant::now();
+    let chain = build_chain(dims, params, opts);
+    let emits = log_emissions(ev, params, dims, opts);
+    let path = viterbi(&chain, &emits);
+    timing.viterbi_ns += t.elapsed().as_nanos() as u64;
+    (prev_ll, iterations, path)
 }
 
 #[cfg(test)]

@@ -35,24 +35,34 @@ pub enum EdgeKind {
     Fallback,
 }
 
-/// One outgoing edge: target state, log-probability, kind.
+/// One outgoing edge: target state, transition probability (both linear
+/// and log scale), kind.
 #[derive(Debug, Clone, Copy)]
 pub struct Edge {
     /// Target state index.
     pub to: usize,
-    /// Log transition probability.
+    /// Linear transition probability (used by the scaled pass).
+    pub p: f64,
+    /// Log transition probability (used by the log-space oracle).
     pub logp: f64,
     /// Edge kind.
     pub kind: EdgeKind,
 }
 
 /// The transition structure for one parameter setting.
+///
+/// The edge *topology* depends only on the dimensions and options (the
+/// M-step smoothing and hazard clamps keep every transition probability
+/// strictly positive), so a chain is built once per instance and only its
+/// probabilities are refreshed each EM iteration via [`refresh_chain`].
 #[derive(Debug, Clone)]
 pub struct Chain {
     /// State-space dimensions.
     pub dims: Dims,
     /// Initial log-distribution over states (record starts).
     pub init: Vec<f64>,
+    /// Initial linear distribution (exp of `init`).
+    pub init_linear: Vec<f64>,
     /// Outgoing edges per state.
     pub edges: Vec<Vec<Edge>>,
 }
@@ -87,6 +97,7 @@ pub fn build_chain(dims: Dims, params: &Params, opts: &ProbOptions) -> Chain {
             if p > 0.0 {
                 out.push(Edge {
                     to: dims.state(r, cp),
+                    p,
                     logp: p.ln(),
                     kind: EdgeKind::Continue {
                         from_c: c,
@@ -110,6 +121,7 @@ pub fn build_chain(dims: Dims, params: &Params, opts: &ProbOptions) -> Chain {
                 if p > 0.0 {
                     out.push(Edge {
                         to: dims.state(rp, 0),
+                        p,
                         logp: p.ln(),
                         kind: EdgeKind::NewRecord { from_c: c },
                     });
@@ -119,13 +131,53 @@ pub fn build_chain(dims: Dims, params: &Params, opts: &ProbOptions) -> Chain {
         // Escape hatch.
         out.push(Edge {
             to: s,
+            p: LOG_FALLBACK.exp(),
             logp: LOG_FALLBACK,
             kind: EdgeKind::Fallback,
         });
         edges.push(out);
     }
 
-    Chain { dims, init, edges }
+    let init_linear = init.iter().map(|&l| l.exp()).collect();
+    Chain {
+        dims,
+        init,
+        init_linear,
+        edges,
+    }
+}
+
+/// Recomputes edge probabilities in place for updated parameters, keeping
+/// the topology built by [`build_chain`]. The initial distribution depends
+/// only on the options, so it is untouched.
+pub fn refresh_chain(chain: &mut Chain, params: &Params, opts: &ProbOptions) {
+    let nk = chain.dims.num_records;
+    // Geometric skip weights 1, q, q², … normalized over the remaining
+    // records; precompute the normalizer for every source record.
+    let mut skip_total = vec![0.0f64; nk];
+    for (r, slot) in skip_total.iter_mut().enumerate() {
+        let mut g = 1.0;
+        for _ in r + 1..nk {
+            *slot += g;
+            g *= opts.skip_penalty;
+        }
+    }
+    for s in 0..chain.edges.len() {
+        let (r, c) = chain.dims.unpack(s);
+        let hz = params.hazard_for(c, opts.period_model);
+        for e in &mut chain.edges[s] {
+            let p = match e.kind {
+                EdgeKind::Continue { from_c, to_c } => (1.0 - hz) * params.trans[from_c][to_c],
+                EdgeKind::NewRecord { .. } => {
+                    let (rp, _) = chain.dims.unpack(e.to);
+                    hz * opts.skip_penalty.powi((rp - r - 1) as i32) / skip_total[r]
+                }
+                EdgeKind::Fallback => continue,
+            };
+            e.p = p;
+            e.logp = p.ln();
+        }
+    }
 }
 
 impl Params {
@@ -172,7 +224,7 @@ pub fn log_emissions(
 }
 
 /// Expected sufficient statistics from one E-step.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Counts {
     /// Expected extracts per column.
     pub col: Vec<f64>,
@@ -194,6 +246,24 @@ impl Counts {
             trans: vec![vec![0.0; k]; k],
             end: vec![0.0; k],
             cont: vec![0.0; k],
+        }
+    }
+
+    /// Re-zeros (and, on a column-count change, re-shapes) the tables in
+    /// place, reusing their allocations across EM iterations.
+    fn reset(&mut self, k: usize) {
+        if self.col.len() != k {
+            *self = Counts::zeros(k);
+            return;
+        }
+        self.col.fill(0.0);
+        self.end.fill(0.0);
+        self.cont.fill(0.0);
+        for row in &mut self.types {
+            row.fill(0.0);
+        }
+        for row in &mut self.trans {
+            row.fill(0.0);
         }
     }
 }
@@ -320,6 +390,247 @@ pub fn forward_backward(chain: &Chain, emits: &[Vec<f64>], evidence: &[Evidence]
         gamma,
         counts,
     }
+}
+
+/// Reusable flat arenas for the scaled forward–backward pass.
+///
+/// Every table is a contiguous row-major `Vec<f64>` with stride
+/// `num_states` (`table[i * ns + s]`), sized once per instance and reused
+/// across EM iterations — after the first iteration no table grows (see
+/// the arena regression test in `tests/fb_props.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct FbWorkspace {
+    /// Linear emissions, each row scaled so its maximum is 1.
+    pub emits: Vec<f64>,
+    /// `ln` of each row's scale factor (the pre-scaling row maximum).
+    pub emit_scale: Vec<f64>,
+    /// Scaled forward variables α̂.
+    pub alpha: Vec<f64>,
+    /// Scaled backward variables β̂.
+    pub beta: Vec<f64>,
+    /// State posteriors γ (linear, each row sums to 1).
+    pub gamma: Vec<f64>,
+    /// Per-step normalizers `c_i` (the forward row sums before scaling).
+    pub scale: Vec<f64>,
+    /// Expected counts for the M-step.
+    pub counts: Counts,
+    /// Scratch: per-column emission probabilities for one extract.
+    per_col: Vec<f64>,
+    /// Scratch: `b_{i+1}(s) · β̂_{i+1}(s) / c_{i+1}` during the backward
+    /// sweep.
+    tmp: Vec<f64>,
+}
+
+impl FbWorkspace {
+    /// An empty workspace; tables are sized on first use.
+    pub fn new() -> FbWorkspace {
+        FbWorkspace::default()
+    }
+
+    /// Sizes every table for `n` extracts, `ns` states and `k` columns,
+    /// reusing existing capacity.
+    pub fn prepare(&mut self, n: usize, ns: usize, k: usize) {
+        let cells = n * ns;
+        self.emits.clear();
+        self.emits.resize(cells, 0.0);
+        self.alpha.clear();
+        self.alpha.resize(cells, 0.0);
+        self.beta.clear();
+        self.beta.resize(cells, 0.0);
+        self.gamma.clear();
+        self.gamma.resize(cells, 0.0);
+        self.emit_scale.clear();
+        self.emit_scale.resize(n, 0.0);
+        self.scale.clear();
+        self.scale.resize(n, 1.0);
+        self.per_col.clear();
+        self.per_col.resize(k, 0.0);
+        self.tmp.clear();
+        self.tmp.resize(ns, 0.0);
+        self.counts.reset(k);
+    }
+
+    /// Total reserved capacity of the per-extract tables, in `f64` cells —
+    /// the regression-test observable for "the arena stops growing".
+    pub fn table_capacity(&self) -> usize {
+        self.emits.capacity()
+            + self.alpha.capacity()
+            + self.beta.capacity()
+            + self.gamma.capacity()
+            + self.emit_scale.capacity()
+            + self.scale.capacity()
+    }
+}
+
+/// Fills the workspace's emission arena with *linear* emissions
+/// `P(T_i | c) · P(D_i | r)`, each row scaled by its maximum (recorded as
+/// `emit_scale[i] = ln max`) so the scaled pass works near 1.0.
+pub fn emissions_into(
+    evidence: &[Evidence],
+    params: &Params,
+    dims: Dims,
+    opts: &ProbOptions,
+    ws: &mut FbWorkspace,
+) {
+    let ns = dims.num_states();
+    let k = dims.num_columns;
+    ws.prepare(evidence.len(), ns, k);
+    for (i, ev) in evidence.iter().enumerate() {
+        let feats = ev.features();
+        for c in 0..k {
+            ws.per_col[c] = params.emission(c, &feats);
+        }
+        let inv_pages = 1.0 / ev.pages.len().max(1) as f64;
+        let row = &mut ws.emits[i * ns..(i + 1) * ns];
+        let mut max = 0.0f64;
+        for (s, slot) in row.iter_mut().enumerate() {
+            let (r, c) = dims.unpack(s);
+            let d = if ev.on_page(r) {
+                inv_pages
+            } else {
+                opts.epsilon
+            };
+            let v = ws.per_col[c] * d;
+            *slot = v;
+            if v > max {
+                max = v;
+            }
+        }
+        if max > 0.0 {
+            for slot in row.iter_mut() {
+                *slot /= max;
+            }
+            ws.emit_scale[i] = max.ln();
+        } else {
+            ws.emit_scale[i] = 0.0;
+        }
+    }
+}
+
+/// The scaled linear-space forward–backward pass (Rabiner scaling): the
+/// same posteriors and expected counts as [`forward_backward`] without a
+/// single `ln`/`exp` per cell; the log-likelihood is recovered from the
+/// per-step normalizers and the emission row scales,
+/// `ll = Σᵢ ln cᵢ + Σᵢ emit_scale[i]`.
+///
+/// Expects [`emissions_into`] to have filled `ws` for this evidence.
+/// Posteriors land in `ws.gamma`, expected counts in `ws.counts`; returns
+/// the log-likelihood.
+pub fn forward_backward_scaled(chain: &Chain, ws: &mut FbWorkspace, evidence: &[Evidence]) -> f64 {
+    let n = evidence.len();
+    let ns = chain.dims.num_states();
+    let k = chain.dims.num_columns;
+    debug_assert_eq!(ws.emits.len(), n * ns, "emissions_into must run first");
+    if n == 0 {
+        ws.counts.reset(k);
+        return 0.0;
+    }
+
+    // Forward.
+    for s in 0..ns {
+        ws.alpha[s] = chain.init_linear[s] * ws.emits[s];
+    }
+    normalize_step(&mut ws.alpha[..ns], &mut ws.scale[0]);
+    for i in 1..n {
+        let (prev_rows, cur_rows) = ws.alpha.split_at_mut(i * ns);
+        let prev = &prev_rows[(i - 1) * ns..];
+        let cur = &mut cur_rows[..ns];
+        cur.fill(0.0);
+        for (s, out) in chain.edges.iter().enumerate() {
+            let a = prev[s];
+            if a == 0.0 {
+                continue;
+            }
+            for e in out {
+                cur[e.to] += a * e.p;
+            }
+        }
+        let emit_row = &ws.emits[i * ns..(i + 1) * ns];
+        for (slot, &em) in cur.iter_mut().zip(emit_row) {
+            *slot *= em;
+        }
+        normalize_step(cur, &mut ws.scale[i]);
+    }
+    let log_likelihood: f64 =
+        ws.scale.iter().map(|c| c.ln()).sum::<f64>() + ws.emit_scale.iter().sum::<f64>();
+
+    // Backward sweep with edge-posterior accumulation: at step i we have
+    // tmp[t] = b_{i+1}(t) · β̂_{i+1}(t) / c_{i+1}, giving both
+    // β̂_i(s) = Σ_e p_e · tmp[e.to] and ξ_i(s, e.to) = α̂_i(s) · p_e · tmp[e.to].
+    ws.counts.reset(k);
+    ws.beta[(n - 1) * ns..].fill(1.0);
+    for i in (0..n - 1).rev() {
+        let inv_c = 1.0 / ws.scale[i + 1];
+        for t in 0..ns {
+            ws.tmp[t] = ws.emits[(i + 1) * ns + t] * ws.beta[(i + 1) * ns + t] * inv_c;
+        }
+        for (s, out) in chain.edges.iter().enumerate() {
+            let mut b = 0.0;
+            for e in out {
+                b += e.p * ws.tmp[e.to];
+            }
+            ws.beta[i * ns + s] = b;
+            let a = ws.alpha[i * ns + s];
+            if a == 0.0 {
+                continue;
+            }
+            for e in out {
+                let xi = a * e.p * ws.tmp[e.to];
+                if xi <= 0.0 {
+                    continue;
+                }
+                match e.kind {
+                    EdgeKind::Continue { from_c, to_c } => {
+                        ws.counts.trans[from_c][to_c] += xi;
+                        ws.counts.cont[from_c] += xi;
+                    }
+                    EdgeKind::NewRecord { from_c } => {
+                        ws.counts.end[from_c] += xi;
+                    }
+                    EdgeKind::Fallback => {}
+                }
+            }
+        }
+    }
+
+    // Posteriors and node counts: γ_i(s) = α̂_i(s) · β̂_i(s) already sums
+    // to 1 per row under this scaling.
+    for (i, ev) in evidence.iter().enumerate() {
+        let feats = ev.features();
+        for s in 0..ns {
+            let g = ws.alpha[i * ns + s] * ws.beta[i * ns + s];
+            ws.gamma[i * ns + s] = g;
+            if g > 0.0 {
+                let (_, c) = chain.dims.unpack(s);
+                ws.counts.col[c] += g;
+                for (t, &on) in feats.iter().enumerate() {
+                    if on {
+                        ws.counts.types[c][t] += g;
+                    }
+                }
+            }
+        }
+    }
+    // The last extract ends its record at its column.
+    for s in 0..ns {
+        let (_, c) = chain.dims.unpack(s);
+        ws.counts.end[c] += ws.gamma[(n - 1) * ns + s];
+    }
+
+    log_likelihood
+}
+
+/// Divides one α row by its sum, recording the sum as that step's
+/// normalizer. A zero row (impossible while the fallback edge exists)
+/// normalizes by 1 to keep the pass finite.
+#[inline]
+fn normalize_step(row: &mut [f64], scale: &mut f64) {
+    let c: f64 = row.iter().sum();
+    let c = if c > 0.0 { c } else { 1.0 };
+    for x in row.iter_mut() {
+        *x /= c;
+    }
+    *scale = c;
 }
 
 /// `ln(e^a + e^b)` with care for negative infinity.

@@ -58,6 +58,11 @@ pub struct ProbOptions {
     /// Disable the hierarchical period model π (Figure 2 instead of
     /// Figure 3); used by the ablation experiments.
     pub period_model: bool,
+    /// Run EM with the original per-cell log-space forward–backward pass
+    /// instead of the scaled linear-space one. Slower; kept as the
+    /// differential oracle for the scaled implementation and as the
+    /// `solvebench` baseline.
+    pub log_space: bool,
 }
 
 impl Default for ProbOptions {
@@ -68,8 +73,22 @@ impl Default for ProbOptions {
             epsilon: 1e-6,
             skip_penalty: 0.1,
             period_model: true,
+            log_space: false,
         }
     }
+}
+
+/// Wall-clock nanoseconds spent in the EM sub-stages of one run, fed into
+/// the timing registry as `solve.em.e_step`, `solve.em.m_step` and
+/// `solve.viterbi`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EmTiming {
+    /// Emissions + forward–backward, summed over iterations.
+    pub e_step_ns: u64,
+    /// Parameter updates + chain refreshes, summed over iterations.
+    pub m_step_ns: u64,
+    /// Final MAP decode (including its emission refresh).
+    pub viterbi_ns: u64,
 }
 
 /// The result of the probabilistic approach on one list page.
@@ -87,6 +106,8 @@ pub struct ProbOutcome {
     pub iterations: usize,
     /// The learned record-period distribution π (index 0 = length 1).
     pub period: Vec<f64>,
+    /// Wall-clock nanoseconds per EM sub-stage.
+    pub timing: EmTiming,
 }
 
 /// Runs the probabilistic approach of Section 5 on an observation table.

@@ -1,7 +1,7 @@
 //! MAP decoding: "In the end we output the most likely assignment to R
 //! and C" (Section 5.2.3).
 
-use crate::forward_backward::Chain;
+use crate::forward_backward::{Chain, FbWorkspace};
 
 /// The most likely state path through the chain given log emissions.
 /// Returns one state index per extract. Empty input yields an empty path.
@@ -52,6 +52,65 @@ pub fn viterbi(chain: &Chain, emits: &[Vec<f64>]) -> Vec<usize> {
     path[n - 1] = best_s;
     for i in (1..n).rev() {
         let prev = back[i][path[i]];
+        debug_assert_ne!(prev, usize::MAX, "broken backpointer at {i}");
+        path[i - 1] = prev;
+    }
+    path
+}
+
+/// [`viterbi`] over the scaled linear emission arena of an
+/// [`FbWorkspace`]. The per-row scaling shifts every path's score by the
+/// same `Σᵢ ln maxᵢ`, so the argmax path is unchanged.
+pub fn viterbi_scaled(chain: &Chain, ws: &FbWorkspace) -> Vec<usize> {
+    let ns = chain.dims.num_states();
+    if ns == 0 || ws.emits.is_empty() {
+        return Vec::new();
+    }
+    let n = ws.emits.len() / ns;
+
+    let mut row_log = vec![0.0f64; ns];
+    for (t, slot) in row_log.iter_mut().enumerate() {
+        *slot = ws.emits[t].ln();
+    }
+    let mut delta: Vec<f64> = (0..ns).map(|s| chain.init[s] + row_log[s]).collect();
+    // back[i * ns + s] = predecessor state of s at step i.
+    let mut back = vec![usize::MAX; n * ns];
+    let mut next = vec![f64::NEG_INFINITY; ns];
+
+    for i in 1..n {
+        for (t, slot) in row_log.iter_mut().enumerate() {
+            *slot = ws.emits[i * ns + t].ln();
+        }
+        next.fill(f64::NEG_INFINITY);
+        for (s, out) in chain.edges.iter().enumerate() {
+            let d = delta[s];
+            if d == f64::NEG_INFINITY {
+                continue;
+            }
+            for e in out {
+                let v = d + e.logp + row_log[e.to];
+                if v > next[e.to] {
+                    next[e.to] = v;
+                    back[i * ns + e.to] = s;
+                }
+            }
+        }
+        std::mem::swap(&mut delta, &mut next);
+    }
+
+    let mut best_s = 0;
+    let mut best = f64::NEG_INFINITY;
+    for (s, &d) in delta.iter().enumerate() {
+        if d > best {
+            best = d;
+            best_s = s;
+        }
+    }
+
+    let mut path = vec![0usize; n];
+    path[n - 1] = best_s;
+    for i in (1..n).rev() {
+        let prev = back[i * ns + path[i]];
         debug_assert_ne!(prev, usize::MAX, "broken backpointer at {i}");
         path[i - 1] = prev;
     }

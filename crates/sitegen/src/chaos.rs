@@ -427,11 +427,7 @@ fn encoding_damage(html: &mut String, mut spans: Option<&mut Vec<RecordSpan>>, r
 /// tag. Attribute values in generated pages never contain spaces, so
 /// splitting on whitespace is exact; on foreign pages a quoted space would
 /// merely make the shuffle a different (still well-formed) corruption.
-fn shuffle_attributes(
-    html: &mut String,
-    spans: Option<&mut Vec<RecordSpan>>,
-    rng: &mut StdRng,
-) {
+fn shuffle_attributes(html: &mut String, spans: Option<&mut Vec<RecordSpan>>, rng: &mut StdRng) {
     // Find tags of the form `<name attr1 attr2 ...>` with ≥ 2 attributes.
     let mut candidates: Vec<(usize, usize)> = Vec::new();
     let mut at = 0;
