@@ -11,7 +11,7 @@
 //!   (a repeated row template) or an optional; if neither explains the
 //!   mismatch the induction **fails** — the union-free limitation the
 //!   paper exploits in its Section 6.3 comparison ("alternate
-//!   [formatting] instructions are syntactically equivalent to
+//!   \[formatting\] instructions are syntactically equivalent to
 //!   disjunctions, which are disallowed by union-free grammars").
 
 use tableseg_html::lexer::{is_closing, tag_name, tokenize};

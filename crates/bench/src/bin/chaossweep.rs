@@ -21,11 +21,17 @@
 //! * `--out PATH` — where to write the JSON (default
 //!   `BENCH_robustness.json`);
 //! * `--skip-golden` — skip the rate-0 golden comparison (for runs
-//!   outside the repository checkout).
+//!   outside the repository checkout);
+//! * `--manifest PATH` — enable the observability layer and write a
+//!   sweep-wide manifest (metrics and robustness rollup merged over all
+//!   rates and seeds; one `rate#R` span subtree per swept rate);
+//! * `--help` — this text.
 
 use std::process::ExitCode;
 
 use tableseg::batch;
+use tableseg::obs;
+use tableseg::robustness::RobustnessReport;
 use tableseg::timing::Stage;
 use tableseg_bench::{run_sites_robust, table4_report, RobustBatchOutcome};
 use tableseg_eval::metrics::Metrics;
@@ -39,11 +45,18 @@ const RATES: [f64; 6] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
 /// Base chaos seed; seed `i` of `--seeds N` is `BASE_SEED + i`.
 const BASE_SEED: u64 = 0xC0DE;
 
+fn usage() {
+    eprintln!(
+        "usage: chaossweep [--threads N] [--seeds N] [--out PATH] [--skip-golden] [--manifest PATH]"
+    );
+}
+
 fn main() -> ExitCode {
     let mut threads = batch::default_threads();
     let mut seeds = 1usize;
     let mut out_path = String::from("BENCH_robustness.json");
     let mut check_golden = true;
+    let mut manifest_path: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -69,13 +82,26 @@ fn main() -> ExitCode {
                 out_path = path;
             }
             "--skip-golden" => check_golden = false,
+            "--manifest" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--manifest needs an output path");
+                    return ExitCode::FAILURE;
+                };
+                manifest_path = Some(path);
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
             other => {
-                eprintln!(
-                    "unknown flag {other} (try --threads N, --seeds N, --out PATH, --skip-golden)"
-                );
+                eprintln!("unknown flag {other}");
+                usage();
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if manifest_path.is_some() {
+        obs::set_enabled(true);
     }
 
     let specs = paper_sites::all();
@@ -84,6 +110,14 @@ fn main() -> ExitCode {
         RATES.len(),
         specs.len()
     );
+
+    // Sweep-wide observability rollup: metrics and robustness merged over
+    // every rate and seed, one `rate#R` span subtree per swept rate. The
+    // merge ignores the ambient enable flag, so this stays a cheap no-op
+    // when `--manifest` was not given.
+    let mut sweep_metrics = obs::Recorder::default();
+    let mut sweep_report = RobustnessReport::new();
+    let mut sweep_root = obs::SpanNode::new(obs::SpanKind::Run, "run", 0);
 
     let mut rate_rows: Vec<String> = Vec::new();
     for rate in RATES {
@@ -105,11 +139,21 @@ fn main() -> ExitCode {
                     for (label, times) in outcome.timing.rows() {
                         acc.timing.record(&label, &times);
                     }
+                    acc.metrics.merge(&outcome.metrics);
+                    acc.spans.nanos += outcome.spans.nanos;
+                    acc.spans.children.extend(outcome.spans.children);
                     acc
                 }
             });
         }
         let outcome = merged.expect("at least one seed ran");
+
+        sweep_metrics.merge(&outcome.metrics);
+        sweep_report.merge(&outcome.report);
+        let mut rate_span = outcome.spans.clone();
+        rate_span.name = format!("rate#{rate:.1}");
+        sweep_root.nanos += rate_span.nanos;
+        sweep_root.push(rate_span);
 
         if rate == 0.0 {
             // Honesty check 1: the chaos wrapper at rate 0 is the
@@ -186,6 +230,33 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("written to {out_path}");
+
+    if let Some(path) = manifest_path {
+        let mut manifest = obs::Manifest::new("chaossweep")
+            .with_config("sites", specs.len())
+            .with_config("seeds", seeds)
+            .with_config("rates", RATES.map(|r| format!("{r:.1}")).join(","));
+        manifest.seeds = (0..seeds).map(|s| BASE_SEED + s as u64).collect();
+        manifest.metrics = sweep_metrics;
+        manifest.robustness = Some(sweep_report.rollup());
+        manifest.root = {
+            sweep_root.name = "chaossweep".to_string();
+            sweep_root
+        };
+        manifest.volatile.threads = threads;
+        let redact = obs::deterministic_requested();
+        match manifest.write_files(std::path::Path::new(&path), redact) {
+            Ok(written) => {
+                for p in &written {
+                    eprintln!("manifest: wrote {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot write manifest {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 

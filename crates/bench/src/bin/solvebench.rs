@@ -16,20 +16,31 @@
 //!   (default: available parallelism);
 //! * `--out PATH` — where to write the JSON (default `BENCH_solver.json`);
 //! * `--skip-golden` — skip the golden Table 4 comparison (for runs
-//!   outside the repository checkout).
+//!   outside the repository checkout);
+//! * `--manifest PATH` — enable the observability layer and write the
+//!   batch run's manifest (summary JSON plus `.jsonl`/`.prom` sidecars);
+//! * `--help` — this text.
 
 use std::process::ExitCode;
 
 use tableseg::batch;
+use tableseg::obs;
 use tableseg::timing::Stage;
 use tableseg_bench::{run_sites, solvebench, table4_report};
 use tableseg_sitegen::paper_sites;
+
+fn usage() {
+    eprintln!(
+        "usage: solvebench [--iters N] [--threads N] [--out PATH] [--skip-golden] [--manifest PATH]"
+    );
+}
 
 fn main() -> ExitCode {
     let mut iters = 3usize;
     let mut threads = batch::default_threads();
     let mut out_path = String::from("BENCH_solver.json");
     let mut check_golden = true;
+    let mut manifest_path: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -55,13 +66,26 @@ fn main() -> ExitCode {
                 out_path = path;
             }
             "--skip-golden" => check_golden = false,
+            "--manifest" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--manifest needs an output path");
+                    return ExitCode::FAILURE;
+                };
+                manifest_path = Some(path);
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
             other => {
-                eprintln!(
-                    "unknown flag {other} (try --iters N, --threads N, --out PATH, --skip-golden)"
-                );
+                eprintln!("unknown flag {other}");
+                usage();
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if manifest_path.is_some() {
+        obs::set_enabled(true);
     }
 
     // A full batch run: feeds the per-stage totals and proves the
@@ -86,6 +110,25 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("cannot read {}: {e}", golden_path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = &manifest_path {
+        let manifest = outcome
+            .manifest("solvebench", threads)
+            .with_config("iters", iters)
+            .with_config("sites", specs.len());
+        let redact = obs::deterministic_requested();
+        match manifest.write_files(std::path::Path::new(path), redact) {
+            Ok(written) => {
+                for p in &written {
+                    eprintln!("manifest: wrote {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot write manifest {path}: {e}");
                 return ExitCode::FAILURE;
             }
         }

@@ -18,19 +18,31 @@
 //! * `--bench-json PATH` — additionally run the naive-vs-indexed matcher
 //!   microbenchmark over the corpus and write `BENCH_frontend.json`-style
 //!   output (corpus shape, wall-clock per path, speedup, per-stage
-//!   totals) to PATH.
+//!   totals) to PATH;
+//! * `--manifest PATH` — enable the observability layer and write the run
+//!   manifest (summary JSON at PATH, plus `.jsonl` event-log and `.prom`
+//!   Prometheus sidecars; see OBSERVABILITY.md);
+//! * `--help` — this text.
 
 use std::process::ExitCode;
 
 use tableseg::batch;
+use tableseg::obs;
 use tableseg::timing::Stage;
 use tableseg_bench::{matchbench, run_sites, table4_report};
 use tableseg_sitegen::paper_sites;
+
+fn usage() {
+    eprintln!(
+        "usage: table4 [--clean-only] [--threads N] [--rt] [--bench-json PATH] [--manifest PATH]"
+    );
+}
 
 fn main() -> ExitCode {
     let mut clean_only = false;
     let mut rt = false;
     let mut bench_json: Option<String> = None;
+    let mut manifest_path: Option<String> = None;
     let mut threads = batch::default_threads();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -44,6 +56,13 @@ fn main() -> ExitCode {
                 };
                 bench_json = Some(path);
             }
+            "--manifest" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--manifest needs an output path");
+                    return ExitCode::FAILURE;
+                };
+                manifest_path = Some(path);
+            }
             "--threads" => {
                 let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
                     eprintln!("--threads needs a positive number");
@@ -51,13 +70,19 @@ fn main() -> ExitCode {
                 };
                 threads = n;
             }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
             other => {
-                eprintln!(
-                    "unknown flag {other} (try --clean-only, --threads N, --rt, --bench-json PATH)"
-                );
+                eprintln!("unknown flag {other}");
+                usage();
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if manifest_path.is_some() {
+        obs::set_enabled(true);
     }
 
     let specs = paper_sites::all();
@@ -73,6 +98,25 @@ fn main() -> ExitCode {
         eprint!("{}", outcome.timing.render());
         eprintln!("\nRT: solve split by method and EM phase\n");
         eprint!("{}", outcome.timing.render_solve_split());
+    }
+
+    if let Some(path) = manifest_path {
+        let manifest = outcome
+            .manifest("table4", threads)
+            .with_config("clean_only", clean_only)
+            .with_config("sites", specs.len());
+        let redact = obs::deterministic_requested();
+        match manifest.write_files(std::path::Path::new(&path), redact) {
+            Ok(written) => {
+                for p in &written {
+                    eprintln!("manifest: wrote {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot write manifest {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     if let Some(path) = bench_json {

@@ -20,6 +20,7 @@ pub mod solvebench;
 
 use std::ops::Range;
 
+use tableseg::obs::{Counter, Manifest, Recorder, SpanKind, SpanNode};
 use tableseg::outcome::PageOutcome;
 use tableseg::robustness::RobustnessReport;
 use tableseg::timing::{self, Stage, StageTimes};
@@ -99,7 +100,11 @@ pub fn prepare_page_cached(ps: &PreparedSite, page: usize) -> PreparedPage {
         .iter()
         .map(String::as_str)
         .collect();
-    prepare_with_template(&ps.template, page, &details)
+    let mut prepared = prepare_with_template(&ps.template, page, &details);
+    // This page was served by the cached site template instead of a
+    // fresh induction — the cache-hit counter of the obs layer.
+    prepared.metrics.incr(Counter::TemplateCacheHits);
+    prepared
 }
 
 /// Prepares one page of a generated site for segmentation (one-shot:
@@ -141,19 +146,19 @@ pub fn evaluate_segmenter(
     prepared: &PreparedPage,
     segmenter: &dyn Segmenter,
 ) -> (PageCounts, bool) {
-    let (counts, relaxed, _) = evaluate_segmenter_timed(site, page, prepared, segmenter);
+    let (counts, relaxed, _, _) = evaluate_segmenter_timed(site, page, prepared, segmenter);
     (counts, relaxed)
 }
 
 /// Like [`evaluate_segmenter`], also returning the wall-clock time of the
 /// solve (segmentation) and decode (truth alignment + classification)
-/// stages.
+/// stages plus the solver's observability metrics.
 pub fn evaluate_segmenter_timed(
     site: &GeneratedSite,
     page: usize,
     prepared: &PreparedPage,
     segmenter: &dyn Segmenter,
-) -> (PageCounts, bool, StageTimes) {
+) -> (PageCounts, bool, StageTimes, Recorder) {
     let mut times = StageTimes::new();
     let outcome = times.time(Stage::Solve, || segmenter.segment(&prepared.observations));
     times.merge(&outcome.solver_times);
@@ -162,7 +167,7 @@ pub fn evaluate_segmenter_timed(
         let groups = outcome.segmentation.records();
         classify(&groups, &truth, site.pages[page].truth.len())
     });
-    (counts, outcome.relaxed, times)
+    (counts, outcome.relaxed, times, outcome.metrics)
 }
 
 /// The result of a batch run: page runs in `(site, page)` order plus the
@@ -173,6 +178,26 @@ pub struct BatchOutcome {
     pub runs: Vec<PageRun>,
     /// Per-site wall-clock time per pipeline stage.
     pub timing: timing::Registry,
+    /// Merged observability metrics (empty unless
+    /// [`tableseg::obs::set_enabled`] is on), merged in `(site, page,
+    /// segmenter)` order so totals are thread-count-invariant.
+    pub metrics: Recorder,
+    /// The `run > site > page > stage > substage` span tree, assembled
+    /// in corpus order from the same [`StageTimes`] the registry holds.
+    pub spans: SpanNode,
+}
+
+impl BatchOutcome {
+    /// Bundles the run into a manifest for `tool`. The caller adds its
+    /// config pairs and seeds before writing.
+    pub fn manifest(&self, tool: &str, threads: usize) -> Manifest {
+        let mut m = Manifest::new(tool);
+        m.metrics = self.metrics.clone();
+        m.root = self.spans.clone();
+        m.root.name = tool.to_string();
+        m.volatile.threads = threads;
+        m
+    }
 }
 
 /// Runs the default probabilistic and CSP segmenters over every list page
@@ -226,24 +251,53 @@ pub fn run_sites_with(
     let eval_jobs: Vec<(usize, usize)> = (0..page_jobs.len())
         .flat_map(|pj| [(pj, 0), (pj, 1)])
         .collect();
-    let evaluated: Vec<(PageCounts, bool, StageTimes)> =
+    let evaluated: Vec<(PageCounts, bool, StageTimes, Recorder)> =
         batch::execute(threads, eval_jobs, |_, (pj, seg)| {
             let (si, page) = page_jobs[pj];
             evaluate_segmenter_timed(&sites[si].site, page, &prepared[pj], segmenters[seg])
         });
 
-    // Assemble runs and the timing registry in deterministic site order.
+    // Assemble runs, the timing registry, the merged metrics and the
+    // span tree in deterministic site order — per-job data merged here,
+    // in job order, is what keeps every output thread-count-invariant.
     let registry = timing::Registry::new();
+    let mut metrics = Recorder::new();
+    let mut root = SpanNode::new(SpanKind::Run, "run", 0);
     let mut runs = Vec::with_capacity(page_jobs.len());
     for (si, ps) in sites.iter().enumerate() {
         let mut site_times = ps.template.timings;
+        metrics.merge(&ps.template.metrics);
+        let mut site_span = SpanNode::new(
+            SpanKind::Site,
+            ps.spec.name.clone(),
+            ps.template.timings.total().as_nanos(),
+        );
+        for span in timing::stage_spans(&ps.template.timings) {
+            site_span.push(span);
+        }
         for page in 0..ps.site.pages.len() {
             let pj = offsets[si] + page;
             site_times.merge(&prepared[pj].timings);
-            let (prob_counts, _, prob_times) = &evaluated[2 * pj];
-            let (csp_counts, csp_relaxed, csp_times) = &evaluated[2 * pj + 1];
+            metrics.merge(&prepared[pj].metrics);
+            let (prob_counts, _, prob_times, prob_metrics) = &evaluated[2 * pj];
+            let (csp_counts, csp_relaxed, csp_times, csp_metrics) = &evaluated[2 * pj + 1];
             site_times.merge(prob_times);
             site_times.merge(csp_times);
+            metrics.merge(prob_metrics);
+            metrics.merge(csp_metrics);
+            let mut page_times = prepared[pj].timings;
+            page_times.merge(prob_times);
+            page_times.merge(csp_times);
+            let mut page_span = SpanNode::new(
+                SpanKind::Page,
+                format!("page#{page}"),
+                page_times.total().as_nanos(),
+            );
+            for span in timing::stage_spans(&page_times) {
+                page_span.push(span);
+            }
+            site_span.nanos += page_span.nanos;
+            site_span.push(page_span);
             runs.push(PageRun {
                 site: ps.spec.name.clone(),
                 page,
@@ -254,10 +308,14 @@ pub fn run_sites_with(
             });
         }
         registry.record(&ps.spec.name, &site_times);
+        root.nanos += site_span.nanos;
+        root.push(site_span);
     }
     BatchOutcome {
         runs,
         timing: registry,
+        metrics,
+        spans: root,
     }
 }
 
@@ -290,9 +348,27 @@ pub struct RobustBatchOutcome {
     pub fault_counts: Vec<(FaultKind, usize)>,
     /// Per-site wall-clock time per pipeline stage.
     pub timing: timing::Registry,
+    /// Merged observability metrics, including the chaos and outcome
+    /// counters (empty unless [`tableseg::obs::set_enabled`] is on).
+    pub metrics: Recorder,
+    /// The span tree (failed pages appear with zero stage times, so the
+    /// tree shape depends only on corpus and chaos config).
+    pub spans: SpanNode,
 }
 
 impl RobustBatchOutcome {
+    /// Bundles the run into a manifest for `tool`, including the
+    /// robustness rollup. The caller adds config pairs and seeds.
+    pub fn manifest(&self, tool: &str, threads: usize) -> Manifest {
+        let mut m = Manifest::new(tool);
+        m.metrics = self.metrics.clone();
+        m.robustness = Some(self.report.rollup());
+        m.root = self.spans.clone();
+        m.root.name = tool.to_string();
+        m.volatile.threads = threads;
+        m
+    }
+
     /// Summed counts over all completed runs: `(prob, csp)`.
     pub fn totals(&self) -> (PageCounts, PageCounts) {
         let mut prob = PageCounts::default();
@@ -314,6 +390,19 @@ impl RobustBatchOutcome {
 /// (the chaos layer remaps record spans through every byte edit). With a
 /// no-op config this is [`run_sites`] plus outcome accounting: same jobs,
 /// same results, a clean report.
+///
+/// # Example
+///
+/// ```
+/// use tableseg_bench::run_sites_robust;
+/// use tableseg_sitegen::chaos::ChaosConfig;
+/// use tableseg_sitegen::paper_sites;
+///
+/// let specs = &paper_sites::all()[..2];
+/// let outcome = run_sites_robust(specs, &ChaosConfig::uniform(0.0, 7), 2);
+/// assert_eq!(outcome.report.failed, 0, "clean input may not fail");
+/// assert_eq!(outcome.report.pages, outcome.runs.len());
+/// ```
 pub fn run_sites_robust(
     specs: &[SiteSpec],
     cfg: &ChaosConfig,
@@ -362,7 +451,7 @@ pub fn run_sites_robust(
     // Phase 3: (page, segmenter) evaluation through the fallible path.
     // Failed pages yield `None`; a solver failure is an `Err` that fails
     // just that page.
-    type EvalResult = Option<(Result<(PageCounts, bool), SegError>, StageTimes)>;
+    type EvalResult = Option<(Result<(PageCounts, bool), SegError>, StageTimes, Recorder)>;
     let prob = ProbSegmenter::default();
     let csp = CspSegmenter::default();
     let segmenters: [&dyn Segmenter; 2] = [&prob, &csp];
@@ -376,8 +465,10 @@ pub fn run_sites_robust(
         let solved = times.time(Stage::Solve, || {
             segmenters[seg].try_segment(&prepared.observations)
         });
+        let mut solve_metrics = Recorder::default();
         let result = solved.map(|outcome| {
             times.merge(&outcome.solver_times);
+            solve_metrics.merge(&outcome.metrics);
             times.time(Stage::Decode, || {
                 let truth = page_truth(&sites[si].site, page, prepared);
                 let groups = outcome.segmentation.records();
@@ -385,61 +476,111 @@ pub fn run_sites_robust(
                 (counts, outcome.relaxed)
             })
         });
-        Some((result, times))
+        Some((result, times, solve_metrics))
     });
 
-    // Assemble: runs for fully processed pages, report rows for all.
+    // Assemble: runs for fully processed pages, report rows for all,
+    // metrics and spans in deterministic site order.
     let registry = timing::Registry::new();
     let mut report = RobustnessReport::new();
+    let mut metrics = Recorder::new();
+    let mut root = SpanNode::new(SpanKind::Run, "run", 0);
     let mut runs = Vec::new();
     let mut fault_counts: Vec<(FaultKind, usize)> =
         FaultKind::ALL.iter().map(|&k| (k, 0)).collect();
     for (si, rs) in sites.iter().enumerate() {
         for (slot, &(_, n)) in fault_counts.iter_mut().zip(&rs.log.counts()) {
             slot.1 += n;
+            metrics.bump(Counter::ChaosFaults, n as u64);
         }
         let mut site_times = match &rs.template {
-            Ok(t) => t.timings,
+            Ok(t) => {
+                metrics.merge(&t.metrics);
+                t.timings
+            }
             Err(_) => StageTimes::new(),
         };
+        let mut site_span = SpanNode::new(
+            SpanKind::Site,
+            rs.spec.name.clone(),
+            site_times.total().as_nanos(),
+        );
+        for span in timing::stage_spans(&site_times) {
+            site_span.push(span);
+        }
         for page in 0..rs.site.pages.len() {
             let pj = offsets[si] + page;
             let outcome = &outcomes[pj];
-            let Some(prepared) = outcome.page() else {
-                report.record(outcome);
-                continue;
-            };
-            site_times.merge(&prepared.timings);
-            let (prob_result, prob_times) = evaluated[2 * pj]
-                .as_ref()
-                .unwrap_or_else(|| unreachable!("prepared page {pj} has an eval result"));
-            let (csp_result, csp_times) = evaluated[2 * pj + 1]
-                .as_ref()
-                .unwrap_or_else(|| unreachable!("prepared page {pj} has an eval result"));
-            site_times.merge(prob_times);
-            site_times.merge(csp_times);
-            match (prob_result, csp_result) {
-                (Ok((prob_counts, _)), Ok((csp_counts, csp_relaxed))) => {
+            let mut page_times = StageTimes::new();
+            let processed = 'page: {
+                let Some(prepared) = outcome.page() else {
                     report.record(outcome);
-                    runs.push(PageRun {
-                        site: rs.spec.name.clone(),
-                        page,
-                        prob: *prob_counts,
-                        csp: *csp_counts,
-                        used_whole_page: prepared.used_whole_page,
-                        csp_relaxed: *csp_relaxed,
-                    });
+                    break 'page false;
+                };
+                site_times.merge(&prepared.timings);
+                metrics.merge(&prepared.metrics);
+                let (prob_result, prob_times, prob_metrics) = evaluated[2 * pj]
+                    .as_ref()
+                    .unwrap_or_else(|| unreachable!("prepared page {pj} has an eval result"));
+                let (csp_result, csp_times, csp_metrics) = evaluated[2 * pj + 1]
+                    .as_ref()
+                    .unwrap_or_else(|| unreachable!("prepared page {pj} has an eval result"));
+                site_times.merge(prob_times);
+                site_times.merge(csp_times);
+                metrics.merge(prob_metrics);
+                metrics.merge(csp_metrics);
+                page_times = prepared.timings;
+                page_times.merge(prob_times);
+                page_times.merge(csp_times);
+                match (prob_result, csp_result) {
+                    (Ok((prob_counts, _)), Ok((csp_counts, csp_relaxed))) => {
+                        report.record(outcome);
+                        runs.push(PageRun {
+                            site: rs.spec.name.clone(),
+                            page,
+                            prob: *prob_counts,
+                            csp: *csp_counts,
+                            used_whole_page: prepared.used_whole_page,
+                            csp_relaxed: *csp_relaxed,
+                        });
+                    }
+                    (Err(e), _) | (_, Err(e)) => {
+                        metrics.incr(Counter::SolveFailures);
+                        report.record_error(e);
+                    }
                 }
-                (Err(e), _) | (_, Err(e)) => report.record_error(e),
+                true
+            };
+            let _ = processed;
+            // Failed pages still get a (zero-time) span, so the tree
+            // shape depends only on corpus and chaos config.
+            let mut page_span = SpanNode::new(
+                SpanKind::Page,
+                format!("page#{page}"),
+                page_times.total().as_nanos(),
+            );
+            for span in timing::stage_spans(&page_times) {
+                page_span.push(span);
             }
+            site_span.nanos += page_span.nanos;
+            site_span.push(page_span);
         }
         registry.record(&rs.spec.name, &site_times);
+        root.nanos += site_span.nanos;
+        root.push(site_span);
     }
+    metrics.bump(Counter::PagesOk, report.ok as u64);
+    metrics.bump(Counter::PagesDegraded, report.degraded as u64);
+    metrics.bump(Counter::PagesFailed, report.failed as u64);
+    let warnings: usize = report.warnings.iter().map(|&(_, n)| n).sum();
+    metrics.bump(Counter::PageWarnings, warnings as u64);
     RobustBatchOutcome {
         runs,
         report,
         fault_counts,
         timing: registry,
+        metrics,
+        spans: root,
     }
 }
 

@@ -3,7 +3,7 @@
 //! Section 3.4 of the paper: "The column labels will be `L1, ..., Lk` ...
 //! To provide them with more semantically meaningful labels, we can use
 //! other automatic extraction techniques, such as those described in the
-//! Roadrunner system [2]." — and Section 6.3 envisions using them to
+//! Roadrunner system \[2\]." — and Section 6.3 envisions using them to
 //! "reconstruct the relational database behind the Web site".
 //!
 //! This module implements that annotation step: a pattern-based field-type

@@ -14,10 +14,14 @@
 //! jobs on the batch engine (`--threads` workers) against the same
 //! prepared page, and each method's records print under a `== method`
 //! header. `--time` reports per-stage wall-clock times on stderr.
+//! `--manifest PATH` enables the observability layer and writes the run
+//! manifest (summary JSON, `.jsonl` event log, `.prom` Prometheus text;
+//! see OBSERVABILITY.md) with one span subtree per requested method.
 
 use std::process::ExitCode;
 
-use tableseg::timing::{Stage, StageTimes};
+use tableseg::obs;
+use tableseg::timing::{stage_spans, Stage, StageTimes};
 use tableseg::{
     annotate_columns, assemble_records, batch, induce_wrapper, prepare, CspSegmenter,
     HybridSegmenter, ProbSegmenter, Segmenter, SitePages,
@@ -33,12 +37,13 @@ struct Args {
     columns: bool,
     wrapper: bool,
     verbose: bool,
+    manifest: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: tableseg --list FILE [--list FILE ...] --detail FILE [--detail FILE ...]\n\
      \x20       [--target N] [--method csp|prob|hybrid[,method...]] [--threads N]\n\
-     \x20       [--time] [--columns] [--wrapper] [--verbose]"
+     \x20       [--time] [--columns] [--wrapper] [--verbose] [--manifest PATH]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
         columns: false,
         wrapper: false,
         verbose: false,
+        manifest: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -80,6 +86,7 @@ fn parse_args() -> Result<Args, String> {
             "--columns" => args.columns = true,
             "--wrapper" => args.wrapper = true,
             "--verbose" => args.verbose = true,
+            "--manifest" => args.manifest = Some(it.next().ok_or("--manifest needs a path")?),
             "--help" | "-h" => return Err(usage().to_owned()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -104,6 +111,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Enable metrics before `prepare` runs so the front end records too.
+    if args.manifest.is_some() {
+        obs::set_enabled(true);
+    }
 
     let read = |path: &String| -> Result<String, String> {
         std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
@@ -166,6 +177,11 @@ fn main() -> ExitCode {
     });
 
     let registry = tableseg::timing::Registry::new();
+    // One span subtree per method, each over the shared front-end timings
+    // plus that method's solve/decode times — mirroring the registry rows.
+    let mut metrics = obs::Recorder::new();
+    metrics.merge(&prepared.metrics);
+    let mut root = obs::SpanNode::new(obs::SpanKind::Run, "tableseg", 0);
     for ((method, _), (outcome, records, times)) in segmenters.iter().zip(&outcomes) {
         if segmenters.len() > 1 {
             println!("== {method}");
@@ -213,11 +229,42 @@ fn main() -> ExitCode {
         let mut row = prepared.timings;
         row.merge(times);
         registry.record(method, &row);
+
+        metrics.merge(&outcome.metrics);
+        let mut span = obs::SpanNode::new(obs::SpanKind::Site, method, row.total().as_nanos());
+        for child in stage_spans(&row) {
+            span.push(child);
+        }
+        root.nanos += span.nanos;
+        root.push(span);
     }
 
     if args.time {
         eprintln!("per-stage wall clock ({} thread(s)):\n", args.threads);
         eprint!("{}", registry.render());
+    }
+
+    if let Some(path) = &args.manifest {
+        let mut manifest = obs::Manifest::new("tableseg")
+            .with_config("lists", args.lists.len())
+            .with_config("details", args.details.len())
+            .with_config("target", args.target)
+            .with_config("methods", args.methods.join(","));
+        manifest.metrics = metrics;
+        manifest.root = root;
+        manifest.volatile.threads = args.threads;
+        let redact = obs::deterministic_requested();
+        match manifest.write_files(std::path::Path::new(path), redact) {
+            Ok(written) => {
+                for p in &written {
+                    eprintln!("manifest: wrote {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot write manifest {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     ExitCode::SUCCESS

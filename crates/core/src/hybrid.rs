@@ -45,11 +45,14 @@ impl Segmenter for HybridSegmenter {
         }
         let mut solver_times = csp.solver_times;
         solver_times.merge(&prob.solver_times);
+        let mut metrics = csp.metrics;
+        metrics.merge(&prob.metrics);
         SegmenterOutcome {
             segmentation: merged,
             relaxed: csp.relaxed,
             columns: prob.columns,
             solver_times,
+            metrics,
         }
     }
 

@@ -93,5 +93,6 @@ pub use tableseg_csp as csp;
 pub use tableseg_extract as extract;
 pub use tableseg_html as html;
 pub use tableseg_html::SegError;
+pub use tableseg_obs as obs;
 pub use tableseg_prob as prob;
 pub use tableseg_template as template;

@@ -12,7 +12,7 @@
 //! 1. discovers **sibling list pages** by following links whose content is
 //!    template-similar to the start page (the "Next" chain);
 //! 2. fetches every other link on each list page and **classifies** the
-//!    results with [`identify_detail_pages`](crate::identify_detail_pages)
+//!    results with [`identify_detail_pages`]
 //!    — same-template pages are the detail pages, advertisements fall out;
 //! 3. returns, per list page, the detail pages in link (= row) order —
 //!    exactly the input `prepare` needs.

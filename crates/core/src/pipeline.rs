@@ -13,6 +13,7 @@ use tableseg_extract::{derive_extracts, match_extracts_indexed, Observations};
 use tableseg_extract::{PageIndex, SeparatorMask};
 use tableseg_html::lexer::tokenize;
 use tableseg_html::{Interner, SegError, Symbol, Token};
+use tableseg_obs::{Counter, Hist, Recorder};
 use tableseg_template::{assess, induce_interned, Induction, TemplateQuality};
 
 use crate::outcome::caught;
@@ -58,6 +59,12 @@ pub struct PreparedPage {
     /// per-site stages; [`prepare_with_template`] does not — the caller
     /// owns the site-level [`SiteTemplate::timings`].
     pub timings: StageTimes,
+    /// Per-page observability metrics (pages processed, extracts
+    /// kept/skipped/matched, whole-page fallbacks, per-page histograms).
+    /// Empty unless [`tableseg_obs::set_enabled`] is on. Mirrors
+    /// `timings`: [`prepare`] merges in the site-level metrics,
+    /// [`prepare_with_template`] leaves them with the template's owner.
+    pub metrics: Recorder,
 }
 
 /// The per-site front-end state: tokenized sample list pages plus the
@@ -89,6 +96,9 @@ pub struct SiteTemplate {
     /// Wall-clock time of the per-site stages (list-page tokenization +
     /// interning, template induction, list-page index construction).
     pub timings: StageTimes,
+    /// Site-level observability metrics (sites processed, template
+    /// inductions). Empty unless [`tableseg_obs::set_enabled`] is on.
+    pub metrics: Recorder,
 }
 
 impl SiteTemplate {
@@ -116,6 +126,9 @@ impl SiteTemplate {
                 .collect();
             (separators, page_indexes)
         });
+        let mut metrics = Recorder::new();
+        metrics.incr(Counter::SitesProcessed);
+        metrics.incr(Counter::TemplateInductions);
         SiteTemplate {
             pages,
             interner,
@@ -125,6 +138,7 @@ impl SiteTemplate {
             induction,
             quality,
             timings,
+            metrics,
         }
     }
 
@@ -154,6 +168,7 @@ pub fn prepare(input: &SitePages<'_>) -> PreparedPage {
     let template = SiteTemplate::build(&input.list_pages);
     let mut prepared = prepare_with_template(&template, input.target, &input.detail_pages);
     prepared.timings.merge(&template.timings);
+    prepared.metrics.merge(&template.metrics);
     prepared
 }
 
@@ -163,12 +178,30 @@ pub fn try_prepare(input: &SitePages<'_>) -> Result<PreparedPage, SegError> {
     let template = SiteTemplate::try_build(&input.list_pages)?;
     let mut prepared = try_prepare_with_template(&template, input.target, &input.detail_pages)?;
     prepared.timings.merge(&template.timings);
+    prepared.metrics.merge(&template.metrics);
     Ok(prepared)
 }
 
 /// Runs the per-page front end against a prebuilt [`SiteTemplate`]:
 /// table-slot selection, extraction, and detail-page matching for the
 /// list page at index `target`.
+///
+/// # Example
+///
+/// Build the template once per site, then prepare each of its list
+/// pages against it:
+///
+/// ```
+/// use tableseg::{prepare_with_template, SiteTemplate};
+///
+/// let page = "<html><h1>Results</h1><table>\
+///             <tr><td>Ada Lovelace</td></tr>\
+///             <tr><td>Alan Turing</td></tr></table></html>";
+/// let template = SiteTemplate::build(&[page]);
+/// let details = ["<html><h2>Ada Lovelace</h2></html>"];
+/// let prepared = prepare_with_template(&template, 0, &details);
+/// assert!(!prepared.observations.items.is_empty());
+/// ```
 ///
 /// # Panics
 ///
@@ -275,6 +308,23 @@ pub fn try_prepare_with_template(
         .map(|s| s.extract.tokens[0].offset)
         .collect();
 
+    let mut metrics = Recorder::new();
+    metrics.incr(Counter::PagesProcessed);
+    if used_whole_page {
+        metrics.incr(Counter::WholePageFallbacks);
+    }
+    metrics.bump(Counter::ExtractsKept, observations.items.len() as u64);
+    metrics.bump(Counter::ExtractsSkipped, observations.skipped.len() as u64);
+    let matched: usize = observations.items.iter().map(|it| it.pages.len()).sum();
+    metrics.bump(Counter::ExtractsMatched, matched as u64);
+    metrics.observe(Hist::ExtractsPerPage, observations.items.len() as u64);
+    metrics.observe(Hist::RecordsPerPage, observations.num_records as u64);
+    if metrics.is_on() {
+        for item in &observations.items {
+            metrics.observe(Hist::DetailPagesPerExtract, item.pages.len() as u64);
+        }
+    }
+
     Ok(PreparedPage {
         observations,
         extract_offsets,
@@ -283,6 +333,7 @@ pub fn try_prepare_with_template(
         template_quality: template.quality,
         slot_tokens: slot_tokens.to_vec(),
         timings,
+        metrics,
     })
 }
 

@@ -104,6 +104,30 @@ impl RobustnessReport {
         self.degraded == 0 && self.failed == 0
     }
 
+    /// Converts the report into the manifest's robustness section, with
+    /// warning and failure rows sorted by label (the report's own
+    /// first-seen order is already deterministic — reports are assembled
+    /// in job order — but sorted rows make manifests comparable across
+    /// configurations that discover warnings in different orders).
+    pub fn rollup(&self) -> tableseg_obs::RobustnessRollup {
+        let sorted = |rows: &[(&'static str, usize)]| {
+            let mut rows: Vec<(String, u64)> = rows
+                .iter()
+                .map(|&(label, n)| (label.to_string(), n as u64))
+                .collect();
+            rows.sort();
+            rows
+        };
+        tableseg_obs::RobustnessRollup {
+            pages: self.pages as u64,
+            ok: self.ok as u64,
+            degraded: self.degraded as u64,
+            failed: self.failed as u64,
+            warnings: sorted(&self.warnings),
+            failures_by_stage: sorted(&self.failures_by_stage),
+        }
+    }
+
     /// Renders the report as a small fixed-width text block.
     pub fn render(&self) -> String {
         let mut out = format!(

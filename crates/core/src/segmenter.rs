@@ -5,6 +5,7 @@ use std::time::{Duration, Instant};
 use tableseg_csp::{segment_csp, CspOptions, CspStatus};
 use tableseg_extract::{Observations, Segmentation};
 use tableseg_html::SegError;
+use tableseg_obs::{Counter, Hist, Recorder};
 use tableseg_prob::{segment_prob, ProbOptions};
 
 use crate::timing::{Stage, StageTimes};
@@ -25,6 +26,10 @@ pub struct SegmenterOutcome {
     /// [`StageTimes`] so reports can break the `solve` total down by
     /// method.
     pub solver_times: StageTimes,
+    /// Solver observability metrics (WSAT flips/tries, relaxations, EM
+    /// iterations). Empty unless [`tableseg_obs::set_enabled`] is on;
+    /// harnesses merge it like `solver_times`.
+    pub metrics: Recorder,
 }
 
 /// A record-segmentation algorithm operating on an observation table.
@@ -42,6 +47,25 @@ pub trait Segmenter: Send + Sync {
     /// caught and reported as [`SegError::SolverFailed`], so a degenerate
     /// observation table (chaos-damaged input) costs one failed page, not
     /// the batch. Provided for every implementation.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tableseg::{prepare, CspSegmenter, Segmenter, SitePages};
+    ///
+    /// let page = "<html><h1>Results</h1><table>\
+    ///             <tr><td>Ada Lovelace</td></tr>\
+    ///             <tr><td>Alan Turing</td></tr></table></html>";
+    /// let prepared = prepare(&SitePages {
+    ///     list_pages: vec![page],
+    ///     target: 0,
+    ///     detail_pages: vec!["<html><h2>Ada Lovelace</h2></html>"],
+    /// });
+    /// let outcome = CspSegmenter::default()
+    ///     .try_segment(&prepared.observations)
+    ///     .expect("clean input cannot fail the solver");
+    /// assert!(outcome.segmentation.num_records > 0);
+    /// ```
     fn try_segment(&self, obs: &Observations) -> Result<SegmenterOutcome, SegError> {
         crate::outcome::caught("solve", || self.segment(obs)).map_err(|e| match e {
             SegError::Internal { detail, .. } => SegError::SolverFailed {
@@ -79,11 +103,20 @@ impl Segmenter for CspSegmenter {
         let out = segment_csp(obs, &self.options);
         let mut solver_times = StageTimes::new();
         solver_times.add(Stage::SolveCsp, start.elapsed());
+        let mut metrics = Recorder::new();
+        metrics.bump(Counter::WsatFlips, out.flips);
+        metrics.bump(Counter::WsatTries, out.tries);
+        metrics.observe(Hist::WsatFlipsPerSolve, out.flips);
+        let relaxed = out.status != CspStatus::Solved;
+        if relaxed {
+            metrics.incr(Counter::CspRelaxed);
+        }
         SegmenterOutcome {
             segmentation: out.segmentation,
-            relaxed: out.status != CspStatus::Solved,
+            relaxed,
             columns: None,
             solver_times,
+            metrics,
         }
     }
 
@@ -130,11 +163,15 @@ impl Segmenter for ProbSegmenter {
             Stage::SolveViterbi,
             Duration::from_nanos(out.timing.viterbi_ns),
         );
+        let mut metrics = Recorder::new();
+        metrics.bump(Counter::EmIterations, out.iterations as u64);
+        metrics.observe(Hist::EmIterationsPerSolve, out.iterations as u64);
         SegmenterOutcome {
             segmentation: out.segmentation,
             relaxed: false,
             columns: Some(out.columns),
             solver_times,
+            metrics,
         }
     }
 

@@ -14,6 +14,8 @@ use std::fmt;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use tableseg_obs::{SpanKind, SpanNode};
+
 /// A pipeline stage, in execution order. The first six are the disjoint
 /// top-level stages; the rest are *sub-stages* of `Solve` (they overlap
 /// it, attributing its time to one solver method or EM phase) and are
@@ -148,6 +150,37 @@ impl StageTimes {
 
 fn nanos_to_duration(n: u128) -> Duration {
     Duration::from_nanos(u64::try_from(n).unwrap_or(u64::MAX))
+}
+
+/// Converts one scope's [`StageTimes`] into observability stage spans:
+/// the six top-level stages in execution order, with the solver
+/// sub-stages nested under `solve` (`solve.csp`, `solve.prob`) and the
+/// EM phases under `solve.prob`. Every stage is always emitted — zeros
+/// included — so the span-tree *shape* depends only on the corpus, never
+/// on what happened to take measurable time.
+pub fn stage_spans(times: &StageTimes) -> Vec<SpanNode> {
+    let span = |stage: Stage, kind: SpanKind| {
+        SpanNode::new(kind, stage.label(), times.get(stage).as_nanos())
+    };
+    Stage::ALL
+        .into_iter()
+        .map(|stage| {
+            let mut node = span(stage, SpanKind::Stage);
+            if stage == Stage::Solve {
+                node.push(span(Stage::SolveCsp, SpanKind::SolverSubstage));
+                let mut prob = span(Stage::SolveProb, SpanKind::SolverSubstage);
+                for sub in [
+                    Stage::SolveEmEStep,
+                    Stage::SolveEmMStep,
+                    Stage::SolveViterbi,
+                ] {
+                    prob.push(span(sub, SpanKind::SolverSubstage));
+                }
+                node.push(prob);
+            }
+            node
+        })
+        .collect()
 }
 
 impl fmt::Display for StageTimes {

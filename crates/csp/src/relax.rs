@@ -83,6 +83,8 @@ pub struct CspOutcome {
     /// Total WSAT flips spent across the strict and relaxed solves —
     /// the throughput denominator reported by `solvebench`.
     pub flips: u64,
+    /// Total WSAT restarts (tries) across the strict and relaxed solves.
+    pub tries: u64,
 }
 
 impl CspOutcome {
@@ -100,6 +102,7 @@ pub fn segment_csp(obs: &Observations, opts: &CspOptions) -> CspOutcome {
             status: CspStatus::Solved,
             strict_violation: 0,
             flips: 0,
+            tries: 0,
         };
     }
     let solver: fn(&Model, &WsatConfig) -> WsatResult = if opts.reference_solver {
@@ -123,6 +126,7 @@ pub fn segment_csp(obs: &Observations, opts: &CspOptions) -> CspOutcome {
             status: CspStatus::Solved,
             strict_violation: 0,
             flips: strict.flips,
+            tries: strict.tries,
         };
     }
 
@@ -139,6 +143,7 @@ pub fn segment_csp(obs: &Observations, opts: &CspOptions) -> CspOutcome {
                 status: CspStatus::Solved,
                 strict_violation: 0,
                 flips: strict.flips,
+                tries: strict.tries,
             };
         }
         BnbOutcome::Infeasible | BnbOutcome::Unknown => {}
@@ -166,12 +171,14 @@ pub fn segment_csp(obs: &Observations, opts: &CspOptions) -> CspOutcome {
     };
     let relaxed = solver(&relaxed_enc.model, &relaxed_cfg);
     let flips = strict.flips + relaxed.flips;
+    let tries = strict.tries + relaxed.tries;
     if !relaxed.feasible {
         return CspOutcome {
             segmentation: Segmentation::unassigned(obs.num_records, obs.items.len()),
             status: CspStatus::Failed,
             strict_violation: strict.violation,
             flips,
+            tries,
         };
     }
     let best_assignment = relaxed.assignment;
@@ -181,6 +188,7 @@ pub fn segment_csp(obs: &Observations, opts: &CspOptions) -> CspOutcome {
         status: CspStatus::SolvedRelaxed,
         strict_violation: strict.violation,
         flips,
+        tries,
     }
 }
 

@@ -40,7 +40,7 @@
 //!
 //! The pre-overhaul implementation (per-candidate occurrence-list scans,
 //! one RNG threaded through sequential restarts) is preserved verbatim in
-//! [`reference`] as the benchmark baseline for `solvebench`.
+//! [`reference`](mod@reference) as the benchmark baseline for `solvebench`.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -113,6 +113,10 @@ pub struct WsatResult {
     pub objective: i64,
     /// Total number of flips performed, summed over all tries that ran.
     pub flips: u64,
+    /// Number of restarts (tries) that actually ran. Deterministic: the
+    /// early-exit gates depend only on per-try outcomes, never on
+    /// scheduling, so the count is thread-count-invariant.
+    pub tries: u64,
 }
 
 /// SplitMix64 finalizer: decorrelates per-try seeds derived from
@@ -427,6 +431,7 @@ fn run_tries(
 /// order tries finished in.
 fn reduce(outcomes: Vec<TryOutcome>) -> WsatResult {
     let total_flips: u64 = outcomes.iter().map(|o| o.flips).sum();
+    let tries = outcomes.len() as u64;
     let best = outcomes
         .into_iter()
         .reduce(|best, o| {
@@ -445,6 +450,7 @@ fn reduce(outcomes: Vec<TryOutcome>) -> WsatResult {
         objective: best.objective,
         assignment: best.assignment,
         flips: total_flips,
+        tries,
     }
 }
 
@@ -647,8 +653,10 @@ pub mod reference {
         let mut best_violation = Model::total_violation(model, &best_assign);
         let mut best_objective = model.objective_value(&best_assign);
         let mut total_flips = 0u64;
+        let mut tries_ran = 0u64;
 
         'tries: for try_no in 0..cfg.max_tries.max(1) {
+            tries_ran += 1;
             let init: Vec<bool> = if try_no == 0 {
                 vec![false; model.num_vars]
             } else {
@@ -709,6 +717,7 @@ pub mod reference {
             objective: best_objective,
             assignment: best_assign,
             flips: total_flips,
+            tries: tries_ran,
         }
     }
 

@@ -5,7 +5,7 @@
 //! (InCor) records, unsegmented records (FN) and non-records (FP)."
 //!
 //! The simulator provides exact ground truth (the byte span of every
-//! record row), so the check is mechanical: [`classify`] maps each truth
+//! record row), so the check is mechanical: [`classify`](fn@classify) maps each truth
 //! record and each predicted group to one of the paper's four categories,
 //! and [`metrics`] computes the paper's precision/recall/F:
 //!

@@ -1,0 +1,422 @@
+//! Typed counters and log2-bucket histograms.
+//!
+//! Every metric the pipeline can emit is a variant of a closed enum —
+//! [`Counter`] for monotonic counts, [`Hist`] for value distributions —
+//! so a metric set is a fixed-size array, merging is element-wise
+//! addition, and the manifest's metric section has a stable, enumerable
+//! shape at any thread count.
+
+/// A monotonically increasing count of pipeline events.
+///
+/// Names follow the `area.event` scheme documented in `OBSERVABILITY.md`;
+/// [`Counter::label`] is the canonical name used by every sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// List pages that entered the per-page front end.
+    PagesProcessed,
+    /// Pages whose outcome was clean (robust runs only).
+    PagesOk,
+    /// Pages processed with warnings (robust runs only).
+    PagesDegraded,
+    /// Pages that could not be processed (robust runs only).
+    PagesFailed,
+    /// Per-page warnings of any class (robust runs only).
+    PageWarnings,
+    /// Sites whose per-site front end (template induction) ran.
+    SitesProcessed,
+    /// Template inductions performed (once per site when the cache works).
+    TemplateInductions,
+    /// Per-page preparations served by a cached [`SiteTemplate`] instead
+    /// of a fresh induction.
+    ///
+    /// [`SiteTemplate`]: https://docs.rs/tableseg
+    TemplateCacheHits,
+    /// Pages where the induced template was unusable and the whole page
+    /// was used as the table slot (the paper's notes `a`/`b`).
+    WholePageFallbacks,
+    /// Extracts kept in observation tables.
+    ExtractsKept,
+    /// Extracts dropped by the filtering rules.
+    ExtractsSkipped,
+    /// Total extract ↔ detail-page matches (the sum of |D_i| over all
+    /// kept extracts — every kept extract has at least one).
+    ExtractsMatched,
+    /// WSAT(OIP) variable flips across all solves.
+    WsatFlips,
+    /// WSAT(OIP) restarts (tries) across all solves.
+    WsatTries,
+    /// CSP solves that had to relax their constraints (notes `c`/`d`).
+    CspRelaxed,
+    /// EM iterations across all probabilistic solves.
+    EmIterations,
+    /// Solver failures contained by the fallible path (robust runs only).
+    SolveFailures,
+    /// Faults injected by the chaos layer (chaos runs only).
+    ChaosFaults,
+}
+
+impl Counter {
+    /// Every counter, in manifest order.
+    pub const ALL: [Counter; 18] = [
+        Counter::PagesProcessed,
+        Counter::PagesOk,
+        Counter::PagesDegraded,
+        Counter::PagesFailed,
+        Counter::PageWarnings,
+        Counter::SitesProcessed,
+        Counter::TemplateInductions,
+        Counter::TemplateCacheHits,
+        Counter::WholePageFallbacks,
+        Counter::ExtractsKept,
+        Counter::ExtractsSkipped,
+        Counter::ExtractsMatched,
+        Counter::WsatFlips,
+        Counter::WsatTries,
+        Counter::CspRelaxed,
+        Counter::EmIterations,
+        Counter::SolveFailures,
+        Counter::ChaosFaults,
+    ];
+
+    /// The canonical `area.event` metric name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Counter::PagesProcessed => "pages.processed",
+            Counter::PagesOk => "pages.ok",
+            Counter::PagesDegraded => "pages.degraded",
+            Counter::PagesFailed => "pages.failed",
+            Counter::PageWarnings => "pages.warnings",
+            Counter::SitesProcessed => "sites.processed",
+            Counter::TemplateInductions => "template.inductions",
+            Counter::TemplateCacheHits => "template.cache_hits",
+            Counter::WholePageFallbacks => "template.whole_page_fallbacks",
+            Counter::ExtractsKept => "extracts.kept",
+            Counter::ExtractsSkipped => "extracts.skipped",
+            Counter::ExtractsMatched => "extracts.matched",
+            Counter::WsatFlips => "csp.wsat.flips",
+            Counter::WsatTries => "csp.wsat.tries",
+            Counter::CspRelaxed => "csp.relaxed",
+            Counter::EmIterations => "prob.em.iterations",
+            Counter::SolveFailures => "solve.failures",
+            Counter::ChaosFaults => "chaos.faults",
+        }
+    }
+
+    fn index(self) -> usize {
+        Counter::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("every counter is in ALL")
+    }
+}
+
+/// A fixed-size set holding one total per [`Counter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSet {
+    totals: [u64; Counter::ALL.len()],
+}
+
+impl Default for CounterSet {
+    fn default() -> CounterSet {
+        CounterSet {
+            totals: [0; Counter::ALL.len()],
+        }
+    }
+}
+
+impl CounterSet {
+    /// All counters at zero.
+    pub fn new() -> CounterSet {
+        CounterSet::default()
+    }
+
+    /// Adds `by` to one counter (saturating — counters never wrap).
+    #[inline]
+    pub fn add(&mut self, counter: Counter, by: u64) {
+        let slot = &mut self.totals[counter.index()];
+        *slot = slot.saturating_add(by);
+    }
+
+    /// The total recorded for one counter.
+    #[inline]
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.totals[counter.index()]
+    }
+
+    /// Element-wise sum of another set into this one.
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (a, b) in self.totals.iter_mut().zip(other.totals.iter()) {
+            *a = a.saturating_add(*b);
+        }
+    }
+
+    /// `true` if every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        self.totals.iter().all(|&v| v == 0)
+    }
+
+    /// Iterates `(label, total)` in [`Counter::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        Counter::ALL.iter().map(|&c| (c.label(), self.get(c)))
+    }
+}
+
+/// A value distribution tracked by the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hist {
+    /// Kept extracts per prepared page.
+    ExtractsPerPage,
+    /// Detail pages each kept extract was observed on (|D_i|).
+    DetailPagesPerExtract,
+    /// Ground-truth records per prepared page (`num_records`).
+    RecordsPerPage,
+    /// WSAT flips per CSP solve.
+    WsatFlipsPerSolve,
+    /// EM iterations per probabilistic solve.
+    EmIterationsPerSolve,
+}
+
+impl Hist {
+    /// Every histogram, in manifest order.
+    pub const ALL: [Hist; 5] = [
+        Hist::ExtractsPerPage,
+        Hist::DetailPagesPerExtract,
+        Hist::RecordsPerPage,
+        Hist::WsatFlipsPerSolve,
+        Hist::EmIterationsPerSolve,
+    ];
+
+    /// The canonical metric name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Hist::ExtractsPerPage => "extracts_per_page",
+            Hist::DetailPagesPerExtract => "detail_pages_per_extract",
+            Hist::RecordsPerPage => "records_per_page",
+            Hist::WsatFlipsPerSolve => "wsat_flips_per_solve",
+            Hist::EmIterationsPerSolve => "em_iterations_per_solve",
+        }
+    }
+
+    fn index(self) -> usize {
+        Hist::ALL
+            .iter()
+            .position(|&h| h == self)
+            .expect("every histogram is in ALL")
+    }
+}
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `b ≥ 1`
+/// holds values `v` with `v.ilog2() == b - 1`, i.e. `2^(b-1) ..= 2^b - 1`.
+/// `u64::MAX` (ilog2 = 63) lands in the last bucket, 64.
+pub const NUM_BUCKETS: usize = 65;
+
+/// The log2 bucket index of a value.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        1 + value.ilog2() as usize
+    }
+}
+
+/// The inclusive upper bound of a bucket (`u64::MAX` for the last).
+pub fn bucket_upper(bucket: usize) -> u64 {
+    match bucket {
+        0 => 0,
+        64 => u64::MAX,
+        b => (1u64 << b) - 1,
+    }
+}
+
+/// A log2-bucket histogram: counts per power-of-two value range, plus the
+/// exact count and sum for mean computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values (`u128`: 2^64 observations of
+    /// `u64::MAX` cannot overflow it).
+    pub sum: u128,
+    buckets: [u64; NUM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            buckets: [0; NUM_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.buckets[bucket_of(value)] += 1;
+    }
+
+    /// The count in one bucket.
+    pub fn bucket(&self, bucket: usize) -> u64 {
+        self.buckets[bucket]
+    }
+
+    /// Element-wise sum of another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `(bucket, count)` for every non-empty bucket, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(b, &n)| (b, n))
+            .collect()
+    }
+}
+
+/// A fixed-size set holding one [`Histogram`] per [`Hist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSet {
+    hists: [Histogram; Hist::ALL.len()],
+}
+
+impl Default for HistogramSet {
+    fn default() -> HistogramSet {
+        HistogramSet {
+            hists: [Histogram::default(); Hist::ALL.len()],
+        }
+    }
+}
+
+impl HistogramSet {
+    /// All histograms empty.
+    pub fn new() -> HistogramSet {
+        HistogramSet::default()
+    }
+
+    /// Records one observation into one histogram.
+    #[inline]
+    pub fn observe(&mut self, hist: Hist, value: u64) {
+        self.hists[hist.index()].observe(value);
+    }
+
+    /// One histogram.
+    pub fn get(&self, hist: Hist) -> &Histogram {
+        &self.hists[hist.index()]
+    }
+
+    /// Element-wise sum of another set into this one.
+    pub fn merge(&mut self, other: &HistogramSet) {
+        for (a, b) in self.hists.iter_mut().zip(other.hists.iter()) {
+            a.merge(b);
+        }
+    }
+
+    /// Iterates `(label, histogram)` in [`Hist::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        Hist::ALL.iter().map(move |&h| (h.label(), self.get(h)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_labels_are_unique_and_stable() {
+        let mut labels: Vec<&str> = Counter::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Counter::ALL.len());
+    }
+
+    #[test]
+    fn counter_set_adds_and_merges() {
+        let mut a = CounterSet::new();
+        assert!(a.is_zero());
+        a.add(Counter::WsatFlips, 10);
+        a.add(Counter::WsatFlips, 5);
+        let mut b = CounterSet::new();
+        b.add(Counter::WsatFlips, 1);
+        b.add(Counter::PagesProcessed, 2);
+        a.merge(&b);
+        assert_eq!(a.get(Counter::WsatFlips), 16);
+        assert_eq!(a.get(Counter::PagesProcessed), 2);
+        assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let mut a = CounterSet::new();
+        a.add(Counter::EmIterations, u64::MAX);
+        a.add(Counter::EmIterations, 1);
+        assert_eq!(a.get(Counter::EmIterations), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_edges() {
+        // The satellite's edge cases: 0 and u64::MAX.
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+        // Power-of-two boundaries.
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1 << 63), 64);
+        assert_eq!(bucket_of((1 << 63) - 1), 63);
+    }
+
+    #[test]
+    fn bucket_uppers_bracket_their_values() {
+        for b in 0..NUM_BUCKETS {
+            let upper = bucket_upper(b);
+            assert_eq!(bucket_of(upper), b, "upper bound of bucket {b}");
+            if b + 1 < NUM_BUCKETS {
+                assert_eq!(bucket_of(upper + 1), b + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_observes_extremes_without_overflow() {
+        let mut h = Histogram::new();
+        h.observe(0);
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 2 * u128::from(u64::MAX));
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(NUM_BUCKETS - 1), 2);
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (NUM_BUCKETS - 1, 2)]);
+    }
+
+    #[test]
+    fn histogram_set_merges() {
+        let mut a = HistogramSet::new();
+        a.observe(Hist::ExtractsPerPage, 7);
+        let mut b = HistogramSet::new();
+        b.observe(Hist::ExtractsPerPage, 9);
+        b.observe(Hist::EmIterationsPerSolve, 3);
+        a.merge(&b);
+        assert_eq!(a.get(Hist::ExtractsPerPage).count, 2);
+        assert_eq!(a.get(Hist::ExtractsPerPage).sum, 16);
+        assert_eq!(a.get(Hist::EmIterationsPerSolve).count, 1);
+    }
+}

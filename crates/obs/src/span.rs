@@ -1,0 +1,199 @@
+//! Hierarchical spans: the `run > site > page > stage > substage` tree.
+//!
+//! A span is not a live RAII guard — the pipeline already measures every
+//! stage with its deterministic [`StageTimes`] accumulators, so spans are
+//! *assembled* from those measurements after the fact, in deterministic
+//! (job) order. This keeps the tree byte-identical at any thread count:
+//! the shape depends only on the corpus, and the only volatile data is
+//! the per-span duration, which the manifest isolates (and can redact).
+//!
+//! [`StageTimes`]: https://docs.rs/tableseg
+
+/// The level of a span in the run hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// The whole run (one per manifest).
+    Run,
+    /// One site of the corpus.
+    Site,
+    /// One list page of a site.
+    Page,
+    /// One pipeline stage (tokenize, template, extract, match, solve,
+    /// decode).
+    Stage,
+    /// A solver sub-stage nested under `solve` (csp, prob, EM steps,
+    /// Viterbi).
+    SolverSubstage,
+}
+
+impl SpanKind {
+    /// The kind's name as emitted in manifests.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Run => "run",
+            SpanKind::Site => "site",
+            SpanKind::Page => "page",
+            SpanKind::Stage => "stage",
+            SpanKind::SolverSubstage => "substage",
+        }
+    }
+}
+
+/// One node of the span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// The hierarchy level.
+    pub kind: SpanKind,
+    /// The span name (site name, page label, stage label, ...).
+    pub name: String,
+    /// Wall-clock nanoseconds attributed to this span. Volatile:
+    /// redacted renderings zero it.
+    pub nanos: u128,
+    /// Child spans, in deterministic (corpus/stage) order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// A new leaf span.
+    pub fn new(kind: SpanKind, name: impl Into<String>, nanos: u128) -> SpanNode {
+        SpanNode {
+            kind,
+            name: name.into(),
+            nanos,
+            children: Vec::new(),
+        }
+    }
+
+    /// Appends a child and returns `self` (builder style).
+    pub fn with_child(mut self, child: SpanNode) -> SpanNode {
+        self.children.push(child);
+        self
+    }
+
+    /// Appends a child.
+    pub fn push(&mut self, child: SpanNode) {
+        self.children.push(child);
+    }
+
+    /// Total nanos attributed to every span named `name` at any depth.
+    pub fn total_for(&self, name: &str) -> u128 {
+        let own = if self.name == name { self.nanos } else { 0 };
+        own + self
+            .children
+            .iter()
+            .map(|c| c.total_for(name))
+            .sum::<u128>()
+    }
+
+    /// Number of spans in the subtree (including `self`).
+    pub fn len(&self) -> usize {
+        1 + self.children.iter().map(SpanNode::len).sum::<usize>()
+    }
+
+    /// `true` if the subtree is a single node.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Preorder walk, calling `f(depth, node)` for every span.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(usize, &'a SpanNode)) {
+        self.walk_at(0, f);
+    }
+
+    fn walk_at<'a>(&'a self, depth: usize, f: &mut impl FnMut(usize, &'a SpanNode)) {
+        f(depth, self);
+        for child in &self.children {
+            child.walk_at(depth + 1, f);
+        }
+    }
+
+    /// The human tree sink: an indented `--rt`-style listing of the span
+    /// hierarchy with per-span durations.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        self.walk(&mut |depth, node| {
+            let indent = "  ".repeat(depth);
+            out.push_str(&format!(
+                "{indent}{} {:<28} {}\n",
+                node.kind.label(),
+                node.name,
+                crate::human_nanos(node.nanos),
+            ));
+        });
+        out
+    }
+
+    /// A copy with every duration zeroed — the deterministic form used by
+    /// the byte-identity goldens.
+    pub fn redacted(&self) -> SpanNode {
+        SpanNode {
+            kind: self.kind,
+            name: self.name.clone(),
+            nanos: 0,
+            children: self.children.iter().map(SpanNode::redacted).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> SpanNode {
+        SpanNode::new(SpanKind::Run, "run", 100).with_child(
+            SpanNode::new(SpanKind::Site, "site-a", 60)
+                .with_child(
+                    SpanNode::new(SpanKind::Stage, "solve", 40).with_child(SpanNode::new(
+                        SpanKind::SolverSubstage,
+                        "solve.csp",
+                        30,
+                    )),
+                )
+                .with_child(SpanNode::new(SpanKind::Stage, "decode", 5)),
+        )
+    }
+
+    #[test]
+    fn totals_and_len() {
+        let t = tree();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.total_for("solve"), 40);
+        assert_eq!(t.total_for("solve.csp"), 30);
+        assert_eq!(t.total_for("missing"), 0);
+    }
+
+    #[test]
+    fn walk_is_preorder() {
+        let t = tree();
+        let mut names = Vec::new();
+        t.walk(&mut |depth, n| names.push((depth, n.name.clone())));
+        assert_eq!(
+            names,
+            vec![
+                (0, "run".to_string()),
+                (1, "site-a".to_string()),
+                (2, "solve".to_string()),
+                (3, "solve.csp".to_string()),
+                (2, "decode".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn redaction_zeroes_every_duration_but_keeps_shape() {
+        let r = tree().redacted();
+        assert_eq!(r.len(), 5);
+        let mut all_zero = true;
+        r.walk(&mut |_, n| all_zero &= n.nanos == 0);
+        assert!(all_zero);
+        assert_eq!(r.redacted(), r);
+    }
+
+    #[test]
+    fn tree_render_mentions_every_span() {
+        let rendered = tree().render_tree();
+        for name in ["run", "site-a", "solve", "solve.csp", "decode"] {
+            assert!(rendered.contains(name), "{rendered}");
+        }
+    }
+}

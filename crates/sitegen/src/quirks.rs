@@ -70,7 +70,7 @@ pub enum Quirk {
     /// <b>Pine Grove Institution</b>"). The echoed string also appears on
     /// the detail page of every record sharing that value, so it competes
     /// with the real row extracts for the same detail-page occurrences —
-    /// strings "not part of the table [that] found matches on detail
+    /// strings "not part of the table \[that\] found matches on detail
     /// pages" (Section 6.3).
     QueryEcho {
         /// The field whose most frequent page value is echoed.

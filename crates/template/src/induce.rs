@@ -16,10 +16,10 @@ use crate::intern::{Interner, Symbol};
 use crate::lcs::lcs_indices;
 use crate::slot::{Slot, SlotSet};
 
-/// Process-wide count of [`induce`] calls.
+/// Process-wide count of [`induce`](fn@induce) calls.
 static INDUCTIONS: AtomicUsize = AtomicUsize::new(0);
 
-/// How many times [`induce`] has run in this process. Template induction
+/// How many times [`induce`](fn@induce) has run in this process. Template induction
 /// is the front end's most expensive step; batch runs cache it per site,
 /// and tests assert on the *delta* of this counter to prove the cache
 /// works (absolute values include other tests in the same process).
@@ -103,7 +103,7 @@ pub fn induce(pages: &[Vec<Token>]) -> Induction {
     induce_interned(pages, &streams, interner.len())
 }
 
-/// [`induce`] over pre-interned symbol streams.
+/// [`induce`](fn@induce) over pre-interned symbol streams.
 ///
 /// `streams[p]` must be the symbol stream of `pages[p]` (same length, same
 /// order) and `num_symbols` an upper bound on the symbol ids appearing in

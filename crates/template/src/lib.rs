@@ -15,7 +15,7 @@
 //! Implementation: the template is computed as the progressive longest
 //! common subsequence (LCS) of the pages' token streams, using Hirschberg's
 //! linear-space alignment ([`lcs`]) over interned token symbols
-//! ([`intern`]). [`induce`] derives the template and per-page slots;
+//! ([`intern`]). [`induce`](fn@induce) derives the template and per-page slots;
 //! [`quality`] diagnoses degenerate templates (e.g. sites with numbered
 //! entries, where sequences like `1.` appear on every page and chop the
 //! table into fragments — the failure mode the paper reports for Amazon,

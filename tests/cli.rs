@@ -110,6 +110,59 @@ fn wrapper_and_columns_flags() {
 }
 
 #[test]
+fn manifest_flag_writes_three_deterministic_sinks() {
+    let dir = std::env::temp_dir().join("tableseg-cli-test-4");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let (lists, details) = fixture(&dir);
+    let run_manifest = |out_name: &str| -> std::path::PathBuf {
+        let path = dir.join(out_name);
+        let out = Command::new(env!("CARGO_BIN_EXE_tableseg"))
+            .args([
+                "--list",
+                lists[0].to_str().unwrap(),
+                "--detail",
+                details[0].to_str().unwrap(),
+                "--detail",
+                details[1].to_str().unwrap(),
+                "--method",
+                "csp,prob",
+                "--manifest",
+                path.to_str().unwrap(),
+            ])
+            .env("TABLESEG_MANIFEST_DETERMINISTIC", "1")
+            .output()
+            .expect("run tableseg binary");
+        assert!(out.status.success(), "{out:?}");
+        path
+    };
+
+    let first = run_manifest("run-a.json");
+    let json = std::fs::read_to_string(&first).expect("summary json");
+    assert!(
+        json.contains("\"schema\": \"tableseg.manifest/v1\""),
+        "{json}"
+    );
+    assert!(json.contains("\"tool\": \"tableseg\""), "{json}");
+    assert!(json.contains("\"pages.processed\": 1"), "{json}");
+    assert!(
+        json.contains("\"volatile\": {\"redacted\": true}"),
+        "{json}"
+    );
+    let jsonl = std::fs::read_to_string(dir.join("run-a.json.jsonl")).expect("event log");
+    assert!(jsonl.lines().last().unwrap().contains("\"event\": \"end\""));
+    let prom = std::fs::read_to_string(dir.join("run-a.json.prom")).expect("prometheus text");
+    assert!(prom.contains("tableseg_pages_processed_total 1"), "{prom}");
+
+    // Two identical deterministic runs produce byte-identical sinks.
+    let second = run_manifest("run-b.json");
+    for ext in ["", ".jsonl", ".prom"] {
+        let a = std::fs::read(format!("{}{ext}", first.display())).unwrap();
+        let b = std::fs::read(format!("{}{ext}", second.display())).unwrap();
+        assert_eq!(a, b, "sink {ext:?} not byte-identical across runs");
+    }
+}
+
+#[test]
 fn missing_arguments_fail_cleanly() {
     let out = run(&[]);
     assert!(!out.status.success());
