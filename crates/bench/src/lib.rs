@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod inducebench;
 pub mod matchbench;
 pub mod solvebench;
 

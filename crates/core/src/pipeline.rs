@@ -14,7 +14,7 @@ use tableseg_extract::{PageIndex, SeparatorMask};
 use tableseg_html::lexer::tokenize;
 use tableseg_html::{Interner, SegError, Symbol, Token};
 use tableseg_obs::{Counter, Hist, Recorder};
-use tableseg_template::{assess, induce_interned, Induction, TemplateQuality};
+use tableseg_template::{assess, induce_with, InduceOptions, Induction, TemplateQuality};
 
 use crate::outcome::caught;
 use crate::timing::{Stage, StageTimes};
@@ -69,8 +69,9 @@ pub struct PreparedPage {
 
 /// The per-site front-end state: tokenized sample list pages plus the
 /// induced template and its quality verdict. Build it once per site with
-/// [`SiteTemplate::build`], then call [`prepare_with_template`] for each
-/// page — template induction (Hirschberg LCS over every page pair) runs
+/// [`SiteTemplate::build`] (histogram-LCS rolling merge by default;
+/// [`SiteTemplate::build_with`] selects the backend), then call
+/// [`prepare_with_template`] for each page — template induction runs
 /// exactly once no matter how many pages are segmented.
 #[derive(Debug, Clone)]
 pub struct SiteTemplate {
@@ -103,8 +104,16 @@ pub struct SiteTemplate {
 
 impl SiteTemplate {
     /// Tokenizes and interns the sample list pages, induces the site's
-    /// template, and indexes each list page for extract matching.
+    /// template (with the default, histogram-LCS backend), and indexes
+    /// each list page for extract matching.
     pub fn build(list_pages: &[&str]) -> SiteTemplate {
+        SiteTemplate::build_with(list_pages, &InduceOptions::default())
+    }
+
+    /// [`SiteTemplate::build`] with an explicit induction backend. The
+    /// Hirschberg path (`histogram: false`) is the differential oracle;
+    /// benches build both and compare.
+    pub fn build_with(list_pages: &[&str], opts: &InduceOptions) -> SiteTemplate {
         let mut timings = StageTimes::new();
         let (pages, interner, streams) = timings.time(Stage::Tokenize, || {
             let pages: Vec<Vec<Token>> = list_pages.iter().map(|p| tokenize(p)).collect();
@@ -113,11 +122,17 @@ impl SiteTemplate {
                 pages.iter().map(|p| interner.intern_tokens(p)).collect();
             (pages, interner, streams)
         });
-        let (induction, quality) = timings.time(Stage::TemplateInduction, || {
-            let induction = induce_interned(&pages, &streams, interner.len());
-            let quality = assess(&induction, &pages);
-            (induction, quality)
-        });
+        let (induction, quality, stats, fold_elapsed) =
+            timings.time(Stage::TemplateInduction, || {
+                let fold_start = std::time::Instant::now();
+                let (induction, stats) = induce_with(&pages, &streams, interner.len(), opts);
+                let fold_elapsed = fold_start.elapsed();
+                let quality = assess(&induction, &pages);
+                (induction, quality, stats, fold_elapsed)
+            });
+        if opts.histogram {
+            timings.add(Stage::InduceHistogram, fold_elapsed);
+        }
         let (separators, page_indexes) = timings.time(Stage::Matching, || {
             let separators = SeparatorMask::build(&interner);
             let page_indexes: Vec<PageIndex> = streams
@@ -129,6 +144,15 @@ impl SiteTemplate {
         let mut metrics = Recorder::new();
         metrics.incr(Counter::SitesProcessed);
         metrics.incr(Counter::TemplateInductions);
+        metrics.bump(Counter::TemplateMergeFolds, stats.folds as u64);
+        metrics.bump(
+            Counter::TemplateAnchorsDropped,
+            (stats.anchors_dropped + stats.unstable_dropped) as u64,
+        );
+        metrics.bump(
+            Counter::TemplateLcsFallbacks,
+            stats.lcs.fallback_windows as u64,
+        );
         SiteTemplate {
             pages,
             interner,

@@ -17,9 +17,9 @@ use std::time::{Duration, Instant};
 use tableseg_obs::{SpanKind, SpanNode};
 
 /// A pipeline stage, in execution order. The first six are the disjoint
-/// top-level stages; the rest are *sub-stages* of `Solve` (they overlap
-/// it, attributing its time to one solver method or EM phase) and are
-/// excluded from [`StageTimes::total`].
+/// top-level stages; the rest are *sub-stages* (they overlap a top-level
+/// stage, attributing its time to one solver method, EM phase, or the
+/// template fold) and are excluded from [`StageTimes::total`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
     /// Lexing list and detail pages into token streams.
@@ -44,6 +44,9 @@ pub enum Stage {
     SolveEmMStep,
     /// Sub-stage of `SolveProb`: the final MAP decode.
     SolveViterbi,
+    /// Sub-stage of `TemplateInduction`: the histogram-LCS rolling merge
+    /// (zero when the Hirschberg oracle path is selected).
+    InduceHistogram,
 }
 
 impl Stage {
@@ -67,6 +70,9 @@ impl Stage {
         Stage::SolveViterbi,
     ];
 
+    /// The sub-stages splitting `TemplateInduction`.
+    pub const TEMPLATE_SPLIT: [Stage; 1] = [Stage::InduceHistogram];
+
     /// Short column label for reports.
     pub fn label(self) -> &'static str {
         match self {
@@ -81,6 +87,7 @@ impl Stage {
             Stage::SolveEmEStep => "solve.em.e_step",
             Stage::SolveEmMStep => "solve.em.m_step",
             Stage::SolveViterbi => "solve.viterbi",
+            Stage::InduceHistogram => "induce.histogram",
         }
     }
 
@@ -97,12 +104,13 @@ impl Stage {
             Stage::SolveEmEStep => 8,
             Stage::SolveEmMStep => 9,
             Stage::SolveViterbi => 10,
+            Stage::InduceHistogram => 11,
         }
     }
 }
 
-/// Number of tracked stages (top-level + solve sub-stages).
-const NUM_STAGES: usize = Stage::ALL.len() + Stage::SOLVE_SPLIT.len();
+/// Number of tracked stages (top-level + sub-stages).
+const NUM_STAGES: usize = Stage::ALL.len() + Stage::SOLVE_SPLIT.len() + Stage::TEMPLATE_SPLIT.len();
 
 /// Wall-clock time spent per stage by one job (or merged over many).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -154,10 +162,11 @@ fn nanos_to_duration(n: u128) -> Duration {
 
 /// Converts one scope's [`StageTimes`] into observability stage spans:
 /// the six top-level stages in execution order, with the solver
-/// sub-stages nested under `solve` (`solve.csp`, `solve.prob`) and the
-/// EM phases under `solve.prob`. Every stage is always emitted — zeros
-/// included — so the span-tree *shape* depends only on the corpus, never
-/// on what happened to take measurable time.
+/// sub-stages nested under `solve` (`solve.csp`, `solve.prob`), the
+/// EM phases under `solve.prob`, and the histogram fold
+/// (`induce.histogram`) under `template`. Every stage is always emitted
+/// — zeros included — so the span-tree *shape* depends only on the
+/// corpus, never on what happened to take measurable time.
 pub fn stage_spans(times: &StageTimes) -> Vec<SpanNode> {
     let span = |stage: Stage, kind: SpanKind| {
         SpanNode::new(kind, stage.label(), times.get(stage).as_nanos())
@@ -166,6 +175,9 @@ pub fn stage_spans(times: &StageTimes) -> Vec<SpanNode> {
         .into_iter()
         .map(|stage| {
             let mut node = span(stage, SpanKind::Stage);
+            if stage == Stage::TemplateInduction {
+                node.push(span(Stage::InduceHistogram, SpanKind::SolverSubstage));
+            }
             if stage == Stage::Solve {
                 node.push(span(Stage::SolveCsp, SpanKind::SolverSubstage));
                 let mut prob = span(Stage::SolveProb, SpanKind::SolverSubstage);
@@ -360,6 +372,12 @@ mod tests {
         for (i, stage) in Stage::SOLVE_SPLIT.iter().enumerate() {
             assert_eq!(stage.index(), Stage::ALL.len() + i);
         }
+        for (i, stage) in Stage::TEMPLATE_SPLIT.iter().enumerate() {
+            assert_eq!(
+                stage.index(),
+                Stage::ALL.len() + Stage::SOLVE_SPLIT.len() + i
+            );
+        }
     }
 
     #[test]
@@ -369,7 +387,23 @@ mod tests {
         t.add(Stage::SolveCsp, Duration::from_micros(4));
         t.add(Stage::SolveProb, Duration::from_micros(6));
         t.add(Stage::SolveEmEStep, Duration::from_micros(5));
+        t.add(Stage::InduceHistogram, Duration::from_micros(3));
         assert_eq!(t.total(), Duration::from_micros(10));
+    }
+
+    #[test]
+    fn stage_spans_nest_induce_histogram_under_template() {
+        let mut t = StageTimes::new();
+        t.add(Stage::TemplateInduction, Duration::from_micros(8));
+        t.add(Stage::InduceHistogram, Duration::from_micros(5));
+        let spans = stage_spans(&t);
+        let template = spans
+            .iter()
+            .find(|s| s.name == "template")
+            .expect("template span");
+        assert_eq!(template.children.len(), 1);
+        assert_eq!(template.children[0].name, "induce.histogram");
+        assert_eq!(template.children[0].nanos, 5_000);
     }
 
     #[test]

@@ -556,8 +556,11 @@ mod tests {
         let lines: Vec<&str> = log.lines().collect();
         assert!(lines[0].contains("\"event\": \"manifest\""));
         assert!(lines.last().unwrap().contains("\"event\": \"end\""));
-        // header + 4 spans + 18 counters + 5 hists + robustness + end.
-        assert_eq!(lines.len(), 1 + 4 + 18 + 5 + 1 + 1);
+        // header + 4 spans + counters + hists + robustness + end.
+        assert_eq!(
+            lines.len(),
+            1 + 4 + Counter::ALL.len() + Hist::ALL.len() + 1 + 1
+        );
         assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
     }
 

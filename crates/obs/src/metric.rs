@@ -34,6 +34,15 @@ pub enum Counter {
     /// Pages where the induced template was unusable and the whole page
     /// was used as the table slot (the paper's notes `a`/`b`).
     WholePageFallbacks,
+    /// LCS folds performed by template induction (pages beyond the base
+    /// page, summed over sites).
+    TemplateMergeFolds,
+    /// Candidate anchors dropped during induction: fold attrition plus
+    /// the run-stability pass.
+    TemplateAnchorsDropped,
+    /// Histogram-LCS windows that fell back to quadratic Hirschberg
+    /// (small or repeat-heavy windows; zero on clean templated sites).
+    TemplateLcsFallbacks,
     /// Extracts kept in observation tables.
     ExtractsKept,
     /// Extracts dropped by the filtering rules.
@@ -57,7 +66,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in manifest order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 21] = [
         Counter::PagesProcessed,
         Counter::PagesOk,
         Counter::PagesDegraded,
@@ -67,6 +76,9 @@ impl Counter {
         Counter::TemplateInductions,
         Counter::TemplateCacheHits,
         Counter::WholePageFallbacks,
+        Counter::TemplateMergeFolds,
+        Counter::TemplateAnchorsDropped,
+        Counter::TemplateLcsFallbacks,
         Counter::ExtractsKept,
         Counter::ExtractsSkipped,
         Counter::ExtractsMatched,
@@ -90,6 +102,9 @@ impl Counter {
             Counter::TemplateInductions => "template.inductions",
             Counter::TemplateCacheHits => "template.cache_hits",
             Counter::WholePageFallbacks => "template.whole_page_fallbacks",
+            Counter::TemplateMergeFolds => "template.merge_folds",
+            Counter::TemplateAnchorsDropped => "template.anchors_dropped",
+            Counter::TemplateLcsFallbacks => "template.lcs_fallbacks",
             Counter::ExtractsKept => "extracts.kept",
             Counter::ExtractsSkipped => "extracts.skipped",
             Counter::ExtractsMatched => "extracts.matched",

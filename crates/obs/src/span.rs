@@ -21,8 +21,8 @@ pub enum SpanKind {
     /// One pipeline stage (tokenize, template, extract, match, solve,
     /// decode).
     Stage,
-    /// A solver sub-stage nested under `solve` (csp, prob, EM steps,
-    /// Viterbi).
+    /// A sub-stage nested under a top-level stage: the solver methods and
+    /// EM phases under `solve`, the histogram-LCS fold under `template`.
     SolverSubstage,
 }
 

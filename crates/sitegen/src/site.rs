@@ -43,6 +43,24 @@ pub struct SiteSpec {
     pub seed: u64,
 }
 
+impl SiteSpec {
+    /// The same site with `pages` sample list pages: the per-page record
+    /// counts cycle through the spec's existing `records_per_page`
+    /// pattern. Multi-page induction benches and tests use this to scale
+    /// a 2-page paper site to 10+ pages without changing its character.
+    pub fn with_page_count(&self, pages: usize) -> SiteSpec {
+        assert!(
+            !self.records_per_page.is_empty(),
+            "spec has no records_per_page pattern to cycle"
+        );
+        let mut spec = self.clone();
+        spec.records_per_page = (0..pages)
+            .map(|p| self.records_per_page[p % self.records_per_page.len()])
+            .collect();
+        spec
+    }
+}
+
 /// One generated list page with its detail pages and ground truth.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct GeneratedPage {
@@ -228,6 +246,27 @@ mod tests {
         s.seed = 78;
         let b = generate(&s);
         assert_ne!(a.pages[0].list_html, b.pages[0].list_html);
+    }
+
+    #[test]
+    fn with_page_count_cycles_the_record_pattern() {
+        let s = spec().with_page_count(5);
+        assert_eq!(s.records_per_page, vec![6, 4, 6, 4, 6]);
+        let site = generate(&s);
+        assert_eq!(site.pages.len(), 5);
+        // The record stream is drawn in the same order from the same
+        // seed, so the first page's records match the unscaled site's
+        // (chrome differs: the total-results line counts all pages).
+        let base = generate(&spec());
+        let ids = |s: &GeneratedSite, p: usize| {
+            s.pages[p]
+                .truth
+                .records
+                .iter()
+                .map(|r| r.values[0].clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ids(&site, 0), ids(&base, 0));
     }
 
     #[test]

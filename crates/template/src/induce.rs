@@ -6,25 +6,74 @@
 //! paper's definition of the page template ("data that is shared by all
 //! list pages and is invariant from page to page"). Everything between
 //! consecutive template anchors is a slot.
+//!
+//! Two LCS backends drive the fold, selected by [`InduceOptions`] through
+//! the [`induce_with`] entry point: the histogram path
+//! ([`crate::histogram`], production — near-linear on templated pages and
+//! the default) and the Hirschberg path ([`crate::lcs`], kept verbatim as
+//! the differential oracle). The histogram path folds pages in a
+//! *canonical* order (shortest candidate stream first, content
+//! tie-break), so the induced template is invariant under permutations of
+//! the sample pages — the property that makes multi-page rolling merges
+//! (10–100 pages per site) well-defined.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use serde::{Deserialize, Serialize};
 use tableseg_html::Token;
 
+use crate::histogram::{lcs_indices_histogram_stats, LcsStats};
 use crate::intern::{Interner, Symbol};
 use crate::lcs::lcs_indices;
 use crate::slot::{Slot, SlotSet};
 
-/// Process-wide count of [`induce`](fn@induce) calls.
+/// Process-wide count of template inductions (any entry point).
 static INDUCTIONS: AtomicUsize = AtomicUsize::new(0);
 
-/// How many times [`induce`](fn@induce) has run in this process. Template induction
+/// How many times induction has run in this process. Template induction
 /// is the front end's most expensive step; batch runs cache it per site,
 /// and tests assert on the *delta* of this counter to prove the cache
 /// works (absolute values include other tests in the same process).
 pub fn induction_count() -> usize {
     INDUCTIONS.load(Ordering::Relaxed)
+}
+
+/// Selects the template-induction backend. The default is the production
+/// histogram path; `histogram: false` selects the verbatim Hirschberg
+/// fold, kept as the differential oracle (as was done for MatchStream
+/// and the reference WSAT solver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InduceOptions {
+    /// Use the histogram-LCS rolling merge ([`crate::histogram`]). When
+    /// `false`, fold with Hirschberg LCS in input-page order — the
+    /// pre-histogram behavior, bit-for-bit.
+    pub histogram: bool,
+}
+
+impl Default for InduceOptions {
+    fn default() -> InduceOptions {
+        InduceOptions { histogram: true }
+    }
+}
+
+/// What one induction did: fold counts, anchor attrition and LCS window
+/// statistics. Flows into the observability counters
+/// (`template.merge_folds`, `template.anchors_dropped`,
+/// `template.lcs_fallbacks`) via the pipeline layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InduceStats {
+    /// Number of sample pages the template was induced from.
+    pub pages: usize,
+    /// LCS folds performed (pages beyond the base page, when ≥ 2 pages).
+    pub folds: usize,
+    /// Candidate anchors dropped across all folds (tokens of the running
+    /// template that some later page did not confirm).
+    pub anchors_dropped: usize,
+    /// Anchors removed by the run-stability pass (the linked-run rule
+    /// that guards against coincidental anchors inside slots).
+    pub unstable_dropped: usize,
+    /// Histogram-LCS window statistics (all zero on the Hirschberg path).
+    pub lcs: LcsStats,
 }
 
 /// The induced page template: a sequence of tokens common to all pages.
@@ -77,6 +126,37 @@ impl Induction {
         }
         SlotSet { slots }
     }
+
+    /// Per-slot width stability across the sample pages: for each of the
+    /// `template_len + 1` slots, the minimum and maximum token width over
+    /// all pages. Template chrome produces narrow, near-constant slots;
+    /// the table slot is the wide, variable one. Multi-page merge tests
+    /// use this to show that folding more pages tightens the template
+    /// (chrome slots stay narrow) instead of degrading it.
+    ///
+    /// `page_lens[p]` must be the token length of page `p` (the slots
+    /// beyond the last anchor need it).
+    pub fn slot_stability(&self, page_lens: &[usize]) -> Vec<(usize, usize)> {
+        let t = self.template.len();
+        (0..=t)
+            .map(|k| {
+                let mut min = usize::MAX;
+                let mut max = 0usize;
+                for (anchor, &len) in self.anchors.iter().zip(page_lens) {
+                    let start = if k == 0 { 0 } else { anchor[k - 1] + 1 };
+                    let end = if k == t { len } else { anchor[k] };
+                    let width = end.saturating_sub(start);
+                    min = min.min(width);
+                    max = max.max(width);
+                }
+                if min == usize::MAX {
+                    (0, 0)
+                } else {
+                    (min, max)
+                }
+            })
+            .collect()
+    }
 }
 
 /// Induces the page template from example pages.
@@ -94,16 +174,21 @@ impl Induction {
 /// empty template and a single slot covering each whole page, which makes
 /// the downstream pipeline equivalent to the paper's whole-page fallback.
 ///
-/// Convenience wrapper over [`induce_interned`] that interns the pages
-/// itself; pipeline callers that already interned the site's pages should
-/// pass their streams to [`induce_interned`] directly.
+/// Convenience wrapper over [`induce_with`] — the option-selected entry
+/// point — with default options (the histogram path) and an internal
+/// interner. Pipeline callers that already interned the site's pages
+/// should call [`induce_with`] (or its thin wrappers [`induce_histogram`]
+/// / [`induce_interned`]) directly.
 pub fn induce(pages: &[Vec<Token>]) -> Induction {
     let mut interner = Interner::new();
     let streams: Vec<Vec<Symbol>> = pages.iter().map(|p| interner.intern_tokens(p)).collect();
-    induce_interned(pages, &streams, interner.len())
+    induce_with(pages, &streams, interner.len(), &InduceOptions::default()).0
 }
 
-/// [`induce`](fn@induce) over pre-interned symbol streams.
+/// [`induce`](fn@induce) over pre-interned symbol streams, on the **Hirschberg
+/// oracle path** (input-order fold, quadratic LCS). Kept verbatim as the
+/// differential baseline; production callers should use [`induce_with`]
+/// — the option-selected entry point — or [`induce_histogram`].
 ///
 /// `streams[p]` must be the symbol stream of `pages[p]` (same length, same
 /// order) and `num_symbols` an upper bound on the symbol ids appearing in
@@ -115,17 +200,73 @@ pub fn induce_interned(
     streams: &[Vec<Symbol>],
     num_symbols: usize,
 ) -> Induction {
+    induce_with(
+        pages,
+        streams,
+        num_symbols,
+        &InduceOptions { histogram: false },
+    )
+    .0
+}
+
+/// [`induce`](fn@induce) over pre-interned symbol streams on the production
+/// **histogram path**: canonical-order rolling merge with the
+/// histogram-LCS core. Thin wrapper over [`induce_with`].
+pub fn induce_histogram(
+    pages: &[Vec<Token>],
+    streams: &[Vec<Symbol>],
+    num_symbols: usize,
+) -> Induction {
+    induce_with(
+        pages,
+        streams,
+        num_symbols,
+        &InduceOptions { histogram: true },
+    )
+    .0
+}
+
+/// The option-selected induction entry point: derives the template from
+/// pre-interned symbol streams with the backend chosen by `opts`, and
+/// reports what it did. See [`induce`](fn@induce) for the template semantics and
+/// [`induce_interned`] for the stream contract.
+pub fn induce_with(
+    pages: &[Vec<Token>],
+    streams: &[Vec<Symbol>],
+    num_symbols: usize,
+    opts: &InduceOptions,
+) -> (Induction, InduceStats) {
     INDUCTIONS.fetch_add(1, Ordering::Relaxed);
     debug_assert_eq!(pages.len(), streams.len());
+    let mut stats = InduceStats {
+        pages: pages.len(),
+        ..InduceStats::default()
+    };
     if pages.len() < 2 {
-        return Induction {
-            template: Template { tokens: Vec::new() },
-            anchors: vec![Vec::new(); pages.len()],
-        };
+        return (
+            Induction {
+                template: Template { tokens: Vec::new() },
+                anchors: vec![Vec::new(); pages.len()],
+            },
+            stats,
+        );
     }
 
-    // Count symbol occurrences per page; a candidate occurs exactly once on
-    // every page.
+    let filtered = candidate_streams(streams, num_symbols);
+    let template: Vec<Symbol> = if opts.histogram {
+        fold_histogram(pages, &filtered, &mut stats)
+    } else {
+        fold_hirschberg(&filtered, &mut stats)
+    };
+    let induction = finish(pages, &filtered, template, &mut stats);
+    (induction, stats)
+}
+
+/// Computes the per-page candidate streams: tokens occurring **exactly
+/// once on every page**, with their original positions. These are the
+/// streams the fold aligns pairwise; exposed so benches can time the LCS
+/// cores on exactly the inputs induction gives them.
+pub fn candidate_streams(streams: &[Vec<Symbol>], num_symbols: usize) -> Vec<Vec<(Symbol, usize)>> {
     let mut counts = vec![0u32; num_symbols];
     let mut candidate = vec![true; num_symbols];
     for stream in streams {
@@ -144,10 +285,7 @@ pub fn induce_interned(
             }
         }
     }
-
-    // Filtered streams: candidate tokens only, remembering original
-    // positions.
-    let filtered: Vec<Vec<(Symbol, usize)>> = streams
+    streams
         .iter()
         .map(|stream| {
             stream
@@ -157,21 +295,73 @@ pub fn induce_interned(
                 .map(|(i, &s)| (s, i))
                 .collect()
         })
-        .collect();
+        .collect()
+}
 
-    // Progressive LCS over the filtered streams. `template` holds
-    // (symbol, original-index-in-first-page).
-    let mut template: Vec<(Symbol, usize)> = filtered[0].clone();
+/// The pre-histogram fold, verbatim: progressive Hirschberg LCS over the
+/// candidate streams in input-page order. The differential oracle.
+fn fold_hirschberg(filtered: &[Vec<(Symbol, usize)>], stats: &mut InduceStats) -> Vec<Symbol> {
+    let mut template: Vec<Symbol> = filtered[0].iter().map(|&(s, _)| s).collect();
     for stream in &filtered[1..] {
-        let t_syms: Vec<Symbol> = template.iter().map(|&(s, _)| s).collect();
         let s_syms: Vec<Symbol> = stream.iter().map(|&(s, _)| s).collect();
-        let pairs = lcs_indices(&t_syms, &s_syms);
+        let pairs = lcs_indices(&template, &s_syms);
+        stats.folds += 1;
+        stats.anchors_dropped += template.len() - pairs.len();
         template = pairs.iter().map(|&(ti, _)| template[ti]).collect();
         if template.is_empty() {
             break;
         }
     }
+    template
+}
 
+/// The production fold: rolling histogram-LCS merge in canonical page
+/// order — shortest candidate stream first (the template is a subsequence
+/// of every stream, so starting small bounds all later folds), token
+/// texts as the deterministic tie-break. The canonical order makes the
+/// induced template invariant under permutations of the sample pages,
+/// which is what lets a site's template be maintained incrementally as
+/// more pages are crawled.
+fn fold_histogram(
+    pages: &[Vec<Token>],
+    filtered: &[Vec<(Symbol, usize)>],
+    stats: &mut InduceStats,
+) -> Vec<Symbol> {
+    let mut order: Vec<usize> = (0..filtered.len()).collect();
+    order.sort_by(|&p, &q| {
+        filtered[p].len().cmp(&filtered[q].len()).then_with(|| {
+            let texts = |page: usize| {
+                filtered[page]
+                    .iter()
+                    .map(move |&(_, i)| pages[page][i].text.as_str())
+            };
+            texts(p).cmp(texts(q))
+        })
+    });
+    let base = order[0];
+    let mut template: Vec<Symbol> = filtered[base].iter().map(|&(s, _)| s).collect();
+    for &p in &order[1..] {
+        if template.is_empty() {
+            break;
+        }
+        let s_syms: Vec<Symbol> = filtered[p].iter().map(|&(s, _)| s).collect();
+        let (pairs, lcs_stats) = lcs_indices_histogram_stats(&template, &s_syms);
+        stats.folds += 1;
+        stats.anchors_dropped += template.len() - pairs.len();
+        stats.lcs.merge(&lcs_stats);
+        template = pairs.iter().map(|&(ti, _)| template[ti]).collect();
+    }
+    template
+}
+
+/// Embeds the folded template into every page, takes representative
+/// tokens from the first page, and applies the anchor-stability pass.
+fn finish(
+    pages: &[Vec<Token>],
+    filtered: &[Vec<(Symbol, usize)>],
+    template: Vec<Symbol>,
+    stats: &mut InduceStats,
+) -> Induction {
     // Embed the template into every page. Every template symbol occurs
     // exactly once per page, so the embedding is unique: look the position
     // up in the filtered stream. If an embedding is ever missing (the
@@ -183,24 +373,24 @@ pub fn induce_interned(
         .map(|stream| {
             template
                 .iter()
-                .map(|&(sym, _)| stream.iter().find(|&&(s, _)| s == sym).map(|&(_, pos)| pos))
+                .map(|&sym| stream.iter().find(|&&(s, _)| s == sym).map(|&(_, pos)| pos))
                 .collect()
         })
         .collect();
     let kept: Vec<usize> = (0..template.len())
         .filter(|&col| embeddings.iter().all(|e| e[col].is_some()))
         .collect();
-    if kept.len() < template.len() {
-        template = kept.iter().map(|&col| template[col]).collect();
-    }
     let anchors: Vec<Vec<usize>> = embeddings
         .iter()
         .map(|e| kept.iter().map(|&col| e[col].unwrap_or_default()).collect())
         .collect();
 
-    let template_tokens: Vec<Token> = template
+    let template_tokens: Vec<Token> = kept
         .iter()
-        .map(|&(_, first_idx)| pages[0][first_idx].clone())
+        .map(|&col| {
+            let first_idx = embeddings[0][col].unwrap_or_default();
+            pages[0][first_idx].clone()
+        })
         .collect();
 
     // Anchor positions are increasing on every page because the template is
@@ -213,7 +403,7 @@ pub fn induce_interned(
         },
         anchors,
     };
-    drop_unstable_anchors(
+    stats.unstable_dropped = drop_unstable_anchors(
         &mut induction,
         &pages.iter().map(Vec::len).collect::<Vec<_>>(),
     );
@@ -229,11 +419,12 @@ const LINK_GAP: usize = 4;
 /// Minimum linked-run length for anchors to be trusted as template.
 const MIN_RUN: usize = 3;
 
-/// Removes anchors outside dense runs. A real page template is written out
-/// contiguously by the server, so its tokens cluster; an anchor in a run
-/// shorter than [`MIN_RUN`] is almost always record data that happens to
-/// appear exactly once per page (or a chance pair, like a shared
-/// `City, ST`), and left in place it chops the table slot apart.
+/// Removes anchors outside dense runs, returning how many were dropped.
+/// A real page template is written out contiguously by the server, so its
+/// tokens cluster; an anchor in a run shorter than [`MIN_RUN`] is almost
+/// always record data that happens to appear exactly once per page (or a
+/// chance pair, like a shared `City, ST`), and left in place it chops the
+/// table slot apart.
 ///
 /// The one deliberate exception is **enumeration chains**: ascending runs
 /// `1, 2, 3, ...` from numbered entries. The paper's template finder keeps
@@ -242,12 +433,13 @@ const MIN_RUN: usize = 3;
 /// every page"); this reproduction preserves that failure mode. (The paper
 /// suggests an enumeration heuristic as *future work*, i.e. the 2004
 /// algorithm did not have one.)
-fn drop_unstable_anchors(induction: &mut Induction, _page_lens: &[usize]) {
+fn drop_unstable_anchors(induction: &mut Induction, _page_lens: &[usize]) -> usize {
     let enumeration = enumeration_members(&induction.template.tokens);
+    let mut dropped = 0;
     loop {
         let t = induction.template.len();
         if t == 0 {
-            return;
+            return dropped;
         }
         // linked[k]: anchors k and k+1 are close on every page.
         let linked: Vec<bool> = (0..t.saturating_sub(1))
@@ -284,9 +476,10 @@ fn drop_unstable_anchors(induction: &mut Induction, _page_lens: &[usize]) {
             }
         }
         if !drop.iter().any(|&d| d) {
-            return;
+            return dropped;
         }
         let keep: Vec<usize> = (0..t).filter(|&k| !drop[k]).collect();
+        dropped += t - keep.len();
         induction.template.tokens = keep
             .iter()
             .map(|&k| induction.template.tokens[k].clone())
@@ -351,6 +544,16 @@ mod tests {
         tokenize(&format!(
             "<html><body><h1>Results</h1><table>{body}</table><p>Copyright 2004</p></body></html>"
         ))
+    }
+
+    /// Runs both backends over the same pages and returns (histogram,
+    /// hirschberg) inductions.
+    fn both_paths(pages: &[Vec<Token>]) -> (Induction, Induction) {
+        let mut interner = Interner::new();
+        let streams: Vec<Vec<Symbol>> = pages.iter().map(|p| interner.intern_tokens(p)).collect();
+        let hist = induce_histogram(pages, &streams, interner.len());
+        let hirsch = induce_interned(pages, &streams, interner.len());
+        (hist, hirsch)
     }
 
     #[test]
@@ -485,5 +688,87 @@ mod tests {
         let ind = induce(&pages);
         let slots = ind.slots(&pages);
         assert_eq!(slots.slots.len(), ind.template.len() + 1);
+    }
+
+    #[test]
+    fn histogram_and_hirschberg_agree_on_clean_pages() {
+        let pages = vec![
+            page("<tr><td>John Smith</td><td>New Holland</td></tr>"),
+            page("<tr><td>Bob Jones</td><td>Columbus</td></tr><tr><td>Ann Fuller</td><td>Dayton</td></tr>"),
+        ];
+        let (hist, hirsch) = both_paths(&pages);
+        let texts = |i: &Induction| {
+            i.template
+                .tokens
+                .iter()
+                .map(|t| t.text.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(texts(&hist), texts(&hirsch));
+        assert_eq!(hist.anchors, hirsch.anchors);
+    }
+
+    #[test]
+    fn induce_with_reports_stats() {
+        let pages = vec![
+            page("<tr><td>Alpha Beta</td></tr>"),
+            page("<tr><td>Gamma Delta</td></tr>"),
+            page("<tr><td>Epsilon Zeta</td></tr>"),
+        ];
+        let mut interner = Interner::new();
+        let streams: Vec<Vec<Symbol>> = pages.iter().map(|p| interner.intern_tokens(p)).collect();
+        let (ind, stats) = induce_with(&pages, &streams, interner.len(), &InduceOptions::default());
+        assert_eq!(stats.pages, 3);
+        assert_eq!(stats.folds, 2, "{stats:?}");
+        assert!(!ind.template.is_empty());
+        // The candidate streams are unique per page by construction, so
+        // the histogram core must never hit its quadratic fallback.
+        assert_eq!(stats.lcs.fallback_windows, 0, "{stats:?}");
+        assert_eq!(stats.lcs.split_windows, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn histogram_fold_is_page_order_invariant() {
+        let pages = vec![
+            page("<tr><td>Alpha One</td></tr><tr><td>Beta Two</td></tr>"),
+            page("<tr><td>Gamma Three</td></tr>"),
+            page("<tr><td>Delta Four</td></tr><tr><td>Epsilon Five</td></tr><tr><td>Zeta Six</td></tr>"),
+        ];
+        let texts = |i: &Induction| {
+            i.template
+                .tokens
+                .iter()
+                .map(|t| t.text.clone())
+                .collect::<Vec<_>>()
+        };
+        let mut interner = Interner::new();
+        let streams: Vec<Vec<Symbol>> = pages.iter().map(|p| interner.intern_tokens(p)).collect();
+        let baseline = texts(&induce_histogram(&pages, &streams, interner.len()));
+        for perm in [[1, 0, 2], [2, 1, 0], [0, 2, 1], [2, 0, 1], [1, 2, 0]] {
+            let p: Vec<Vec<Token>> = perm.iter().map(|&i| pages[i].clone()).collect();
+            let mut interner = Interner::new();
+            let s: Vec<Vec<Symbol>> = p.iter().map(|pg| interner.intern_tokens(pg)).collect();
+            let ind = induce_histogram(&p, &s, interner.len());
+            assert_eq!(texts(&ind), baseline, "permutation {perm:?}");
+        }
+    }
+
+    #[test]
+    fn slot_stability_widths() {
+        let pages = vec![
+            page("<tr><td>John Smith</td><td>New Holland</td></tr><tr><td>Mary Major</td><td>Springfield</td></tr>"),
+            page("<tr><td>Bob Jones</td><td>Columbus</td></tr>"),
+        ];
+        let ind = induce(&pages);
+        let lens: Vec<usize> = pages.iter().map(Vec::len).collect();
+        let stability = ind.slot_stability(&lens);
+        assert_eq!(stability.len(), ind.template.len() + 1);
+        for &(min, max) in &stability {
+            assert!(min <= max);
+        }
+        // The table slot (widest max) must vary: page 0 has two records,
+        // page 1 has one.
+        let widest = stability.iter().max_by_key(|&&(_, max)| max).unwrap();
+        assert!(widest.1 > widest.0, "{stability:?}");
     }
 }

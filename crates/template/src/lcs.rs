@@ -23,8 +23,10 @@ pub fn lcs_length(a: &[Symbol], b: &[Symbol]) -> usize {
 }
 
 /// Last row of the LCS length DP for `a` vs `b` (forward direction).
-/// `row[j]` = LCS length of `a` and `b[..j]`.
-fn forward_row(a: &[Symbol], b: &[Symbol]) -> Vec<u32> {
+/// `row[j]` = LCS length of `a` and `b[..j]`. Shared with the histogram
+/// path ([`crate::histogram`]), which uses it for its exact midpoint
+/// splits.
+pub(crate) fn forward_row(a: &[Symbol], b: &[Symbol]) -> Vec<u32> {
     let mut row = vec![0u32; b.len() + 1];
     for &ai in a {
         let mut diag = 0; // row[j-1] from the previous iteration
@@ -43,7 +45,7 @@ fn forward_row(a: &[Symbol], b: &[Symbol]) -> Vec<u32> {
 
 /// Same as [`forward_row`] but over the reversed sequences.
 /// `row[j]` = LCS length of `a` reversed and the last `j` items of `b`.
-fn backward_row(a: &[Symbol], b: &[Symbol]) -> Vec<u32> {
+pub(crate) fn backward_row(a: &[Symbol], b: &[Symbol]) -> Vec<u32> {
     let mut row = vec![0u32; b.len() + 1];
     for &ai in a.iter().rev() {
         let mut diag = 0;
@@ -141,6 +143,44 @@ mod tests {
         let pairs = lcs_indices(&a, &b);
         check_valid(&a, &b, &pairs);
         assert_eq!(pairs.len(), lcs_reference(&a, &b));
+    }
+
+    /// Regression for the `hirschberg` recursion boundaries: every mix of
+    /// length-0 and length-1 slices must terminate and produce a valid
+    /// trace. The `a.len() == 1` base case and the `mid = a.len() / 2`
+    /// split (`mid == 0` when `a.len() == 1`) are exactly the shapes the
+    /// recursion bottoms out on, so each is pinned here explicitly.
+    #[test]
+    fn degenerate_slice_boundaries() {
+        // Empty × {empty, one, many}.
+        assert!(lcs_indices(&[], &[]).is_empty());
+        assert!(lcs_indices(&[], &[7]).is_empty());
+        assert!(lcs_indices(&[7], &[]).is_empty());
+        assert!(lcs_indices(&[], &[1, 2, 3]).is_empty());
+        // Singleton a: base case scans b for the first occurrence.
+        assert_eq!(lcs_indices(&[5], &[9, 5, 5]), vec![(0, 1)]);
+        assert_eq!(lcs_indices(&[5], &[9, 8]), vec![]);
+        // Singleton b: the split puts everything on one side of b. The
+        // trace may pick either 5 of a; only validity and length are
+        // pinned.
+        let pairs = lcs_indices(&[9, 5, 5], &[5]);
+        check_valid(&[9, 5, 5], &[5], &pairs);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(lcs_indices(&[3, 4], &[4]), vec![(1, 0)]);
+        // Two-element a: mid == 1, both halves are singletons.
+        assert_eq!(lcs_indices(&[1, 2], &[1, 2]), vec![(0, 0), (1, 1)]);
+        assert_eq!(lcs_indices(&[2, 1], &[1, 2]).len(), 1);
+        // Lengths agree with the trace on every shape above.
+        for (a, b) in [
+            (vec![], vec![]),
+            (vec![5], vec![9, 5, 5]),
+            (vec![9, 5, 5], vec![5]),
+            (vec![2, 1], vec![1, 2]),
+        ] {
+            let a: Vec<Symbol> = a;
+            let b: Vec<Symbol> = b;
+            assert_eq!(lcs_indices(&a, &b).len(), lcs_length(&a, &b));
+        }
     }
 
     #[test]

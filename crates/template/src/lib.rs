@@ -25,13 +25,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod histogram;
 pub mod induce;
 pub mod intern;
 pub mod lcs;
 pub mod quality;
 pub mod slot;
 
-pub use induce::{induce, induce_interned, induction_count, Induction, Template};
+pub use histogram::{lcs_indices_histogram, lcs_indices_histogram_stats, LcsStats};
+pub use induce::{
+    candidate_streams, induce, induce_histogram, induce_interned, induce_with, induction_count,
+    InduceOptions, InduceStats, Induction, Template,
+};
 pub use intern::{Interner, Symbol};
 pub use quality::{assess, TemplateQuality};
 pub use slot::{Slot, SlotSet};
