@@ -33,6 +33,7 @@ use tableseg::batch;
 use tableseg::obs;
 use tableseg::robustness::RobustnessReport;
 use tableseg::timing::Stage;
+use tableseg_bench::corpus::BenchJson;
 use tableseg_bench::{run_sites_robust, table4_report, RobustBatchOutcome};
 use tableseg_eval::metrics::Metrics;
 use tableseg_sitegen::chaos::{apply_chaos, ChaosConfig};
@@ -219,12 +220,11 @@ fn main() -> ExitCode {
     let seed_list: Vec<String> = (0..seeds)
         .map(|s| (BASE_SEED + s as u64).to_string())
         .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"robustness_sweep\",\n  \"sites\": {},\n  \"seeds\": [{}],\n  \"rates\": [\n{}\n  ]\n}}\n",
-        specs.len(),
-        seed_list.join(", "),
-        rate_rows.join(",\n")
-    );
+    let mut j = BenchJson::new("robustness_sweep");
+    j.field("sites", specs.len())
+        .raw("seeds", format!("[{}]", seed_list.join(", ")))
+        .raw("rates", format!("[\n{}\n  ]", rate_rows.join(",\n")));
+    let json = j.finish();
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");
         return ExitCode::FAILURE;

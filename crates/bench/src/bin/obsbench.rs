@@ -22,6 +22,7 @@ use std::time::Instant;
 
 use tableseg::batch;
 use tableseg::obs;
+use tableseg_bench::corpus::BenchJson;
 use tableseg_bench::run_sites;
 use tableseg_sitegen::paper_sites;
 
@@ -114,10 +115,15 @@ fn main() -> ExitCode {
         counter_rows.push_str(&format!("    {}: {total}", obs::json_str(label)));
     }
 
-    let json = format!(
-        "{{\n  \"bench\": \"obs_overhead\",\n  \"sites\": {},\n  \"iters\": {iters},\n  \"threads\": {threads},\n  \"disabled_ns\": {disabled_ns},\n  \"enabled_ns\": {enabled_ns},\n  \"overhead_pct\": {overhead_pct:.3},\n  \"counters\": {{\n{counter_rows}\n  }}\n}}\n",
-        specs.len()
-    );
+    let mut j = BenchJson::new("obs_overhead");
+    j.field("sites", specs.len())
+        .field("iters", iters)
+        .field("threads", threads)
+        .field("disabled_ns", disabled_ns)
+        .field("enabled_ns", enabled_ns)
+        .raw("overhead_pct", format!("{overhead_pct:.3}"))
+        .raw("counters", format!("{{\n{counter_rows}\n  }}"));
+    let json = j.finish();
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");
         return ExitCode::FAILURE;

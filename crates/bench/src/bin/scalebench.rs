@@ -1,0 +1,229 @@
+//! Emits `BENCH_scale.json`: the streaming front-end scale benchmark.
+//!
+//! A procedurally generated [`Universe`](tableseg_sitegen::Universe) of
+//! sites streams through the work-stealing batch engine; every page runs
+//! through both the allocating token lexer and the zero-copy span lexer,
+//! with the allocating path as a differential oracle on sampled sites.
+//! The report carries the tokenize-stage and whole-front-end speedups,
+//! per-core throughput (pages/sec, bytes/sec), and the half-vs-full
+//! peak-RSS snapshot that proves the front end runs in memory bounded by
+//! sites in flight, not total pages.
+//!
+//! Flags:
+//!
+//! * `--sites N` — universe size (default 1000);
+//! * `--threads N` — batch worker threads (default: available
+//!   parallelism);
+//! * `--fault-rate F` — chaos injection rate, `0.0..=1.0` (default 0);
+//! * `--oracle-every N` — differential-oracle sampling stride
+//!   (default 16; 0 disables);
+//! * `--out PATH` — where to write the JSON (default `BENCH_scale.json`);
+//! * `--min-speedup X` — fail unless the tokenize-stage speedup is at
+//!   least `X` (default: no gate; CI passes 3);
+//! * `--min-pages-per-sec N` — fail below this per-core zero-copy
+//!   throughput (default: no gate);
+//! * `--max-rss-mb N` — fail if the full-run peak RSS exceeds `N` MiB
+//!   (default: no gate);
+//! * `--rss-tolerance F` — allowed half→full peak-RSS growth fraction
+//!   before the flatness gate fails (default 0.25; only checked when an
+//!   RSS gate or `--check-flat` is active);
+//! * `--check-flat` — fail unless the peak RSS stayed flat across the
+//!   two halves;
+//! * `--help` — this text.
+
+use std::process::ExitCode;
+
+use tableseg::batch;
+use tableseg_bench::scalebench::{render_json, run_scale_bench, ScaleConfig};
+
+fn usage() {
+    eprintln!(
+        "usage: scalebench [--sites N] [--threads N] [--fault-rate F] [--oracle-every N] \
+         [--out PATH] [--min-speedup X] [--min-pages-per-sec N] [--max-rss-mb N] \
+         [--rss-tolerance F] [--check-flat]"
+    );
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ScaleConfig {
+        threads: batch::default_threads(),
+        ..ScaleConfig::default()
+    };
+    let mut out_path = String::from("BENCH_scale.json");
+    let mut min_speedup: Option<f64> = None;
+    let mut min_pages_per_sec: Option<f64> = None;
+    let mut max_rss_mb: Option<u64> = None;
+    let mut rss_tolerance = 0.25f64;
+    let mut check_flat = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--sites" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--sites needs a positive number");
+                    return ExitCode::FAILURE;
+                };
+                cfg.sites = n.max(1);
+            }
+            "--threads" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--threads needs a positive number");
+                    return ExitCode::FAILURE;
+                };
+                cfg.threads = n.max(1);
+            }
+            "--fault-rate" => {
+                let Some(f) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--fault-rate needs a probability");
+                    return ExitCode::FAILURE;
+                };
+                cfg.fault_rate = f.clamp(0.0, 1.0);
+            }
+            "--oracle-every" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--oracle-every needs a number (0 disables)");
+                    return ExitCode::FAILURE;
+                };
+                cfg.oracle_every = n;
+            }
+            "--out" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                };
+                out_path = path;
+            }
+            "--min-speedup" => {
+                let Some(f) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--min-speedup needs a number");
+                    return ExitCode::FAILURE;
+                };
+                min_speedup = Some(f);
+            }
+            "--min-pages-per-sec" => {
+                let Some(f) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--min-pages-per-sec needs a number");
+                    return ExitCode::FAILURE;
+                };
+                min_pages_per_sec = Some(f);
+            }
+            "--max-rss-mb" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("--max-rss-mb needs a number");
+                    return ExitCode::FAILURE;
+                };
+                max_rss_mb = Some(n);
+            }
+            "--rss-tolerance" => {
+                let Some(f) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--rss-tolerance needs a fraction");
+                    return ExitCode::FAILURE;
+                };
+                rss_tolerance = f.max(0.0);
+            }
+            "--check-flat" => check_flat = true,
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!(
+        "scale: {} sites on {} thread(s), fault rate {:.2}, oracle every {} ...",
+        cfg.sites, cfg.threads, cfg.fault_rate, cfg.oracle_every
+    );
+    let bench = run_scale_bench(&cfg);
+
+    let json = render_json(&bench);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "tokenize: lexer {:.2} ms vs scan {:.2} ms → {:.2}x | front end {:.2}x",
+        bench.tokenize_ns as f64 / 1e6,
+        bench.scan_ns as f64 / 1e6,
+        bench.tokenize_speedup(),
+        bench.frontend_speedup()
+    );
+    eprintln!(
+        "throughput: {:.0} pages/s, {:.1} MB/s per core over {} pages / {:.1} MB \
+         ({} oracle site(s) agreed; written to {out_path})",
+        bench.pages_per_sec(),
+        bench.bytes_per_sec() / 1e6,
+        bench.pages,
+        bench.bytes as f64 / 1e6,
+        bench.oracle_sites
+    );
+    if let (Some(half), Some(full)) = (bench.rss_half_bytes, bench.rss_full_bytes) {
+        eprintln!(
+            "peak RSS: {:.1} MiB after half, {:.1} MiB after full (ratio {:.3})",
+            half as f64 / (1 << 20) as f64,
+            full as f64 / (1 << 20) as f64,
+            bench.rss_ratio().unwrap_or(0.0)
+        );
+    }
+
+    let mut failed = false;
+    if let Some(min) = min_speedup {
+        if bench.tokenize_speedup() < min {
+            eprintln!(
+                "FAIL: tokenize-stage speedup {:.2}x below the {min:.2}x gate",
+                bench.tokenize_speedup()
+            );
+            failed = true;
+        }
+    }
+    if let Some(min) = min_pages_per_sec {
+        if bench.pages_per_sec() < min {
+            eprintln!(
+                "FAIL: {:.0} pages/s below the {min:.0} pages/s gate",
+                bench.pages_per_sec()
+            );
+            failed = true;
+        }
+    }
+    if let Some(cap) = max_rss_mb {
+        match bench.rss_full_bytes {
+            Some(full) if full > cap * (1 << 20) => {
+                eprintln!(
+                    "FAIL: peak RSS {:.1} MiB above the {cap} MiB cap",
+                    full as f64 / (1 << 20) as f64
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!("FAIL: --max-rss-mb set but peak RSS is unreadable");
+                failed = true;
+            }
+            _ => {}
+        }
+    }
+    if check_flat {
+        match bench.rss_flat(rss_tolerance) {
+            Some(true) => {}
+            Some(false) => {
+                eprintln!(
+                    "FAIL: peak RSS grew {:.1}% over the second half (tolerance {:.1}%)",
+                    (bench.rss_ratio().unwrap_or(1.0) - 1.0) * 100.0,
+                    rss_tolerance * 100.0
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!("FAIL: --check-flat set but peak RSS is unreadable");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -25,8 +25,7 @@ use std::process::ExitCode;
 
 use tableseg::batch;
 use tableseg::obs;
-use tableseg::timing::Stage;
-use tableseg_bench::{run_sites, solvebench, table4_report};
+use tableseg_bench::{corpus, run_sites, solvebench, table4_report};
 use tableseg_sitegen::paper_sites;
 
 fn usage() {
@@ -137,16 +136,7 @@ fn main() -> ExitCode {
     eprintln!("running solver microbenchmark ({iters} pass(es) per path) ...");
     let bench = solvebench::run_solve_bench(iters);
 
-    let mut stage_totals: Vec<(String, u128)> = Vec::new();
-    for stage in Stage::ALL.into_iter().chain(Stage::SOLVE_SPLIT) {
-        let total: u128 = outcome
-            .timing
-            .rows()
-            .iter()
-            .map(|(_, times)| times.get(stage).as_nanos())
-            .sum();
-        stage_totals.push((stage.label().to_owned(), total));
-    }
+    let stage_totals = corpus::stage_totals(&outcome.timing);
 
     let json = solvebench::render_json(&bench, &stage_totals);
     if let Err(e) = std::fs::write(&out_path, &json) {

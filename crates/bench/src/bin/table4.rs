@@ -28,8 +28,7 @@ use std::process::ExitCode;
 
 use tableseg::batch;
 use tableseg::obs;
-use tableseg::timing::Stage;
-use tableseg_bench::{matchbench, run_sites, table4_report};
+use tableseg_bench::{corpus, matchbench, run_sites, table4_report};
 use tableseg_sitegen::paper_sites;
 
 fn usage() {
@@ -123,16 +122,7 @@ fn main() -> ExitCode {
         eprintln!("running matcher microbenchmark ...");
         let bench = matchbench::run_match_bench(7);
         // Corpus-wide per-stage totals from the batch run above.
-        let mut stage_totals: Vec<(String, u128)> = Vec::new();
-        for stage in Stage::ALL.into_iter().chain(Stage::SOLVE_SPLIT) {
-            let total: u128 = outcome
-                .timing
-                .rows()
-                .iter()
-                .map(|(_, times)| times.get(stage).as_nanos())
-                .sum();
-            stage_totals.push((stage.label().to_owned(), total));
-        }
+        let stage_totals = corpus::stage_totals(&outcome.timing);
         let json = matchbench::render_json(&bench, &stage_totals);
         if let Err(e) = std::fs::write(&path, &json) {
             eprintln!("cannot write {path}: {e}");

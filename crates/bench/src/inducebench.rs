@@ -21,8 +21,8 @@ use tableseg::html::Token;
 use tableseg::template::{
     assess, candidate_streams, induce_with, lcs_indices_histogram, InduceOptions, Interner, Symbol,
 };
-use tableseg_sitegen::paper_sites;
-use tableseg_sitegen::site::generate;
+
+use crate::corpus::{paper_generated_scaled, BenchJson};
 
 /// One site's interned front-end state, the induction benchmark input.
 pub struct InduceFixture {
@@ -36,12 +36,12 @@ pub struct InduceFixture {
     pub num_symbols: usize,
 }
 
-/// Tokenizes and interns every paper site at `page_count` sample pages.
+/// Tokenizes and interns every paper site at `page_count` sample pages
+/// (sites generated via [`crate::corpus::paper_generated_scaled`]).
 pub fn corpus(page_count: usize) -> Vec<InduceFixture> {
-    paper_sites::all()
-        .iter()
-        .map(|spec| {
-            let site = generate(&spec.with_page_count(page_count));
+    paper_generated_scaled(page_count)
+        .into_iter()
+        .map(|(spec, site)| {
             let pages: Vec<Vec<Token>> =
                 site.pages.iter().map(|p| tokenize(&p.list_html)).collect();
             let mut interner = Interner::new();
@@ -288,24 +288,9 @@ pub fn run_induce_bench(iters: usize, page_counts: &[usize]) -> InduceBench {
 
 /// Renders the benchmark as the `BENCH_induce.json` document.
 pub fn render_json(bench: &InduceBench) -> String {
-    let mut s = String::from("{\n");
-    s.push_str("  \"bench\": \"induce\",\n");
-    s.push_str(&format!(
-        "  \"corpus\": {{ \"sites\": {}, \"pairs\": {}, \"pair_tokens\": {} }},\n",
-        bench.sites, bench.pair.pairs, bench.pair.tokens
-    ));
-    s.push_str(&format!("  \"iters\": {},\n", bench.iters));
-    s.push_str(&format!(
-        "  \"pair_lcs\": {{ \"hirschberg_ns\": {}, \"histogram_ns\": {}, \"speedup\": {:.2}, \
-         \"anchors\": {} }},\n",
-        bench.pair.hirschberg_ns,
-        bench.pair.histogram_ns,
-        bench.pair.speedup(),
-        bench.pair.anchors
-    ));
-    s.push_str("  \"multi_page\": [\n");
+    let mut curve = String::from("[\n");
     for (i, p) in bench.curve.iter().enumerate() {
-        s.push_str(&format!(
+        curve.push_str(&format!(
             "    {{ \"pages\": {}, \"induce_ns\": {}, \"mean_largest_slot_fraction\": {:.4}, \
              \"mean_template_len\": {:.1}, \"usable_sites\": {} }}{}\n",
             p.pages,
@@ -316,19 +301,38 @@ pub fn render_json(bench: &InduceBench) -> String {
             if i + 1 < bench.curve.len() { "," } else { "" }
         ));
     }
-    s.push_str("  ],\n");
-    s.push_str(&format!(
-        "  \"quality_non_degrading\": {},\n",
-        bench.quality_non_degrading()
-    ));
-    s.push_str("  \"differential\": { \"histogram_equals_hirschberg\": true }\n");
-    s.push_str("}\n");
-    s
+    curve.push_str("  ]");
+
+    let mut j = BenchJson::new("induce");
+    j.raw(
+        "corpus",
+        format!(
+            "{{ \"sites\": {}, \"pairs\": {}, \"pair_tokens\": {} }}",
+            bench.sites, bench.pair.pairs, bench.pair.tokens
+        ),
+    )
+    .field("iters", bench.iters)
+    .raw(
+        "pair_lcs",
+        format!(
+            "{{ \"hirschberg_ns\": {}, \"histogram_ns\": {}, \"speedup\": {:.2}, \
+             \"anchors\": {} }}",
+            bench.pair.hirschberg_ns,
+            bench.pair.histogram_ns,
+            bench.pair.speedup(),
+            bench.pair.anchors
+        ),
+    )
+    .raw("multi_page", curve)
+    .field("quality_non_degrading", bench.quality_non_degrading())
+    .raw("differential", "{ \"histogram_equals_hirschberg\": true }");
+    j.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tableseg_sitegen::paper_sites;
 
     #[test]
     fn corpus_scales_page_counts() {
@@ -385,6 +389,7 @@ mod tests {
         assert!((bench.pair.speedup() - 4.0).abs() < 1e-9);
         assert!(bench.quality_non_degrading());
         let json = render_json(&bench);
+        assert!(json.contains("\"schema\": \"tableseg.bench/v2\""));
         assert!(json.contains("\"speedup\": 4.00"));
         assert!(json.contains("\"pages\": 10"));
         assert!(json.contains("\"quality_non_degrading\": true"));

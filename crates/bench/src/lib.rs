@@ -15,8 +15,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod inducebench;
 pub mod matchbench;
+pub mod scalebench;
 pub mod solvebench;
 
 use std::ops::Range;

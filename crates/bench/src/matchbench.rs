@@ -9,14 +9,13 @@
 
 use std::time::Instant;
 
+use crate::corpus::{paper_prepared, site_count, BenchJson};
 use tableseg::SiteTemplate;
 use tableseg_extract::{
     derive_extracts, match_extracts_indexed, match_extracts_naive, Extract, Observations, PageIndex,
 };
 use tableseg_html::lexer::tokenize;
 use tableseg_html::{Symbol, Token};
-use tableseg_sitegen::paper_sites;
-use tableseg_sitegen::site::generate;
 
 /// One page of the benchmark corpus, prepared for both matcher paths.
 ///
@@ -97,22 +96,20 @@ impl MatchFixture {
 }
 
 /// Builds the benchmark corpus: every list page of every simulated paper
-/// site, with the site template built once per site.
+/// site, with the site template built once per site (via
+/// [`crate::corpus::paper_prepared`]).
 pub fn corpus() -> Vec<MatchFixture> {
     let mut fixtures = Vec::new();
-    for spec in paper_sites::all() {
-        let site = generate(&spec);
-        let list_htmls = site.list_htmls();
-        let template = SiteTemplate::build(&list_htmls);
-        for (page, gp) in site.pages.iter().enumerate() {
-            let extracts = derive_extracts(&template.pages[page]);
+    for ps in paper_prepared() {
+        for (page, gp) in ps.site.pages.iter().enumerate() {
+            let extracts = derive_extracts(&ps.template.pages[page]);
             let details: Vec<Vec<Token>> = gp.detail_html.iter().map(|d| tokenize(d)).collect();
             fixtures.push(MatchFixture {
-                site: spec.name.clone(),
+                site: ps.spec.name.clone(),
                 extracts,
                 // The template is cheap to clone relative to bench runtime
                 // and keeps each fixture self-contained.
-                template: template.clone(),
+                template: ps.template.clone(),
                 page,
                 details,
             });
@@ -151,11 +148,7 @@ impl MatchBench {
 /// observation tables.
 pub fn run_match_bench(iters: usize) -> MatchBench {
     let fixtures = corpus();
-    let sites = {
-        let mut names: Vec<&str> = fixtures.iter().map(|f| f.site.as_str()).collect();
-        names.dedup();
-        names.len()
-    };
+    let sites = site_count(fixtures.iter().map(|f| f.site.as_str()));
     let extracts = fixtures.iter().map(|f| f.extracts.len()).sum();
 
     for f in &fixtures {
@@ -201,30 +194,20 @@ pub fn run_match_bench(iters: usize) -> MatchBench {
 /// Renders the benchmark (plus per-stage totals of a batch run, if given)
 /// as the `BENCH_frontend.json` document.
 pub fn render_json(bench: &MatchBench, stage_totals: &[(String, u128)]) -> String {
-    let mut s = String::from("{\n");
-    s.push_str("  \"bench\": \"frontend_match\",\n");
-    s.push_str(&format!(
-        "  \"corpus\": {{ \"sites\": {}, \"pages\": {}, \"extracts\": {} }},\n",
-        bench.sites, bench.pages, bench.extracts
-    ));
-    s.push_str(&format!("  \"iters\": {},\n", bench.iters));
-    s.push_str(&format!("  \"naive_ns\": {},\n", bench.naive_ns));
-    s.push_str(&format!("  \"indexed_ns\": {},\n", bench.indexed_ns));
-    s.push_str(&format!("  \"speedup\": {:.2},\n", bench.speedup()));
-    s.push_str("  \"stage_totals_ns\": {");
-    for (i, (stage, ns)) in stage_totals.iter().enumerate() {
-        if i > 0 {
-            s.push(',');
-        }
-        s.push_str(&format!(" \"{stage}\": {ns}"));
-    }
-    s.push_str(" }\n}\n");
-    s
+    let mut j = BenchJson::new("frontend_match");
+    j.corpus(bench.sites, bench.pages, bench.extracts)
+        .field("iters", bench.iters)
+        .field("naive_ns", bench.naive_ns)
+        .field("indexed_ns", bench.indexed_ns)
+        .raw("speedup", format!("{:.2}", bench.speedup()))
+        .stage_totals(stage_totals);
+    j.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tableseg_sitegen::paper_sites;
 
     #[test]
     fn corpus_covers_all_sites() {
@@ -256,6 +239,7 @@ mod tests {
             iters: 2,
         };
         let json = render_json(&bench, &[("tokenize".into(), 42)]);
+        assert!(json.contains("\"schema\": \"tableseg.bench/v2\""));
         assert!(json.contains("\"speedup\": 3.00"));
         assert!(json.contains("\"tokenize\": 42"));
         assert!(json.starts_with('{') && json.ends_with("}\n"));

@@ -15,9 +15,9 @@ use std::time::Instant;
 use tableseg_csp::{segment_csp, CspOptions, CspStatus};
 use tableseg_extract::Observations;
 use tableseg_prob::{segment_prob, ProbOptions};
-use tableseg_sitegen::paper_sites;
 
-use crate::{prepare_page_cached, prepare_site};
+use crate::corpus::{paper_prepared, site_count, BenchJson};
+use crate::prepare_page_cached;
 
 /// One list page of the benchmark corpus, prepared for segmentation.
 pub struct SolveFixture {
@@ -30,15 +30,15 @@ pub struct SolveFixture {
 }
 
 /// Builds the benchmark corpus: every list page of every simulated paper
-/// site, front end run once per page.
+/// site, front end run once per page (sites prepared via
+/// [`crate::corpus::paper_prepared`]).
 pub fn corpus() -> Vec<SolveFixture> {
     let mut fixtures = Vec::new();
-    for spec in paper_sites::all() {
-        let ps = prepare_site(&spec);
+    for ps in paper_prepared() {
         for page in 0..ps.site.pages.len() {
             let prepared = prepare_page_cached(&ps, page);
             fixtures.push(SolveFixture {
-                site: spec.name.clone(),
+                site: ps.spec.name.clone(),
                 page,
                 observations: prepared.observations,
             });
@@ -103,11 +103,7 @@ impl SolveBench {
 /// segmentation on every page.
 pub fn run_solve_bench(iters: usize) -> SolveBench {
     let fixtures = corpus();
-    let sites = {
-        let mut names: Vec<&str> = fixtures.iter().map(|f| f.site.as_str()).collect();
-        names.dedup();
-        names.len()
-    };
+    let sites = site_count(fixtures.iter().map(|f| f.site.as_str()));
     let extracts = fixtures.iter().map(|f| f.observations.len()).sum();
 
     let csp_base = CspOptions {
@@ -198,49 +194,42 @@ pub fn run_solve_bench(iters: usize) -> SolveBench {
 /// Renders the benchmark (plus per-stage totals of a batch run, if given)
 /// as the `BENCH_solver.json` document.
 pub fn render_json(bench: &SolveBench, stage_totals: &[(String, u128)]) -> String {
-    let mut s = String::from("{\n");
-    s.push_str("  \"bench\": \"solver\",\n");
-    s.push_str(&format!(
-        "  \"corpus\": {{ \"sites\": {}, \"pages\": {}, \"extracts\": {} }},\n",
-        bench.sites, bench.pages, bench.extracts
-    ));
-    s.push_str(&format!("  \"iters\": {},\n", bench.iters));
-    s.push_str(&format!(
-        "  \"csp\": {{ \"baseline_ns\": {}, \"optimized_ns\": {}, \"speedup\": {:.2}, \
-         \"flips\": {}, \"flips_per_sec\": {:.0} }},\n",
-        bench.csp.baseline_ns,
-        bench.csp.optimized_ns,
-        bench.csp.speedup(),
-        bench.csp.work_units,
-        bench.csp.units_per_sec()
-    ));
-    s.push_str(&format!(
-        "  \"prob\": {{ \"baseline_ns\": {}, \"optimized_ns\": {}, \"speedup\": {:.2}, \
-         \"em_iters\": {}, \"em_iters_per_sec\": {:.0} }},\n",
-        bench.prob.baseline_ns,
-        bench.prob.optimized_ns,
-        bench.prob.speedup(),
-        bench.prob.work_units,
-        bench.prob.units_per_sec()
-    ));
-    s.push_str(&format!(
-        "  \"solve_speedup\": {:.2},\n",
-        bench.solve_speedup()
-    ));
-    s.push_str("  \"stage_totals_ns\": {");
-    for (i, (stage, ns)) in stage_totals.iter().enumerate() {
-        if i > 0 {
-            s.push(',');
-        }
-        s.push_str(&format!(" \"{stage}\": {ns}"));
-    }
-    s.push_str(" }\n}\n");
-    s
+    let mut j = BenchJson::new("solver");
+    j.corpus(bench.sites, bench.pages, bench.extracts)
+        .field("iters", bench.iters)
+        .raw(
+            "csp",
+            format!(
+                "{{ \"baseline_ns\": {}, \"optimized_ns\": {}, \"speedup\": {:.2}, \
+                 \"flips\": {}, \"flips_per_sec\": {:.0} }}",
+                bench.csp.baseline_ns,
+                bench.csp.optimized_ns,
+                bench.csp.speedup(),
+                bench.csp.work_units,
+                bench.csp.units_per_sec()
+            ),
+        )
+        .raw(
+            "prob",
+            format!(
+                "{{ \"baseline_ns\": {}, \"optimized_ns\": {}, \"speedup\": {:.2}, \
+                 \"em_iters\": {}, \"em_iters_per_sec\": {:.0} }}",
+                bench.prob.baseline_ns,
+                bench.prob.optimized_ns,
+                bench.prob.speedup(),
+                bench.prob.work_units,
+                bench.prob.units_per_sec()
+            ),
+        )
+        .raw("solve_speedup", format!("{:.2}", bench.solve_speedup()))
+        .stage_totals(stage_totals);
+    j.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tableseg_sitegen::paper_sites;
 
     #[test]
     fn corpus_covers_all_sites() {
@@ -273,6 +262,7 @@ mod tests {
         };
         assert!((bench.solve_speedup() - 3.0).abs() < 1e-9);
         let json = render_json(&bench, &[("solve.csp".into(), 42)]);
+        assert!(json.contains("\"schema\": \"tableseg.bench/v2\""));
         assert!(json.contains("\"solve_speedup\": 3.00"));
         assert!(json.contains("\"flips\": 60"));
         assert!(json.contains("\"em_iters\": 40"));

@@ -11,7 +11,7 @@
 
 use tableseg_extract::{derive_extracts, match_extracts_indexed, Observations};
 use tableseg_extract::{PageIndex, SeparatorMask};
-use tableseg_html::lexer::tokenize;
+use tableseg_html::scan::{scan, ScanTokens};
 use tableseg_html::{Interner, SegError, Symbol, Token};
 use tableseg_obs::{Counter, Hist, Recorder};
 use tableseg_template::{assess, induce_with, InduceOptions, Induction, TemplateQuality};
@@ -115,11 +115,19 @@ impl SiteTemplate {
     /// benches build both and compare.
     pub fn build_with(list_pages: &[&str], opts: &InduceOptions) -> SiteTemplate {
         let mut timings = StageTimes::new();
+        // Zero-copy front end: each list page is scanned into span tokens
+        // and interned in one pass; the owned token stream (template
+        // induction compares token texts across pages) is materialized
+        // from the same scan, so the page text is traversed exactly once.
         let (pages, interner, streams) = timings.time(Stage::Tokenize, || {
-            let pages: Vec<Vec<Token>> = list_pages.iter().map(|p| tokenize(p)).collect();
             let mut interner = Interner::new();
-            let streams: Vec<Vec<Symbol>> =
-                pages.iter().map(|p| interner.intern_tokens(p)).collect();
+            let mut pages: Vec<Vec<Token>> = Vec::with_capacity(list_pages.len());
+            let mut streams: Vec<Vec<Symbol>> = Vec::with_capacity(list_pages.len());
+            for p in list_pages {
+                let scanned = scan(p);
+                streams.push(interner.intern_scanned(&scanned, p));
+                pages.push(scanned.to_tokens(p));
+            }
             (pages, interner, streams)
         });
         let (induction, quality, stats, fold_elapsed) =
@@ -143,6 +151,14 @@ impl SiteTemplate {
         });
         let mut metrics = Recorder::new();
         metrics.incr(Counter::SitesProcessed);
+        metrics.bump(Counter::FrontendPages, list_pages.len() as u64);
+        let list_bytes: usize = list_pages.iter().map(|p| p.len()).sum();
+        metrics.bump(Counter::FrontendBytes, list_bytes as u64);
+        if metrics.is_on() {
+            for p in list_pages {
+                metrics.observe(Hist::FrontendPageBytes, p.len() as u64);
+            }
+        }
         metrics.incr(Counter::TemplateInductions);
         metrics.bump(Counter::TemplateMergeFolds, stats.folds as u64);
         metrics.bump(
@@ -255,9 +271,13 @@ pub fn try_prepare_with_template(
         });
     }
     let mut timings = StageTimes::new();
-    let detail_tokens: Vec<Vec<Token>> = caught("tokenize", || {
+    // Zero-copy front end: detail pages are only ever reduced to
+    // occurrence indexes, so they are scanned into span tokens here and
+    // projected straight into `PageIndex`es below — no owned `Token`
+    // stream, no per-token strings.
+    let detail_scans: Vec<ScanTokens> = caught("tokenize", || {
         timings.time(Stage::Tokenize, || {
-            detail_pages.iter().map(|p| tokenize(p)).collect()
+            detail_pages.iter().map(|p| scan(p)).collect()
         })
     })?;
 
@@ -313,9 +333,10 @@ pub fn try_prepare_with_template(
                 .filter(|&(i, _)| i != target)
                 .map(|(_, idx)| idx)
                 .collect();
-            let detail_indexes: Vec<PageIndex> = detail_tokens
+            let detail_indexes: Vec<PageIndex> = detail_scans
                 .iter()
-                .map(|p| PageIndex::build(p, &template.interner))
+                .zip(detail_pages)
+                .map(|(s, p)| PageIndex::from_scanned(s, p, &template.interner))
                 .collect();
             let detail_refs: Vec<&PageIndex> = detail_indexes.iter().collect();
             match_extracts_indexed(extracts, &needles, &other_indexes, &detail_refs)
@@ -334,6 +355,14 @@ pub fn try_prepare_with_template(
 
     let mut metrics = Recorder::new();
     metrics.incr(Counter::PagesProcessed);
+    metrics.bump(Counter::FrontendPages, detail_pages.len() as u64);
+    let detail_bytes: usize = detail_pages.iter().map(|p| p.len()).sum();
+    metrics.bump(Counter::FrontendBytes, detail_bytes as u64);
+    if metrics.is_on() {
+        for p in detail_pages {
+            metrics.observe(Hist::FrontendPageBytes, p.len() as u64);
+        }
+    }
     if used_whole_page {
         metrics.incr(Counter::WholePageFallbacks);
     }

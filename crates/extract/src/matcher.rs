@@ -99,7 +99,7 @@ impl MatchStream {
 /// the page in one pass over it. The flat sorted layout costs a single
 /// allocation per page (detail pages are indexed per segmentation call,
 /// so per-symbol bucket allocations would dominate on small pages).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PageIndex {
     syms: Vec<Symbol>,
     occ: Vec<(Symbol, u32)>,
@@ -114,6 +114,25 @@ impl PageIndex {
         for t in tokens {
             if !is_separator(t) {
                 syms.push(interner.lookup(&t.text).unwrap_or(UNKNOWN_SYMBOL));
+            }
+        }
+        PageIndex::from_symbols(syms)
+    }
+
+    /// Builds the index of a zero-copy scanned page in one pass: each
+    /// span is resolved against the page, separator-reduced, and
+    /// projected read-only through `interner` — no owned token stream is
+    /// ever materialized. Equivalent to
+    /// `PageIndex::build(&scanned.to_tokens(input), interner)`.
+    pub fn from_scanned(
+        scanned: &tableseg_html::ScanTokens,
+        input: &str,
+        interner: &Interner,
+    ) -> PageIndex {
+        let mut syms = Vec::with_capacity(scanned.len());
+        for (text, types, _) in scanned.iter(input) {
+            if !crate::separator::is_separator_parts(text, types) {
+                syms.push(interner.lookup(text).unwrap_or(UNKNOWN_SYMBOL));
             }
         }
         PageIndex::from_symbols(syms)
@@ -339,5 +358,26 @@ mod tests {
         let a = PageIndex::build(&toks, &interner);
         let b = PageIndex::from_interned(&syms, &mask);
         assert_eq!(a.symbols(), b.symbols());
+    }
+
+    #[test]
+    fn from_scanned_equals_build() {
+        // Known words come from the "list page"; the "detail page" mixes
+        // known and unknown texts, separators, and an entity decode.
+        let list = "<td>John (740) 335-5555</td>";
+        let mut interner = Interner::new();
+        interner.intern_tokens(&tokenize(list));
+        for detail in [
+            "<td>John AT&amp;T (740) 335-5555</td> ~ stuff",
+            "unseen <TR>John</TR> 5555 | words",
+            "",
+            "~ | only separators <br>",
+        ] {
+            let toks = tokenize(detail);
+            let a = PageIndex::build(&toks, &interner);
+            let scanned = tableseg_html::scan(detail);
+            let b = PageIndex::from_scanned(&scanned, detail, &interner);
+            assert_eq!(a.symbols(), b.symbols(), "{detail:?}");
+        }
     }
 }

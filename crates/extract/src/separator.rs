@@ -17,10 +17,12 @@ pub fn is_separator_char(ch: char) -> bool {
     !NON_SEPARATOR_PUNCT.contains(&ch)
 }
 
-/// The separator decision on a token's raw parts; shared by the
-/// [`Token`]-level test and the per-symbol [`SeparatorMask`].
+/// The separator decision on a token's raw parts: the [`Token`]-level
+/// test, the per-symbol [`SeparatorMask`], and the zero-copy scan path
+/// (which has a resolved `&str` and a `TypeSet` but no owned [`Token`])
+/// all share this.
 #[inline]
-fn is_separator_parts(text: &str, types: TypeSet) -> bool {
+pub fn is_separator_parts(text: &str, types: TypeSet) -> bool {
     if types.contains(TokenType::Html) {
         return true;
     }

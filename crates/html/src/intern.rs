@@ -164,6 +164,30 @@ impl Interner {
             .collect()
     }
 
+    /// Interns a zero-copy scanned stream (see [`crate::scan()`]) without
+    /// materializing owned [`Token`]s: each span is resolved against the
+    /// page it was scanned from and interned with its lexer-assigned
+    /// types. Equivalent to `intern_tokens(&scanned.to_tokens(input))`.
+    pub fn intern_scanned(
+        &mut self,
+        scanned: &crate::scan::ScanTokens,
+        input: &str,
+    ) -> Vec<Symbol> {
+        scanned
+            .iter(input)
+            .map(|(text, types, _)| self.intern_typed(text, types))
+            .collect()
+    }
+
+    /// Read-only projection of a zero-copy scanned stream; the span-token
+    /// counterpart of [`Interner::project_tokens`].
+    pub fn project_scanned(&self, scanned: &crate::scan::ScanTokens, input: &str) -> Vec<Symbol> {
+        scanned
+            .iter(input)
+            .map(|(text, _, _)| self.lookup(text).unwrap_or(UNKNOWN_SYMBOL))
+            .collect()
+    }
+
     /// Looks up the text of a symbol.
     pub fn text(&self, sym: Symbol) -> &str {
         &self.texts[sym as usize]

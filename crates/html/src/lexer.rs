@@ -37,10 +37,42 @@ pub fn tokenize_text(input: &str) -> Vec<Token> {
 ///
 /// Invalid sequences are decoded lossily (replaced with U+FFFD) before
 /// tokenization, so this function is total: any byte string produces a
-/// token stream. Token offsets refer to the *decoded* text; when the
-/// input is valid UTF-8 they are byte offsets into `bytes` as usual.
+/// token stream. **Offset caveat:** when a lossy decode happened, token
+/// offsets refer to the *decoded* text, not to `bytes` — a 1-byte invalid
+/// sequence becomes the 3-byte U+FFFD, shifting everything after it. Use
+/// [`tokenize_bytes_flagged`] to learn whether that remap occurred; only
+/// when its `decoded` flag is `false` are offsets byte offsets into
+/// `bytes`.
 pub fn tokenize_bytes(bytes: &[u8]) -> Vec<Token> {
-    tokenize(&String::from_utf8_lossy(bytes))
+    tokenize_bytes_flagged(bytes).tokens
+}
+
+/// A byte-string token stream plus its decode provenance.
+#[derive(Debug, Clone)]
+pub struct BytesTokens {
+    /// The token stream of the (possibly lossily decoded) page.
+    pub tokens: Vec<Token>,
+    /// `true` if the input was not valid UTF-8 and was decoded lossily.
+    /// Token offsets then index the *decoded* text (each invalid sequence
+    /// replaced by the 3-byte U+FFFD), **not** the input bytes. When
+    /// `false`, offsets are byte offsets into the input as usual.
+    pub decoded: bool,
+}
+
+/// [`tokenize_bytes`] with the offset semantics made explicit: the
+/// `decoded` flag records whether a lossy decode remapped token offsets
+/// away from input byte positions.
+pub fn tokenize_bytes_flagged(bytes: &[u8]) -> BytesTokens {
+    match String::from_utf8_lossy(bytes) {
+        std::borrow::Cow::Borrowed(s) => BytesTokens {
+            tokens: tokenize(s),
+            decoded: false,
+        },
+        std::borrow::Cow::Owned(s) => BytesTokens {
+            tokens: tokenize(&s),
+            decoded: true,
+        },
+    }
 }
 
 struct Lexer<'a> {
@@ -210,8 +242,9 @@ fn find_ci(haystack: &str, needle: &str) -> Option<usize> {
 }
 
 /// Normalizes a raw tag: lowercases the tag name, collapses whitespace runs
-/// to a single space, trims whitespace before `>`.
-fn normalize_tag(raw: &str) -> String {
+/// to a single space, trims whitespace before `>`. Shared with the
+/// zero-copy scanner's slow path ([`crate::scan()`]).
+pub(crate) fn normalize_tag(raw: &str) -> String {
     debug_assert!(raw.starts_with('<') && raw.ends_with('>'));
     let inner = &raw[1..raw.len() - 1];
     let mut out = String::with_capacity(raw.len());

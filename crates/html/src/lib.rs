@@ -51,11 +51,13 @@ pub mod error;
 pub mod intern;
 pub mod lexer;
 pub mod links;
+pub mod scan;
 pub mod token;
 pub mod writer;
 
 pub use error::SegError;
 pub use intern::{FastHasher, FastMap, Interner, Symbol, UNKNOWN_SYMBOL};
 pub use links::{extract_links, Link};
+pub use scan::{scan, ScanTokens, SpanToken};
 pub use token::{Token, TokenType, TypeSet};
 pub use writer::render_tokens;

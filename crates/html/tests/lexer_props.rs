@@ -5,8 +5,28 @@ use proptest::prelude::*;
 
 use tableseg_html::dom::parse;
 use tableseg_html::lexer::tokenize;
+use tableseg_html::scan::scan;
 use tableseg_html::writer::{render_tokens, HtmlWriter};
-use tableseg_html::TypeSet;
+use tableseg_html::{Interner, TypeSet};
+
+/// Asserts the zero-copy scanner reproduces the oracle lexer exactly —
+/// texts, types, offsets — and that both interning paths agree.
+fn assert_scan_equiv(input: &str) -> Result<(), TestCaseError> {
+    let oracle = tokenize(input);
+    let scanned = scan(input);
+    let got = scanned.to_tokens(input);
+    prop_assert_eq!(&got, &oracle, "scan ≢ tokenize on {:?}", input);
+    let mut a = Interner::new();
+    let mut b = Interner::new();
+    prop_assert_eq!(
+        a.intern_scanned(&scanned, input),
+        b.intern_tokens(&oracle),
+        "interned streams diverged on {:?}",
+        input
+    );
+    prop_assert_eq!(a.len(), b.len());
+    Ok(())
+}
 
 /// Words safe to embed as text content (no markup characters; the writer
 /// escapes those anyway, but keeping them plain makes assertions direct).
@@ -166,6 +186,43 @@ proptest! {
             prop_assert_eq!(&a.text, &b.text, "text drifted in {:?}", rendered);
             prop_assert_eq!(a.types, b.types, "types drifted for {:?} in {:?}", &a.text, rendered);
         }
+    }
+
+    /// The zero-copy scanner is equivalent to the allocating oracle on
+    /// arbitrary (possibly malformed) text input.
+    #[test]
+    fn scan_equals_tokenize_on_arbitrary_input(input in ".{0,300}") {
+        assert_scan_equiv(&input)?;
+    }
+
+    /// The equivalence holds on arbitrary *byte* strings after the same
+    /// lossy decode the byte-level entry point performs — invalid UTF-8,
+    /// NUL bytes, stray markup and all.
+    #[test]
+    fn scan_equals_tokenize_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        assert_scan_equiv(&text)?;
+    }
+
+    /// The equivalence holds over the round-trip `render_tokens` corpus:
+    /// generated HTML mixing tags, words, entities and punctuation at
+    /// arbitrary boundaries, plus its rendered normal form.
+    #[test]
+    fn scan_equals_tokenize_on_rendered_corpus(
+        pieces in proptest::collection::vec((arb_html_piece(), proptest::bool::ANY), 0..30),
+    ) {
+        let mut html = String::new();
+        for (piece, spaced) in &pieces {
+            html.push_str(piece);
+            if *spaced {
+                html.push(' ');
+            }
+        }
+        assert_scan_equiv(&html)?;
+        let rendered = render_tokens(&tokenize(&html));
+        assert_scan_equiv(&rendered)?;
     }
 
     /// Type classification is deterministic and consistent with the

@@ -62,11 +62,15 @@ pub enum Counter {
     SolveFailures,
     /// Faults injected by the chaos layer (chaos runs only).
     ChaosFaults,
+    /// Pages scanned by the zero-copy front end (list + detail).
+    FrontendPages,
+    /// HTML bytes scanned by the zero-copy front end.
+    FrontendBytes,
 }
 
 impl Counter {
     /// Every counter, in manifest order.
-    pub const ALL: [Counter; 21] = [
+    pub const ALL: [Counter; 23] = [
         Counter::PagesProcessed,
         Counter::PagesOk,
         Counter::PagesDegraded,
@@ -88,6 +92,8 @@ impl Counter {
         Counter::EmIterations,
         Counter::SolveFailures,
         Counter::ChaosFaults,
+        Counter::FrontendPages,
+        Counter::FrontendBytes,
     ];
 
     /// The canonical `area.event` metric name.
@@ -114,6 +120,8 @@ impl Counter {
             Counter::EmIterations => "prob.em.iterations",
             Counter::SolveFailures => "solve.failures",
             Counter::ChaosFaults => "chaos.faults",
+            Counter::FrontendPages => "frontend.pages",
+            Counter::FrontendBytes => "frontend.bytes",
         }
     }
 
@@ -189,16 +197,19 @@ pub enum Hist {
     WsatFlipsPerSolve,
     /// EM iterations per probabilistic solve.
     EmIterationsPerSolve,
+    /// HTML bytes per page scanned by the zero-copy front end.
+    FrontendPageBytes,
 }
 
 impl Hist {
     /// Every histogram, in manifest order.
-    pub const ALL: [Hist; 5] = [
+    pub const ALL: [Hist; 6] = [
         Hist::ExtractsPerPage,
         Hist::DetailPagesPerExtract,
         Hist::RecordsPerPage,
         Hist::WsatFlipsPerSolve,
         Hist::EmIterationsPerSolve,
+        Hist::FrontendPageBytes,
     ];
 
     /// The canonical metric name.
@@ -209,6 +220,7 @@ impl Hist {
             Hist::RecordsPerPage => "records_per_page",
             Hist::WsatFlipsPerSolve => "wsat_flips_per_solve",
             Hist::EmIterationsPerSolve => "em_iterations_per_solve",
+            Hist::FrontendPageBytes => "frontend_page_bytes",
         }
     }
 

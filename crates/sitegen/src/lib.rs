@@ -40,6 +40,7 @@ pub mod paper_sites;
 pub mod quirks;
 pub mod site;
 pub mod truth;
+pub mod universe;
 
 pub use chaos::{
     apply_chaos, generate_chaotic, ChaosConfig, ChaosLog, FaultKind, FaultSpec, InjectedFault,
@@ -47,3 +48,4 @@ pub use chaos::{
 pub use quirks::Quirk;
 pub use site::{generate, GeneratedSite, LayoutStyle, SiteSpec};
 pub use truth::{GroundTruth, RecordSpan};
+pub use universe::{Universe, UniverseConfig};

@@ -1,0 +1,298 @@
+//! Universe mode: procedural mega-corpora of simulated sites.
+//!
+//! The paper's evaluation uses twelve hand-modelled sites
+//! ([`crate::paper_sites`]); scale-out benchmarking needs thousands.
+//! A [`Universe`] is a *recipe*, not a corpus: it derives the [`SiteSpec`]
+//! of site `i` deterministically from `(seed, i)` — domain mix, layout
+//! style, quirk cocktail, page and record counts, optional fault
+//! injection — and generates each site **on demand**. Nothing is
+//! materialized up front, so a driver can stream millions of pages
+//! through the pipeline while holding only the sites currently in
+//! flight; per-site state is dropped as soon as its report is reduced.
+//!
+//! Every site is independently derivable: `universe.site(i)` is pure in
+//! `(config, i)`, so work can be sharded across the batch engine in any
+//! order at any thread count with byte-identical results.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::chaos::{apply_chaos, ChaosConfig, ChaosLog};
+use crate::domains::Domain;
+use crate::quirks::Quirk;
+use crate::site::{generate, GeneratedSite, LayoutStyle, SiteSpec};
+
+/// The shape of a procedurally generated universe of sites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniverseConfig {
+    /// Number of sites in the universe.
+    pub sites: usize,
+    /// Master seed; every site spec derives from `(seed, index)`.
+    pub seed: u64,
+    /// Minimum sample list pages per site (inclusive).
+    pub min_list_pages: usize,
+    /// Maximum sample list pages per site (inclusive).
+    pub max_list_pages: usize,
+    /// Minimum records per list page (inclusive).
+    pub min_records: usize,
+    /// Maximum records per list page (inclusive).
+    pub max_records: usize,
+    /// Per-(page, fault-kind) chaos probability; `0.0` disables fault
+    /// injection entirely.
+    pub fault_rate: f64,
+}
+
+impl Default for UniverseConfig {
+    fn default() -> UniverseConfig {
+        UniverseConfig {
+            sites: 1000,
+            seed: 0x0705_1EED_0BAD_CAFE,
+            min_list_pages: 2,
+            max_list_pages: 4,
+            min_records: 3,
+            max_records: 18,
+            fault_rate: 0.0,
+        }
+    }
+}
+
+/// A deterministic, lazily generated universe of sites.
+#[derive(Debug, Clone)]
+pub struct Universe {
+    cfg: UniverseConfig,
+}
+
+/// SplitMix64 finalizer: decorrelates `(seed, index)` pairs so adjacent
+/// site indexes draw unrelated spec parameters.
+fn mix(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Universe {
+    /// Creates a universe from its config.
+    pub fn new(cfg: UniverseConfig) -> Universe {
+        assert!(cfg.min_list_pages >= 1, "a site needs at least one page");
+        assert!(
+            cfg.min_list_pages <= cfg.max_list_pages && cfg.min_records <= cfg.max_records,
+            "universe ranges must be non-empty"
+        );
+        Universe { cfg }
+    }
+
+    /// The universe's config.
+    pub fn config(&self) -> &UniverseConfig {
+        &self.cfg
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.cfg.sites
+    }
+
+    /// Returns `true` if the universe has no sites.
+    pub fn is_empty(&self) -> bool {
+        self.cfg.sites == 0
+    }
+
+    /// Derives the spec of site `index`. Pure in `(config, index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn spec(&self, index: usize) -> SiteSpec {
+        assert!(index < self.cfg.sites, "site index out of universe bounds");
+        let mut rng = StdRng::seed_from_u64(mix(self.cfg.seed, index as u64));
+        let domain = Domain::ALL[rng.random_range(0..Domain::ALL.len())];
+        // Grid tables dominate real hidden-web sites; numbered lists and
+        // free-form layouts are the interesting minorities.
+        let layout = match rng.random_range(0..4u32) {
+            0 | 1 => LayoutStyle::GridTable,
+            2 => LayoutStyle::NumberedList,
+            _ => LayoutStyle::FreeForm,
+        };
+        let pages = rng.random_range(self.cfg.min_list_pages..=self.cfg.max_list_pages);
+        let records_per_page = (0..pages)
+            .map(|_| rng.random_range(self.cfg.min_records..=self.cfg.max_records))
+            .collect();
+        let quirks = draw_quirks(domain, &mut rng);
+        let continuous_numbering = layout == LayoutStyle::NumberedList && rng.random_bool(0.5);
+        let overlap = if rng.random_bool(0.1) { 1 } else { 0 };
+        let missing_field_prob = if rng.random_bool(0.5) {
+            rng.random_range(0..=20u32) as f64 / 100.0
+        } else {
+            0.0
+        };
+        SiteSpec {
+            name: format!("universe-{index:06}"),
+            domain,
+            layout,
+            records_per_page,
+            quirks,
+            missing_field_prob,
+            continuous_numbering,
+            overlap,
+            seed: mix(self.cfg.seed ^ 0x5172, index as u64),
+        }
+    }
+
+    /// Generates site `index` — spec derivation, page generation, and
+    /// (when `fault_rate > 0`) chaos injection — returning the fault log
+    /// alongside the site. This is the streaming entry point: nothing is
+    /// cached, and dropping the result frees all of the site's memory.
+    pub fn site_logged(&self, index: usize) -> (GeneratedSite, ChaosLog) {
+        let spec = self.spec(index);
+        let site = generate(&spec);
+        if self.cfg.fault_rate > 0.0 {
+            let chaos = ChaosConfig::uniform(
+                self.cfg.fault_rate,
+                mix(self.cfg.seed ^ 0xFA17, index as u64),
+            );
+            apply_chaos(&site, &chaos)
+        } else {
+            (site, ChaosLog::default())
+        }
+    }
+
+    /// [`Universe::site_logged`] without the fault log.
+    pub fn site(&self, index: usize) -> GeneratedSite {
+        self.site_logged(index).0
+    }
+
+    /// Iterates all sites lazily, in index order.
+    pub fn sites(&self) -> impl Iterator<Item = GeneratedSite> + '_ {
+        (0..self.len()).map(|i| self.site(i))
+    }
+}
+
+/// Draws a domain-appropriate quirk cocktail: zero to three quirks from
+/// the domain's palette, without replacement. Field names are the ones
+/// the domain schemas actually carry, so every quirk is live.
+fn draw_quirks(domain: Domain, rng: &mut StdRng) -> Vec<Quirk> {
+    let palette: &[Quirk] = match domain {
+        Domain::WhitePages => &[
+            Quirk::SharedValueMissingOnDetail { field: "city" },
+            Quirk::DisjunctiveFormatting { field: "address" },
+            Quirk::QueryEcho { field: "city" },
+            Quirk::CaseMismatch { field: "name" },
+            Quirk::BrowsingHistory,
+            Quirk::ListPagePromos { count: 2 },
+        ],
+        Domain::Books => &[
+            Quirk::EtAlAbbreviation { field: "authors" },
+            Quirk::BrowsingHistory,
+            Quirk::ListPagePromos { count: 3 },
+        ],
+        Domain::PropertyTax => &[Quirk::BrowsingHistory, Quirk::ListPagePromos { count: 1 }],
+        Domain::Corrections => &[
+            Quirk::ValueInUnrelatedContext { field: "status" },
+            Quirk::CaseMismatch { field: "status" },
+            Quirk::QueryEcho { field: "facility" },
+            Quirk::BrowsingHistory,
+        ],
+    };
+    let count = rng.random_range(0..=3usize).min(palette.len());
+    let mut picks: Vec<usize> = Vec::with_capacity(count);
+    while picks.len() < count {
+        let k = rng.random_range(0..palette.len());
+        if !picks.contains(&k) {
+            picks.push(k);
+        }
+    }
+    picks.into_iter().map(|k| palette[k]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_are_deterministic_and_diverse() {
+        let u = Universe::new(UniverseConfig {
+            sites: 64,
+            ..UniverseConfig::default()
+        });
+        let v = Universe::new(u.config().clone());
+        let mut domains = std::collections::HashSet::new();
+        let mut layouts = std::collections::HashSet::new();
+        let mut quirky = 0usize;
+        for i in 0..u.len() {
+            let a = u.spec(i);
+            let b = v.spec(i);
+            assert_eq!(a, b, "site {i} must be pure in (config, index)");
+            assert!(!a.records_per_page.is_empty());
+            assert!(a.records_per_page.iter().all(|&r| (3..=18).contains(&r)));
+            domains.insert(format!("{:?}", a.domain));
+            layouts.insert(format!("{:?}", a.layout));
+            quirky += usize::from(!a.quirks.is_empty());
+        }
+        assert_eq!(domains.len(), 4, "all domains in the mix");
+        assert_eq!(layouts.len(), 3, "all layouts in the mix");
+        assert!(quirky > 10, "quirk cocktails occur: {quirky}");
+    }
+
+    #[test]
+    fn sites_generate_and_stream() {
+        let u = Universe::new(UniverseConfig {
+            sites: 4,
+            ..UniverseConfig::default()
+        });
+        for (i, site) in u.sites().enumerate() {
+            assert_eq!(site.pages.len(), u.spec(i).records_per_page.len());
+            for page in &site.pages {
+                assert!(!page.list_html.is_empty());
+                assert_eq!(page.detail_html.len(), page.truth.records.len());
+            }
+        }
+    }
+
+    #[test]
+    fn quirk_fields_exist_in_domain_schemas() {
+        let u = Universe::new(UniverseConfig {
+            sites: 200,
+            ..UniverseConfig::default()
+        });
+        for i in 0..u.len() {
+            let spec = u.spec(i);
+            let schema = spec.domain.schema();
+            for q in &spec.quirks {
+                let field = match q {
+                    Quirk::CaseMismatch { field }
+                    | Quirk::EtAlAbbreviation { field }
+                    | Quirk::ValueInUnrelatedContext { field }
+                    | Quirk::SharedValueMissingOnDetail { field }
+                    | Quirk::DisjunctiveFormatting { field }
+                    | Quirk::QueryEcho { field } => field,
+                    Quirk::BrowsingHistory | Quirk::ListPagePromos { .. } => continue,
+                };
+                assert!(
+                    schema.field_index(field).is_some(),
+                    "site {i}: quirk field {field:?} missing from {:?}",
+                    spec.domain
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_rate_injects_deterministically() {
+        let cfg = UniverseConfig {
+            sites: 8,
+            fault_rate: 0.3,
+            ..UniverseConfig::default()
+        };
+        let u = Universe::new(cfg.clone());
+        let v = Universe::new(cfg);
+        let mut faults = 0usize;
+        for i in 0..u.len() {
+            let (a, log_a) = u.site_logged(i);
+            let (b, log_b) = v.site_logged(i);
+            assert_eq!(a, b, "chaos must be deterministic per site");
+            assert_eq!(log_a.len(), log_b.len());
+            faults += log_a.len();
+        }
+        assert!(faults > 0, "a 0.3 fault rate must inject something");
+    }
+}

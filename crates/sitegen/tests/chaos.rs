@@ -7,10 +7,12 @@
 
 use proptest::prelude::*;
 
-use tableseg_html::lexer::{tokenize, tokenize_bytes};
+use tableseg_html::lexer::{tokenize, tokenize_bytes, tokenize_bytes_flagged};
+use tableseg_html::scan;
 use tableseg_sitegen::chaos::{apply_chaos, generate_chaotic, ChaosConfig, FaultKind};
 use tableseg_sitegen::paper_sites;
 use tableseg_sitegen::site::generate;
+use tableseg_sitegen::{Universe, UniverseConfig};
 
 /// Every page (list and detail) of a chaos-damaged site.
 fn all_pages(site: &tableseg_sitegen::GeneratedSite) -> Vec<&str> {
@@ -57,6 +59,102 @@ fn stacked_chaos_keeps_pages_tokenizable_across_seeds() {
             assert_eq!(a.len(), b.len(), "seed {seed}");
         }
     }
+}
+
+#[test]
+fn zero_copy_scan_matches_lexer_on_every_fault_kind() {
+    // The span lexer must stay token-for-token identical to the
+    // allocating oracle on damaged pages, not just clean ones: each
+    // fault kind alone at p=1, then heavy stacked chaos across seeds.
+    let specs = [paper_sites::butler(), paper_sites::amazon()];
+    for spec in &specs {
+        for kind in FaultKind::ALL {
+            let (site, _) = generate_chaotic(spec, &ChaosConfig::only(kind, 1.0, 0xFEED));
+            for html in all_pages(&site) {
+                assert_eq!(
+                    scan(html).to_tokens(html),
+                    tokenize(html),
+                    "{kind:?} on {}",
+                    spec.name
+                );
+            }
+        }
+    }
+    let clean = generate(&paper_sites::ohio());
+    for seed in 0..4u64 {
+        let (site, _) = apply_chaos(&clean, &ChaosConfig::uniform(0.7, seed));
+        for html in all_pages(&site) {
+            assert_eq!(scan(html).to_tokens(html), tokenize(html), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn zero_copy_scan_matches_lexer_on_universe_sites() {
+    // A slice of the procedural universe, faults armed: the mega-corpus
+    // generator cannot produce a page the two front ends disagree on.
+    let u = Universe::new(UniverseConfig {
+        sites: 12,
+        fault_rate: 0.2,
+        ..UniverseConfig::default()
+    });
+    for site in u.sites() {
+        for html in all_pages(&site) {
+            assert_eq!(scan(html).to_tokens(html), tokenize(html));
+        }
+    }
+}
+
+#[test]
+fn truncated_multibyte_page_reports_lossy_decode() {
+    // Regression for the `tokenize_bytes` offset caveat: slicing a page
+    // mid-multibyte-character must set the `decoded` flag, because the
+    // lossy decode rewrites the invalid tail to U+FFFD and token offsets
+    // then index the *decoded* text, not the input bytes.
+    // EncodingDamage at p=1 plants multibyte U+FFFD characters in every
+    // page — the canonical truncated-multibyte chaos page.
+    let (site, log) = generate_chaotic(
+        &paper_sites::amazon(),
+        &ChaosConfig::only(FaultKind::EncodingDamage, 1.0, 0xFEED),
+    );
+    assert!(!log.is_empty());
+    let html = site
+        .pages
+        .iter()
+        .map(|p| &p.list_html)
+        .find(|h| h.chars().any(|c| c.len_utf8() > 1))
+        .expect("encoding damage plants multibyte characters");
+    let multibyte = html
+        .char_indices()
+        .find(|&(_, c)| c.len_utf8() > 1)
+        .map(|(i, _)| i);
+    // Cut one byte into the first multibyte character.
+    let cut = multibyte.expect("page carries multibyte characters") + 1;
+    let truncated = &html.as_bytes()[..cut];
+    assert!(
+        std::str::from_utf8(truncated).is_err(),
+        "cut must land mid-character"
+    );
+
+    let flagged = tokenize_bytes_flagged(truncated);
+    assert!(flagged.decoded, "lossy decode must be reported");
+    // Offsets are valid in the decoded text: each token is findable at
+    // its recorded offset of the decoded string.
+    let decoded = String::from_utf8_lossy(truncated).into_owned();
+    assert!(decoded.ends_with('\u{FFFD}'));
+    for t in &flagged.tokens {
+        assert!(t.offset <= decoded.len(), "{t:?}");
+    }
+    // The clean prefix (everything before the cut character) is
+    // untouched, so there `decoded` stays false and offsets are byte
+    // offsets into the input.
+    let clean_prefix = &html.as_bytes()[..cut - 1];
+    let clean = tokenize_bytes_flagged(clean_prefix);
+    assert!(!clean.decoded);
+    assert_eq!(
+        clean.tokens,
+        tokenize(std::str::from_utf8(clean_prefix).unwrap())
+    );
 }
 
 #[test]
