@@ -1,0 +1,147 @@
+//! Emits `BENCH_serve.json`: the `tablesegd` closed-loop load benchmark.
+//!
+//! Boots an in-process daemon on an ephemeral port, measures cold
+//! (invalidate-before-every-request) and warm (primed cache,
+//! multi-client closed loop) latency over the 12-site paper corpus, and
+//! reports p50/p99 per phase, the warm/cold p50 speedup, request
+//! throughput and the daemon's cache hit rate.
+//!
+//! Flags:
+//!
+//! * `--secs F` — warm closed-loop duration (default 5);
+//! * `--clients N` — warm client threads (default 4);
+//! * `--rounds N` — cold corpus passes (default 3);
+//! * `--threads N` — daemon batch-engine threads (default 2);
+//! * `--workers N` — daemon HTTP workers (default 4);
+//! * `--out PATH` — where to write the JSON (default `BENCH_serve.json`);
+//! * `--min-speedup X` — fail unless warm p50 beats cold p50 by at
+//!   least `X`× (default: no gate; CI passes 2);
+//! * `--min-hit-rate F` — fail below this cache hit rate (default: no
+//!   gate);
+//! * `--help` — this text.
+
+use std::process::ExitCode;
+
+use tableseg_bench::servebench::{render_json, run_serve_bench, ServeBenchConfig};
+
+fn usage() {
+    eprintln!(
+        "usage: servebench [--secs F] [--clients N] [--rounds N] [--threads N] [--workers N] \
+         [--out PATH] [--min-speedup X] [--min-hit-rate F]"
+    );
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ServeBenchConfig::default();
+    let mut out_path = String::from("BENCH_serve.json");
+    let mut min_speedup: Option<f64> = None;
+    let mut min_hit_rate: Option<f64> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--secs" => {
+                let Some(f) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--secs needs a duration in seconds");
+                    return ExitCode::FAILURE;
+                };
+                cfg.secs = f.max(0.1);
+            }
+            "--clients" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--clients needs a positive number");
+                    return ExitCode::FAILURE;
+                };
+                cfg.clients = n.max(1);
+            }
+            "--rounds" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--rounds needs a positive number");
+                    return ExitCode::FAILURE;
+                };
+                cfg.rounds = n.max(1);
+            }
+            "--threads" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--threads needs a positive number");
+                    return ExitCode::FAILURE;
+                };
+                cfg.batch_threads = n.max(1);
+            }
+            "--workers" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--workers needs a positive number");
+                    return ExitCode::FAILURE;
+                };
+                cfg.workers = n.max(1);
+            }
+            "--out" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                };
+                out_path = path;
+            }
+            "--min-speedup" => {
+                let Some(x) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--min-speedup needs a number");
+                    return ExitCode::FAILURE;
+                };
+                min_speedup = Some(x);
+            }
+            "--min-hit-rate" => {
+                let Some(x) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--min-hit-rate needs a fraction");
+                    return ExitCode::FAILURE;
+                };
+                min_hit_rate = Some(x);
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let bench = run_serve_bench(&cfg);
+    let json = render_json(&cfg, &bench);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    print!("{json}");
+    eprintln!(
+        "servebench: cold p50 {} us, warm p50 {} us, speedup {:.2}x, {:.1} req/s warm, \
+         hit rate {:.4}",
+        bench.cold_p50_us, bench.warm_p50_us, bench.speedup_p50, bench.warm_rps, bench.hit_rate
+    );
+
+    let mut failed = false;
+    if let Some(min) = min_speedup {
+        if bench.speedup_p50 < min {
+            eprintln!(
+                "GATE FAILED: warm/cold p50 speedup {:.2} < required {min:.2}",
+                bench.speedup_p50
+            );
+            failed = true;
+        }
+    }
+    if let Some(min) = min_hit_rate {
+        if bench.hit_rate < min {
+            eprintln!(
+                "GATE FAILED: cache hit rate {:.4} < required {min:.4}",
+                bench.hit_rate
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -19,6 +19,7 @@ pub mod corpus;
 pub mod inducebench;
 pub mod matchbench;
 pub mod scalebench;
+pub mod servebench;
 pub mod solvebench;
 
 use std::ops::Range;

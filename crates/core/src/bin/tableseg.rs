@@ -43,7 +43,9 @@ struct Args {
 fn usage() -> &'static str {
     "usage: tableseg --list FILE [--list FILE ...] --detail FILE [--detail FILE ...]\n\
      \x20       [--target N] [--method csp|prob|hybrid[,method...]] [--threads N]\n\
-     \x20       [--time] [--columns] [--wrapper] [--verbose] [--manifest PATH]"
+     \x20       [--time] [--columns] [--wrapper] [--verbose] [--manifest PATH]\n\
+     for long-running service use, see the `tablesegd` daemon and its\n\
+     `tablesegctl` client in the tableseg-serve crate"
 }
 
 fn parse_args() -> Result<Args, String> {

@@ -192,6 +192,146 @@ impl SiteTemplate {
         }
         caught("template", || SiteTemplate::build(list_pages))
     }
+
+    /// Incrementally refreshes this template for an updated page sample:
+    /// changed pages are re-tokenized and the **cached** template tokens
+    /// are re-anchored onto them (each token must still occur exactly
+    /// once, in template order); unchanged pages keep their tokens,
+    /// streams and anchors. The anchor-stability pass
+    /// ([`tableseg_template::restabilize`]) then re-runs over the full
+    /// sample and the quality is re-assessed — but **induction itself
+    /// does not re-run**, which is what makes a serving layer's warm
+    /// path cheap ([`tableseg_template::induction_count`] stays flat).
+    ///
+    /// Returns `None` — the caller must fall back to a full
+    /// [`SiteTemplate::build`] — when the refresh would degrade the
+    /// template rather than maintain it:
+    ///
+    /// * the sample shape changed (`list_pages`/`changed` length differs
+    ///   from the cached sample);
+    /// * a template token no longer embeds uniquely and in order into a
+    ///   changed page;
+    /// * the stability pass halved the template (slot stability
+    ///   degraded), or a usable template became unusable.
+    ///
+    /// A refresh with byte-identical pages reproduces the cached
+    /// template exactly; genuinely changed pages yield an approximation
+    /// of the full re-induction that keeps every surviving anchor — the
+    /// staleness/latency trade documented in DESIGN.md's serving-layer
+    /// section.
+    pub fn try_refresh(&self, list_pages: &[&str], changed: &[bool]) -> Option<SiteTemplate> {
+        if list_pages.len() != self.pages.len() || changed.len() != list_pages.len() {
+            return None;
+        }
+        let mut timings = StageTimes::new();
+        let mut interner = self.interner.clone();
+        let mut changed_bytes = 0usize;
+        let (pages, streams) = timings.time(Stage::Tokenize, || {
+            let mut pages: Vec<Vec<Token>> = Vec::with_capacity(list_pages.len());
+            let mut streams: Vec<Vec<Symbol>> = Vec::with_capacity(list_pages.len());
+            for (i, p) in list_pages.iter().enumerate() {
+                if changed[i] {
+                    changed_bytes += p.len();
+                    let scanned = scan(p);
+                    streams.push(interner.intern_scanned(&scanned, p));
+                    pages.push(scanned.to_tokens(p));
+                } else {
+                    pages.push(self.pages[i].clone());
+                    streams.push(self.streams[i].clone());
+                }
+            }
+            (pages, streams)
+        });
+
+        let refreshed = timings.time(Stage::TemplateInduction, || {
+            // The cached template's tokens all exist in the cached
+            // interner, so interning them back is a pure lookup.
+            let tpl_syms: Vec<Symbol> = self
+                .induction
+                .template
+                .tokens
+                .iter()
+                .map(|t| interner.intern_token(t))
+                .collect();
+            let mut anchors: Vec<Vec<usize>> = Vec::with_capacity(pages.len());
+            for (i, stream) in streams.iter().enumerate() {
+                if !changed[i] {
+                    anchors.push(self.induction.anchors[i].clone());
+                    continue;
+                }
+                // Re-embed: every template symbol must occur exactly once
+                // on the changed page, in template order.
+                let mut occurrences: std::collections::HashMap<Symbol, (usize, usize)> =
+                    std::collections::HashMap::new();
+                for (pos, &s) in stream.iter().enumerate() {
+                    let e = occurrences.entry(s).or_insert((0, pos));
+                    e.0 += 1;
+                }
+                let mut anchor = Vec::with_capacity(tpl_syms.len());
+                for &sym in &tpl_syms {
+                    match occurrences.get(&sym) {
+                        Some(&(1, pos)) => anchor.push(pos),
+                        _ => return None,
+                    }
+                }
+                if anchor.windows(2).any(|w| w[0] >= w[1]) {
+                    return None;
+                }
+                anchors.push(anchor);
+            }
+            let mut induction = Induction {
+                template: self.induction.template.clone(),
+                anchors,
+            };
+            let lens: Vec<usize> = pages.iter().map(Vec::len).collect();
+            let dropped = tableseg_template::restabilize(&mut induction, &lens);
+            let quality = assess(&induction, &pages);
+            // Fall back to full re-induction when slot stability degrades:
+            // the stability pass gutted the template, or a usable template
+            // went unusable under the new sample.
+            if induction.template.len() * 2 < self.induction.template.len() {
+                return None;
+            }
+            if self.quality.is_usable() && !quality.is_usable() {
+                return None;
+            }
+            Some((induction, quality, dropped))
+        });
+        let (induction, quality, dropped) = refreshed?;
+
+        let (separators, page_indexes) = timings.time(Stage::Matching, || {
+            let separators = SeparatorMask::build(&interner);
+            let page_indexes: Vec<PageIndex> = streams
+                .iter()
+                .map(|s| PageIndex::from_interned(s, &separators))
+                .collect();
+            (separators, page_indexes)
+        });
+
+        let mut metrics = Recorder::new();
+        let changed_pages = changed.iter().filter(|&&c| c).count();
+        metrics.bump(Counter::FrontendPages, changed_pages as u64);
+        metrics.bump(Counter::FrontendBytes, changed_bytes as u64);
+        if metrics.is_on() {
+            for (i, p) in list_pages.iter().enumerate() {
+                if changed[i] {
+                    metrics.observe(Hist::FrontendPageBytes, p.len() as u64);
+                }
+            }
+        }
+        metrics.bump(Counter::TemplateAnchorsDropped, dropped as u64);
+        Some(SiteTemplate {
+            pages,
+            interner,
+            streams,
+            separators,
+            page_indexes,
+            induction,
+            quality,
+            timings,
+            metrics,
+        })
+    }
 }
 
 /// Runs the shared front end on a site's pages.
@@ -492,5 +632,59 @@ mod tests {
         };
         let prep = prepare(&input);
         assert_eq!(prep.skipped_offsets.len(), prep.observations.skipped.len());
+    }
+
+    #[test]
+    fn refresh_with_identical_pages_reproduces_template() {
+        let (a, b, _) = two_page_site();
+        let cached = SiteTemplate::build(&[&a, &b]);
+        let before = tableseg_template::induction_count();
+        let refreshed = cached
+            .try_refresh(&[&a, &b], &[true, true])
+            .expect("identical bytes must refresh");
+        assert_eq!(tableseg_template::induction_count(), before);
+        assert_eq!(
+            refreshed.induction.template.tokens, cached.induction.template.tokens,
+            "refresh of unchanged pages must keep the template"
+        );
+        assert_eq!(refreshed.induction.anchors, cached.induction.anchors);
+        assert_eq!(refreshed.streams, cached.streams);
+        assert_eq!(refreshed.quality.template_len, cached.quality.template_len);
+    }
+
+    #[test]
+    fn refresh_reanchors_a_changed_page() {
+        let (a, b, details) = two_page_site();
+        let cached = SiteTemplate::build(&[&a, &b]);
+        // Same template skeleton, new record data on page b.
+        let b2 = page("<tr><td>Donald Knuth</td><td>(555) 100-0009</td></tr>");
+        let refreshed = cached
+            .try_refresh(&[&a, &b2], &[false, true])
+            .expect("a data-only change must refresh");
+        assert_eq!(
+            refreshed.induction.template.tokens,
+            cached.induction.template.tokens
+        );
+        // Unchanged page keeps its anchors verbatim.
+        assert_eq!(refreshed.induction.anchors[0], cached.induction.anchors[0]);
+        // The refreshed template segments the new sample like a full build.
+        let full = SiteTemplate::build(&[&a, &b2]);
+        let via_refresh = prepare_with_template(&refreshed, 0, &details);
+        let via_full = prepare_with_template(&full, 0, &details);
+        assert_eq!(via_refresh.extract_offsets, via_full.extract_offsets);
+        assert_eq!(via_refresh.used_whole_page, via_full.used_whole_page);
+    }
+
+    #[test]
+    fn refresh_falls_back_on_shape_or_anchor_loss() {
+        let (a, b, _) = two_page_site();
+        let cached = SiteTemplate::build(&[&a, &b]);
+        // Sample-shape mismatch.
+        assert!(cached.try_refresh(&[&a], &[true]).is_none());
+        assert!(cached.try_refresh(&[&a, &b], &[true]).is_none());
+        // A changed page that no longer embeds the template (the shared
+        // header/footer skeleton is gone) must force full re-induction.
+        let alien = "<html><div>totally different markup</div></html>".to_string();
+        assert!(cached.try_refresh(&[&a, &alien], &[false, true]).is_none());
     }
 }

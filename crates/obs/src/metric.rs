@@ -66,11 +66,30 @@ pub enum Counter {
     FrontendPages,
     /// HTML bytes scanned by the zero-copy front end.
     FrontendBytes,
+    /// Segmentation requests accepted by `tablesegd` (serve runs only).
+    ServeRequests,
+    /// Requests served from a warm site-state cache entry (fingerprints
+    /// matched; the induced template and page results were reused).
+    ServeCacheHits,
+    /// Requests that found no usable cache entry and ran a full site
+    /// build (cold misses and rebuild fallbacks).
+    ServeCacheMisses,
+    /// Requests whose site state was incrementally refreshed: the cached
+    /// template was re-anchored on the changed pages without re-running
+    /// induction.
+    ServeCacheRefreshes,
+    /// Connections rejected by admission control (429 + Retry-After).
+    ServeRejected,
+    /// Explicit cache invalidations accepted on `/invalidate`.
+    ServeInvalidations,
+    /// Requests that hit their deadline; remaining pages were cancelled
+    /// through the fallible pipeline and reported as failed.
+    ServeDeadlineExceeded,
 }
 
 impl Counter {
     /// Every counter, in manifest order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; Counter::COUNT] = [
         Counter::PagesProcessed,
         Counter::PagesOk,
         Counter::PagesDegraded,
@@ -94,7 +113,21 @@ impl Counter {
         Counter::ChaosFaults,
         Counter::FrontendPages,
         Counter::FrontendBytes,
+        Counter::ServeRequests,
+        Counter::ServeCacheHits,
+        Counter::ServeCacheMisses,
+        Counter::ServeCacheRefreshes,
+        Counter::ServeRejected,
+        Counter::ServeInvalidations,
+        Counter::ServeDeadlineExceeded,
     ];
+
+    /// Number of counter variants. [`Counter::ALL`] has exactly this
+    /// length by construction, and the private `Counter::index` is an
+    /// exhaustive match — adding a variant without updating both is a
+    /// compile error here and a failure of
+    /// `all_assigns_every_variant_its_index` below.
+    pub const COUNT: usize = 30;
 
     /// The canonical `area.event` metric name.
     pub fn label(self) -> &'static str {
@@ -122,14 +155,53 @@ impl Counter {
             Counter::ChaosFaults => "chaos.faults",
             Counter::FrontendPages => "frontend.pages",
             Counter::FrontendBytes => "frontend.bytes",
+            Counter::ServeRequests => "serve.requests",
+            Counter::ServeCacheHits => "serve.cache_hits",
+            Counter::ServeCacheMisses => "serve.cache_misses",
+            Counter::ServeCacheRefreshes => "serve.cache_refreshes",
+            Counter::ServeRejected => "serve.rejected",
+            Counter::ServeInvalidations => "serve.invalidations",
+            Counter::ServeDeadlineExceeded => "serve.deadline_exceeded",
         }
     }
 
-    fn index(self) -> usize {
-        Counter::ALL
-            .iter()
-            .position(|&c| c == self)
-            .expect("every counter is in ALL")
+    /// This counter's slot in [`Counter::ALL`]. An exhaustive match
+    /// (replacing the old position-scan over `ALL`, which silently
+    /// tolerated drift): the compiler forces an arm for every new
+    /// variant, and the metric tests force `ALL` to agree with it.
+    const fn index(self) -> usize {
+        match self {
+            Counter::PagesProcessed => 0,
+            Counter::PagesOk => 1,
+            Counter::PagesDegraded => 2,
+            Counter::PagesFailed => 3,
+            Counter::PageWarnings => 4,
+            Counter::SitesProcessed => 5,
+            Counter::TemplateInductions => 6,
+            Counter::TemplateCacheHits => 7,
+            Counter::WholePageFallbacks => 8,
+            Counter::TemplateMergeFolds => 9,
+            Counter::TemplateAnchorsDropped => 10,
+            Counter::TemplateLcsFallbacks => 11,
+            Counter::ExtractsKept => 12,
+            Counter::ExtractsSkipped => 13,
+            Counter::ExtractsMatched => 14,
+            Counter::WsatFlips => 15,
+            Counter::WsatTries => 16,
+            Counter::CspRelaxed => 17,
+            Counter::EmIterations => 18,
+            Counter::SolveFailures => 19,
+            Counter::ChaosFaults => 20,
+            Counter::FrontendPages => 21,
+            Counter::FrontendBytes => 22,
+            Counter::ServeRequests => 23,
+            Counter::ServeCacheHits => 24,
+            Counter::ServeCacheMisses => 25,
+            Counter::ServeCacheRefreshes => 26,
+            Counter::ServeRejected => 27,
+            Counter::ServeInvalidations => 28,
+            Counter::ServeDeadlineExceeded => 29,
+        }
     }
 }
 
@@ -199,18 +271,29 @@ pub enum Hist {
     EmIterationsPerSolve,
     /// HTML bytes per page scanned by the zero-copy front end.
     FrontendPageBytes,
+    /// Wall-clock microseconds per served segmentation request. Volatile:
+    /// recorded only into `tablesegd`'s global recorder (the `/metrics`
+    /// sink), never into the deterministic per-request manifests.
+    ServeRequestMicros,
+    /// Target pages per served segmentation request.
+    ServePagesPerRequest,
 }
 
 impl Hist {
     /// Every histogram, in manifest order.
-    pub const ALL: [Hist; 6] = [
+    pub const ALL: [Hist; Hist::COUNT] = [
         Hist::ExtractsPerPage,
         Hist::DetailPagesPerExtract,
         Hist::RecordsPerPage,
         Hist::WsatFlipsPerSolve,
         Hist::EmIterationsPerSolve,
         Hist::FrontendPageBytes,
+        Hist::ServeRequestMicros,
+        Hist::ServePagesPerRequest,
     ];
+
+    /// Number of histogram variants (see [`Counter::COUNT`]).
+    pub const COUNT: usize = 8;
 
     /// The canonical metric name.
     pub fn label(self) -> &'static str {
@@ -221,14 +304,24 @@ impl Hist {
             Hist::WsatFlipsPerSolve => "wsat_flips_per_solve",
             Hist::EmIterationsPerSolve => "em_iterations_per_solve",
             Hist::FrontendPageBytes => "frontend_page_bytes",
+            Hist::ServeRequestMicros => "serve_request_micros",
+            Hist::ServePagesPerRequest => "serve_pages_per_request",
         }
     }
 
-    fn index(self) -> usize {
-        Hist::ALL
-            .iter()
-            .position(|&h| h == self)
-            .expect("every histogram is in ALL")
+    /// This histogram's slot in [`Hist::ALL`] (exhaustive, like
+    /// [`Counter::index`]).
+    const fn index(self) -> usize {
+        match self {
+            Hist::ExtractsPerPage => 0,
+            Hist::DetailPagesPerExtract => 1,
+            Hist::RecordsPerPage => 2,
+            Hist::WsatFlipsPerSolve => 3,
+            Hist::EmIterationsPerSolve => 4,
+            Hist::FrontendPageBytes => 5,
+            Hist::ServeRequestMicros => 6,
+            Hist::ServePagesPerRequest => 7,
+        }
     }
 }
 
@@ -364,6 +457,24 @@ impl HistogramSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn all_assigns_every_variant_its_index() {
+        // `index()` is an exhaustive match, so every Counter variant has
+        // a declared slot — the compiler enforces that. These assertions
+        // close the other half of the old drift hazard (ALL silently
+        // lagging the enum at 18, then 21, then 23 variants): ALL must
+        // hold every declared slot, in order, and COUNT must equal the
+        // variant count the match covers.
+        assert_eq!(Counter::ALL.len(), Counter::COUNT);
+        for (i, c) in Counter::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i, "{c:?} is misplaced in Counter::ALL");
+        }
+        assert_eq!(Hist::ALL.len(), Hist::COUNT);
+        for (i, h) in Hist::ALL.into_iter().enumerate() {
+            assert_eq!(h.index(), i, "{h:?} is misplaced in Hist::ALL");
+        }
+    }
 
     #[test]
     fn counter_labels_are_unique_and_stable() {

@@ -1,0 +1,120 @@
+//! `tablesegctl`: client CLI for a running `tablesegd`.
+//!
+//! Subcommands:
+//!
+//! * `health ADDR` — exit 0 when `/healthz` answers 200;
+//! * `metrics ADDR` — print the Prometheus dump;
+//! * `invalidate ADDR SITE` — drop a site's cached state;
+//! * `segment ADDR SITE TARGET LIST... [-- DETAIL...]` — segment list
+//!   page `TARGET` (an index into the `LIST` files) and print the
+//!   per-page result blocks.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+
+use tableseg_serve::client;
+use tableseg_serve::{SegmentRequest, TargetSpec};
+
+fn usage() -> ! {
+    eprintln!(
+        "tablesegctl: drive a running tablesegd\n\
+         \n\
+         USAGE:\n\
+         \x20 tablesegctl health ADDR\n\
+         \x20 tablesegctl metrics ADDR\n\
+         \x20 tablesegctl invalidate ADDR SITE\n\
+         \x20 tablesegctl segment ADDR SITE TARGET LIST.html... [-- DETAIL.html...]"
+    );
+    std::process::exit(2);
+}
+
+fn resolve(addr: &str) -> SocketAddr {
+    addr.to_socket_addrs()
+        .ok()
+        .and_then(|mut a| a.next())
+        .unwrap_or_else(|| {
+            eprintln!("bad address: {addr}");
+            std::process::exit(2);
+        })
+}
+
+fn read_file(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("health") if args.len() == 2 => {
+            let ok = client::healthz(resolve(&args[1]));
+            println!("{}", if ok { "ok" } else { "unhealthy" });
+            std::process::exit(if ok { 0 } else { 1 });
+        }
+        Some("metrics") if args.len() == 2 => match client::metrics(resolve(&args[1])) {
+            Ok(dump) => print!("{dump}"),
+            Err(e) => {
+                eprintln!("metrics failed: {e}");
+                std::process::exit(1);
+            }
+        },
+        Some("invalidate") if args.len() == 3 => {
+            match client::invalidate(resolve(&args[1]), &args[2]) {
+                Ok(reply) => println!("{reply}"),
+                Err(e) => {
+                    eprintln!("invalidate failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("segment") if args.len() >= 5 => {
+            let addr = resolve(&args[1]);
+            let site = args[2].clone();
+            let target: usize = args[3].parse().unwrap_or_else(|_| {
+                eprintln!("bad target index: {}", args[3]);
+                std::process::exit(2);
+            });
+            let rest = &args[4..];
+            let split = rest.iter().position(|a| a == "--").unwrap_or(rest.len());
+            let list_pages: Vec<String> = rest[..split].iter().map(|p| read_file(p)).collect();
+            let details: Vec<String> = rest[split..].iter().skip(1).map(|p| read_file(p)).collect();
+            let job = SegmentRequest {
+                site,
+                list_pages,
+                targets: vec![TargetSpec { target, details }],
+            };
+            match client::segment(addr, &job, None, false) {
+                Ok(resp) => {
+                    println!(
+                        "site {} cache {} generation {} pages {} ok {} degraded {} failed {}",
+                        resp.site,
+                        resp.cache,
+                        resp.generation,
+                        resp.pages,
+                        resp.ok,
+                        resp.degraded,
+                        resp.failed
+                    );
+                    for p in resp.page_results {
+                        let n = p.offsets.len();
+                        println!(
+                            "page {} {} {} extracts {n}",
+                            p.target,
+                            p.status,
+                            if p.cached { "cached" } else { "computed" }
+                        );
+                        if let Some((stage, msg)) = p.error {
+                            println!("  error[{stage}]: {msg}");
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("segment failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,86 @@
+//! The `tablesegd` daemon binary.
+//!
+//! Binds the segmentation service and runs until killed. All knobs map
+//! onto [`tableseg_serve::ServerConfig`]; defaults are printed by
+//! `--help`.
+
+use std::time::Duration;
+
+use tableseg_serve::{Server, ServerConfig};
+
+fn usage() -> ! {
+    let d = ServerConfig::default();
+    eprintln!(
+        "tablesegd: resident table-segmentation service\n\
+         \n\
+         USAGE: tablesegd [FLAGS]\n\
+         \n\
+         FLAGS:\n\
+         \x20 --addr HOST:PORT       bind address (default {addr}; port 0 = ephemeral)\n\
+         \x20 --workers N            HTTP worker threads (default {workers})\n\
+         \x20 --batch-threads N      batch-engine threads per request (default {batch})\n\
+         \x20 --cache-capacity N     site-state cache entries (default {cap})\n\
+         \x20 --cache-shards N       cache shards (default {shards})\n\
+         \x20 --queue-depth N        admission queue depth (default {queue})\n\
+         \x20 --max-body BYTES       request body cap (default {body})\n\
+         \x20 --read-timeout-ms MS   per-connection read timeout (default {to})\n\
+         \n\
+         ENDPOINTS: POST /segment, POST /invalidate, GET /metrics, GET /healthz\n\
+         Drive it with tablesegctl.",
+        addr = d.addr,
+        workers = d.workers,
+        batch = d.batch_threads,
+        cap = d.cache_capacity,
+        shards = d.cache_shards,
+        queue = d.queue_depth,
+        body = d.max_body,
+        to = d.read_timeout.as_millis(),
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => config.workers = parse(&value("--workers")),
+            "--batch-threads" => config.batch_threads = parse(&value("--batch-threads")),
+            "--cache-capacity" => config.cache_capacity = parse(&value("--cache-capacity")),
+            "--cache-shards" => config.cache_shards = parse(&value("--cache-shards")),
+            "--queue-depth" => config.queue_depth = parse(&value("--queue-depth")),
+            "--max-body" => config.max_body = parse(&value("--max-body")),
+            "--read-timeout-ms" => {
+                config.read_timeout =
+                    Duration::from_millis(parse::<u64>(&value("--read-timeout-ms")))
+            }
+            _ => usage(),
+        }
+    }
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("tablesegd: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("tablesegd listening on {}", server.addr());
+    // Run until killed: the daemon has no in-band shutdown endpoint.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad numeric flag value: {s}");
+        std::process::exit(2);
+    })
+}

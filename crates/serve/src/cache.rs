@@ -1,0 +1,232 @@
+//! A sharded LRU cache of per-site state, with generation counters.
+//!
+//! The daemon keys learned site state (interner + template + page
+//! indexes) by site name. The cache is sharded to keep lock hold times
+//! short under concurrent requests; within a shard, eviction is strict
+//! LRU driven by a monotonic use tick (every access gets a unique tick,
+//! so eviction order is fully deterministic — the property test checks
+//! it against a naive map-plus-timestamps oracle).
+//!
+//! **Generations.** Every site name has a monotonic generation counter
+//! that survives eviction: it is bumped by every [`SiteCache::insert`]
+//! (the state was (re)built) and every successful
+//! [`SiteCache::invalidate`] (the state was explicitly discarded).
+//! Capacity eviction does *not* bump it — nothing about the site
+//! changed, the cache just forgot it. Responses echo the generation so
+//! clients can tell a warm hit on fresh state from one on stale state.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// FNV-1a 64-bit hash — the fingerprint for page bytes and the shard
+/// selector for site names. Stable across runs and platforms (unlike
+/// `std`'s `RandomState`), which keeps cache behaviour reproducible.
+pub fn fingerprint(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Entry<V> {
+    value: V,
+    last_used: u64,
+}
+
+struct Shard<V> {
+    entries: HashMap<String, Entry<V>>,
+    /// Generation per site name; persists across eviction.
+    generations: HashMap<String, u64>,
+    /// Monotonic use counter: every get/insert draws a unique tick.
+    tick: u64,
+    capacity: usize,
+}
+
+impl<V> Shard<V> {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn evict_over_capacity(&mut self) {
+        while self.entries.len() > self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over-capacity shard");
+            self.entries.remove(&victim);
+        }
+    }
+}
+
+/// Point-in-time cache occupancy, summed over shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Total capacity across shards.
+    pub capacity: usize,
+}
+
+/// The sharded LRU cache. `V` is cheap to clone (the daemon stores
+/// `Arc`ed site state).
+pub struct SiteCache<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+}
+
+impl<V: Clone> SiteCache<V> {
+    /// Creates a cache holding at most `capacity` entries spread over
+    /// `shards` shards (each shard gets an equal split, minimum one).
+    pub fn new(capacity: usize, shards: usize) -> SiteCache<V> {
+        let shards = shards.max(1);
+        let per_shard = (capacity / shards).max(1);
+        SiteCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: HashMap::new(),
+                        generations: HashMap::new(),
+                        tick: 0,
+                        capacity: per_shard,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// The shard a key maps to. Exposed so tests can model per-shard
+    /// LRU behaviour exactly.
+    pub fn shard_of(&self, key: &str) -> usize {
+        (fingerprint(key.as_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Looks up `key`, marking it most-recently-used on a hit. Returns
+    /// the value and the key's current generation.
+    pub fn get(&self, key: &str) -> Option<(V, u64)> {
+        let mut shard = self.shards[self.shard_of(key)].lock().unwrap();
+        let tick = shard.next_tick();
+        let generation = shard.generations.get(key).copied().unwrap_or(0);
+        let entry = shard.entries.get_mut(key)?;
+        entry.last_used = tick;
+        Some((entry.value.clone(), generation))
+    }
+
+    /// Inserts (or replaces) `key`, bumping its generation and evicting
+    /// the shard's least-recently-used entries if over capacity.
+    /// Returns the new generation.
+    pub fn insert(&self, key: &str, value: V) -> u64 {
+        let mut shard = self.shards[self.shard_of(key)].lock().unwrap();
+        let tick = shard.next_tick();
+        let generation = shard.generations.entry(key.to_string()).or_insert(0);
+        *generation += 1;
+        let generation = *generation;
+        shard.entries.insert(
+            key.to_string(),
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+        shard.evict_over_capacity();
+        generation
+    }
+
+    /// Drops `key` and bumps its generation. Returns the new generation
+    /// when the key was resident, `None` when there was nothing to
+    /// invalidate (the generation is *not* bumped then — invalidating
+    /// an absent site is a no-op, not an event).
+    pub fn invalidate(&self, key: &str) -> Option<u64> {
+        let mut shard = self.shards[self.shard_of(key)].lock().unwrap();
+        shard.entries.remove(key)?;
+        let generation = shard
+            .generations
+            .get_mut(key)
+            .expect("resident entry always has a generation");
+        *generation += 1;
+        Some(*generation)
+    }
+
+    /// The key's current generation (0 if never inserted).
+    pub fn generation(&self, key: &str) -> u64 {
+        let shard = self.shards[self.shard_of(key)].lock().unwrap();
+        shard.generations.get(key).copied().unwrap_or(0)
+    }
+
+    /// Occupancy across all shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut entries = 0;
+        let mut capacity = 0;
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap();
+            entries += shard.entries.len();
+            capacity += shard.capacity;
+        }
+        CacheStats { entries, capacity }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache: SiteCache<u32> = SiteCache::new(2, 1);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        // Touch "a" so "b" becomes the LRU victim.
+        assert_eq!(cache.get("a"), Some((1, 1)));
+        cache.insert("c", 3);
+        assert!(cache.get("b").is_none(), "b should have been evicted");
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn generations_bump_on_insert_and_invalidate_only() {
+        let cache: SiteCache<u32> = SiteCache::new(1, 1);
+        assert_eq!(cache.generation("a"), 0);
+        assert_eq!(cache.insert("a", 1), 1);
+        assert_eq!(cache.insert("a", 2), 2);
+        assert_eq!(cache.invalidate("a"), Some(3));
+        assert_eq!(cache.invalidate("a"), None, "already gone");
+        assert_eq!(cache.generation("a"), 3);
+        // Capacity eviction does not bump the victim's generation.
+        cache.insert("a", 1);
+        cache.insert("b", 2); // evicts "a" (capacity 1)
+        assert!(cache.get("a").is_none());
+        assert_eq!(cache.generation("a"), 4);
+    }
+
+    #[test]
+    fn generation_survives_eviction() {
+        let cache: SiteCache<u32> = SiteCache::new(1, 1);
+        cache.insert("a", 1);
+        cache.insert("b", 2); // evicts "a"
+        assert_eq!(
+            cache.insert("a", 3),
+            2,
+            "generation continues after eviction"
+        );
+    }
+
+    #[test]
+    fn sharding_is_stable_and_in_range() {
+        let cache: SiteCache<u32> = SiteCache::new(16, 4);
+        for key in ["alpha", "beta", "gamma", "delta"] {
+            let s = cache.shard_of(key);
+            assert!(s < cache.shard_count());
+            assert_eq!(s, cache.shard_of(key), "shard choice must be stable");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Raw-TCP client helpers for `tablesegd`.
+//!
+//! Shared by `tablesegctl`, the black-box test suites and `servebench`
+//! so all of them speak to the daemon exactly the way an external
+//! client would: bytes over a socket, no in-process shortcuts.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::proto::{encode_request, parse_response, SegmentRequest, SegmentResponse};
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Header name/value pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// The first value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Sends one HTTP/1.1 request and reads the full response.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nhost: tablesegd\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    read_http_response(&mut stream)
+}
+
+fn read_http_response(stream: &mut TcpStream) -> std::io::Result<HttpResponse> {
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| std::io::Error::other("no header terminator in response"))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| std::io::Error::other("response head not utf-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other("bad status line"))?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: raw[head_end + 4..].to_vec(),
+    })
+}
+
+/// Submits a segmentation job. `deadline_ms` maps to `X-Deadline-Ms`,
+/// `redact` to `X-Tableseg-Redact: 1` (deterministic manifests).
+pub fn segment(
+    addr: SocketAddr,
+    job: &SegmentRequest,
+    deadline_ms: Option<u64>,
+    redact: bool,
+) -> Result<SegmentResponse, String> {
+    let mut headers: Vec<(&str, String)> = Vec::new();
+    if let Some(ms) = deadline_ms {
+        headers.push(("x-deadline-ms", ms.to_string()));
+    }
+    if redact {
+        headers.push(("x-tableseg-redact", "1".to_string()));
+    }
+    let borrowed: Vec<(&str, &str)> = headers.iter().map(|(n, v)| (*n, v.as_str())).collect();
+    let resp = http_request(
+        addr,
+        "POST",
+        "/segment",
+        &borrowed,
+        encode_request(job).as_bytes(),
+    )
+    .map_err(|e| format!("transport: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("http {}: {}", resp.status, resp.text().trim()));
+    }
+    parse_response(&resp.text())
+}
+
+/// Invalidates a site's cached state. Returns the server's reply line.
+pub fn invalidate(addr: SocketAddr, site: &str) -> std::io::Result<String> {
+    let resp = http_request(addr, "POST", "/invalidate", &[], site.as_bytes())?;
+    Ok(resp.text().trim().to_string())
+}
+
+/// Fetches the Prometheus metrics dump.
+pub fn metrics(addr: SocketAddr) -> std::io::Result<String> {
+    Ok(http_request(addr, "GET", "/metrics", &[], b"")?.text())
+}
+
+/// `true` when `/healthz` answers 200.
+pub fn healthz(addr: SocketAddr) -> bool {
+    http_request(addr, "GET", "/healthz", &[], b"")
+        .map(|r| r.status == 200)
+        .unwrap_or(false)
+}

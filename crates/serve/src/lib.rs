@@ -1,0 +1,36 @@
+//! `tablesegd`: the resident segmentation service.
+//!
+//! The paper's pipeline learns a per-site template once and reuses it
+//! across pages — exactly the shape of a long-running server. This crate
+//! turns the batch pipeline into one:
+//!
+//! * [`http`] — a hand-rolled, std-only HTTP/1.1 front door (no
+//!   dependencies; the build environment is offline by design);
+//! * [`proto`] — the line-based request/response codec for segmentation
+//!   jobs (length-prefixed HTML blocks, so page bytes need no escaping);
+//! * [`cache`] — a sharded LRU cache of per-site state (interner +
+//!   [`tableseg::SiteTemplate`] + page indexes) with explicit
+//!   invalidation and generation counters;
+//! * [`server`] — the daemon itself: bounded admission queue (429 +
+//!   `Retry-After` on overflow), per-request deadlines, incremental
+//!   re-segmentation via [`tableseg::SiteTemplate::try_refresh`], and
+//!   the `tableseg-obs` Prometheus sink on `/metrics`;
+//! * [`client`] — raw-TCP client helpers shared by `tablesegctl`, the
+//!   black-box test suites and `servebench`.
+//!
+//! Binaries: `tablesegd` (the daemon) and `tablesegctl` (client CLI).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod proto;
+pub mod server;
+
+pub use cache::{fingerprint, CacheStats, SiteCache};
+pub use client::HttpResponse;
+pub use http::{HttpError, HttpRequest};
+pub use proto::{PageResultMsg, SegmentRequest, SegmentResponse, SegmenterMsg, TargetSpec};
+pub use server::{Server, ServerConfig};

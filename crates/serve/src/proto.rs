@@ -1,0 +1,515 @@
+//! The `tablesegd/v1` segmentation codec.
+//!
+//! A line-oriented text format in which HTML pages travel as
+//! length-prefixed blocks (`page <len>\n<len bytes>\n`), so page bytes
+//! need no escaping and the parser never scans inside them. One request
+//! carries one site's sample list pages plus any number of targets (a
+//! list-page index and its detail pages); the response carries one
+//! result block per target plus the per-request run manifest.
+//!
+//! Both directions are parsed by the same helpers; the client
+//! ([`crate::client`]) and the black-box test suites reuse this module,
+//! so a codec bug fails loudly on both ends.
+
+/// One target to segment: a list-page index plus its detail pages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetSpec {
+    /// Index into the request's list pages of the page to segment.
+    pub target: usize,
+    /// Detail-page HTML, in record order.
+    pub details: Vec<String>,
+}
+
+/// A segmentation request: a site's sample list pages plus targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentRequest {
+    /// Site name — the cache key.
+    pub site: String,
+    /// Sample list-page HTML.
+    pub list_pages: Vec<String>,
+    /// The pages to segment.
+    pub targets: Vec<TargetSpec>,
+}
+
+/// One segmenter's verdict on one page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmenterMsg {
+    /// `true` if the approach relaxed its constraints (notes `c`/`d`).
+    pub relaxed: bool,
+    /// Record groups: indices into the page's kept extracts.
+    pub groups: Vec<Vec<usize>>,
+}
+
+/// One per-target result block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageResultMsg {
+    /// The target list-page index.
+    pub target: usize,
+    /// `"ok"`, `"degraded"` or `"failed"`.
+    pub status: String,
+    /// `true` when the result came from the per-site result cache
+    /// (no pipeline stage re-ran for this page).
+    pub cached: bool,
+    /// Whole-page fallback flag (the paper's notes `a`/`b`).
+    pub whole_page: bool,
+    /// Warning labels, in detection order.
+    pub warnings: Vec<String>,
+    /// Byte offsets of the kept extracts in the target page.
+    pub offsets: Vec<usize>,
+    /// Probabilistic-approach result (absent when the page failed).
+    pub prob: Option<SegmenterMsg>,
+    /// CSP-approach result (absent when the page failed).
+    pub csp: Option<SegmenterMsg>,
+    /// `(stage, message)` when the page failed.
+    pub error: Option<(String, String)>,
+}
+
+/// A segmentation response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentResponse {
+    /// Site name, echoed.
+    pub site: String,
+    /// How the site state was obtained: `"cold"`, `"warm"`,
+    /// `"refresh"` or `"rebuild"`.
+    pub cache: String,
+    /// The site's cache generation after this request.
+    pub generation: u64,
+    /// Targets attempted (always `ok + degraded + failed`).
+    pub pages: usize,
+    /// Targets with a clean outcome.
+    pub ok: usize,
+    /// Targets processed with warnings.
+    pub degraded: usize,
+    /// Targets that failed.
+    pub failed: usize,
+    /// One block per target, in request order.
+    pub page_results: Vec<PageResultMsg>,
+    /// The per-request run manifest (JSON).
+    pub manifest: String,
+}
+
+const MAGIC_REQUEST: &str = "tablesegd/v1 segment";
+const MAGIC_RESPONSE: &str = "tablesegd/v1 result";
+
+fn push_block(out: &mut String, html: &str) {
+    out.push_str(&format!("page {}\n", html.len()));
+    out.push_str(html);
+    out.push('\n');
+}
+
+/// Encodes a request body.
+pub fn encode_request(req: &SegmentRequest) -> String {
+    let mut out = String::new();
+    out.push_str(MAGIC_REQUEST);
+    out.push('\n');
+    out.push_str(&format!("site {}\n", req.site));
+    out.push_str(&format!("lists {}\n", req.list_pages.len()));
+    for p in &req.list_pages {
+        push_block(&mut out, p);
+    }
+    out.push_str(&format!("targets {}\n", req.targets.len()));
+    for t in &req.targets {
+        out.push_str(&format!(
+            "target {} details {}\n",
+            t.target,
+            t.details.len()
+        ));
+        for d in &t.details {
+            push_block(&mut out, d);
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// A cursor over the line-oriented body. Tracks a byte offset so
+/// length-prefixed blocks can be sliced without scanning.
+struct Cursor<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn line(&mut self) -> Result<&'a str, String> {
+        if self.pos >= self.text.len() {
+            return Err("unexpected end of body".to_string());
+        }
+        let rest = &self.text[self.pos..];
+        let end = rest.find('\n').ok_or("unterminated line")?;
+        self.pos += end + 1;
+        Ok(&rest[..end])
+    }
+
+    /// Reads a `page <len>` line plus the block it announces.
+    fn block(&mut self) -> Result<&'a str, String> {
+        let line = self.line()?;
+        let len: usize = line
+            .strip_prefix("page ")
+            .ok_or_else(|| format!("expected page block, got {line:?}"))?
+            .parse()
+            .map_err(|_| "bad page length".to_string())?;
+        if self.pos + len + 1 > self.text.len() {
+            return Err("page block truncated".to_string());
+        }
+        if !self.text.is_char_boundary(self.pos + len) {
+            return Err("page length splits a utf-8 sequence".to_string());
+        }
+        let block = &self.text[self.pos..self.pos + len];
+        self.pos += len;
+        let nl = self.line()?;
+        if !nl.is_empty() {
+            return Err("page block not newline-terminated".to_string());
+        }
+        Ok(block)
+    }
+
+    fn keyword(&mut self, word: &str) -> Result<&'a str, String> {
+        let line = self.line()?;
+        match line.strip_prefix(word) {
+            Some("") => Ok(""),
+            Some(rest) if rest.starts_with(' ') => Ok(&rest[1..]),
+            _ => Err(format!("expected {word:?}, got {line:?}")),
+        }
+    }
+}
+
+fn parse_usize(s: &str, what: &str) -> Result<usize, String> {
+    s.trim().parse().map_err(|_| format!("bad {what}: {s:?}"))
+}
+
+/// Parses a request body.
+pub fn parse_request(body: &str) -> Result<SegmentRequest, String> {
+    let mut c = Cursor { text: body, pos: 0 };
+    if c.line()? != MAGIC_REQUEST {
+        return Err("not a tablesegd/v1 segment request".to_string());
+    }
+    let site = c.keyword("site")?.to_string();
+    if site.is_empty() {
+        return Err("empty site name".to_string());
+    }
+    let lists = parse_usize(c.keyword("lists")?, "list count")?;
+    let mut list_pages = Vec::with_capacity(lists.min(64));
+    for _ in 0..lists {
+        list_pages.push(c.block()?.to_string());
+    }
+    let targets = parse_usize(c.keyword("targets")?, "target count")?;
+    let mut target_specs = Vec::with_capacity(targets.min(64));
+    for _ in 0..targets {
+        let rest = c.keyword("target")?;
+        let (idx, det) = rest.split_once(" details ").ok_or("bad target line")?;
+        let target = parse_usize(idx, "target index")?;
+        let details_n = parse_usize(det, "detail count")?;
+        let mut details = Vec::with_capacity(details_n.min(64));
+        for _ in 0..details_n {
+            details.push(c.block()?.to_string());
+        }
+        target_specs.push(TargetSpec { target, details });
+    }
+    if c.line()? != "end" {
+        return Err("missing end marker".to_string());
+    }
+    Ok(SegmentRequest {
+        site,
+        list_pages,
+        targets: target_specs,
+    })
+}
+
+fn encode_list(values: &[usize]) -> String {
+    if values.is_empty() {
+        return "-".to_string();
+    }
+    values
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_list(s: &str) -> Result<Vec<usize>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(',').map(|v| parse_usize(v, "list item")).collect()
+}
+
+fn encode_groups(groups: &[Vec<usize>]) -> String {
+    if groups.is_empty() {
+        return "-".to_string();
+    }
+    groups
+        .iter()
+        .map(|g| g.iter().map(usize::to_string).collect::<Vec<_>>().join(" "))
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+fn parse_groups(s: &str) -> Result<Vec<Vec<usize>>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split('|')
+        .map(|g| {
+            g.split(' ')
+                .filter(|t| !t.is_empty())
+                .map(|t| parse_usize(t, "group item"))
+                .collect()
+        })
+        .collect()
+}
+
+fn encode_segmenter(out: &mut String, name: &str, m: &SegmenterMsg) {
+    out.push_str(&format!(
+        "{name} relaxed {} groups {}\n",
+        m.relaxed as u8,
+        encode_groups(&m.groups)
+    ));
+}
+
+fn parse_segmenter(rest: &str) -> Result<SegmenterMsg, String> {
+    let rest = rest.strip_prefix("relaxed ").ok_or("bad segmenter line")?;
+    let (flag, groups) = rest.split_once(" groups ").ok_or("bad segmenter line")?;
+    Ok(SegmenterMsg {
+        relaxed: flag.trim() == "1",
+        groups: parse_groups(groups)?,
+    })
+}
+
+/// Encodes a response body.
+pub fn encode_response(resp: &SegmentResponse) -> String {
+    let mut out = String::new();
+    out.push_str(MAGIC_RESPONSE);
+    out.push('\n');
+    out.push_str(&format!("site {}\n", resp.site));
+    out.push_str(&format!("cache {}\n", resp.cache));
+    out.push_str(&format!("generation {}\n", resp.generation));
+    out.push_str(&format!(
+        "pages {} ok {} degraded {} failed {}\n",
+        resp.pages, resp.ok, resp.degraded, resp.failed
+    ));
+    for p in &resp.page_results {
+        out.push_str(&format!(
+            "page {} {} {}\n",
+            p.target,
+            p.status,
+            if p.cached { "cached" } else { "computed" }
+        ));
+        out.push_str(&format!("whole_page {}\n", p.whole_page as u8));
+        let warnings = if p.warnings.is_empty() {
+            "-".to_string()
+        } else {
+            p.warnings.join(",")
+        };
+        out.push_str(&format!("warnings {warnings}\n"));
+        out.push_str(&format!("offsets {}\n", encode_list(&p.offsets)));
+        if let Some(prob) = &p.prob {
+            encode_segmenter(&mut out, "prob", prob);
+        }
+        if let Some(csp) = &p.csp {
+            encode_segmenter(&mut out, "csp", csp);
+        }
+        if let Some((stage, message)) = &p.error {
+            out.push_str(&format!("error {stage} {}\n", message.replace('\n', " ")));
+        }
+        out.push_str("endpage\n");
+    }
+    out.push_str(&format!("manifest {}\n", resp.manifest.len()));
+    out.push_str(&resp.manifest);
+    out.push('\n');
+    out.push_str("end\n");
+    out
+}
+
+/// Parses a response body.
+pub fn parse_response(body: &str) -> Result<SegmentResponse, String> {
+    let mut c = Cursor { text: body, pos: 0 };
+    if c.line()? != MAGIC_RESPONSE {
+        return Err("not a tablesegd/v1 result".to_string());
+    }
+    let site = c.keyword("site")?.to_string();
+    let cache = c.keyword("cache")?.to_string();
+    let generation: u64 = c
+        .keyword("generation")?
+        .parse()
+        .map_err(|_| "bad generation".to_string())?;
+    let counts = c.keyword("pages")?;
+    let nums: Vec<&str> = counts.split(' ').collect();
+    if nums.len() != 7 || nums[1] != "ok" || nums[3] != "degraded" || nums[5] != "failed" {
+        return Err(format!("bad pages line: {counts:?}"));
+    }
+    let pages = parse_usize(nums[0], "pages")?;
+    let ok = parse_usize(nums[2], "ok")?;
+    let degraded = parse_usize(nums[4], "degraded")?;
+    let failed = parse_usize(nums[6], "failed")?;
+    let mut page_results = Vec::with_capacity(pages.min(64));
+    for _ in 0..pages {
+        let head = c.keyword("page")?;
+        let parts: Vec<&str> = head.split(' ').collect();
+        if parts.len() != 3 {
+            return Err(format!("bad page head: {head:?}"));
+        }
+        let target = parse_usize(parts[0], "target")?;
+        let status = parts[1].to_string();
+        let cached = match parts[2] {
+            "cached" => true,
+            "computed" => false,
+            other => return Err(format!("bad cache marker: {other:?}")),
+        };
+        let whole_page = c.keyword("whole_page")? == "1";
+        let warnings_raw = c.keyword("warnings")?;
+        let warnings = if warnings_raw == "-" {
+            Vec::new()
+        } else {
+            warnings_raw.split(',').map(str::to_string).collect()
+        };
+        let offsets = parse_list(c.keyword("offsets")?)?;
+        let mut prob = None;
+        let mut csp = None;
+        let mut error = None;
+        loop {
+            let line = c.line()?;
+            if line == "endpage" {
+                break;
+            } else if let Some(rest) = line.strip_prefix("prob ") {
+                prob = Some(parse_segmenter(rest)?);
+            } else if let Some(rest) = line.strip_prefix("csp ") {
+                csp = Some(parse_segmenter(rest)?);
+            } else if let Some(rest) = line.strip_prefix("error ") {
+                let (stage, message) = rest.split_once(' ').unwrap_or((rest, ""));
+                error = Some((stage.to_string(), message.to_string()));
+            } else {
+                return Err(format!("unexpected line in page block: {line:?}"));
+            }
+        }
+        page_results.push(PageResultMsg {
+            target,
+            status,
+            cached,
+            whole_page,
+            warnings,
+            offsets,
+            prob,
+            csp,
+            error,
+        });
+    }
+    let manifest_len = parse_usize(c.keyword("manifest")?, "manifest length")?;
+    if c.pos + manifest_len + 1 > body.len() {
+        return Err("manifest truncated".to_string());
+    }
+    let manifest = body[c.pos..c.pos + manifest_len].to_string();
+    c.pos += manifest_len;
+    if !c.line()?.is_empty() {
+        return Err("manifest not newline-terminated".to_string());
+    }
+    if c.line()? != "end" {
+        return Err("missing end marker".to_string());
+    }
+    Ok(SegmentResponse {
+        site,
+        cache,
+        generation,
+        pages,
+        ok,
+        degraded,
+        failed,
+        page_results,
+        manifest,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> SegmentRequest {
+        SegmentRequest {
+            site: "whitepages".to_string(),
+            list_pages: vec![
+                "<html>list one\nwith a newline</html>".to_string(),
+                "<html>page 12\nend\n</html>".to_string(),
+            ],
+            targets: vec![
+                TargetSpec {
+                    target: 0,
+                    details: vec!["<h2>Ada</h2>".to_string(), "<h2>Alan</h2>".to_string()],
+                },
+                TargetSpec {
+                    target: 1,
+                    details: Vec::new(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        let req = sample_request();
+        let parsed = parse_request(&encode_request(&req)).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn request_with_protocol_keywords_in_pages_roundtrips() {
+        // Page bytes containing codec keywords must not confuse the
+        // parser — blocks are length-prefixed, never scanned.
+        let mut req = sample_request();
+        req.list_pages[0] = "end\ntargets 9\npage 3\nxyz\n".to_string();
+        let parsed = parse_request(&encode_request(&req)).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let resp = SegmentResponse {
+            site: "whitepages".to_string(),
+            cache: "warm".to_string(),
+            generation: 3,
+            pages: 2,
+            ok: 1,
+            degraded: 0,
+            failed: 1,
+            page_results: vec![
+                PageResultMsg {
+                    target: 0,
+                    status: "ok".to_string(),
+                    cached: true,
+                    whole_page: false,
+                    warnings: Vec::new(),
+                    offsets: vec![10, 25, 40],
+                    prob: Some(SegmenterMsg {
+                        relaxed: false,
+                        groups: vec![vec![0, 1], vec![2]],
+                    }),
+                    csp: Some(SegmenterMsg {
+                        relaxed: true,
+                        groups: vec![vec![0], vec![1, 2]],
+                    }),
+                    error: None,
+                },
+                PageResultMsg {
+                    target: 1,
+                    status: "failed".to_string(),
+                    cached: false,
+                    whole_page: false,
+                    warnings: vec!["empty_list_page".to_string()],
+                    offsets: Vec::new(),
+                    prob: None,
+                    csp: None,
+                    error: Some(("serve".to_string(), "deadline exceeded".to_string())),
+                },
+            ],
+            manifest: "{\n  \"tool\": \"tablesegd\"\n}".to_string(),
+        };
+        let parsed = parse_response(&encode_response(&resp)).unwrap();
+        assert_eq!(parsed, resp);
+    }
+
+    #[test]
+    fn truncated_and_garbage_bodies_are_errors() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("tablesegd/v1 segment\nsite x\nlists 1\npage 99\nshort\n").is_err());
+        assert!(parse_request("GET / HTTP/1.1").is_err());
+        assert!(parse_response("tablesegd/v1 result\nsite x\n").is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Property test: the sharded LRU site cache against a naive oracle.
+//!
+//! The oracle is a plain map with explicit use timestamps and a
+//! generation map — the obviously-correct implementation. Random
+//! insert/get/invalidate sequences must agree with it on hit/miss,
+//! returned values, generation numbers, eviction order (which key is
+//! the LRU victim) and capacity bounds, for single- and multi-shard
+//! configurations.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tableseg_serve::SiteCache;
+
+/// The naive model: one `ShardModel` per shard (mirroring
+/// `SiteCache::shard_of`), each a map plus timestamps.
+struct ShardModel {
+    entries: HashMap<String, (u32, u64)>,
+    generations: HashMap<String, u64>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl ShardModel {
+    fn new(capacity: usize) -> ShardModel {
+        ShardModel {
+            entries: HashMap::new(),
+            generations: HashMap::new(),
+            tick: 0,
+            capacity,
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<(u32, u64)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let generation = self.generations.get(key).copied().unwrap_or(0);
+        let entry = self.entries.get_mut(key)?;
+        entry.1 = tick;
+        Some((entry.0, generation))
+    }
+
+    fn insert(&mut self, key: &str, value: u32) -> u64 {
+        self.tick += 1;
+        let tick = self.tick;
+        let generation = self.generations.entry(key.to_string()).or_insert(0);
+        *generation += 1;
+        let generation = *generation;
+        self.entries.insert(key.to_string(), (value, tick));
+        while self.entries.len() > self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+                .unwrap();
+            self.entries.remove(&victim);
+        }
+        generation
+    }
+
+    fn invalidate(&mut self, key: &str) -> Option<u64> {
+        self.entries.remove(key)?;
+        let generation = self.generations.get_mut(key).unwrap();
+        *generation += 1;
+        Some(*generation)
+    }
+}
+
+fn run_against_oracle(seed: u64, capacity: usize, shards: usize, ops: usize) {
+    let cache: SiteCache<u32> = SiteCache::new(capacity, shards);
+    let per_shard = (capacity / shards.max(1)).max(1);
+    let mut models: Vec<ShardModel> = (0..cache.shard_count())
+        .map(|_| ShardModel::new(per_shard))
+        .collect();
+    let keys: Vec<String> = (0..12).map(|i| format!("site-{i}")).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next_value: u32 = 0;
+    for step in 0..ops {
+        let key = &keys[rng.random_range(0..keys.len())];
+        let model = &mut models[cache.shard_of(key)];
+        let ctx = format!("seed {seed} capacity {capacity} shards {shards} step {step} key {key}");
+        match rng.random_range(0u32..10) {
+            // get: hit/miss, value and generation must agree.
+            0..=4 => {
+                assert_eq!(cache.get(key), model.get(key), "get disagrees ({ctx})");
+            }
+            // insert: generations must agree.
+            5..=7 => {
+                next_value += 1;
+                assert_eq!(
+                    cache.insert(key, next_value),
+                    model.insert(key, next_value),
+                    "insert generation disagrees ({ctx})"
+                );
+            }
+            // invalidate: presence and generation must agree.
+            _ => {
+                assert_eq!(
+                    cache.invalidate(key),
+                    model.invalidate(key),
+                    "invalidate disagrees ({ctx})"
+                );
+            }
+        }
+        // Capacity bound holds at every step.
+        let stats = cache.stats();
+        assert!(
+            stats.entries <= stats.capacity,
+            "cache over capacity ({ctx}): {stats:?}"
+        );
+        let model_entries: usize = models.iter().map(|m| m.entries.len()).sum();
+        assert_eq!(stats.entries, model_entries, "occupancy disagrees ({ctx})");
+    }
+    // Final sweep: exact same resident set and generations everywhere.
+    for key in &keys {
+        let model = &mut models[cache.shard_of(key)];
+        assert_eq!(
+            cache.generation(key),
+            model.generations.get(key.as_str()).copied().unwrap_or(0)
+        );
+        assert_eq!(
+            cache.get(key),
+            model.get(key),
+            "final state disagrees on {key}"
+        );
+    }
+}
+
+#[test]
+fn single_shard_cache_matches_oracle() {
+    // One shard: the model is exactly global strict LRU.
+    for seed in 0..8 {
+        run_against_oracle(seed, 4, 1, 600);
+    }
+}
+
+#[test]
+fn multi_shard_cache_matches_oracle() {
+    for seed in 0..8 {
+        run_against_oracle(100 + seed, 8, 4, 600);
+    }
+}
+
+#[test]
+fn tiny_cache_thrashes_correctly() {
+    // Capacity 1 forces an eviction on almost every insert.
+    for seed in 0..8 {
+        run_against_oracle(200 + seed, 1, 1, 400);
+    }
+}

@@ -410,6 +410,23 @@ fn finish(
     induction
 }
 
+/// Re-runs the anchor-stability pass on an existing induction, returning
+/// how many anchors were dropped.
+///
+/// This is the incremental-maintenance entry point: when a serving layer
+/// re-anchors a cached template onto changed pages (instead of re-running
+/// the full fold), the changed pages may stretch previously linked anchor
+/// runs apart. Applying the same linked-run rule used by
+/// [`induce_with`]'s finish step restores the stability invariant without
+/// a re-induction; on an induction whose anchors are already stable it is
+/// a no-op (the pass iterates to a fixpoint and the fixpoint is reached).
+///
+/// `page_lens[p]` must be the token length of page `p`, as for
+/// [`Induction::slot_stability`].
+pub fn restabilize(induction: &mut Induction, page_lens: &[usize]) -> usize {
+    drop_unstable_anchors(induction, page_lens)
+}
+
 /// Two consecutive anchors are *linked* when they are at most this many
 /// tokens apart **on every page**. Template regions (headers, footers,
 /// label rows) form long linked runs; data tokens that happen to appear
@@ -751,6 +768,48 @@ mod tests {
             let ind = induce_histogram(&p, &s, interner.len());
             assert_eq!(texts(&ind), baseline, "permutation {perm:?}");
         }
+    }
+
+    #[test]
+    fn restabilize_is_a_noop_on_fresh_inductions() {
+        // induce() already ran the stability pass to a fixpoint, so the
+        // public re-entry must drop nothing and change nothing.
+        let pages = vec![
+            page("<tr><td>John Smith</td><td>New Holland</td></tr>"),
+            page("<tr><td>Bob Jones</td><td>Columbus</td></tr><tr><td>Ann Fuller</td><td>Dayton</td></tr>"),
+        ];
+        let mut ind = induce(&pages);
+        let before_tokens = ind.template.tokens.clone();
+        let before_anchors = ind.anchors.clone();
+        let lens: Vec<usize> = pages.iter().map(Vec::len).collect();
+        assert_eq!(restabilize(&mut ind, &lens), 0);
+        assert_eq!(ind.template.tokens, before_tokens);
+        assert_eq!(ind.anchors, before_anchors);
+    }
+
+    #[test]
+    fn restabilize_drops_stretched_singletons() {
+        // A hand-built induction with one isolated anchor far from the
+        // rest on one page: the linked-run rule must remove it.
+        let pages = vec![
+            page("<tr><td>Alpha Beta Gamma</td></tr>"),
+            page("<tr><td>Delta Epsilon</td></tr>"),
+        ];
+        let mut ind = induce(&pages);
+        let t = ind.template.len();
+        assert!(t >= MIN_RUN, "fixture template too small: {t}");
+        // Stretch the final anchor of page 0 to the page end, breaking
+        // its link to the previous anchor.
+        let last = ind.anchors[0][t - 1];
+        let stretched = (pages[0].len() - 1).max(last + LINK_GAP + 1);
+        ind.anchors[0][t - 1] = stretched.min(pages[0].len() - 1);
+        if ind.anchors[0][t - 1] - ind.anchors[0][t - 2] <= LINK_GAP {
+            return; // page too short to stretch; nothing to assert
+        }
+        let lens: Vec<usize> = pages.iter().map(Vec::len).collect();
+        let dropped = restabilize(&mut ind, &lens);
+        assert!(dropped >= 1, "stretched anchor must be dropped");
+        assert_eq!(ind.template.len(), t - dropped);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod slot;
 pub use histogram::{lcs_indices_histogram, lcs_indices_histogram_stats, LcsStats};
 pub use induce::{
     candidate_streams, induce, induce_histogram, induce_interned, induce_with, induction_count,
-    InduceOptions, InduceStats, Induction, Template,
+    restabilize, InduceOptions, InduceStats, Induction, Template,
 };
 pub use intern::{Interner, Symbol};
 pub use quality::{assess, TemplateQuality};

@@ -1,0 +1,131 @@
+//! Concurrency/soak test: N client threads hammering overlapping sites
+//! while an invalidator thread interleaves cache invalidations.
+//!
+//! Asserts, on every response: page accounting holds
+//! (`pages == ok + degraded + failed`), the cache kind is one of the
+//! known labels, and — the determinism property — every `(site, cache
+//! kind)` pair produces exactly one distinct redacted manifest byte
+//! string across the whole run, no matter which thread asked or what
+//! the invalidator was doing. The run finishing at all is the
+//! no-deadlock assertion.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use tableseg_bench::servebench::corpus_requests;
+use tableseg_serve::client;
+use tableseg_serve::{Server, ServerConfig};
+
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 18;
+
+#[test]
+fn soaked_daemon_stays_consistent_and_deterministic() {
+    let corpus = Arc::new(corpus_requests());
+    let server = Server::start(ServerConfig {
+        workers: 4,
+        batch_threads: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    // Invalidator: cycles the sites until the clients are done.
+    let stop = Arc::new(AtomicBool::new(false));
+    let invalidator = {
+        let corpus = Arc::clone(&corpus);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut i = 0usize;
+            let mut invalidated = 0usize;
+            while !stop.load(Ordering::SeqCst) {
+                let (_, request) = &corpus[i % corpus.len()];
+                i += 1;
+                let reply = client::invalidate(addr, &request.site).expect("invalidate");
+                assert!(
+                    reply.starts_with("invalidated") || reply.starts_with("unknown"),
+                    "unexpected invalidate reply: {reply}"
+                );
+                invalidated += 1;
+                std::thread::sleep(std::time::Duration::from_millis(3));
+            }
+            invalidated
+        })
+    };
+
+    // Clients: overlapping sites (each starts at a different offset),
+    // every response checked and its manifest collected.
+    let mut clients = Vec::new();
+    for client_idx in 0..CLIENTS {
+        let corpus = Arc::clone(&corpus);
+        clients.push(std::thread::spawn(move || {
+            let mut manifests: Vec<(String, String, String)> = Vec::new();
+            for i in 0..REQUESTS_PER_CLIENT {
+                let (_, request) = &corpus[(client_idx + i) % corpus.len()];
+                let resp = client::segment(addr, request, None, true)
+                    .unwrap_or_else(|e| panic!("segment {} failed: {e}", request.site));
+                assert_eq!(
+                    resp.pages,
+                    resp.ok + resp.degraded + resp.failed,
+                    "{}: page accounting broken",
+                    resp.site
+                );
+                assert_eq!(resp.pages, request.targets.len(), "{}", resp.site);
+                assert_eq!(resp.failed, 0, "{}: clean corpus must not fail", resp.site);
+                assert!(
+                    ["cold", "warm", "refresh", "rebuild"].contains(&resp.cache.as_str()),
+                    "unknown cache kind {}",
+                    resp.cache
+                );
+                // The per-target cached/computed pattern is part of the
+                // request's observable state: a warm hit that found only
+                // some targets resident legitimately recomputes the rest
+                // (and its manifest says so). Manifests must be a
+                // deterministic function of (site, kind, pattern).
+                let pattern: String = resp
+                    .page_results
+                    .iter()
+                    .map(|p| if p.cached { 'c' } else { '.' })
+                    .collect();
+                let key = format!("{}/{}", resp.cache, pattern);
+                manifests.push((resp.site.clone(), key, resp.manifest));
+            }
+            manifests
+        }));
+    }
+
+    let mut by_kind: HashMap<(String, String), Vec<String>> = HashMap::new();
+    for handle in clients {
+        for (site, kind, manifest) in handle.join().expect("client thread") {
+            by_kind.entry((site, kind)).or_default().push(manifest);
+        }
+    }
+    stop.store(true, Ordering::SeqCst);
+    let invalidated = invalidator.join().expect("invalidator thread");
+    assert!(invalidated > 0, "invalidator never ran");
+    server.shutdown();
+
+    // Determinism: for one site and one cache kind, the redacted
+    // manifest is a single byte string, however many threads asked.
+    for ((site, kind), manifests) in &by_kind {
+        let first = &manifests[0];
+        for m in manifests {
+            assert_eq!(
+                m, first,
+                "manifest for ({site}, {kind}) not deterministic under redact"
+            );
+        }
+    }
+    // The interleaved invalidations must actually have produced both
+    // cold and warm traffic — otherwise the test proved nothing.
+    let kinds: Vec<&str> = by_kind.keys().map(|(_, k)| k.as_str()).collect();
+    assert!(
+        kinds.iter().any(|k| k.starts_with("cold/")),
+        "no cold requests observed"
+    );
+    assert!(
+        kinds.iter().any(|k| k.starts_with("warm/")),
+        "no warm requests observed"
+    );
+}
