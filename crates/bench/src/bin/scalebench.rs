@@ -22,6 +22,10 @@
 //!   least `X` (default: no gate; CI passes 3);
 //! * `--min-pages-per-sec N` — fail below this per-core zero-copy
 //!   throughput (default: no gate);
+//! * `--min-sites-per-sec N` — fail below this per-core full-pipeline
+//!   throughput (default: no gate; implies the pipeline leg);
+//! * `--no-pipeline` — skip the full-pipeline leg (template + both
+//!   solvers per site) and report front-end numbers only;
 //! * `--max-rss-mb N` — fail if the full-run peak RSS exceeds `N` MiB
 //!   (default: no gate);
 //! * `--rss-tolerance F` — allowed half→full peak-RSS growth fraction
@@ -39,8 +43,8 @@ use tableseg_bench::scalebench::{render_json, run_scale_bench, ScaleConfig};
 fn usage() {
     eprintln!(
         "usage: scalebench [--sites N] [--threads N] [--fault-rate F] [--oracle-every N] \
-         [--out PATH] [--min-speedup X] [--min-pages-per-sec N] [--max-rss-mb N] \
-         [--rss-tolerance F] [--check-flat]"
+         [--out PATH] [--min-speedup X] [--min-pages-per-sec N] [--min-sites-per-sec N] \
+         [--no-pipeline] [--max-rss-mb N] [--rss-tolerance F] [--check-flat]"
     );
 }
 
@@ -52,6 +56,7 @@ fn main() -> ExitCode {
     let mut out_path = String::from("BENCH_scale.json");
     let mut min_speedup: Option<f64> = None;
     let mut min_pages_per_sec: Option<f64> = None;
+    let mut min_sites_per_sec: Option<f64> = None;
     let mut max_rss_mb: Option<u64> = None;
     let mut rss_tolerance = 0.25f64;
     let mut check_flat = false;
@@ -107,6 +112,14 @@ fn main() -> ExitCode {
                 };
                 min_pages_per_sec = Some(f);
             }
+            "--min-sites-per-sec" => {
+                let Some(f) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--min-sites-per-sec needs a number");
+                    return ExitCode::FAILURE;
+                };
+                min_sites_per_sec = Some(f);
+            }
+            "--no-pipeline" => cfg.pipeline = false,
             "--max-rss-mb" => {
                 let Some(n) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
                     eprintln!("--max-rss-mb needs a number");
@@ -134,9 +147,18 @@ fn main() -> ExitCode {
         }
     }
 
+    if min_sites_per_sec.is_some() && !cfg.pipeline {
+        eprintln!("--min-sites-per-sec needs the pipeline leg (drop --no-pipeline)");
+        return ExitCode::FAILURE;
+    }
+
     eprintln!(
-        "scale: {} sites on {} thread(s), fault rate {:.2}, oracle every {} ...",
-        cfg.sites, cfg.threads, cfg.fault_rate, cfg.oracle_every
+        "scale: {} sites on {} thread(s), fault rate {:.2}, oracle every {}{} ...",
+        cfg.sites,
+        cfg.threads,
+        cfg.fault_rate,
+        cfg.oracle_every,
+        if cfg.pipeline { ", full pipeline" } else { "" }
     );
     let bench = run_scale_bench(&cfg);
 
@@ -161,6 +183,15 @@ fn main() -> ExitCode {
         bench.bytes as f64 / 1e6,
         bench.oracle_sites
     );
+    if cfg.pipeline {
+        eprintln!(
+            "pipeline: {:.1} sites/s per core ({} records, {} page(s) failed, {:.2} s summed)",
+            bench.sites_per_sec(),
+            bench.records,
+            bench.pipeline_pages_failed,
+            bench.pipeline_ns as f64 / 1e9
+        );
+    }
     if let (Some(half), Some(full)) = (bench.rss_half_bytes, bench.rss_full_bytes) {
         eprintln!(
             "peak RSS: {:.1} MiB after half, {:.1} MiB after full (ratio {:.3})",
@@ -185,6 +216,15 @@ fn main() -> ExitCode {
             eprintln!(
                 "FAIL: {:.0} pages/s below the {min:.0} pages/s gate",
                 bench.pages_per_sec()
+            );
+            failed = true;
+        }
+    }
+    if let Some(min) = min_sites_per_sec {
+        if bench.sites_per_sec() < min {
+            eprintln!(
+                "FAIL: {:.1} sites/s below the {min:.1} sites/s gate",
+                bench.sites_per_sec()
             );
             failed = true;
         }

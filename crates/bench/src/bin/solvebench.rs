@@ -1,8 +1,10 @@
 //! Emits `BENCH_solver.json`: the solver-layer microbenchmark over the
 //! twelve simulated paper sites — pre-overhaul baselines (sequential
-//! uncached WSAT, log-space EM) vs. the production solvers (cached-delta
-//! parallel WSAT, arena-based scaled EM) — plus the corpus-wide per-stage
-//! totals of a full batch run, with the solve stage split by method.
+//! uncached WSAT, log-space EM) and the previous optimized generation
+//! (whole-instance cached-delta WSAT, unmemoized scaled EM) vs. the
+//! production solvers (reduced + warm-started component WSAT, memoized
+//! CSR E-step) — plus the corpus-wide per-stage totals of a full batch
+//! run, with the solve stage split by method.
 //!
 //! Before anything is written, the batch run's Table 4 report is checked
 //! against `tests/golden/table4.txt` — a speedup that changes results is
@@ -19,6 +21,8 @@
 //!   outside the repository checkout);
 //! * `--manifest PATH` — enable the observability layer and write the
 //!   batch run's manifest (summary JSON plus `.jsonl`/`.prom` sidecars);
+//! * `--profile` — include per-component size histograms (strict and
+//!   relaxed encodings) in the JSON, for diagnosing reduction regressions;
 //! * `--help` — this text.
 
 use std::process::ExitCode;
@@ -30,7 +34,7 @@ use tableseg_sitegen::paper_sites;
 
 fn usage() {
     eprintln!(
-        "usage: solvebench [--iters N] [--threads N] [--out PATH] [--skip-golden] [--manifest PATH]"
+        "usage: solvebench [--iters N] [--threads N] [--out PATH] [--skip-golden] [--manifest PATH] [--profile]"
     );
 }
 
@@ -40,6 +44,7 @@ fn main() -> ExitCode {
     let mut out_path = String::from("BENCH_solver.json");
     let mut check_golden = true;
     let mut manifest_path: Option<String> = None;
+    let mut profile = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -65,6 +70,7 @@ fn main() -> ExitCode {
                 out_path = path;
             }
             "--skip-golden" => check_golden = false,
+            "--profile" => profile = true,
             "--manifest" => {
                 let Some(path) = it.next() else {
                     eprintln!("--manifest needs an output path");
@@ -135,31 +141,54 @@ fn main() -> ExitCode {
 
     eprintln!("running solver microbenchmark ({iters} pass(es) per path) ...");
     let bench = solvebench::run_solve_bench(iters);
+    let component_profile = profile.then(|| {
+        let fixtures = solvebench::corpus();
+        solvebench::component_profile(&fixtures)
+    });
 
     let stage_totals = corpus::stage_totals(&outcome.timing);
 
-    let json = solvebench::render_json(&bench, &stage_totals);
+    let json = solvebench::render_json(&bench, &stage_totals, component_profile.as_ref());
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");
         return ExitCode::FAILURE;
     }
     eprintln!(
-        "csp: reference {:.2} ms vs cached-delta {:.2} ms → {:.2}x ({:.0} flips/s)",
-        bench.csp.baseline_ns as f64 / 1e6,
+        "csp: whole-instance {:.2} ms vs reduced {:.2} ms → {:.2}x \
+         (reference {:.2} ms, {:.0} flips/s)",
+        bench.csp.prev_ns as f64 / 1e6,
         bench.csp.optimized_ns as f64 / 1e6,
-        bench.csp.speedup(),
+        bench.csp.speedup_over_prev(),
+        bench.csp.baseline_ns as f64 / 1e6,
         bench.csp.units_per_sec()
     );
     eprintln!(
-        "prob: log-space {:.2} ms vs scaled {:.2} ms → {:.2}x ({:.0} EM iters/s)",
-        bench.prob.baseline_ns as f64 / 1e6,
+        "prob: unmemoized {:.2} ms vs memoized {:.2} ms → {:.2}x \
+         (log-space {:.2} ms, {:.0} EM iters/s)",
+        bench.prob.prev_ns as f64 / 1e6,
         bench.prob.optimized_ns as f64 / 1e6,
-        bench.prob.speedup(),
+        bench.prob.speedup_over_prev(),
+        bench.prob.baseline_ns as f64 / 1e6,
         bench.prob.units_per_sec()
     );
     eprintln!(
-        "solve stage: {:.2}x over {} pages (written to {out_path})",
+        "reduction: {} components, {} pruned vars, {} warm-start hits",
+        bench.reduction.components, bench.reduction.pruned_vars, bench.reduction.warm_start_hits
+    );
+    if let Some(p) = &component_profile {
+        for (name, hist) in [("strict", &p.strict), ("relaxed", &p.relaxed)] {
+            let cells: Vec<String> = hist
+                .iter()
+                .map(|(size, n)| format!("{size} vars × {n}"))
+                .collect();
+            eprintln!("components ({name}): {}", cells.join(", "));
+        }
+    }
+    eprintln!(
+        "solve stage: {:.2}x over prev ({:.2}x over reference) across {} pages \
+         (written to {out_path})",
         bench.solve_speedup(),
+        bench.reference_speedup(),
         bench.pages
     );
     ExitCode::SUCCESS

@@ -33,9 +33,18 @@
 //! pages (bytes) over the summed zero-copy front-end nanoseconds across
 //! all jobs. Summed work time is thread-count-invariant, which makes
 //! the number a stable CI regression gate.
+//!
+//! A third leg runs the **full pipeline** per site — template induction
+//! ([`SiteTemplate::build`]), per-page preparation, and both solvers
+//! ([`CspSegmenter`], [`ProbSegmenter`]) — yielding `sites_per_sec`, the
+//! end-to-end throughput the solver-layer optimizations move. Like the
+//! front-end numbers it divides by summed per-worker nanoseconds, so it
+//! is thread-count-invariant too. Pages the solver rejects (chaos-
+//! damaged universes) are counted, not fatal.
 
 use std::time::Instant;
 
+use tableseg::{CspSegmenter, ProbSegmenter, Segmenter, SiteTemplate};
 use tableseg_extract::PageIndex;
 use tableseg_html::lexer::tokenize;
 use tableseg_html::{scan, Interner};
@@ -56,6 +65,10 @@ pub struct ScaleConfig {
     /// Run the differential oracle on every `oracle_every`-th site
     /// (site 0 is always checked). `0` disables the oracle.
     pub oracle_every: usize,
+    /// Run the full-pipeline leg (template + preparation + both solvers)
+    /// per site. Much heavier than the front-end legs; disable for pure
+    /// lexer runs.
+    pub pipeline: bool,
 }
 
 impl Default for ScaleConfig {
@@ -65,6 +78,7 @@ impl Default for ScaleConfig {
             threads: batch::default_threads(),
             fault_rate: 0.0,
             oracle_every: 16,
+            pipeline: true,
         }
     }
 }
@@ -79,6 +93,9 @@ struct SiteScale {
     scan_ns: u128,
     base_frontend_ns: u128,
     zc_frontend_ns: u128,
+    pipeline_ns: u128,
+    records: usize,
+    pages_failed: usize,
     oracle_checked: bool,
 }
 
@@ -103,6 +120,14 @@ pub struct ScaleBench {
     /// Summed zero-copy front-end nanoseconds (scan + intern +
     /// [`PageIndex::from_scanned`]).
     pub zerocopy_frontend_ns: u128,
+    /// Summed full-pipeline nanoseconds (template + preparation + both
+    /// solvers per list page); zero when the pipeline leg is disabled.
+    pub pipeline_ns: u128,
+    /// Records segmented by the full-pipeline CSP pass.
+    pub records: usize,
+    /// List pages the pipeline leg could not prepare or solve (chaos
+    /// damage); counted per solver attempt.
+    pub pipeline_pages_failed: usize,
     /// Sites the differential oracle verified.
     pub oracle_sites: usize,
     /// Peak RSS after the first half of the universe, in bytes
@@ -138,6 +163,15 @@ impl ScaleBench {
         self.bytes as f64 / (self.zerocopy_frontend_ns.max(1) as f64 / 1e9)
     }
 
+    /// Per-core full-pipeline throughput in sites per second (`0.0` when
+    /// the pipeline leg is disabled).
+    pub fn sites_per_sec(&self) -> f64 {
+        if self.pipeline_ns == 0 {
+            return 0.0;
+        }
+        self.sites as f64 / (self.pipeline_ns as f64 / 1e9)
+    }
+
     /// Peak-RSS growth over the second half of the universe, as a
     /// `full / half` ratio (`None` when RSS was unreadable).
     pub fn rss_ratio(&self) -> Option<f64> {
@@ -163,6 +197,40 @@ pub fn peak_rss_bytes() -> Option<u64> {
         }
     }
     None
+}
+
+/// Runs the full pipeline over one site: template induction across its
+/// list pages, per-page preparation, and both solvers per page. Returns
+/// `(records, pages_failed)`; failures (degenerate chaos-damaged pages)
+/// are absorbed per page via [`Segmenter::try_segment`].
+fn pipeline_site(site: &GeneratedSite, out: &mut SiteScale) {
+    let csp = CspSegmenter::default();
+    let prob = ProbSegmenter::default();
+    let t = Instant::now();
+    match SiteTemplate::try_build(&site.list_htmls()) {
+        Ok(template) => {
+            for (target, gp) in site.pages.iter().enumerate() {
+                let details: Vec<&str> = gp.detail_html.iter().map(|d| d.as_str()).collect();
+                let prepared =
+                    match tableseg::try_prepare_with_template(&template, target, &details) {
+                        Ok(p) => p,
+                        Err(_) => {
+                            out.pages_failed += 1;
+                            continue;
+                        }
+                    };
+                match csp.try_segment(&prepared.observations) {
+                    Ok(o) => out.records += o.segmentation.num_records,
+                    Err(_) => out.pages_failed += 1,
+                }
+                if prob.try_segment(&prepared.observations).is_err() {
+                    out.pages_failed += 1;
+                }
+            }
+        }
+        Err(_) => out.pages_failed += site.pages.len(),
+    }
+    out.pipeline_ns = t.elapsed().as_nanos();
 }
 
 /// Runs both front ends over one site, returning its scale summary.
@@ -281,7 +349,11 @@ pub fn run_scale_bench(cfg: &ScaleConfig) -> ScaleBench {
         batch::execute(cfg.threads, jobs, |_, i| {
             let site = universe.site(i);
             let oracle = cfg.oracle_every > 0 && i % cfg.oracle_every == 0;
-            scale_site(&site, oracle)
+            let mut scale = scale_site(&site, oracle);
+            if cfg.pipeline {
+                pipeline_site(&site, &mut scale);
+            }
+            scale
         })
     };
 
@@ -299,6 +371,9 @@ pub fn run_scale_bench(cfg: &ScaleConfig) -> ScaleBench {
         scan_ns: 0,
         baseline_frontend_ns: 0,
         zerocopy_frontend_ns: 0,
+        pipeline_ns: 0,
+        records: 0,
+        pipeline_pages_failed: 0,
         oracle_sites: 0,
         rss_half_bytes,
         rss_full_bytes,
@@ -313,6 +388,9 @@ pub fn run_scale_bench(cfg: &ScaleConfig) -> ScaleBench {
         bench.scan_ns += s.scan_ns;
         bench.baseline_frontend_ns += s.base_frontend_ns;
         bench.zerocopy_frontend_ns += s.zc_frontend_ns;
+        bench.pipeline_ns += s.pipeline_ns;
+        bench.records += s.records;
+        bench.pipeline_pages_failed += s.pages_failed;
         bench.oracle_sites += usize::from(s.oracle_checked);
     }
     bench
@@ -363,6 +441,21 @@ pub fn render_json(bench: &ScaleBench) -> String {
             bench.bytes_per_sec()
         ),
     )
+    .raw(
+        "pipeline",
+        if bench.pipeline_ns == 0 {
+            "{ \"skipped\": true }".to_string()
+        } else {
+            format!(
+                "{{ \"pipeline_ns\": {}, \"sites_per_sec\": {:.1}, \"records\": {}, \
+                 \"pages_failed\": {} }}",
+                bench.pipeline_ns,
+                bench.sites_per_sec(),
+                bench.records,
+                bench.pipeline_pages_failed
+            )
+        },
+    )
     .raw("peak_rss", rss)
     .raw(
         "oracle",
@@ -384,6 +477,7 @@ mod tests {
             threads: 2,
             fault_rate: 0.0,
             oracle_every: 2,
+            pipeline: false,
         }
     }
 
@@ -395,6 +489,23 @@ mod tests {
         assert!(bench.bytes > 0 && bench.tokens > 0);
         assert_eq!(bench.oracle_sites, 3, "sites 0, 2, 4 are checked");
         assert!(bench.tokenize_ns > 0 && bench.scan_ns > 0);
+        assert_eq!(bench.pipeline_ns, 0, "pipeline leg disabled");
+        assert_eq!(bench.sites_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn pipeline_leg_segments_the_universe() {
+        let bench = run_scale_bench(&ScaleConfig {
+            pipeline: true,
+            ..small_cfg()
+        });
+        assert!(bench.pipeline_ns > 0);
+        assert!(bench.sites_per_sec() > 0.0);
+        assert!(
+            bench.records > 0,
+            "clean universe sites must segment into records"
+        );
+        assert_eq!(bench.pipeline_pages_failed, 0, "clean universe");
     }
 
     #[test]
@@ -411,15 +522,19 @@ mod tests {
     fn totals_are_thread_count_invariant() {
         let one = run_scale_bench(&ScaleConfig {
             threads: 1,
+            pipeline: true,
             ..small_cfg()
         });
         let four = run_scale_bench(&ScaleConfig {
             threads: 4,
+            pipeline: true,
             ..small_cfg()
         });
         assert_eq!(one.pages, four.pages);
         assert_eq!(one.bytes, four.bytes);
         assert_eq!(one.tokens, four.tokens);
+        assert_eq!(one.records, four.records);
+        assert_eq!(one.pipeline_pages_failed, four.pipeline_pages_failed);
     }
 
     #[test]
@@ -440,6 +555,9 @@ mod tests {
             scan_ns: 3_000_000,
             baseline_frontend_ns: 20_000_000,
             zerocopy_frontend_ns: 8_000_000,
+            pipeline_ns: 2_000_000_000,
+            records: 4000,
+            pipeline_pages_failed: 0,
             oracle_sites: 7,
             rss_half_bytes: Some(100 << 20),
             rss_full_bytes: Some(101 << 20),
@@ -454,7 +572,17 @@ mod tests {
         assert!(json.contains("\"bench\": \"frontend_scale\""));
         assert!(json.contains("\"speedup\": 3.00"));
         assert!(json.contains("\"pages_per_sec\": 125000"));
+        assert!(json.contains("\"sites_per_sec\": 50.0"));
+        assert!(json.contains("\"records\": 4000"));
         assert!(json.contains("\"ratio\": 1.010"));
         assert!(json.starts_with('{') && json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn json_marks_disabled_pipeline_as_skipped() {
+        let mut bench = run_scale_bench(&small_cfg());
+        bench.pipeline_ns = 0;
+        let json = render_json(&bench);
+        assert!(json.contains("\"pipeline\": { \"skipped\": true }"));
     }
 }

@@ -103,9 +103,13 @@ impl Segmenter for CspSegmenter {
         let out = segment_csp(obs, &self.options);
         let mut solver_times = StageTimes::new();
         solver_times.add(Stage::SolveCsp, start.elapsed());
+        solver_times.add(Stage::SolveReduce, Duration::from_nanos(out.reduce_ns));
         let mut metrics = Recorder::new();
         metrics.bump(Counter::WsatFlips, out.flips);
         metrics.bump(Counter::WsatTries, out.tries);
+        metrics.bump(Counter::SolveComponents, out.components as u64);
+        metrics.bump(Counter::SolvePrunedVars, out.pruned_vars as u64);
+        metrics.bump(Counter::SolveWarmStartHits, out.warm_start_hits);
         metrics.observe(Hist::WsatFlipsPerSolve, out.flips);
         let relaxed = out.status != CspStatus::Solved;
         if relaxed {

@@ -34,6 +34,9 @@ pub enum Stage {
     Solve,
     /// Decoding the solution: truth alignment, classification, assembly.
     Decode,
+    /// Sub-stage of `Solve`: instance reduction (propagation, entailment
+    /// elimination, component split) ahead of the CSP search.
+    SolveReduce,
     /// Sub-stage of `Solve`: the WSAT(OIP)/branch-and-bound CSP solve.
     SolveCsp,
     /// Sub-stage of `Solve`: the whole probabilistic (EM) solve.
@@ -62,7 +65,8 @@ impl Stage {
     ];
 
     /// The sub-stages splitting `Solve` by method, in report order.
-    pub const SOLVE_SPLIT: [Stage; 5] = [
+    pub const SOLVE_SPLIT: [Stage; 6] = [
+        Stage::SolveReduce,
         Stage::SolveCsp,
         Stage::SolveProb,
         Stage::SolveEmEStep,
@@ -82,6 +86,7 @@ impl Stage {
             Stage::Matching => "match",
             Stage::Solve => "solve",
             Stage::Decode => "decode",
+            Stage::SolveReduce => "solve.reduce",
             Stage::SolveCsp => "solve.csp",
             Stage::SolveProb => "solve.prob",
             Stage::SolveEmEStep => "solve.em.e_step",
@@ -99,12 +104,13 @@ impl Stage {
             Stage::Matching => 3,
             Stage::Solve => 4,
             Stage::Decode => 5,
-            Stage::SolveCsp => 6,
-            Stage::SolveProb => 7,
-            Stage::SolveEmEStep => 8,
-            Stage::SolveEmMStep => 9,
-            Stage::SolveViterbi => 10,
-            Stage::InduceHistogram => 11,
+            Stage::SolveReduce => 6,
+            Stage::SolveCsp => 7,
+            Stage::SolveProb => 8,
+            Stage::SolveEmEStep => 9,
+            Stage::SolveEmMStep => 10,
+            Stage::SolveViterbi => 11,
+            Stage::InduceHistogram => 12,
         }
     }
 }
@@ -179,6 +185,7 @@ pub fn stage_spans(times: &StageTimes) -> Vec<SpanNode> {
                 node.push(span(Stage::InduceHistogram, SpanKind::SolverSubstage));
             }
             if stage == Stage::Solve {
+                node.push(span(Stage::SolveReduce, SpanKind::SolverSubstage));
                 node.push(span(Stage::SolveCsp, SpanKind::SolverSubstage));
                 let mut prob = span(Stage::SolveProb, SpanKind::SolverSubstage);
                 for sub in [

@@ -19,6 +19,9 @@
 //!   specialized to the segmentation structure;
 //! * [`encoder`] — builds the uniqueness, consecutiveness and position
 //!   constraints of Sections 4.1–4.2 from an observation table;
+//! * [`reduce`] — instance reduction ahead of any search: bounds
+//!   propagation of forced assignments, entailed-constraint elimination,
+//!   and connected-component decomposition of the constraint graph;
 //! * [`relax`] — the paper's relaxation ladder: when the hard problem is
 //!   unsatisfiable (dirty data), equalities become inequalities and the
 //!   solver maximizes the number of assigned extracts, yielding the partial
@@ -32,9 +35,11 @@
 pub mod encoder;
 pub mod exact;
 pub mod model;
+pub mod reduce;
 pub mod relax;
 pub mod solution;
 pub mod wsat;
 
 pub use encoder::{encode, EncodeOptions, Encoding};
+pub use reduce::{reduce_model, Component, Reduction};
 pub use relax::{segment_csp, CspOptions, CspOutcome, CspStatus};

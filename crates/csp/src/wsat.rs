@@ -117,6 +117,27 @@ pub struct WsatResult {
     /// early-exit gates depend only on per-try outcomes, never on
     /// scheduling, so the count is thread-count-invariant.
     pub tries: u64,
+    /// `true` when the best assignment came out of a warm-started try of
+    /// [`solve_warm`] (always `false` for [`solve`] and the reference
+    /// solver) — the `solve.warm_start_hits` counter.
+    pub warm_start_hit: bool,
+}
+
+/// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...): the universal
+/// cutoff schedule of Luby, Sinclair & Zuckerman. [`solve_warm`] scales
+/// each try's flip budget by `luby(try_no + 1)`, so cheap probes of the
+/// warm seeds come first and budgets grow only when restarts keep failing.
+pub fn luby(i: u64) -> u64 {
+    debug_assert!(i >= 1);
+    let mut k = 1u64;
+    while (1u64 << k) - 1 < i {
+        k += 1;
+    }
+    if (1u64 << k) - 1 == i {
+        1u64 << (k - 1)
+    } else {
+        luby(i - (1u64 << (k - 1)) + 1)
+    }
 }
 
 /// SplitMix64 finalizer: decorrelates per-try seeds derived from
@@ -300,6 +321,7 @@ impl<'a> SearchState<'a> {
 
 /// The best assignment one try found, plus its flip count.
 struct TryOutcome {
+    try_no: usize,
     violation: i64,
     objective: i64,
     assignment: Vec<bool>,
@@ -314,19 +336,55 @@ fn is_perfect(outcome: &TryOutcome, model: &Model, cfg: &WsatConfig) -> bool {
             || cfg.objective_target.is_some_and(|t| outcome.objective >= t))
 }
 
+/// How a try builds its starting assignment.
+enum TryInit<'w> {
+    /// All-false for try 0, seeded-random for later tries — the legacy
+    /// [`solve`] behaviour.
+    Default,
+    /// Start from a caller-provided assignment (a warm seed).
+    Seeded(&'w [bool]),
+    /// Start all-false regardless of try number.
+    AllFalse,
+}
+
 /// Runs one independent restart. The trajectory depends only on
 /// `(model, cfg, try_no)` — never on other tries or the thread it runs on.
 fn run_try(model: &Model, problem: &Problem, cfg: &WsatConfig, try_no: usize) -> TryOutcome {
+    run_try_from(
+        model,
+        problem,
+        cfg,
+        try_no,
+        TryInit::Default,
+        cfg.max_flips as u64,
+    )
+}
+
+/// [`run_try`] with an explicit starting assignment and flip budget — the
+/// warm-started portfolio entry point.
+fn run_try_from(
+    model: &Model,
+    problem: &Problem,
+    cfg: &WsatConfig,
+    try_no: usize,
+    init: TryInit<'_>,
+    max_flips: u64,
+) -> TryOutcome {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ mix64(try_no as u64));
-    // First try starts all-false (often near-feasible for ≤ constraints);
-    // later tries are random.
-    let init: Vec<bool> = if try_no == 0 {
-        vec![false; model.num_vars]
-    } else {
-        (0..model.num_vars).map(|_| rng.random_bool(0.5)).collect()
+    // Default: first try starts all-false (often near-feasible for ≤
+    // constraints); later tries are random.
+    let init: Vec<bool> = match init {
+        TryInit::Seeded(seed) => {
+            debug_assert_eq!(seed.len(), model.num_vars);
+            seed.to_vec()
+        }
+        TryInit::AllFalse => vec![false; model.num_vars],
+        TryInit::Default if try_no == 0 => vec![false; model.num_vars],
+        TryInit::Default => (0..model.num_vars).map(|_| rng.random_bool(0.5)).collect(),
     };
     let mut state = SearchState::new(model, problem, init);
     let mut best = TryOutcome {
+        try_no,
         violation: state.total_violation,
         objective: state.objective,
         assignment: state.assign.clone(),
@@ -335,7 +393,7 @@ fn run_try(model: &Model, problem: &Problem, cfg: &WsatConfig, try_no: usize) ->
 
     let mut last_best_flip = 0u64;
     let mut flips = 0u64;
-    while flips < cfg.max_flips as u64 {
+    while flips < max_flips {
         // Early exit: nothing left to improve in this try.
         if is_perfect(&best, model, cfg) {
             break;
@@ -380,24 +438,21 @@ fn run_try(model: &Model, problem: &Problem, cfg: &WsatConfig, try_no: usize) ->
 }
 
 /// Runs tries `range` (sequentially or on a small worker pool) and returns
-/// their outcomes in try order.
+/// their outcomes in try order. `run` must be a pure function of the try
+/// number — results are collected by index, so scheduling never shows.
 fn run_tries(
-    model: &Model,
-    problem: &Problem,
-    cfg: &WsatConfig,
+    threads: usize,
     range: Range<usize>,
+    run: impl Fn(usize) -> TryOutcome + Sync,
 ) -> Vec<TryOutcome> {
     let tries: Vec<usize> = range.collect();
-    let threads = match cfg.threads {
+    let threads = match threads {
         0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
         n => n,
     }
     .min(tries.len());
     if threads <= 1 {
-        return tries
-            .iter()
-            .map(|&t| run_try(model, problem, cfg, t))
-            .collect();
+        return tries.iter().map(|&t| run(t)).collect();
     }
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, TryOutcome)>();
@@ -406,10 +461,11 @@ fn run_tries(
             let tx = tx.clone();
             let next = &next;
             let tries = &tries;
+            let run = &run;
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&t) = tries.get(i) else { break };
-                if tx.send((i, run_try(model, problem, cfg, t))).is_err() {
+                if tx.send((i, run(t))).is_err() {
                     break;
                 }
             });
@@ -428,8 +484,9 @@ fn run_tries(
 
 /// Deterministic reduction: best `(violation asc, objective desc, try_no
 /// asc)`; flips are summed over all tries that ran. Independent of the
-/// order tries finished in.
-fn reduce(outcomes: Vec<TryOutcome>) -> WsatResult {
+/// order tries finished in. `warm_count` is the number of leading tries
+/// that were warm-seeded (0 for the cold portfolio).
+fn reduce(outcomes: Vec<TryOutcome>, warm_count: usize) -> WsatResult {
     let total_flips: u64 = outcomes.iter().map(|o| o.flips).sum();
     let tries = outcomes.len() as u64;
     let best = outcomes
@@ -448,9 +505,10 @@ fn reduce(outcomes: Vec<TryOutcome>) -> WsatResult {
         feasible: best.violation == 0,
         violation: best.violation,
         objective: best.objective,
-        assignment: best.assignment,
         flips: total_flips,
         tries,
+        warm_start_hit: best.try_no < warm_count,
+        assignment: best.assignment,
     }
 }
 
@@ -467,9 +525,67 @@ pub fn solve(model: &Model, cfg: &WsatConfig) -> WsatResult {
     let skip_rest = is_perfect(&first, model, cfg);
     let mut outcomes = vec![first];
     if !skip_rest && tries > 1 {
-        outcomes.extend(run_tries(model, &problem, cfg, 1..tries));
+        outcomes.extend(run_tries(cfg.threads, 1..tries, |t| {
+            run_try(model, &problem, cfg, t)
+        }));
     }
-    reduce(outcomes)
+    reduce(outcomes, 0)
+}
+
+/// Solves `model` with a warm-started restart portfolio under a Luby
+/// cutoff schedule.
+///
+/// Try layout: tries `0..warm.len()` start from the given seeds (the
+/// relaxation ladder passes the previous rung's best assignment and
+/// sibling-component solutions here), the next try starts all-false, and
+/// any remaining tries start seeded-random exactly like [`solve`]. Try
+/// `t` gets a flip budget of `luby(t + 1) · max_flips / 8` (capped at
+/// `max_flips`): the warm probes come cheap, and budgets only grow when
+/// restarts keep failing.
+///
+/// The portfolio runs in two waves. Wave one is the probes: every warm
+/// seed plus the all-false try. When any probe lands a *feasible*
+/// assignment, the seeded-random tail is skipped entirely — random
+/// restarts exist to escape infeasible basins, while objective polish
+/// comes from the feasible probe's own hill-climbing, so the tail is
+/// pure stall burn at that point. Only when every probe is infeasible
+/// (and none is perfect) does wave two run the random restarts.
+///
+/// Determinism matches [`solve`]: each try depends only on `(model, cfg,
+/// warm, try_no)`, the wave gates depend only on complete wave outcomes,
+/// and results reduce by `(violation asc, objective desc, try_no asc)` —
+/// byte-identical at 1, 2 and N threads.
+pub fn solve_warm(model: &Model, cfg: &WsatConfig, warm: &[Vec<bool>]) -> WsatResult {
+    let problem = Problem::new(model);
+    let tries = cfg.max_tries.max(1).max(warm.len() + 1);
+    let unit = (cfg.max_flips as u64 / 8).max(1);
+    let budget = |t: usize| (luby(t as u64 + 1) * unit).min(cfg.max_flips as u64);
+    let run = |t: usize| {
+        let init = match warm.get(t) {
+            Some(seed) => TryInit::Seeded(seed),
+            None if t == warm.len() => TryInit::AllFalse,
+            None => TryInit::Default,
+        };
+        run_try_from(model, &problem, cfg, t, init, budget(t))
+    };
+    let first = run(0);
+    let skip_rest = is_perfect(&first, model, cfg);
+    let mut outcomes = vec![first];
+    if !skip_rest && tries > 1 {
+        // Wave one: the remaining probes (warm seeds + all-false).
+        let probe_end = (warm.len() + 1).min(tries);
+        if probe_end > 1 {
+            outcomes.extend(run_tries(cfg.threads, 1..probe_end, run));
+        }
+        let probe_feasible = outcomes.iter().any(|o| o.violation == 0);
+        let probe_perfect = outcomes.iter().any(|o| is_perfect(o, model, cfg));
+        // Wave two: the seeded-random tail, only when the probes left
+        // the model unsatisfied.
+        if !probe_perfect && !probe_feasible && probe_end < tries {
+            outcomes.extend(run_tries(cfg.threads, probe_end..tries, run));
+        }
+    }
+    reduce(outcomes, warm.len())
 }
 
 /// Chooses a variable from a violated constraint.
@@ -718,6 +834,7 @@ pub mod reference {
             assignment: best_assign,
             flips: total_flips,
             tries: tries_ran,
+            warm_start_hit: false,
         }
     }
 
@@ -941,6 +1058,64 @@ mod tests {
         let r = solve(&m, &cfg());
         assert!(r.feasible, "{r:?}");
         assert_eq!(r.assignment, vec![true, true, true]);
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let seq: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn warm_seed_hits_on_a_solved_instance() {
+        // Seeding with a known optimum: the first (warm) try is already
+        // perfect, so the portfolio stops there and reports the hit.
+        let mut m = Model::new(3);
+        m.add(Constraint::sum([0, 1], Relation::Eq, 1));
+        m.add(Constraint::sum([1, 2], Relation::Eq, 1));
+        m.add(Constraint::sum([0, 2], Relation::Eq, 2));
+        let seed = vec![true, false, true];
+        let r = solve_warm(&m, &cfg(), std::slice::from_ref(&seed));
+        assert!(r.feasible);
+        assert!(r.warm_start_hit);
+        assert_eq!(r.assignment, seed);
+        assert_eq!(r.tries, 1, "perfect warm try gates the rest");
+        // A cold solve never reports a warm hit.
+        assert!(!solve(&m, &cfg()).warm_start_hit);
+    }
+
+    #[test]
+    fn warm_portfolio_recovers_from_a_bad_seed() {
+        let mut m = Model::new(3);
+        m.add(Constraint::sum([0, 1], Relation::Eq, 1));
+        m.add(Constraint::sum([1, 2], Relation::Eq, 1));
+        m.add(Constraint::sum([0, 2], Relation::Eq, 2));
+        // An infeasible seed: the later cold tries must still solve it.
+        let r = solve_warm(&m, &cfg(), &[vec![false, true, false]]);
+        assert!(r.feasible, "{r:?}");
+        assert_eq!(r.assignment, vec![true, false, true]);
+    }
+
+    #[test]
+    fn warm_solve_is_thread_count_invariant() {
+        let mut m = Model::new(8);
+        m.add(Constraint::sum([0, 1, 2, 3], Relation::Eq, 2));
+        m.add(Constraint::sum([4, 5, 6, 7], Relation::Le, 1));
+        m.add(Constraint::sum([0, 4], Relation::Ge, 1));
+        m.maximize_sum([0, 1, 2, 3, 4, 5, 6, 7]);
+        let warm = vec![vec![false; 8], vec![true; 8]];
+        let base = solve_warm(
+            &m,
+            &WsatConfig {
+                threads: 1,
+                ..cfg()
+            },
+            &warm,
+        );
+        for threads in [2, 3, 0] {
+            let r = solve_warm(&m, &WsatConfig { threads, ..cfg() }, &warm);
+            assert_eq!(r, base, "warm result changed at threads={threads}");
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@ use proptest::prelude::*;
 
 use tableseg_csp::exact::{solve_bnb, solve_ordered, BnbOutcome};
 use tableseg_csp::model::{Constraint, Model, Relation, Term};
+use tableseg_csp::reduce_model;
 use tableseg_csp::wsat::{solve, WsatConfig};
 
 /// A random small pseudo-boolean model.
@@ -319,6 +320,84 @@ proptest! {
         for threads in [2, 4, 0] {
             let parallel = solve(&model, &WsatConfig { threads, ..base });
             prop_assert_eq!(&sequential, &parallel, "threads = {}", threads);
+        }
+    }
+
+    /// Instance reduction is exact: solving the components independently
+    /// and stitching the parts back together reaches the same optimum as
+    /// the whole-instance oracle on random segmentation instances, and
+    /// the stitched assignment is feasible in the *original* model.
+    #[test]
+    fn reduced_components_equal_whole_instance_oracle(
+        spec in proptest::collection::vec(
+            proptest::collection::btree_set(0u32..4, 0..3), 1..8),
+    ) {
+        let owned: Vec<Vec<u32>> = spec.iter().map(|s| s.iter().copied().collect()).collect();
+        let cands: Vec<&[u32]> = owned.iter().map(Vec::as_slice).collect();
+        let (model, _) = ordered_instance_model(&cands);
+
+        let BnbOutcome::Optimal { objective, .. } = solve_bnb(&model, 1_000_000) else {
+            return Err(TestCaseError::fail("all-zero is always feasible here"));
+        };
+
+        let red = reduce_model(&model);
+        prop_assert!(!red.infeasible, "reduction must not refute a feasible model");
+        let mut parts = Vec::with_capacity(red.components.len());
+        for comp in &red.components {
+            let BnbOutcome::Optimal { assignment, .. } = solve_bnb(&comp.model, 1_000_000) else {
+                return Err(TestCaseError::fail("component of a feasible model infeasible"));
+            };
+            parts.push(assignment);
+        }
+        let stitched = red.stitch(&parts);
+        prop_assert!(model.feasible(&stitched), "stitched assignment violates the model");
+        prop_assert_eq!(
+            model.objective_value(&stitched),
+            objective,
+            "decomposed optimum diverged from the whole-instance oracle on {:?}",
+            owned
+        );
+    }
+
+    /// Reduction is exact on arbitrary weighted models too, including
+    /// infeasible ones: propagation may refute the model outright, a
+    /// component may be infeasible, or the stitched component optima
+    /// must match the whole-instance optimum.
+    #[test]
+    fn reduction_preserves_weighted_model_optimum(mut model in arb_weighted_model()) {
+        model.maximize_sum(0..model.num_vars);
+        let whole = solve_bnb(&model, 1_000_000);
+        let red = reduce_model(&model);
+        if red.infeasible {
+            prop_assert!(
+                matches!(whole, BnbOutcome::Infeasible),
+                "reduction refuted a feasible model"
+            );
+            return Ok(());
+        }
+        let mut parts = Vec::with_capacity(red.components.len());
+        let mut any_infeasible = false;
+        for comp in &red.components {
+            match solve_bnb(&comp.model, 1_000_000) {
+                BnbOutcome::Optimal { assignment, .. } => parts.push(assignment),
+                BnbOutcome::Infeasible => {
+                    any_infeasible = true;
+                    break;
+                }
+                BnbOutcome::Unknown => unreachable!("budget is ample for <=7 vars"),
+            }
+        }
+        match whole {
+            BnbOutcome::Optimal { objective, .. } => {
+                prop_assert!(!any_infeasible, "component infeasible on a feasible model");
+                let stitched = red.stitch(&parts);
+                prop_assert!(model.feasible(&stitched));
+                prop_assert_eq!(model.objective_value(&stitched), objective);
+            }
+            BnbOutcome::Infeasible => {
+                prop_assert!(any_infeasible, "every component solvable on an infeasible model");
+            }
+            BnbOutcome::Unknown => unreachable!("budget is ample for <=7 vars"),
         }
     }
 

@@ -85,6 +85,15 @@ pub enum Counter {
     /// Requests that hit their deadline; remaining pages were cancelled
     /// through the fallible pipeline and reported as failed.
     ServeDeadlineExceeded,
+    /// Connected components produced by CSP instance reduction, summed
+    /// over solves (zero when propagation alone fixes every variable).
+    SolveComponents,
+    /// Variables eliminated before search by instance reduction: forced
+    /// by propagation or free (touching no active constraint).
+    SolvePrunedVars,
+    /// Warm-started WSAT solves whose best try was a warm seed (the
+    /// previous relaxation rung's assignment), not a cold restart.
+    SolveWarmStartHits,
 }
 
 impl Counter {
@@ -120,6 +129,9 @@ impl Counter {
         Counter::ServeRejected,
         Counter::ServeInvalidations,
         Counter::ServeDeadlineExceeded,
+        Counter::SolveComponents,
+        Counter::SolvePrunedVars,
+        Counter::SolveWarmStartHits,
     ];
 
     /// Number of counter variants. [`Counter::ALL`] has exactly this
@@ -127,7 +139,7 @@ impl Counter {
     /// exhaustive match — adding a variant without updating both is a
     /// compile error here and a failure of
     /// `all_assigns_every_variant_its_index` below.
-    pub const COUNT: usize = 30;
+    pub const COUNT: usize = 33;
 
     /// The canonical `area.event` metric name.
     pub fn label(self) -> &'static str {
@@ -162,6 +174,9 @@ impl Counter {
             Counter::ServeRejected => "serve.rejected",
             Counter::ServeInvalidations => "serve.invalidations",
             Counter::ServeDeadlineExceeded => "serve.deadline_exceeded",
+            Counter::SolveComponents => "solve.components",
+            Counter::SolvePrunedVars => "solve.pruned_vars",
+            Counter::SolveWarmStartHits => "solve.warm_start_hits",
         }
     }
 
@@ -201,6 +216,9 @@ impl Counter {
             Counter::ServeRejected => 27,
             Counter::ServeInvalidations => 28,
             Counter::ServeDeadlineExceeded => 29,
+            Counter::SolveComponents => 30,
+            Counter::SolvePrunedVars => 31,
+            Counter::SolveWarmStartHits => 32,
         }
     }
 }

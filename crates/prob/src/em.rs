@@ -13,8 +13,8 @@ use tableseg_extract::{Observations, Segmentation};
 
 use crate::bootstrap;
 use crate::forward_backward::{
-    build_chain, emissions_into, forward_backward, forward_backward_scaled, log_emissions,
-    refresh_chain, FbWorkspace,
+    build_chain, emissions_into, emissions_into_memoized, forward_backward,
+    forward_backward_scaled, forward_backward_struct, log_emissions, refresh_chain, FbWorkspace,
 };
 use crate::model::{evidence, Dims, Evidence};
 use crate::params::Params;
@@ -84,16 +84,39 @@ fn run_scaled(
     opts: &ProbOptions,
     timing: &mut EmTiming,
 ) -> (f64, usize, Vec<usize>) {
+    let memo = opts.memo_e_step;
     let mut ws = FbWorkspace::new();
-    let mut chain = build_chain(dims, params, opts);
+    // The structured pass reads the transition structure straight from the
+    // parameters, so the memoized path defers chain construction to the
+    // final Viterbi decode; the unmemoized leg still refreshes a chain
+    // every iteration.
+    let mut chain = (!memo).then(|| build_chain(dims, params, opts));
     let mut prev_ll = f64::NEG_INFINITY;
     let mut iterations = 0;
+    // `true` while `ws.emits` matches the current `params`, so a converged
+    // loop can feed Viterbi without another emission pass.
+    let mut emits_fresh = false;
     for it in 0..opts.max_iterations {
         iterations = it + 1;
         let t = Instant::now();
-        emissions_into(ev, params, dims, opts, &mut ws);
-        let ll = forward_backward_scaled(&chain, &mut ws, ev);
+        let ll = if memo {
+            emissions_into_memoized(ev, params, dims, opts, &mut ws);
+            forward_backward_struct(dims, params, opts, &mut ws, ev)
+        } else {
+            emissions_into(ev, params, dims, opts, &mut ws);
+            forward_backward_scaled(chain.as_ref().expect("unmemoized leg"), &mut ws, ev)
+        };
+        emits_fresh = true;
         timing.e_step_ns += t.elapsed().as_nanos() as u64;
+
+        // Log-likelihood-delta early exit *before* the M-step: once the
+        // likelihood has stopped moving, the extra parameter update buys
+        // nothing and would force an emission refresh for the decode.
+        if (ll - prev_ll).abs() < opts.tolerance {
+            prev_ll = ll;
+            break;
+        }
+        prev_ll = ll;
 
         let t = Instant::now();
         params.update(
@@ -103,20 +126,28 @@ fn run_scaled(
             &ws.counts.end,
             &ws.counts.cont,
         );
-        refresh_chain(&mut chain, params, opts);
-        timing.m_step_ns += t.elapsed().as_nanos() as u64;
-
-        if (ll - prev_ll).abs() < opts.tolerance {
-            prev_ll = ll;
-            break;
+        if let Some(chain) = chain.as_mut() {
+            refresh_chain(chain, params, opts);
         }
-        prev_ll = ll;
+        emits_fresh = false;
+        timing.m_step_ns += t.elapsed().as_nanos() as u64;
     }
 
-    // MAP decode with the final parameters (the chain already carries
-    // them; only the emissions need a refresh).
+    // MAP decode with the final parameters (the memoized path builds its
+    // chain only now; the emission arena is refreshed only when the loop
+    // exhausted its iteration budget with the M-step as the last word).
     let t = Instant::now();
-    emissions_into(ev, params, dims, opts, &mut ws);
+    if !emits_fresh {
+        if memo {
+            emissions_into_memoized(ev, params, dims, opts, &mut ws);
+        } else {
+            emissions_into(ev, params, dims, opts, &mut ws);
+        }
+    }
+    let chain = match chain {
+        Some(chain) => chain,
+        None => build_chain(dims, params, opts),
+    };
     let path = viterbi_scaled(&chain, &ws);
     timing.viterbi_ns += t.elapsed().as_nanos() as u64;
     (prev_ll, iterations, path)
@@ -134,6 +165,9 @@ fn run_log_space(
 ) -> (f64, usize, Vec<usize>) {
     let mut prev_ll = f64::NEG_INFINITY;
     let mut iterations = 0;
+    // Chain and emission tables from a converged iteration, still valid
+    // for decoding because the early exit skipped the M-step.
+    let mut converged = None;
     for it in 0..opts.max_iterations {
         iterations = it + 1;
         let t = Instant::now();
@@ -141,6 +175,14 @@ fn run_log_space(
         let emits = log_emissions(ev, params, dims, opts);
         let fb = forward_backward(&chain, &emits, ev);
         timing.e_step_ns += t.elapsed().as_nanos() as u64;
+
+        // Early exit before the M-step, mirroring `run_scaled`.
+        if (fb.log_likelihood - prev_ll).abs() < opts.tolerance {
+            prev_ll = fb.log_likelihood;
+            converged = Some((chain, emits));
+            break;
+        }
+        prev_ll = fb.log_likelihood;
 
         let t = Instant::now();
         params.update(
@@ -151,17 +193,14 @@ fn run_log_space(
             &fb.counts.cont,
         );
         timing.m_step_ns += t.elapsed().as_nanos() as u64;
-
-        if (fb.log_likelihood - prev_ll).abs() < opts.tolerance {
-            prev_ll = fb.log_likelihood;
-            break;
-        }
-        prev_ll = fb.log_likelihood;
     }
 
     let t = Instant::now();
-    let chain = build_chain(dims, params, opts);
-    let emits = log_emissions(ev, params, dims, opts);
+    let (chain, emits) = converged.unwrap_or_else(|| {
+        let chain = build_chain(dims, params, opts);
+        let emits = log_emissions(ev, params, dims, opts);
+        (chain, emits)
+    });
     let path = viterbi(&chain, &emits);
     timing.viterbi_ns += t.elapsed().as_nanos() as u64;
     (prev_ll, iterations, path)
@@ -254,6 +293,89 @@ mod tests {
         let out = run(&obs, &ProbOptions::default());
         assert!(out.segmentation.assignments.is_empty());
         assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn memoized_e_step_matches_unmemoized_bit_for_bit() {
+        let fixtures: [(&str, Vec<&str>); 2] = [
+            (
+                "<td>Alpha One</td><td>100 Main</td><td>Beta Two</td><td>200 Oak</td>",
+                vec![
+                    "<p>Alpha One</p><p>100 Main</p>",
+                    "<p>Beta Two</p><p>200 Oak</p>",
+                ],
+            ),
+            (
+                "<td>Alpha One</td><td>Parole</td><td>Beta Two</td><td>Parole</td>",
+                vec![
+                    "<p>Alpha One</p><p>Parole</p>",
+                    "<p>Beta Two</p><p>Parolee</p>",
+                ],
+            ),
+        ];
+        for (list, details) in fixtures {
+            let list_toks = tokenize(list);
+            let detail_toks: Vec<Vec<tableseg_html::Token>> =
+                details.iter().map(|d| tokenize(d)).collect();
+            let refs: Vec<&[Token]> = detail_toks.iter().map(Vec::as_slice).collect();
+            let obs = build_observations(&list_toks, &[], &refs);
+            let memo = run(&obs, &ProbOptions::default());
+            let plain = run(
+                &obs,
+                &ProbOptions {
+                    memo_e_step: false,
+                    ..ProbOptions::default()
+                },
+            );
+            assert_eq!(memo.segmentation, plain.segmentation);
+            assert_eq!(memo.columns, plain.columns);
+            assert_eq!(memo.iterations, plain.iterations);
+            assert_eq!(
+                memo.log_likelihood.to_bits(),
+                plain.log_likelihood.to_bits()
+            );
+            for (a, b) in memo.period.iter().zip(&plain.period) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn converged_run_skips_the_last_m_step() {
+        // With a huge tolerance, iteration 2 converges immediately (the
+        // first delta is infinite): the decode must then use the
+        // parameters of the single M-step that ran, matching the
+        // log-space oracle's early exit.
+        let list_toks =
+            tokenize("<td>Alpha One</td><td>100 Main</td><td>Beta Two</td><td>200 Oak</td>");
+        let d: Vec<Vec<tableseg_html::Token>> = [
+            "<p>Alpha One</p><p>100 Main</p>",
+            "<p>Beta Two</p><p>200 Oak</p>",
+        ]
+        .iter()
+        .map(|s| tokenize(s))
+        .collect();
+        let refs: Vec<&[Token]> = d.iter().map(Vec::as_slice).collect();
+        let obs = build_observations(&list_toks, &[], &refs);
+        let opts = ProbOptions {
+            tolerance: 1e300,
+            ..ProbOptions::default()
+        };
+        let fast = run(&obs, &opts);
+        assert_eq!(fast.iterations, 2);
+        let oracle = run(
+            &obs,
+            &ProbOptions {
+                log_space: true,
+                ..opts
+            },
+        );
+        assert_eq!(oracle.iterations, 2);
+        assert_eq!(fast.segmentation, oracle.segmentation);
+        assert_eq!(fast.columns, oracle.columns);
+        for (a, b) in fast.period.iter().zip(&oracle.period) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -419,7 +419,43 @@ pub struct FbWorkspace {
     /// Scratch: `b_{i+1}(s) · β̂_{i+1}(s) / c_{i+1}` during the backward
     /// sweep.
     tmp: Vec<f64>,
+    /// Memo: per-[`TypeSet`](tableseg_html::TypeSet) bit pattern, the `k`
+    /// per-column emission probabilities (`memo_col[key * k + c]`). Many
+    /// extracts share a type vector, so `params.emission` runs once per
+    /// distinct pattern per iteration instead of once per extract.
+    memo_col: Vec<f64>,
+    /// Memo occupancy: `memo_seen[key]` is `true` once `memo_col`'s row for
+    /// `key` holds the current iteration's parameters.
+    memo_seen: Vec<bool>,
+    /// CSR row offsets into the flattened edge arrays (`num_states + 1`).
+    edge_start: Vec<u32>,
+    /// CSR: target state per edge.
+    edge_to: Vec<u32>,
+    /// CSR: linear transition probability per edge.
+    edge_p: Vec<f64>,
+    /// CSR: packed [`EdgeKind`] — `from_c · k + to_c` for `Continue`,
+    /// `k² + from_c` for `NewRecord`, `u32::MAX` for `Fallback`.
+    edge_kind: Vec<u32>,
+    /// Scratch for the structured pass: per-column hazard `hz(c)`.
+    hz: Vec<f64>,
+    /// Scratch: continue weights `(1 − hz(c)) · trans[c][c']`, row-major
+    /// `k × k`.
+    cont: Vec<f64>,
+    /// Scratch: `1 / Σ_{j<nk−r−1} q^j` per source record (0 for the last
+    /// record, which has no record-boundary edges).
+    skip_inv: Vec<f64>,
+    /// Scratch: the geometric record-boundary recurrence (`S` forward,
+    /// `T` backward), one slot per record.
+    rec_flow: Vec<f64>,
+    /// Scratch: per-record boundary mass `m(r)` feeding the recurrence.
+    rec_mass: Vec<f64>,
+    /// Scratch: per-column posterior sums for one extract.
+    col_gamma: Vec<f64>,
 }
+
+/// Number of distinct [`TypeSet`](tableseg_html::TypeSet) bit patterns
+/// (8 type bits).
+const MEMO_KEYS: usize = 256;
 
 impl FbWorkspace {
     /// An empty workspace; tables are sized on first use.
@@ -447,7 +483,35 @@ impl FbWorkspace {
         self.per_col.resize(k, 0.0);
         self.tmp.clear();
         self.tmp.resize(ns, 0.0);
+        self.memo_col.clear();
+        self.memo_col.resize(MEMO_KEYS * k, 0.0);
+        self.memo_seen.clear();
+        self.memo_seen.resize(MEMO_KEYS, false);
         self.counts.reset(k);
+    }
+
+    /// Flattens the chain's per-state edge lists into the CSR arrays,
+    /// preserving edge order exactly (the flat pass must accumulate in the
+    /// same order as the nested one to stay bit-identical).
+    fn build_csr(&mut self, chain: &Chain) {
+        let k = chain.dims.num_columns;
+        self.edge_start.clear();
+        self.edge_to.clear();
+        self.edge_p.clear();
+        self.edge_kind.clear();
+        self.edge_start.push(0);
+        for out in &chain.edges {
+            for e in out {
+                self.edge_to.push(e.to as u32);
+                self.edge_p.push(e.p);
+                self.edge_kind.push(match e.kind {
+                    EdgeKind::Continue { from_c, to_c } => (from_c * k + to_c) as u32,
+                    EdgeKind::NewRecord { from_c } => (k * k + from_c) as u32,
+                    EdgeKind::Fallback => u32::MAX,
+                });
+            }
+            self.edge_start.push(self.edge_to.len() as u32);
+        }
     }
 
     /// Total reserved capacity of the per-extract tables, in `f64` cells —
@@ -494,6 +558,60 @@ pub fn emissions_into(
             *slot = v;
             if v > max {
                 max = v;
+            }
+        }
+        if max > 0.0 {
+            for slot in row.iter_mut() {
+                *slot /= max;
+            }
+            ws.emit_scale[i] = max.ln();
+        } else {
+            ws.emit_scale[i] = 0.0;
+        }
+    }
+}
+
+/// [`emissions_into`] with the per-column emission products memoized by
+/// [`TypeSet`](tableseg_html::TypeSet) bit pattern: extracts sharing a type
+/// vector (the common case — sites reuse a handful of token shapes) pay for
+/// `params.emission` once per iteration. Bit-identical to
+/// [`emissions_into`]: the row fill walks states in the same `(r, c)` order
+/// with the same per-cell products and running maximum.
+pub fn emissions_into_memoized(
+    evidence: &[Evidence],
+    params: &Params,
+    dims: Dims,
+    opts: &ProbOptions,
+    ws: &mut FbWorkspace,
+) {
+    let ns = dims.num_states();
+    let k = dims.num_columns;
+    ws.prepare(evidence.len(), ns, k);
+    for (i, ev) in evidence.iter().enumerate() {
+        let key = ev.types.bits() as usize;
+        if !ws.memo_seen[key] {
+            let feats = ev.features();
+            for c in 0..k {
+                ws.memo_col[key * k + c] = params.emission(c, &feats);
+            }
+            ws.memo_seen[key] = true;
+        }
+        let per_col = &ws.memo_col[key * k..(key + 1) * k];
+        let inv_pages = 1.0 / ev.pages.len().max(1) as f64;
+        let row = &mut ws.emits[i * ns..(i + 1) * ns];
+        let mut max = 0.0f64;
+        for r in 0..dims.num_records {
+            let w = if ev.on_page(r) {
+                inv_pages
+            } else {
+                opts.epsilon
+            };
+            for (slot, &pc) in row[r * k..(r + 1) * k].iter_mut().zip(per_col) {
+                let v = pc * w;
+                *slot = v;
+                if v > max {
+                    max = v;
+                }
             }
         }
         if max > 0.0 {
@@ -615,6 +733,334 @@ pub fn forward_backward_scaled(chain: &Chain, ws: &mut FbWorkspace, evidence: &[
     for s in 0..ns {
         let (_, c) = chain.dims.unpack(s);
         ws.counts.end[c] += ws.gamma[(n - 1) * ns + s];
+    }
+
+    log_likelihood
+}
+
+/// [`forward_backward_scaled`] over a flattened CSR copy of the chain:
+/// the per-state `Vec<Edge>` lists become four contiguous arrays walked by
+/// index, the γ rows are computed as a flat elementwise product, and the
+/// count loops index `(r, c)` blocks directly instead of unpacking each
+/// state. Every accumulation runs in the same order as the nested pass, so
+/// the results are bit-identical — pinned by the differential test below.
+pub fn forward_backward_flat(chain: &Chain, ws: &mut FbWorkspace, evidence: &[Evidence]) -> f64 {
+    let n = evidence.len();
+    let ns = chain.dims.num_states();
+    let k = chain.dims.num_columns;
+    let nr = chain.dims.num_records;
+    debug_assert_eq!(ws.emits.len(), n * ns, "emissions must be filled first");
+    if n == 0 {
+        ws.counts.reset(k);
+        return 0.0;
+    }
+    ws.build_csr(chain);
+
+    // Forward.
+    for s in 0..ns {
+        ws.alpha[s] = chain.init_linear[s] * ws.emits[s];
+    }
+    normalize_step(&mut ws.alpha[..ns], &mut ws.scale[0]);
+    for i in 1..n {
+        let (prev_rows, cur_rows) = ws.alpha.split_at_mut(i * ns);
+        let prev = &prev_rows[(i - 1) * ns..];
+        let cur = &mut cur_rows[..ns];
+        cur.fill(0.0);
+        for (s, &a) in prev.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let (lo, hi) = (ws.edge_start[s] as usize, ws.edge_start[s + 1] as usize);
+            for (&to, &p) in ws.edge_to[lo..hi].iter().zip(&ws.edge_p[lo..hi]) {
+                cur[to as usize] += a * p;
+            }
+        }
+        let emit_row = &ws.emits[i * ns..(i + 1) * ns];
+        for (slot, &em) in cur.iter_mut().zip(emit_row) {
+            *slot *= em;
+        }
+        normalize_step(cur, &mut ws.scale[i]);
+    }
+    let log_likelihood: f64 =
+        ws.scale.iter().map(|c| c.ln()).sum::<f64>() + ws.emit_scale.iter().sum::<f64>();
+
+    // Backward sweep with edge-posterior accumulation (see
+    // [`forward_backward_scaled`] for the recurrences).
+    ws.counts.reset(k);
+    ws.beta[(n - 1) * ns..].fill(1.0);
+    let kk = (k * k) as u32;
+    for i in (0..n - 1).rev() {
+        let inv_c = 1.0 / ws.scale[i + 1];
+        for t in 0..ns {
+            ws.tmp[t] = ws.emits[(i + 1) * ns + t] * ws.beta[(i + 1) * ns + t] * inv_c;
+        }
+        for s in 0..ns {
+            let (lo, hi) = (ws.edge_start[s] as usize, ws.edge_start[s + 1] as usize);
+            let mut b = 0.0;
+            for (&to, &p) in ws.edge_to[lo..hi].iter().zip(&ws.edge_p[lo..hi]) {
+                b += p * ws.tmp[to as usize];
+            }
+            ws.beta[i * ns + s] = b;
+            let a = ws.alpha[i * ns + s];
+            if a == 0.0 {
+                continue;
+            }
+            for j in lo..hi {
+                let xi = a * ws.edge_p[j] * ws.tmp[ws.edge_to[j] as usize];
+                if xi <= 0.0 {
+                    continue;
+                }
+                let code = ws.edge_kind[j];
+                if code < kk {
+                    let (fc, tc) = ((code / k as u32) as usize, (code % k as u32) as usize);
+                    ws.counts.trans[fc][tc] += xi;
+                    ws.counts.cont[fc] += xi;
+                } else if code != u32::MAX {
+                    ws.counts.end[(code - kk) as usize] += xi;
+                }
+            }
+        }
+    }
+
+    // Posteriors as one flat elementwise product per extract, then node
+    // counts walked in `(r, c)` block order (the same state order as the
+    // nested pass).
+    for (i, ev) in evidence.iter().enumerate() {
+        let feats = ev.features();
+        let row = i * ns;
+        for s in 0..ns {
+            ws.gamma[row + s] = ws.alpha[row + s] * ws.beta[row + s];
+        }
+        let mut s = row;
+        for _r in 0..nr {
+            for c in 0..k {
+                let g = ws.gamma[s];
+                s += 1;
+                if g > 0.0 {
+                    ws.counts.col[c] += g;
+                    for (t, &on) in feats.iter().enumerate() {
+                        if on {
+                            ws.counts.types[c][t] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // The last extract ends its record at its column.
+    let last = (n - 1) * ns;
+    for r in 0..nr {
+        for c in 0..k {
+            ws.counts.end[c] += ws.gamma[last + r * k + c];
+        }
+    }
+
+    log_likelihood
+}
+
+/// The scaled forward–backward pass computed from the transition
+/// *structure* instead of materialized edges.
+///
+/// The chain's record-boundary edges are a geometric fan-out: state
+/// `(r, c)` reaches every `(r', 0)` with `r' > r` at probability
+/// `hz(c) · q^{r'−r−1} / Σ_j q^j`. Materialized, that is `O(k · nk²)`
+/// edges — 3/4 of the whole chain on real pages — but the mass entering
+/// `(r', 0)` obeys a first-order recurrence in `r'`:
+///
+/// ```text
+/// m(r)  = Σ_c α(r, c) · hz(c) / skip_total(r)
+/// S(0)  = 0,   S(r') = q · S(r'−1) + m(r'−1)
+/// ```
+///
+/// so the forward step costs `O(ns + nk)` for all boundary edges
+/// together, plus the `O(nk · k²)` within-record continue edges and the
+/// `O(ns)` fallback self-loops. The backward sweep uses the mirrored
+/// suffix recurrence `T(r) = tmp(r+1, 0) + q · T(r+1)`, which also
+/// collapses the per-state boundary ξ sum (all targets share `from_c`,
+/// so only the total ever reaches the M-step counts). Node counts
+/// accumulate per-extract column sums first and fan out to the type
+/// counts once per column.
+///
+/// Algebraically identical to [`forward_backward_scaled`] on the chain
+/// built from the same `(dims, params, opts)`; floating-point results
+/// differ only by summation order (the differential tests below pin the
+/// agreement). Expects the emission arena to be filled first.
+pub fn forward_backward_struct(
+    dims: Dims,
+    params: &Params,
+    opts: &ProbOptions,
+    ws: &mut FbWorkspace,
+    evidence: &[Evidence],
+) -> f64 {
+    let n = evidence.len();
+    let ns = dims.num_states();
+    let k = dims.num_columns;
+    let nk = dims.num_records;
+    let q = opts.skip_penalty;
+    let fb = LOG_FALLBACK.exp();
+    debug_assert_eq!(ws.emits.len(), n * ns, "emissions must be filled first");
+    if n == 0 {
+        ws.counts.reset(k);
+        return 0.0;
+    }
+
+    // Per-iteration structure tables: hazards, continue weights, inverse
+    // skip normalizers.
+    ws.hz.clear();
+    ws.hz
+        .extend((0..k).map(|c| params.hazard_for(c, opts.period_model)));
+    ws.cont.clear();
+    ws.cont.resize(k * k, 0.0);
+    for c in 0..k {
+        for cp in c + 1..k {
+            ws.cont[c * k + cp] = (1.0 - ws.hz[c]) * params.trans[c][cp];
+        }
+    }
+    ws.skip_inv.clear();
+    ws.skip_inv.resize(nk, 0.0);
+    // skip_total(r) = Σ_{j=0}^{nk−r−2} q^j by suffix recurrence.
+    let mut total = 0.0f64;
+    for r in (0..nk.saturating_sub(1)).rev() {
+        total = 1.0 + q * total;
+        ws.skip_inv[r] = 1.0 / total;
+    }
+    ws.rec_flow.clear();
+    ws.rec_flow.resize(nk, 0.0);
+    ws.rec_mass.clear();
+    ws.rec_mass.resize(nk, 0.0);
+    ws.col_gamma.clear();
+    ws.col_gamma.resize(k, 0.0);
+
+    // Forward. The initial distribution is the geometric over skipped
+    // leading records, mass only at the `(r, 0)` states.
+    let mut init_total = 0.0;
+    let mut w = 1.0;
+    for _ in 0..nk {
+        init_total += w;
+        w *= q;
+    }
+    ws.alpha[..ns].fill(0.0);
+    let mut w = 1.0;
+    for r in 0..nk {
+        ws.alpha[r * k] = w / init_total * ws.emits[r * k];
+        w *= q;
+    }
+    normalize_step(&mut ws.alpha[..ns], &mut ws.scale[0]);
+    for i in 1..n {
+        let (prev_rows, cur_rows) = ws.alpha.split_at_mut(i * ns);
+        let prev = &prev_rows[(i - 1) * ns..];
+        let cur = &mut cur_rows[..ns];
+        // Fallback self-loops seed the row; everything else accumulates.
+        for (slot, &a) in cur.iter_mut().zip(prev.iter()) {
+            *slot = a * fb;
+        }
+        for r in 0..nk {
+            let row = &prev[r * k..(r + 1) * k];
+            let mut boundary = 0.0;
+            for (c, &a) in row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                boundary += a * ws.hz[c];
+                let cont = &ws.cont[c * k..(c + 1) * k];
+                for cp in c + 1..k {
+                    cur[r * k + cp] += a * cont[cp];
+                }
+            }
+            ws.rec_mass[r] = boundary * ws.skip_inv[r];
+        }
+        let mut s = 0.0;
+        for rp in 1..nk {
+            s = q * s + ws.rec_mass[rp - 1];
+            cur[rp * k] += s;
+        }
+        let emit_row = &ws.emits[i * ns..(i + 1) * ns];
+        for (slot, &em) in cur.iter_mut().zip(emit_row) {
+            *slot *= em;
+        }
+        normalize_step(cur, &mut ws.scale[i]);
+    }
+    let log_likelihood: f64 =
+        ws.scale.iter().map(|c| c.ln()).sum::<f64>() + ws.emit_scale.iter().sum::<f64>();
+
+    // Backward sweep with edge-posterior accumulation (recurrences as in
+    // [`forward_backward_scaled`]; boundary edges via the suffix flow).
+    ws.counts.reset(k);
+    ws.beta[(n - 1) * ns..].fill(1.0);
+    for i in (0..n - 1).rev() {
+        let inv_c = 1.0 / ws.scale[i + 1];
+        for t in 0..ns {
+            ws.tmp[t] = ws.emits[(i + 1) * ns + t] * ws.beta[(i + 1) * ns + t] * inv_c;
+        }
+        // T(r) = Σ_{r' > r} q^{r'−r−1} · tmp(r', 0).
+        let mut t_flow = 0.0;
+        for r in (0..nk).rev() {
+            ws.rec_flow[r] = t_flow;
+            t_flow = ws.tmp[r * k] + q * t_flow;
+        }
+        for r in 0..nk {
+            let boundary = ws.skip_inv[r] * ws.rec_flow[r];
+            for c in 0..k {
+                let s = r * k + c;
+                let cont = &ws.cont[c * k..(c + 1) * k];
+                let tmp_row = &ws.tmp[r * k..(r + 1) * k];
+                let mut b = 0.0;
+                for cp in c + 1..k {
+                    b += cont[cp] * tmp_row[cp];
+                }
+                b += ws.hz[c] * boundary;
+                b += fb * tmp_row[c];
+                ws.beta[i * ns + s] = b;
+                let a = ws.alpha[i * ns + s];
+                if a == 0.0 {
+                    continue;
+                }
+                for cp in c + 1..k {
+                    let xi = a * cont[cp] * tmp_row[cp];
+                    if xi > 0.0 {
+                        ws.counts.trans[c][cp] += xi;
+                        ws.counts.cont[c] += xi;
+                    }
+                }
+                let xi_boundary = a * ws.hz[c] * boundary;
+                if xi_boundary > 0.0 {
+                    ws.counts.end[c] += xi_boundary;
+                }
+            }
+        }
+    }
+
+    // Posteriors, then node counts via per-extract column sums: the type
+    // fan-out runs once per column instead of once per state.
+    for (i, ev) in evidence.iter().enumerate() {
+        let feats = ev.features();
+        let row = i * ns;
+        for s in 0..ns {
+            ws.gamma[row + s] = ws.alpha[row + s] * ws.beta[row + s];
+        }
+        ws.col_gamma.fill(0.0);
+        for r in 0..nk {
+            for c in 0..k {
+                ws.col_gamma[c] += ws.gamma[row + r * k + c];
+            }
+        }
+        for (c, &g) in ws.col_gamma.iter().enumerate() {
+            if g > 0.0 {
+                ws.counts.col[c] += g;
+                for (t, &on) in feats.iter().enumerate() {
+                    if on {
+                        ws.counts.types[c][t] += g;
+                    }
+                }
+            }
+        }
+    }
+    // The last extract ends its record at its column.
+    let last = (n - 1) * ns;
+    for r in 0..nk {
+        for c in 0..k {
+            ws.counts.end[c] += ws.gamma[last + r * k + c];
+        }
     }
 
     log_likelihood
@@ -766,6 +1212,134 @@ mod tests {
         let fb = forward_backward(&chain, &[], &[]);
         assert_eq!(fb.log_likelihood, 0.0);
         assert!(fb.gamma.is_empty());
+    }
+
+    #[test]
+    fn memoized_emissions_are_bit_identical() {
+        let (ev, dims, params, opts) = small_setup();
+        let mut plain = FbWorkspace::new();
+        emissions_into(&ev, &params, dims, &opts, &mut plain);
+        let mut memo = FbWorkspace::new();
+        emissions_into_memoized(&ev, &params, dims, &opts, &mut memo);
+        assert_eq!(plain.emits.len(), memo.emits.len());
+        for (a, b) in plain.emits.iter().zip(&memo.emits) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in plain.emit_scale.iter().zip(&memo.emit_scale) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn flat_pass_is_bit_identical_to_scaled() {
+        let (ev, dims, params, opts) = small_setup();
+        let chain = build_chain(dims, &params, &opts);
+
+        let mut scaled = FbWorkspace::new();
+        emissions_into(&ev, &params, dims, &opts, &mut scaled);
+        let ll_scaled = forward_backward_scaled(&chain, &mut scaled, &ev);
+
+        let mut flat = FbWorkspace::new();
+        emissions_into_memoized(&ev, &params, dims, &opts, &mut flat);
+        let ll_flat = forward_backward_flat(&chain, &mut flat, &ev);
+
+        assert_eq!(ll_scaled.to_bits(), ll_flat.to_bits());
+        for (a, b) in scaled.gamma.iter().zip(&flat.gamma) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let pairs = [
+            (&scaled.counts.col, &flat.counts.col),
+            (&scaled.counts.end, &flat.counts.end),
+            (&scaled.counts.cont, &flat.counts.cont),
+        ];
+        for (a, b) in pairs {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        for (ra, rb) in scaled.counts.trans.iter().zip(&flat.counts.trans) {
+            for (x, y) in ra.iter().zip(rb) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        for (ra, rb) in scaled.counts.types.iter().zip(&flat.counts.types) {
+            for (x, y) in ra.iter().zip(rb) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn struct_pass_matches_scaled_within_rounding() {
+        let (ev, dims, params, opts) = small_setup();
+        let chain = build_chain(dims, &params, &opts);
+
+        let mut scaled = FbWorkspace::new();
+        emissions_into(&ev, &params, dims, &opts, &mut scaled);
+        let ll_scaled = forward_backward_scaled(&chain, &mut scaled, &ev);
+
+        let mut st = FbWorkspace::new();
+        emissions_into_memoized(&ev, &params, dims, &opts, &mut st);
+        let ll_struct = forward_backward_struct(dims, &params, &opts, &mut st, &ev);
+
+        // The structured pass reassociates the geometric boundary sums,
+        // so agreement is to rounding, not to the bit.
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
+        assert!(close(ll_scaled, ll_struct), "{ll_scaled} vs {ll_struct}");
+        for (a, b) in scaled.gamma.iter().zip(&st.gamma) {
+            assert!(close(*a, *b), "{a} vs {b}");
+        }
+        let pairs = [
+            (&scaled.counts.col, &st.counts.col),
+            (&scaled.counts.end, &st.counts.end),
+            (&scaled.counts.cont, &st.counts.cont),
+        ];
+        for (a, b) in pairs {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!(close(*x, *y), "{x} vs {y}");
+            }
+        }
+        for (ra, rb) in scaled.counts.trans.iter().zip(&st.counts.trans) {
+            for (x, y) in ra.iter().zip(rb) {
+                assert!(close(*x, *y), "{x} vs {y}");
+            }
+        }
+        for (ra, rb) in scaled.counts.types.iter().zip(&st.counts.types) {
+            for (x, y) in ra.iter().zip(rb) {
+                assert!(close(*x, *y), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn csr_packing_round_trips_edge_kinds() {
+        let (_, dims, params, opts) = small_setup();
+        let chain = build_chain(dims, &params, &opts);
+        let mut ws = FbWorkspace::new();
+        ws.prepare(1, dims.num_states(), dims.num_columns);
+        ws.build_csr(&chain);
+        let k = dims.num_columns as u32;
+        let mut j = 0;
+        for out in &chain.edges {
+            for e in out {
+                assert_eq!(ws.edge_to[j] as usize, e.to);
+                assert_eq!(ws.edge_p[j].to_bits(), e.p.to_bits());
+                let code = ws.edge_kind[j];
+                match e.kind {
+                    EdgeKind::Continue { from_c, to_c } => {
+                        assert_eq!(code, from_c as u32 * k + to_c as u32);
+                        assert!(code < k * k);
+                    }
+                    EdgeKind::NewRecord { from_c } => {
+                        assert_eq!(code, k * k + from_c as u32);
+                    }
+                    EdgeKind::Fallback => assert_eq!(code, u32::MAX),
+                }
+                j += 1;
+            }
+        }
+        assert_eq!(j, ws.edge_to.len());
+        assert_eq!(*ws.edge_start.last().unwrap() as usize, j);
     }
 
     #[test]

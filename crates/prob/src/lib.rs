@@ -63,6 +63,16 @@ pub struct ProbOptions {
     /// differential oracle for the scaled implementation and as the
     /// `solvebench` baseline.
     pub log_space: bool,
+    /// Memoize per-type-vector emission rows and run the forward–backward
+    /// inner loops over the flattened CSR chain. Bit-identical to the
+    /// unmemoized scaled pass; `false` restores it (the `solvebench`
+    /// prev leg). Ignored when `log_space` is set.
+    #[serde(default = "default_memo_e_step")]
+    pub memo_e_step: bool,
+}
+
+fn default_memo_e_step() -> bool {
+    true
 }
 
 impl Default for ProbOptions {
@@ -74,6 +84,7 @@ impl Default for ProbOptions {
             skip_penalty: 0.1,
             period_model: true,
             log_space: false,
+            memo_e_step: default_memo_e_step(),
         }
     }
 }

@@ -84,13 +84,76 @@ fn read_http_response(stream: &mut TcpStream) -> std::io::Result<HttpResponse> {
     })
 }
 
+/// Backoff behavior for requests the daemon sheds with `429 Too Many
+/// Requests` (its admission queue is full).
+///
+/// The daemon's `Retry-After` header (whole seconds) is honored when
+/// present, capped at [`RetryPolicy::max_wait`]; without the header the
+/// wait doubles from [`RetryPolicy::initial_wait`] per attempt, under
+/// the same cap. Any other status, and transport errors, fail
+/// immediately — only explicit backpressure is worth waiting out.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (`0` = fail on the first 429).
+    pub retries: u32,
+    /// Wait before the first retry when the server names no
+    /// `Retry-After`.
+    pub initial_wait: Duration,
+    /// Upper bound on any single wait, including server-suggested ones.
+    pub max_wait: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            retries: 3,
+            initial_wait: Duration::from_millis(100),
+            max_wait: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every 429 is returned to the caller at once.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            retries: 0,
+            initial_wait: Duration::ZERO,
+            max_wait: Duration::ZERO,
+        }
+    }
+
+    /// The wait before retry number `attempt` (0-based) given the
+    /// response's `Retry-After` value, if any.
+    fn wait(&self, attempt: u32, retry_after_secs: Option<u64>) -> Duration {
+        let suggested = match retry_after_secs {
+            Some(secs) => Duration::from_secs(secs),
+            None => self.initial_wait.saturating_mul(1 << attempt.min(16)),
+        };
+        suggested.min(self.max_wait)
+    }
+}
+
 /// Submits a segmentation job. `deadline_ms` maps to `X-Deadline-Ms`,
 /// `redact` to `X-Tableseg-Redact: 1` (deterministic manifests).
+/// Backpressure (`429`) is retried under the default [`RetryPolicy`];
+/// use [`segment_with_retry`] to tune or disable that.
 pub fn segment(
     addr: SocketAddr,
     job: &SegmentRequest,
     deadline_ms: Option<u64>,
     redact: bool,
+) -> Result<SegmentResponse, String> {
+    segment_with_retry(addr, job, deadline_ms, redact, &RetryPolicy::default())
+}
+
+/// [`segment`] with an explicit backpressure policy.
+pub fn segment_with_retry(
+    addr: SocketAddr,
+    job: &SegmentRequest,
+    deadline_ms: Option<u64>,
+    redact: bool,
+    policy: &RetryPolicy,
 ) -> Result<SegmentResponse, String> {
     let mut headers: Vec<(&str, String)> = Vec::new();
     if let Some(ms) = deadline_ms {
@@ -100,18 +163,27 @@ pub fn segment(
         headers.push(("x-tableseg-redact", "1".to_string()));
     }
     let borrowed: Vec<(&str, &str)> = headers.iter().map(|(n, v)| (*n, v.as_str())).collect();
-    let resp = http_request(
-        addr,
-        "POST",
-        "/segment",
-        &borrowed,
-        encode_request(job).as_bytes(),
-    )
-    .map_err(|e| format!("transport: {e}"))?;
-    if resp.status != 200 {
-        return Err(format!("http {}: {}", resp.status, resp.text().trim()));
+    let body = encode_request(job);
+    let mut attempt = 0u32;
+    loop {
+        let resp = http_request(addr, "POST", "/segment", &borrowed, body.as_bytes())
+            .map_err(|e| format!("transport: {e}"))?;
+        if resp.status == 200 {
+            return parse_response(&resp.text());
+        }
+        if resp.status == 429 && attempt < policy.retries {
+            let retry_after = resp.header("retry-after").and_then(|v| v.parse().ok());
+            std::thread::sleep(policy.wait(attempt, retry_after));
+            attempt += 1;
+            continue;
+        }
+        let attempts = attempt + 1;
+        return Err(format!(
+            "http {} after {attempts} attempt(s): {}",
+            resp.status,
+            resp.text().trim()
+        ));
     }
-    parse_response(&resp.text())
 }
 
 /// Invalidates a site's cached state. Returns the server's reply line.
@@ -130,4 +202,77 @@ pub fn healthz(addr: SocketAddr) -> bool {
     http_request(addr, "GET", "/healthz", &[], b"")
         .map(|r| r.status == 200)
         .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerConfig};
+    use std::time::Instant;
+
+    fn job() -> SegmentRequest {
+        SegmentRequest {
+            site: "retry-test".to_string(),
+            list_pages: vec!["<html><table><tr><td>A</td></tr></table></html>".to_string()],
+            targets: Vec::new(),
+        }
+    }
+
+    /// A zero-depth admission queue sheds every connection with 429 +
+    /// `Retry-After: 1`, so the client must exhaust its retries (capped
+    /// waits — the suggested 1s must not be honored beyond `max_wait`)
+    /// and surface the final 429.
+    #[test]
+    fn backpressure_is_retried_then_surfaced() {
+        let server = Server::start(ServerConfig {
+            queue_depth: 0,
+            ..ServerConfig::default()
+        })
+        .expect("bind ephemeral port");
+        let policy = RetryPolicy {
+            retries: 3,
+            initial_wait: Duration::from_millis(1),
+            max_wait: Duration::from_millis(5),
+        };
+        let t = Instant::now();
+        let err = segment_with_retry(server.addr(), &job(), None, false, &policy)
+            .expect_err("every attempt is shed");
+        let elapsed = t.elapsed();
+        assert!(err.contains("http 429"), "{err}");
+        assert!(err.contains("after 4 attempt(s)"), "{err}");
+        assert!(
+            elapsed < Duration::from_secs(1),
+            "waits must be capped at max_wait, not the server's 1s: {elapsed:?}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn no_retry_policy_fails_on_the_first_429() {
+        let server = Server::start(ServerConfig {
+            queue_depth: 0,
+            ..ServerConfig::default()
+        })
+        .expect("bind ephemeral port");
+        let err = segment_with_retry(server.addr(), &job(), None, false, &RetryPolicy::none())
+            .expect_err("shed without retrying");
+        assert!(err.contains("after 1 attempt(s)"), "{err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn waits_honor_retry_after_up_to_the_cap() {
+        let policy = RetryPolicy {
+            retries: 5,
+            initial_wait: Duration::from_millis(100),
+            max_wait: Duration::from_secs(2),
+        };
+        // Server-suggested waits win when under the cap.
+        assert_eq!(policy.wait(0, Some(1)), Duration::from_secs(1));
+        assert_eq!(policy.wait(0, Some(60)), Duration::from_secs(2));
+        // Without a header the wait doubles per attempt, under the cap.
+        assert_eq!(policy.wait(0, None), Duration::from_millis(100));
+        assert_eq!(policy.wait(1, None), Duration::from_millis(200));
+        assert_eq!(policy.wait(10, None), Duration::from_secs(2));
+    }
 }

@@ -229,17 +229,27 @@ fn acceptor_loop(inner: &Inner, listener: TcpListener) {
         let mut queue = inner.queue.lock().unwrap();
         if queue.len() >= inner.config.queue_depth {
             drop(queue);
-            // Backpressure: answer from the acceptor so a full queue
-            // costs no worker time.
+            // Backpressure: answer off the acceptor thread so a full
+            // queue costs no worker time and no acceptor stalls. The
+            // request must be drained before the socket closes —
+            // closing with unread bytes sends a TCP reset that clobbers
+            // the in-flight 429, and the client sees a connection error
+            // instead of the retryable status.
             inner.global.lock().unwrap().incr(Counter::ServeRejected);
-            let mut stream = stream;
-            let _ = write_response(
-                &mut stream,
-                429,
-                "Too Many Requests",
-                &[("retry-after", "1")],
-                b"queue full\n",
-            );
+            let max_body = inner.config.max_body;
+            let timeout = inner.config.read_timeout;
+            std::thread::spawn(move || {
+                let mut stream = stream;
+                let _ = stream.set_read_timeout(Some(timeout));
+                let _ = read_request(&mut stream, max_body);
+                let _ = write_response(
+                    &mut stream,
+                    429,
+                    "Too Many Requests",
+                    &[("retry-after", "1")],
+                    b"queue full\n",
+                );
+            });
             continue;
         }
         queue.insert(0, stream);

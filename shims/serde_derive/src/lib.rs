@@ -1,17 +1,18 @@
 //! No-op derive macros standing in for `serde_derive` in the offline
 //! build (see `shims/README.md`). The workspace only uses the derives as
-//! markers — nothing is ever serialized — so the macros emit no code.
+//! markers — nothing is ever serialized — so the macros emit no code. Like the real `serde_derive`, they declare
+//! the inert `#[serde(...)]` helper attribute so field annotations parse.
 
 use proc_macro::TokenStream;
 
 /// Derives nothing: `#[derive(Serialize)]` becomes a no-op marker.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
 /// Derives nothing: `#[derive(Deserialize)]` becomes a no-op marker.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
