@@ -1,0 +1,110 @@
+//! Emits `BENCH_detect.json`: region-detection precision/recall on
+//! multi-table pages with noise regions (navigation bars, ad blocks,
+//! link footers), sub-record F on nested-record pages through the full
+//! recursive pass (parent segmentation → slot derivation → nested
+//! template induction + CSP sub-segmentation), and the paper-corpus
+//! pass-through check (every single-table page must detect as one
+//! whole-page region).
+//!
+//! Exits non-zero when a gate fails — CI runs this as the detection
+//! accuracy gate.
+//!
+//! Flags:
+//!
+//! * `--seed N` — scenario-cohort data seed (default 0);
+//! * `--out PATH` — where to write the JSON (default `BENCH_detect.json`);
+//! * `--min-region-f X` — region F gate (default 0.9);
+//! * `--min-nested-f X` — nested sub-record F gate (default 0.8);
+//! * `--help` — this text.
+
+use std::process::ExitCode;
+
+use tableseg_bench::detectbench;
+
+fn usage() {
+    eprintln!("usage: detectbench [--seed N] [--out PATH] [--min-region-f X] [--min-nested-f X]");
+}
+
+fn main() -> ExitCode {
+    let mut seed = 0u64;
+    let mut out_path = String::from("BENCH_detect.json");
+    let mut min_region_f = 0.9f64;
+    let mut min_nested_f = 0.8f64;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("--seed needs a number");
+                    return ExitCode::FAILURE;
+                };
+                seed = n;
+            }
+            "--out" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                };
+                out_path = path;
+            }
+            "--min-region-f" => {
+                let Some(x) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--min-region-f needs a number");
+                    return ExitCode::FAILURE;
+                };
+                min_region_f = x;
+            }
+            "--min-nested-f" => {
+                let Some(x) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--min-nested-f needs a number");
+                    return ExitCode::FAILURE;
+                };
+                min_nested_f = x;
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!("running detection/nested benchmark (seed {seed}) ...");
+    let bench = detectbench::run_detect_bench(seed);
+
+    let json = detectbench::render_json(&bench, min_region_f, min_nested_f);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let region = bench.region_metrics();
+    let nested = bench.nested_metrics();
+    eprintln!(
+        "region detection over {} sites: {region}",
+        bench.region_sites.len()
+    );
+    eprintln!(
+        "nested sub-records over {} sites: {nested}",
+        bench.nested_sites.len()
+    );
+    eprintln!(
+        "paper pass-through: {}/{} pages single-region",
+        bench.paper_pass_through, bench.paper_pages
+    );
+    eprintln!("written to {out_path}");
+
+    if !bench.gates_pass(min_region_f, min_nested_f) {
+        eprintln!(
+            "FAIL: gate violated (region F {:.4} vs {min_region_f}, nested F {:.4} vs \
+             {min_nested_f}, pass-through {}/{})",
+            region.f1, nested.f1, bench.paper_pass_through, bench.paper_pages
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

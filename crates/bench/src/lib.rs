@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod detectbench;
 pub mod inducebench;
 pub mod matchbench;
 pub mod scalebench;
@@ -29,8 +30,9 @@ use tableseg::outcome::PageOutcome;
 use tableseg::robustness::RobustnessReport;
 use tableseg::timing::{self, Stage, StageTimes};
 use tableseg::{
-    batch, prepare_outcome, prepare_with_template, CspSegmenter, PreparedPage, ProbSegmenter,
-    SegError, Segmenter, SitePages, SiteTemplate,
+    batch, prepare_outcome, prepare_with_template, try_prepare_detected, CspSegmenter,
+    DetectOptions, DetectedPage, PreparedPage, ProbSegmenter, SegError, Segmenter, SitePages,
+    SiteTemplate,
 };
 use tableseg_eval::classify::{classify, truth_of_extracts, PageCounts};
 use tableseg_eval::report::{render_aggregate, render_table4};
@@ -308,6 +310,178 @@ pub fn run_sites_with(
                 prob: *prob_counts,
                 csp: *csp_counts,
                 used_whole_page: prepared[pj].used_whole_page,
+                csp_relaxed: *csp_relaxed,
+            });
+        }
+        registry.record(&ps.spec.name, &site_times);
+        root.nanos += site_span.nanos;
+        root.push(site_span);
+    }
+    BatchOutcome {
+        runs,
+        timing: registry,
+        metrics,
+        spans: root,
+    }
+}
+
+/// Runs the detect-enabled front end on one page of a prepared site:
+/// region detection, then the region-scoped front end per table region.
+/// On single-table pages this passes through to the classic whole-page
+/// preparation (see [`try_prepare_detected`]).
+///
+/// # Panics
+///
+/// Panics if the front end fails — the detect harness runs on clean
+/// generated corpora, where a failure is a bug, not an input problem.
+pub fn prepare_page_detected(ps: &PreparedSite, page: usize, opts: &DetectOptions) -> DetectedPage {
+    let details: Vec<&str> = ps.site.pages[page]
+        .detail_html
+        .iter()
+        .map(String::as_str)
+        .collect();
+    try_prepare_detected(&ps.template, page, &details, opts)
+        .unwrap_or_else(|e| panic!("{} page {page}: detect front end failed: {e}", ps.spec.name))
+}
+
+/// Runs one segmenter over every detected table region of a page, merges
+/// the per-region segmentations (group indices rebased onto the
+/// concatenated extract list), and classifies the merged result against
+/// the page's full ground truth.
+///
+/// On a pass-through page the single region *is* the classic whole-page
+/// preparation, so the counts equal [`evaluate_segmenter_timed`]'s — this
+/// is what lets the table4 golden run with detection enabled.
+pub fn evaluate_detected_timed(
+    site: &GeneratedSite,
+    page: usize,
+    detected: &DetectedPage,
+    segmenter: &dyn Segmenter,
+) -> (PageCounts, bool, StageTimes, Recorder) {
+    let mut times = StageTimes::new();
+    let mut metrics = Recorder::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut extract_offsets: Vec<usize> = Vec::new();
+    let mut relaxed = false;
+    for rp in &detected.regions {
+        let outcome = times.time(Stage::Solve, || {
+            segmenter.segment(&rp.prepared.observations)
+        });
+        times.merge(&outcome.solver_times);
+        metrics.merge(&outcome.metrics);
+        let base = extract_offsets.len();
+        for group in outcome.segmentation.records() {
+            groups.push(group.iter().map(|&i| i + base).collect());
+        }
+        extract_offsets.extend_from_slice(&rp.prepared.extract_offsets);
+        relaxed |= outcome.relaxed;
+    }
+    let counts = times.time(Stage::Decode, || {
+        let spans: Vec<Range<usize>> = site.pages[page]
+            .truth
+            .records
+            .iter()
+            .map(|r| r.start..r.end)
+            .collect();
+        let truth = truth_of_extracts(&extract_offsets, &spans);
+        classify(&groups, &truth, site.pages[page].truth.len())
+    });
+    (counts, relaxed, times, metrics)
+}
+
+/// [`run_sites_with`], but the per-page front end goes through the
+/// region-detection stage: each detected table region is prepared and
+/// segmented independently and the per-region results are merged before
+/// classification. Single-table pages pass through untouched, so on the
+/// paper corpus this produces byte-identical reports to [`run_sites`] —
+/// the invariance the detect golden test enforces at every thread count.
+pub fn run_sites_detect(
+    specs: &[SiteSpec],
+    threads: usize,
+    prob: &dyn Segmenter,
+    csp: &dyn Segmenter,
+    opts: &DetectOptions,
+) -> BatchOutcome {
+    // Phase 1: per-site preparation (unchanged).
+    let sites: Vec<PreparedSite> =
+        batch::execute(threads, specs.to_vec(), |_, spec| prepare_site(&spec));
+
+    // Phase 2: the detect-enabled per-page front end.
+    let mut page_jobs: Vec<(usize, usize)> = Vec::new();
+    let mut offsets: Vec<usize> = Vec::with_capacity(sites.len());
+    for (si, ps) in sites.iter().enumerate() {
+        offsets.push(page_jobs.len());
+        for page in 0..ps.site.pages.len() {
+            page_jobs.push((si, page));
+        }
+    }
+    let detected: Vec<DetectedPage> =
+        batch::execute(threads, page_jobs.clone(), |_, (si, page)| {
+            prepare_page_detected(&sites[si], page, opts)
+        });
+
+    // Phase 3: (site, page, segmenter) evaluation over merged regions.
+    let segmenters: [&dyn Segmenter; 2] = [prob, csp];
+    let eval_jobs: Vec<(usize, usize)> = (0..page_jobs.len())
+        .flat_map(|pj| [(pj, 0), (pj, 1)])
+        .collect();
+    let evaluated: Vec<(PageCounts, bool, StageTimes, Recorder)> =
+        batch::execute(threads, eval_jobs, |_, (pj, seg)| {
+            let (si, page) = page_jobs[pj];
+            evaluate_detected_timed(&sites[si].site, page, &detected[pj], segmenters[seg])
+        });
+
+    // Assembly mirrors run_sites_with, with the page front-end times now
+    // the detection stage plus every region's preparation.
+    let registry = timing::Registry::new();
+    let mut metrics = Recorder::new();
+    let mut root = SpanNode::new(SpanKind::Run, "run", 0);
+    let mut runs = Vec::with_capacity(page_jobs.len());
+    for (si, ps) in sites.iter().enumerate() {
+        let mut site_times = ps.template.timings;
+        metrics.merge(&ps.template.metrics);
+        let mut site_span = SpanNode::new(
+            SpanKind::Site,
+            ps.spec.name.clone(),
+            ps.template.timings.total().as_nanos(),
+        );
+        for span in timing::stage_spans(&ps.template.timings) {
+            site_span.push(span);
+        }
+        for page in 0..ps.site.pages.len() {
+            let pj = offsets[si] + page;
+            let dp = &detected[pj];
+            let mut page_times = dp.timings;
+            metrics.merge(&dp.metrics);
+            let mut used_whole_page = false;
+            for rp in &dp.regions {
+                page_times.merge(&rp.prepared.timings);
+                metrics.merge(&rp.prepared.metrics);
+                used_whole_page |= rp.prepared.used_whole_page;
+            }
+            let (prob_counts, _, prob_times, prob_metrics) = &evaluated[2 * pj];
+            let (csp_counts, csp_relaxed, csp_times, csp_metrics) = &evaluated[2 * pj + 1];
+            page_times.merge(prob_times);
+            page_times.merge(csp_times);
+            metrics.merge(prob_metrics);
+            metrics.merge(csp_metrics);
+            site_times.merge(&page_times);
+            let mut page_span = SpanNode::new(
+                SpanKind::Page,
+                format!("page#{page}"),
+                page_times.total().as_nanos(),
+            );
+            for span in timing::stage_spans(&page_times) {
+                page_span.push(span);
+            }
+            site_span.nanos += page_span.nanos;
+            site_span.push(page_span);
+            runs.push(PageRun {
+                site: ps.spec.name.clone(),
+                page,
+                prob: *prob_counts,
+                csp: *csp_counts,
+                used_whole_page,
                 csp_relaxed: *csp_relaxed,
             });
         }

@@ -63,8 +63,10 @@
 pub mod annotate;
 pub mod batch;
 pub mod detail_id;
+pub mod detect;
 pub mod hybrid;
 pub mod navigate;
+pub mod nested;
 pub mod outcome;
 pub mod pipeline;
 pub mod record;
@@ -76,12 +78,14 @@ pub mod wrapper;
 
 pub use annotate::{annotate_columns, recognize, ColumnAnnotation, SemanticLabel};
 pub use detail_id::identify_detail_pages;
+pub use detect::{detect_regions, DetectOptions, Detection, Region, RegionKind};
 pub use hybrid::HybridSegmenter;
 pub use navigate::{navigate, NavigatedSite};
+pub use nested::{parent_spans_from_groups, try_segment_nested, NestedParentResult, NestedRun};
 pub use outcome::{caught, prepare_outcome, PageOutcome, Warning};
 pub use pipeline::{
-    prepare, prepare_with_template, try_prepare, try_prepare_with_template, PreparedPage,
-    SitePages, SiteTemplate,
+    prepare, prepare_with_template, try_prepare, try_prepare_detected, try_prepare_region,
+    try_prepare_with_template, DetectedPage, PreparedPage, RegionPrepared, SitePages, SiteTemplate,
 };
 pub use record::{assemble_records, AssembledRecord};
 pub use robustness::RobustnessReport;

@@ -16,6 +16,7 @@ use tableseg_html::{Interner, SegError, Symbol, Token};
 use tableseg_obs::{Counter, Hist, Recorder};
 use tableseg_template::{assess, induce_with, InduceOptions, Induction, TemplateQuality};
 
+use crate::detect::{detect_regions, DetectOptions, Detection, Region};
 use crate::outcome::caught;
 use crate::timing::{Stage, StageTimes};
 
@@ -404,6 +405,32 @@ pub fn try_prepare_with_template(
     target: usize,
     detail_pages: &[&str],
 ) -> Result<PreparedPage, SegError> {
+    try_prepare_slot(template, target, detail_pages, None)
+}
+
+/// Region-scoped [`try_prepare_with_template`]: the table slot is the
+/// supplied token range of the target page (a region found by
+/// [`detect_regions`]) instead of the template's table-slot choice.
+/// Extraction, matching and evaluation offsets all stay relative to the
+/// full page, so downstream code is unchanged.
+pub fn try_prepare_region(
+    template: &SiteTemplate,
+    target: usize,
+    detail_pages: &[&str],
+    region: &Region,
+) -> Result<PreparedPage, SegError> {
+    try_prepare_slot(template, target, detail_pages, Some(region.tokens.clone()))
+}
+
+/// The shared per-page front end. With `slot_override` the supplied token
+/// range is the table slot (the detect stage's region path); without it
+/// the template picks the slot, falling back to the whole page.
+fn try_prepare_slot(
+    template: &SiteTemplate,
+    target: usize,
+    detail_pages: &[&str],
+    slot_override: Option<std::ops::Range<usize>>,
+) -> Result<PreparedPage, SegError> {
     if target >= template.pages.len() {
         return Err(SegError::TargetOutOfBounds {
             target,
@@ -429,7 +456,9 @@ pub fn try_prepare_with_template(
     let target_tokens = &pages[target];
     let target_syms = &template.streams[target];
     let (slot_range, used_whole_page) = caught("template", || {
-        if template.quality.is_usable() {
+        if let Some(region) = slot_override {
+            (region, false)
+        } else if template.quality.is_usable() {
             let slots = template.induction.slots(pages);
             match slots.table_slot(pages) {
                 Some(idx) => (slots.slots[idx].ranges[target].clone(), false),
@@ -525,6 +554,104 @@ pub fn try_prepare_with_template(
         used_whole_page,
         template_quality: template.quality,
         slot_tokens: slot_tokens.to_vec(),
+        timings,
+        metrics,
+    })
+}
+
+/// One detected table region with its region-scoped front-end output.
+#[derive(Debug, Clone)]
+pub struct RegionPrepared {
+    /// The detected region (token and byte ranges, classification).
+    pub region: Region,
+    /// The region's observation table and provenance. On a pass-through
+    /// page this is bit-for-bit the classic whole-page [`PreparedPage`].
+    pub prepared: PreparedPage,
+}
+
+/// The output of the detect-enabled front end: the detection verdict and
+/// one prepared observation table per table region.
+#[derive(Debug, Clone)]
+pub struct DetectedPage {
+    /// Every region detection classified, plus the pass-through flag.
+    pub detection: Detection,
+    /// One entry per table region, in document order. Exactly one entry,
+    /// equal to the classic whole-page preparation, when
+    /// `detection.pass_through` is set.
+    pub regions: Vec<RegionPrepared>,
+    /// Wall-clock time of the detection stage itself (`detect.regions`,
+    /// also charged to the `extract` top-level stage). Per-region
+    /// front-end timings live on each region's [`PreparedPage`].
+    pub timings: StageTimes,
+    /// Detection counters (`detect.*`). Empty unless
+    /// [`tableseg_obs::set_enabled`] is on.
+    pub metrics: Recorder,
+}
+
+/// The detect-enabled per-page front end: partitions the target page into
+/// regions ([`detect_regions`]), then runs the region-scoped front end on
+/// each table region. Non-table regions (navigation, ads, footers) are
+/// classified but not prepared.
+///
+/// **Pass-through guarantee:** on a page with at most one table region —
+/// every page of the paper corpus — the result is exactly one region
+/// covering the whole page whose `prepared` output is identical to
+/// [`try_prepare_with_template`], so enabling detection cannot change
+/// single-table results (the table4 golden is enforced at 1/2/N threads
+/// with detection on).
+///
+/// Each table region is matched against all of `detail_pages`; callers
+/// that know which detail pages belong to which region (the detectbench
+/// harness does) can instead call [`try_prepare_region`] per region.
+pub fn try_prepare_detected(
+    template: &SiteTemplate,
+    target: usize,
+    detail_pages: &[&str],
+    opts: &DetectOptions,
+) -> Result<DetectedPage, SegError> {
+    if target >= template.pages.len() {
+        return Err(SegError::TargetOutOfBounds {
+            target,
+            pages: template.pages.len(),
+        });
+    }
+    let mut timings = StageTimes::new();
+    let detection = caught("detect", || {
+        let start = std::time::Instant::now();
+        let detection = detect_regions(&template.pages[target], opts);
+        let elapsed = start.elapsed();
+        // Detection overlaps the extraction stage; `detect.regions`
+        // re-attributes that time, mirroring the solve sub-stages.
+        timings.add(Stage::Extraction, elapsed);
+        timings.add(Stage::Detect, elapsed);
+        detection
+    })?;
+    let mut metrics = Recorder::new();
+    metrics.incr(Counter::DetectPages);
+    let tables = detection.table_regions().count();
+    metrics.bump(Counter::DetectRegions, tables as u64);
+    metrics.bump(
+        Counter::DetectNonTable,
+        (detection.regions.len() - tables) as u64,
+    );
+    if detection.pass_through {
+        metrics.incr(Counter::DetectPassThrough);
+    }
+    let mut regions = Vec::with_capacity(tables);
+    for region in detection.table_regions() {
+        let prepared = if detection.pass_through {
+            try_prepare_with_template(template, target, detail_pages)?
+        } else {
+            try_prepare_region(template, target, detail_pages, region)?
+        };
+        regions.push(RegionPrepared {
+            region: region.clone(),
+            prepared,
+        });
+    }
+    Ok(DetectedPage {
+        detection,
+        regions,
         timings,
         metrics,
     })
@@ -686,5 +813,92 @@ mod tests {
         // header/footer skeleton is gone) must force full re-induction.
         let alien = "<html><div>totally different markup</div></html>".to_string();
         assert!(cached.try_refresh(&[&a, &alien], &[false, true]).is_none());
+    }
+
+    /// Two list pages carrying two independent linked tables each, plus a
+    /// link footer — the multi-region front-end fixture.
+    fn two_table_site() -> (String, String, Vec<&'static str>) {
+        let page = |rows_a: &str, rows_b: &str| {
+            format!(
+                "<html><h1>Example Portal</h1>\
+                 <table>{rows_a}</table>\
+                 <h3>More Results</h3>\
+                 <table>{rows_b}</table>\
+                 <ul><li><a href=\"/p\">Privacy</a></li><li><a href=\"/t\">Terms</a></li>\
+                 <li><a href=\"/f\">Feedback</a></li></ul>\
+                 <p>Copyright 2004 Example Inc All rights reserved</p></html>"
+            )
+        };
+        let a = page(
+            "<tr><td><a href=\"/d/0\">Ada Lovelace</a></td><td>(555) 100-0001</td></tr>\
+             <tr><td><a href=\"/d/1\">Alan Turing</a></td><td>(555) 100-0002</td></tr>",
+            "<tr><td><a href=\"/d/2\">Big Pine Key</a></td><td>$1,200</td></tr>\
+             <tr><td><a href=\"/d/3\">Cedar Grove</a></td><td>$2,400</td></tr>",
+        );
+        let b = page(
+            "<tr><td><a href=\"/d/4\">Grace Hopper</a></td><td>(555) 100-0003</td></tr>\
+             <tr><td><a href=\"/d/5\">Donald Knuth</a></td><td>(555) 100-0004</td></tr>",
+            "<tr><td><a href=\"/d/6\">Dune Road</a></td><td>$3,600</td></tr>\
+             <tr><td><a href=\"/d/7\">Elm Hollow</a></td><td>$4,800</td></tr>",
+        );
+        let details = vec![
+            "<html><h2>Ada Lovelace</h2><p>(555) 100-0001</p></html>",
+            "<html><h2>Alan Turing</h2><p>(555) 100-0002</p></html>",
+            "<html><h2>Big Pine Key</h2><p>$1,200</p></html>",
+            "<html><h2>Cedar Grove</h2><p>$2,400</p></html>",
+        ];
+        (a, b, details)
+    }
+
+    #[test]
+    fn detected_front_end_prepares_each_table_region() {
+        let (a, b, details) = two_table_site();
+        let template = SiteTemplate::build(&[&a, &b]);
+        let detected = try_prepare_detected(
+            &template,
+            0,
+            &details,
+            &crate::detect::DetectOptions::default(),
+        )
+        .expect("clean two-table page");
+        assert!(!detected.detection.pass_through, "two tables must split");
+        assert_eq!(detected.regions.len(), 2, "one prepared page per table");
+        for rp in &detected.regions {
+            assert_eq!(rp.region.kind, crate::detect::RegionKind::Table);
+            assert!(
+                !rp.prepared.extract_offsets.is_empty(),
+                "region extracts derived"
+            );
+            for &off in &rp.prepared.extract_offsets {
+                assert!(
+                    rp.region.bytes.contains(&off),
+                    "extract offset {off} outside region {:?}",
+                    rp.region.bytes
+                );
+            }
+        }
+        // The two regions partition the extracts: no offset overlap.
+        let (r0, r1) = (&detected.regions[0], &detected.regions[1]);
+        assert!(r0.region.bytes.end <= r1.region.bytes.start);
+    }
+
+    #[test]
+    fn detected_front_end_passes_single_table_through() {
+        let (a, b, details) = two_page_site();
+        let template = SiteTemplate::build(&[&a, &b]);
+        let classic = try_prepare_with_template(&template, 0, &details).expect("classic");
+        let detected = try_prepare_detected(
+            &template,
+            0,
+            &details,
+            &crate::detect::DetectOptions::default(),
+        )
+        .expect("single-table page");
+        assert!(detected.detection.pass_through);
+        assert_eq!(detected.regions.len(), 1);
+        let prepared = &detected.regions[0].prepared;
+        assert_eq!(prepared.extract_offsets, classic.extract_offsets);
+        assert_eq!(prepared.used_whole_page, classic.used_whole_page);
+        assert_eq!(prepared.observations.len(), classic.observations.len());
     }
 }

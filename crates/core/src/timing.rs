@@ -50,6 +50,12 @@ pub enum Stage {
     /// Sub-stage of `TemplateInduction`: the histogram-LCS rolling merge
     /// (zero when the Hirschberg oracle path is selected).
     InduceHistogram,
+    /// Sub-stage of `Extraction`: table-region detection ahead of the
+    /// per-region front end (zero on the classic, detect-disabled path).
+    Detect,
+    /// Sub-stage of `Solve`: the recursive nested-record pass (template
+    /// re-induction plus sub-segmentation inside each parent slot).
+    SolveNested,
 }
 
 impl Stage {
@@ -77,6 +83,11 @@ impl Stage {
     /// The sub-stages splitting `TemplateInduction`.
     pub const TEMPLATE_SPLIT: [Stage; 1] = [Stage::InduceHistogram];
 
+    /// The sub-stages added by the scenario-diversity layer: region
+    /// detection (under `extract`) and the recursive nested pass (under
+    /// `solve`).
+    pub const DETECT_SPLIT: [Stage; 2] = [Stage::Detect, Stage::SolveNested];
+
     /// Short column label for reports.
     pub fn label(self) -> &'static str {
         match self {
@@ -93,6 +104,8 @@ impl Stage {
             Stage::SolveEmMStep => "solve.em.m_step",
             Stage::SolveViterbi => "solve.viterbi",
             Stage::InduceHistogram => "induce.histogram",
+            Stage::Detect => "detect.regions",
+            Stage::SolveNested => "solve.nested",
         }
     }
 
@@ -111,12 +124,17 @@ impl Stage {
             Stage::SolveEmMStep => 10,
             Stage::SolveViterbi => 11,
             Stage::InduceHistogram => 12,
+            Stage::Detect => 13,
+            Stage::SolveNested => 14,
         }
     }
 }
 
 /// Number of tracked stages (top-level + sub-stages).
-const NUM_STAGES: usize = Stage::ALL.len() + Stage::SOLVE_SPLIT.len() + Stage::TEMPLATE_SPLIT.len();
+const NUM_STAGES: usize = Stage::ALL.len()
+    + Stage::SOLVE_SPLIT.len()
+    + Stage::TEMPLATE_SPLIT.len()
+    + Stage::DETECT_SPLIT.len();
 
 /// Wall-clock time spent per stage by one job (or merged over many).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -168,9 +186,11 @@ fn nanos_to_duration(n: u128) -> Duration {
 
 /// Converts one scope's [`StageTimes`] into observability stage spans:
 /// the six top-level stages in execution order, with the solver
-/// sub-stages nested under `solve` (`solve.csp`, `solve.prob`), the
-/// EM phases under `solve.prob`, and the histogram fold
-/// (`induce.histogram`) under `template`. Every stage is always emitted
+/// sub-stages nested under `solve` (`solve.csp`, `solve.prob`, the
+/// recursive `solve.nested` pass), the EM phases under `solve.prob`,
+/// the histogram fold (`induce.histogram`) under `template`, and
+/// region detection (`detect.regions`) under `extract`. Every stage is
+/// always emitted
 /// — zeros included — so the span-tree *shape* depends only on the
 /// corpus, never on what happened to take measurable time.
 pub fn stage_spans(times: &StageTimes) -> Vec<SpanNode> {
@@ -184,6 +204,9 @@ pub fn stage_spans(times: &StageTimes) -> Vec<SpanNode> {
             if stage == Stage::TemplateInduction {
                 node.push(span(Stage::InduceHistogram, SpanKind::SolverSubstage));
             }
+            if stage == Stage::Extraction {
+                node.push(span(Stage::Detect, SpanKind::SolverSubstage));
+            }
             if stage == Stage::Solve {
                 node.push(span(Stage::SolveReduce, SpanKind::SolverSubstage));
                 node.push(span(Stage::SolveCsp, SpanKind::SolverSubstage));
@@ -196,6 +219,7 @@ pub fn stage_spans(times: &StageTimes) -> Vec<SpanNode> {
                     prob.push(span(sub, SpanKind::SolverSubstage));
                 }
                 node.push(prob);
+                node.push(span(Stage::SolveNested, SpanKind::SolverSubstage));
             }
             node
         })
@@ -385,6 +409,12 @@ mod tests {
                 Stage::ALL.len() + Stage::SOLVE_SPLIT.len() + i
             );
         }
+        for (i, stage) in Stage::DETECT_SPLIT.iter().enumerate() {
+            assert_eq!(
+                stage.index(),
+                Stage::ALL.len() + Stage::SOLVE_SPLIT.len() + Stage::TEMPLATE_SPLIT.len() + i
+            );
+        }
     }
 
     #[test]
@@ -395,7 +425,27 @@ mod tests {
         t.add(Stage::SolveProb, Duration::from_micros(6));
         t.add(Stage::SolveEmEStep, Duration::from_micros(5));
         t.add(Stage::InduceHistogram, Duration::from_micros(3));
+        t.add(Stage::Detect, Duration::from_micros(2));
+        t.add(Stage::SolveNested, Duration::from_micros(7));
         assert_eq!(t.total(), Duration::from_micros(10));
+    }
+
+    #[test]
+    fn stage_spans_nest_detect_under_extract_and_nested_under_solve() {
+        let mut t = StageTimes::new();
+        t.add(Stage::Extraction, Duration::from_micros(4));
+        t.add(Stage::Detect, Duration::from_micros(2));
+        t.add(Stage::SolveNested, Duration::from_micros(6));
+        let spans = stage_spans(&t);
+        let extract = spans
+            .iter()
+            .find(|s| s.name == "extract")
+            .expect("extract span");
+        assert_eq!(extract.children.len(), 1);
+        assert_eq!(extract.children[0].name, "detect.regions");
+        assert_eq!(extract.children[0].nanos, 2_000);
+        let solve = spans.iter().find(|s| s.name == "solve").expect("solve");
+        assert!(solve.children.iter().any(|c| c.name == "solve.nested"));
     }
 
     #[test]

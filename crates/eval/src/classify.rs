@@ -152,6 +152,70 @@ pub fn classify_spans(pred: &[Range<usize>], truth: &[Range<usize>]) -> PageCoun
     counts
 }
 
+/// One predicted parent record in a nested segmentation: the parent's byte
+/// span plus the sub-record segmentation the recursive pass produced
+/// inside it (extract groups over absolute byte offsets).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NestedParentPred {
+    /// The predicted parent span (absolute byte offsets).
+    pub span: Range<usize>,
+    /// `groups[r]` — indices into `extract_offsets` assigned to
+    /// sub-record `r`.
+    pub groups: Vec<Vec<usize>>,
+    /// Absolute byte offset of each kept sub-extract.
+    pub extract_offsets: Vec<usize>,
+}
+
+/// Ground truth for one parent record: its byte span and the spans of the
+/// sub-records nested inside it (all absolute).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NestedParentTruth {
+    /// The true parent span.
+    pub span: Range<usize>,
+    /// The true sub-record spans inside the parent.
+    pub subs: Vec<Range<usize>>,
+}
+
+fn overlap(a: &Range<usize>, b: &Range<usize>) -> usize {
+    a.end.min(b.end).saturating_sub(a.start.max(b.start))
+}
+
+/// Classifies a nested segmentation at the **sub-record** level.
+///
+/// Truth parents are matched to predicted parents greedily by byte
+/// overlap (each prediction used at most once, truth parents in document
+/// order). For each matched pair the sub-record segmentation is scored
+/// with the ordinary [`classify`] via [`truth_of_extracts`] over the
+/// truth sub-spans; the per-parent counts are summed. A truth parent with
+/// no overlapping prediction contributes all its sub-records as FN; an
+/// unmatched prediction contributes each non-empty sub-group as FP.
+pub fn classify_nested(pred: &[NestedParentPred], truth: &[NestedParentTruth]) -> PageCounts {
+    let mut counts = PageCounts::default();
+    let mut used = vec![false; pred.len()];
+    for t in truth {
+        let best = pred
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| !used[*i] && overlap(&p.span, &t.span) > 0)
+            .max_by_key(|(_, p)| overlap(&p.span, &t.span))
+            .map(|(i, _)| i);
+        let Some(i) = best else {
+            counts.fneg += t.subs.len();
+            continue;
+        };
+        used[i] = true;
+        let p = &pred[i];
+        let sub_truth = truth_of_extracts(&p.extract_offsets, &t.subs);
+        counts = counts.add(&classify(&p.groups, &sub_truth, t.subs.len()));
+    }
+    for (i, p) in pred.iter().enumerate() {
+        if !used[i] {
+            counts.fpos += p.groups.iter().filter(|g| !g.is_empty()).count();
+        }
+    }
+    counts
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +350,115 @@ mod tests {
     fn empty_everything() {
         let c = classify(&[], &[], 0);
         assert_eq!(c, PageCounts::default());
+    }
+
+    #[test]
+    fn nested_perfect_segmentation() {
+        // Two parents, two sub-records each, all segmented cleanly.
+        let pred = vec![
+            NestedParentPred {
+                span: 0..50,
+                groups: vec![vec![0, 1], vec![2, 3]],
+                extract_offsets: vec![2, 5, 22, 28],
+            },
+            NestedParentPred {
+                span: 50..100,
+                groups: vec![vec![0], vec![1]],
+                extract_offsets: vec![55, 80],
+            },
+        ];
+        let truth = vec![
+            NestedParentTruth {
+                span: 0..50,
+                subs: vec![0..20, 20..50],
+            },
+            NestedParentTruth {
+                span: 50..100,
+                subs: vec![50..70, 70..100],
+            },
+        ];
+        let c = classify_nested(&pred, &truth);
+        assert_eq!(
+            c,
+            PageCounts {
+                cor: 4,
+                incor: 0,
+                fneg: 0,
+                fpos: 0
+            }
+        );
+    }
+
+    #[test]
+    fn nested_missed_parent_counts_all_subs_unsegmented() {
+        let pred = vec![NestedParentPred {
+            span: 0..50,
+            groups: vec![vec![0], vec![1]],
+            extract_offsets: vec![2, 30],
+        }];
+        let truth = vec![
+            NestedParentTruth {
+                span: 0..50,
+                subs: vec![0..20, 20..50],
+            },
+            NestedParentTruth {
+                span: 50..100,
+                subs: vec![50..60, 60..80, 80..100],
+            },
+        ];
+        let c = classify_nested(&pred, &truth);
+        assert_eq!(c.cor, 2);
+        assert_eq!(c.fneg, 3);
+    }
+
+    #[test]
+    fn nested_spurious_parent_counts_groups_as_non_records() {
+        let pred = vec![
+            NestedParentPred {
+                span: 0..50,
+                groups: vec![vec![0]],
+                extract_offsets: vec![2],
+            },
+            NestedParentPred {
+                span: 200..260,
+                groups: vec![vec![0], vec![1], vec![]],
+                extract_offsets: vec![205, 240],
+            },
+        ];
+        let whole = 0..50;
+        let truth = vec![NestedParentTruth {
+            span: whole.clone(),
+            subs: vec![whole],
+        }];
+        let c = classify_nested(&pred, &truth);
+        assert_eq!(c.cor, 1);
+        assert_eq!(c.fpos, 2, "only the spurious parent's non-empty groups");
+    }
+
+    #[test]
+    fn nested_matching_prefers_larger_overlap() {
+        // Two predictions overlap the truth parent; the better one wins
+        // and the other becomes spurious.
+        let pred = vec![
+            NestedParentPred {
+                span: 0..10,
+                groups: vec![vec![0]],
+                extract_offsets: vec![1],
+            },
+            NestedParentPred {
+                span: 5..50,
+                groups: vec![vec![0]],
+                extract_offsets: vec![20],
+            },
+        ];
+        let whole = 8..50;
+        let truth = vec![NestedParentTruth {
+            span: whole.clone(),
+            subs: vec![whole],
+        }];
+        let c = classify_nested(&pred, &truth);
+        assert_eq!(c.cor, 1);
+        assert_eq!(c.fpos, 1);
     }
 
     #[test]

@@ -22,5 +22,8 @@ pub mod classify;
 pub mod metrics;
 pub mod report;
 
-pub use classify::{classify, truth_of_extracts, PageCounts};
+pub use classify::{
+    classify, classify_nested, classify_spans, truth_of_extracts, NestedParentPred,
+    NestedParentTruth, PageCounts,
+};
 pub use metrics::Metrics;

@@ -94,6 +94,21 @@ pub enum Counter {
     /// Warm-started WSAT solves whose best try was a warm seed (the
     /// previous relaxation rung's assignment), not a cold restart.
     SolveWarmStartHits,
+    /// Pages run through the table-region detection stage.
+    DetectPages,
+    /// Table regions reported by detection (one per pass-through page).
+    DetectRegions,
+    /// Non-table regions (navigation bars, ad blocks, footers) detection
+    /// classified and withheld from segmentation.
+    DetectNonTable,
+    /// Pages where detection found at most one table region and fed the
+    /// whole page through unchanged (the strict no-op pass-through).
+    DetectPassThrough,
+    /// Parent record slots re-segmented by the recursive nested pass.
+    NestedParents,
+    /// Sub-record groups emitted by the recursive nested pass, summed
+    /// over parents.
+    NestedSubRecords,
 }
 
 impl Counter {
@@ -132,6 +147,12 @@ impl Counter {
         Counter::SolveComponents,
         Counter::SolvePrunedVars,
         Counter::SolveWarmStartHits,
+        Counter::DetectPages,
+        Counter::DetectRegions,
+        Counter::DetectNonTable,
+        Counter::DetectPassThrough,
+        Counter::NestedParents,
+        Counter::NestedSubRecords,
     ];
 
     /// Number of counter variants. [`Counter::ALL`] has exactly this
@@ -139,7 +160,7 @@ impl Counter {
     /// exhaustive match — adding a variant without updating both is a
     /// compile error here and a failure of
     /// `all_assigns_every_variant_its_index` below.
-    pub const COUNT: usize = 33;
+    pub const COUNT: usize = 39;
 
     /// The canonical `area.event` metric name.
     pub fn label(self) -> &'static str {
@@ -177,6 +198,12 @@ impl Counter {
             Counter::SolveComponents => "solve.components",
             Counter::SolvePrunedVars => "solve.pruned_vars",
             Counter::SolveWarmStartHits => "solve.warm_start_hits",
+            Counter::DetectPages => "detect.pages",
+            Counter::DetectRegions => "detect.regions",
+            Counter::DetectNonTable => "detect.non_table",
+            Counter::DetectPassThrough => "detect.pass_through",
+            Counter::NestedParents => "nested.parents",
+            Counter::NestedSubRecords => "nested.sub_records",
         }
     }
 
@@ -219,6 +246,12 @@ impl Counter {
             Counter::SolveComponents => 30,
             Counter::SolvePrunedVars => 31,
             Counter::SolveWarmStartHits => 32,
+            Counter::DetectPages => 33,
+            Counter::DetectRegions => 34,
+            Counter::DetectNonTable => 35,
+            Counter::DetectPassThrough => 36,
+            Counter::NestedParents => 37,
+            Counter::NestedSubRecords => 38,
         }
     }
 }

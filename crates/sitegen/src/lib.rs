@@ -38,6 +38,7 @@ pub mod domains;
 pub mod layout;
 pub mod paper_sites;
 pub mod quirks;
+pub mod scenario;
 pub mod site;
 pub mod truth;
 pub mod universe;
@@ -46,6 +47,11 @@ pub use chaos::{
     apply_chaos, generate_chaotic, ChaosConfig, ChaosLog, FaultKind, FaultSpec, InjectedFault,
 };
 pub use quirks::Quirk;
+pub use scenario::{
+    detect_cohort, generate_multi_table, generate_nested, nested_cohort, MultiTablePage,
+    MultiTableSite, MultiTableSpec, NestedPage, NestedParentTruth, NestedSite, NestedSpec,
+    NestedTruth, RegionLabel, RegionSpan, TableSpec,
+};
 pub use site::{generate, GeneratedSite, LayoutStyle, SiteSpec};
 pub use truth::{GroundTruth, RecordSpan};
 pub use universe::{Universe, UniverseConfig};

@@ -1,0 +1,778 @@
+//! Scenario-diversity page generation: multi-table pages with non-table
+//! noise regions, and nested-record pages.
+//!
+//! The paper's corpus ([`crate::paper_sites`]) is flat single-table list
+//! pages. ROADMAP open item 2 calls for two harder page shapes:
+//!
+//! * **multi-table pages** — several independent result tables on one
+//!   page, interleaved with *noise regions* (a navigation bar, an
+//!   advertisement block, a link footer). The pipeline needs a
+//!   table-region detection stage before segmentation ("Identifying Web
+//!   Tables", PAPERS.md); the ground truth here records every region's
+//!   byte span and kind plus per-table record spans, so region
+//!   precision/recall and per-region segmentation accuracy are both
+//!   mechanical;
+//! * **nested-record pages** — each parent record carries a repeating
+//!   sub-record table ("Extraction of Flat and Nested Data Records from
+//!   Web Pages", PAPERS.md). Every sub-record links to its own
+//!   sub-detail page, so the recursive pass can re-run the full
+//!   list/detail machinery one level down. Ground truth records parent
+//!   spans and, inside each, the sub-record spans.
+//!
+//! Both generators are deterministic in their spec's seed, like
+//! [`crate::site::generate`], and both expose a [`GeneratedSite`] adapter
+//! so the chaos layer ([`crate::chaos::apply_chaos`]) can damage scenario
+//! pages with remapped (flattened) record truth — the fault × scenario
+//! interaction matrix in `crates/sitegen/tests/scenario_props.rs` runs on
+//! exactly that adapter.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use tableseg_html::writer::HtmlWriter;
+
+use crate::db::{Record, Schema};
+use crate::domains::Domain;
+use crate::layout::render_detail_page;
+use crate::quirks::RecordView;
+use crate::site::{GeneratedPage, GeneratedSite, SiteSpec};
+use crate::truth::{GroundTruth, RecordSpan};
+use crate::LayoutStyle;
+
+// ---- multi-table pages with noise regions ----------------------------
+
+/// One result table on a multi-table page.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TableSpec {
+    /// The table's information domain.
+    pub domain: Domain,
+    /// Records per sample page.
+    pub records: usize,
+}
+
+/// The specification of a site whose list pages carry several independent
+/// tables plus non-table regions.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MultiTableSpec {
+    /// Site name (appears in page chrome).
+    pub name: String,
+    /// The result tables, in page order.
+    pub tables: Vec<TableSpec>,
+    /// Links in the navigation bar above the first table (0 = no bar).
+    pub nav_links: usize,
+    /// Whether an advertisement block separates the tables.
+    pub ad_block: bool,
+    /// Links in the footer below the last table (0 = no footer).
+    pub footer_links: usize,
+    /// Number of sample list pages.
+    pub pages: usize,
+    /// Master random seed.
+    pub seed: u64,
+}
+
+/// What a truth region is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum RegionLabel {
+    /// A result table (the detection stage must find these).
+    Table,
+    /// The navigation bar.
+    Nav,
+    /// The advertisement block.
+    Ad,
+    /// The link footer.
+    Footer,
+}
+
+/// The byte span of one region on a multi-table page.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct RegionSpan {
+    /// Start byte offset (inclusive).
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+    /// The region's kind.
+    pub label: RegionLabel,
+    /// For [`RegionLabel::Table`]: index into
+    /// [`MultiTablePage::tables`].
+    pub table: Option<usize>,
+}
+
+/// One generated multi-table list page.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MultiTablePage {
+    /// The list-page HTML.
+    pub list_html: String,
+    /// Detail pages: `details[t][i]` belongs to table `t`, record `i`.
+    pub details: Vec<Vec<String>>,
+    /// Every region's byte span and kind, in page order.
+    pub regions: Vec<RegionSpan>,
+    /// Per-table record ground truth, absolute byte offsets.
+    pub tables: Vec<GroundTruth>,
+}
+
+impl MultiTablePage {
+    /// The byte spans of the table regions only, in page order.
+    pub fn table_region_spans(&self) -> Vec<std::ops::Range<usize>> {
+        self.regions
+            .iter()
+            .filter(|r| r.label == RegionLabel::Table)
+            .map(|r| r.start..r.end)
+            .collect()
+    }
+}
+
+/// A fully generated multi-table site.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MultiTableSite {
+    /// The spec this site was generated from.
+    pub spec: MultiTableSpec,
+    /// The sample list pages.
+    pub pages: Vec<MultiTablePage>,
+}
+
+impl MultiTableSite {
+    /// All list-page HTML, for template induction.
+    pub fn list_htmls(&self) -> Vec<&str> {
+        self.pages.iter().map(|p| p.list_html.as_str()).collect()
+    }
+
+    /// Flattens the site into a [`GeneratedSite`] (all tables' record
+    /// spans in one [`GroundTruth`], all detail pages concatenated in
+    /// table order) so the chaos layer and other flat-truth tooling can
+    /// consume scenario pages. Region structure is not representable
+    /// there and is dropped.
+    pub fn as_generated_site(&self) -> GeneratedSite {
+        let spec = flat_spec(
+            &self.spec.name,
+            self.pages
+                .iter()
+                .map(|p| p.tables.iter().map(GroundTruth::len).sum()),
+            self.spec.seed,
+        );
+        let pages = self
+            .pages
+            .iter()
+            .map(|p| GeneratedPage {
+                list_html: p.list_html.clone(),
+                detail_html: p.details.iter().flatten().cloned().collect(),
+                truth: GroundTruth {
+                    records: p.tables.iter().flat_map(|t| t.records.clone()).collect(),
+                },
+            })
+            .collect();
+        GeneratedSite { spec, pages }
+    }
+}
+
+/// A flat [`SiteSpec`] standing in for a scenario site in adapters.
+fn flat_spec(name: &str, records_per_page: impl Iterator<Item = usize>, seed: u64) -> SiteSpec {
+    SiteSpec {
+        name: name.to_owned(),
+        domain: Domain::WhitePages,
+        layout: LayoutStyle::GridTable,
+        records_per_page: records_per_page.collect(),
+        quirks: vec![],
+        missing_field_prob: 0.0,
+        continuous_numbering: false,
+        overlap: 0,
+        seed,
+    }
+}
+
+/// A plain [`RecordView`]: every field present on both pages, no
+/// alternate markup, no extras.
+fn plain_view(record: &Record) -> RecordView {
+    RecordView {
+        list_values: record.values.iter().cloned().map(Some).collect(),
+        alternate_markup: vec![false; record.values.len()],
+        detail_values: record.values.iter().cloned().map(Some).collect(),
+        detail_extras: Vec::new(),
+    }
+}
+
+fn render_nav(w: &mut HtmlWriter, labels: &[&str], count: usize) {
+    w.open("ul");
+    for k in 0..count {
+        w.open("li");
+        w.open_attrs("a", &format!("href=\"/nav/{k}\""))
+            .text(labels[k % labels.len()])
+            .close();
+        w.close();
+    }
+    w.close(); // ul
+    w.newline();
+}
+
+/// Renders one bordered result table; returns the record spans.
+fn render_table_block(
+    w: &mut HtmlWriter,
+    schema: &Schema,
+    views: &[RecordView],
+    page: usize,
+    table: usize,
+) -> Vec<RecordSpan> {
+    let mut spans = Vec::with_capacity(views.len());
+    w.open_attrs("table", "border=1 cellpadding=2");
+    w.newline();
+    w.open("tr");
+    for f in &schema.fields {
+        w.element("th", f.label);
+    }
+    w.close();
+    w.newline();
+    for (i, view) in views.iter().enumerate() {
+        let start = w.snapshot_len();
+        w.open("tr");
+        for (fi, lv) in view.list_values.iter().enumerate() {
+            w.open("td");
+            match lv {
+                Some(v) if fi == 0 => {
+                    w.open_attrs("a", &format!("href=\"/detail/{page}/{table}/{i}\""))
+                        .text(v)
+                        .close();
+                }
+                Some(v) => {
+                    w.text(v);
+                }
+                None => {
+                    w.raw("&nbsp;");
+                }
+            }
+            w.close();
+        }
+        w.close();
+        let end = w.snapshot_len();
+        spans.push(RecordSpan {
+            start,
+            end,
+            values: view.list_values.iter().flatten().cloned().collect(),
+        });
+        w.newline();
+    }
+    w.close(); // table
+    w.newline();
+    spans
+}
+
+const NAV_LABELS: [&str; 6] = ["Home", "Search", "Browse", "Help", "About Us", "Contact"];
+const FOOTER_LABELS: [&str; 4] = ["Privacy Policy", "Terms of Use", "Feedback", "Site Map"];
+
+/// Generates a multi-table site from its spec. Deterministic in the seed.
+pub fn generate_multi_table(spec: &MultiTableSpec) -> MultiTableSite {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let schemas: Vec<Schema> = spec.tables.iter().map(|t| t.domain.schema()).collect();
+    let mut pages = Vec::with_capacity(spec.pages);
+    for page_idx in 0..spec.pages {
+        let mut w = HtmlWriter::new();
+        let mut regions = Vec::new();
+        w.open("html");
+        w.open("head")
+            .element("title", &format!("{} Directory", spec.name))
+            .close();
+        w.open("body");
+        w.element("h1", &spec.name);
+        w.newline();
+        if spec.nav_links > 0 {
+            let start = w.snapshot_len();
+            render_nav(&mut w, &NAV_LABELS, spec.nav_links);
+            regions.push(RegionSpan {
+                start,
+                end: w.snapshot_len(),
+                label: RegionLabel::Nav,
+                table: None,
+            });
+        }
+        let mut details = Vec::with_capacity(spec.tables.len());
+        let mut tables = Vec::with_capacity(spec.tables.len());
+        for (t, (table, schema)) in spec.tables.iter().zip(&schemas).enumerate() {
+            w.element("h3", &format!("{} Listings", schema.domain));
+            w.newline();
+            let views: Vec<RecordView> = (0..table.records)
+                .map(|_| plain_view(&table.domain.generate(&mut rng)))
+                .collect();
+            let start = w.snapshot_len();
+            let spans = render_table_block(&mut w, schema, &views, page_idx, t);
+            regions.push(RegionSpan {
+                start,
+                end: w.snapshot_len(),
+                label: RegionLabel::Table,
+                table: Some(t),
+            });
+            tables.push(GroundTruth { records: spans });
+            details.push(
+                views
+                    .iter()
+                    .map(|v| render_detail_page(&spec.name, schema, v))
+                    .collect(),
+            );
+            if spec.ad_block && t + 1 < spec.tables.len() {
+                let start = w.snapshot_len();
+                w.open("div");
+                w.open("b").text("Todays Special Offer").close();
+                w.void("br");
+                w.text("Save big on selected listings this week only ");
+                w.open_attrs("a", "href=\"/ads/0\"")
+                    .text("Click Here")
+                    .close();
+                w.close(); // div
+                w.newline();
+                regions.push(RegionSpan {
+                    start,
+                    end: w.snapshot_len(),
+                    label: RegionLabel::Ad,
+                    table: None,
+                });
+            }
+        }
+        if spec.footer_links > 0 {
+            let start = w.snapshot_len();
+            render_nav(&mut w, &FOOTER_LABELS, spec.footer_links);
+            regions.push(RegionSpan {
+                start,
+                end: w.snapshot_len(),
+                label: RegionLabel::Footer,
+                table: None,
+            });
+        }
+        w.element(
+            "p",
+            &format!("Copyright 2004 {} Inc. All rights reserved.", spec.name),
+        );
+        w.close(); // body
+        w.close(); // html
+        pages.push(MultiTablePage {
+            list_html: w.finish(),
+            details,
+            regions,
+            tables,
+        });
+    }
+    MultiTableSite {
+        spec: spec.clone(),
+        pages,
+    }
+}
+
+// ---- nested-record pages ----------------------------------------------
+
+/// The specification of a site whose records nest repeating sub-records.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct NestedSpec {
+    /// Site name (appears in page chrome).
+    pub name: String,
+    /// The parent records' information domain.
+    pub parent_domain: Domain,
+    /// The sub-records' information domain.
+    pub sub_domain: Domain,
+    /// Parent records on each sample list page.
+    pub parents_per_page: Vec<usize>,
+    /// Sub-records nested inside each parent.
+    pub subs_per_parent: usize,
+    /// Master random seed.
+    pub seed: u64,
+}
+
+/// Ground truth for one parent record and its nested sub-records.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct NestedParentTruth {
+    /// The parent record's byte span (covering its nested table).
+    pub span: RecordSpan,
+    /// The sub-record spans, absolute byte offsets inside `span`.
+    pub subs: Vec<RecordSpan>,
+}
+
+/// Ground truth for one nested list page.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize)]
+pub struct NestedTruth {
+    /// One entry per parent record, in row order.
+    pub parents: Vec<NestedParentTruth>,
+}
+
+impl NestedTruth {
+    /// The parent-record spans, for the flat parent-level pass.
+    pub fn parent_spans(&self) -> Vec<std::ops::Range<usize>> {
+        self.parents
+            .iter()
+            .map(|p| p.span.start..p.span.end)
+            .collect()
+    }
+}
+
+/// One generated nested list page.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct NestedPage {
+    /// The list-page HTML.
+    pub list_html: String,
+    /// Parent detail pages, one per parent record.
+    pub parent_details: Vec<String>,
+    /// Sub-record detail pages: `sub_details[i][j]` belongs to parent
+    /// `i`'s sub-record `r_{j+1}`.
+    pub sub_details: Vec<Vec<String>>,
+    /// Parent and sub-record ground truth.
+    pub truth: NestedTruth,
+}
+
+/// A fully generated nested site.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct NestedSite {
+    /// The spec this site was generated from.
+    pub spec: NestedSpec,
+    /// The sample list pages.
+    pub pages: Vec<NestedPage>,
+}
+
+impl NestedSite {
+    /// All list-page HTML, for template induction.
+    pub fn list_htmls(&self) -> Vec<&str> {
+        self.pages.iter().map(|p| p.list_html.as_str()).collect()
+    }
+
+    /// Flattens the site into a [`GeneratedSite`] (parent spans as the
+    /// record truth, parent detail pages as the detail pages) for the
+    /// chaos layer and flat-truth tooling. Sub-record truth is not
+    /// representable there and is dropped.
+    pub fn as_generated_site(&self) -> GeneratedSite {
+        let spec = flat_spec(
+            &self.spec.name,
+            self.pages.iter().map(|p| p.truth.parents.len()),
+            self.spec.seed,
+        );
+        let pages = self
+            .pages
+            .iter()
+            .map(|p| GeneratedPage {
+                list_html: p.list_html.clone(),
+                detail_html: p.parent_details.clone(),
+                truth: GroundTruth {
+                    records: p.truth.parents.iter().map(|t| t.span.clone()).collect(),
+                },
+            })
+            .collect();
+        GeneratedSite { spec, pages }
+    }
+}
+
+/// Generates a nested site from its spec. Deterministic in the seed.
+pub fn generate_nested(spec: &NestedSpec) -> NestedSite {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let parent_schema = spec.parent_domain.schema();
+    let sub_schema = spec.sub_domain.schema();
+    let mut pages = Vec::with_capacity(spec.parents_per_page.len());
+    for (page_idx, &parents) in spec.parents_per_page.iter().enumerate() {
+        let mut w = HtmlWriter::new();
+        w.open("html");
+        w.open("head")
+            .element("title", &format!("{} Search Results", spec.name))
+            .close();
+        w.open("body");
+        w.element("h1", &spec.name);
+        w.newline();
+        w.element("h2", &format!("{parents} Matching Listings"));
+        w.newline();
+        let mut truth = NestedTruth::default();
+        let mut parent_details = Vec::with_capacity(parents);
+        let mut sub_details = Vec::with_capacity(parents);
+        w.open("div");
+        w.newline();
+        for i in 0..parents {
+            let parent = plain_view(&spec.parent_domain.generate(&mut rng));
+            let subs: Vec<RecordView> = (0..spec.subs_per_parent)
+                .map(|_| plain_view(&spec.sub_domain.generate(&mut rng)))
+                .collect();
+            let p_start = w.snapshot_len();
+            w.open("p");
+            for (fi, lv) in parent.list_values.iter().enumerate() {
+                let Some(v) = lv else { continue };
+                if fi == 0 {
+                    w.open_attrs("a", &format!("href=\"/detail/{page_idx}/{i}\""))
+                        .open("b")
+                        .text(v)
+                        .close()
+                        .close();
+                } else {
+                    w.void("br");
+                    w.text(v);
+                }
+            }
+            w.close(); // p
+            w.newline();
+            // The nested sub-record table: the repeating structure every
+            // parent stamps out, which is what the recursive pass
+            // re-induces a template from.
+            w.open_attrs("table", "cellspacing=0");
+            w.newline();
+            w.open("tr");
+            for f in &sub_schema.fields {
+                w.element("th", f.label);
+            }
+            w.close();
+            w.newline();
+            let mut sub_spans = Vec::with_capacity(subs.len());
+            for (j, sub) in subs.iter().enumerate() {
+                let s_start = w.snapshot_len();
+                w.open("tr");
+                for (fi, lv) in sub.list_values.iter().enumerate() {
+                    w.open("td");
+                    match lv {
+                        Some(v) if fi == 0 => {
+                            w.open_attrs("a", &format!("href=\"/sub/{page_idx}/{i}/{j}\""))
+                                .text(v)
+                                .close();
+                        }
+                        Some(v) => {
+                            w.text(v);
+                        }
+                        None => {
+                            w.raw("&nbsp;");
+                        }
+                    }
+                    w.close();
+                }
+                w.close();
+                sub_spans.push(RecordSpan {
+                    start: s_start,
+                    end: w.snapshot_len(),
+                    values: sub.list_values.iter().flatten().cloned().collect(),
+                });
+                w.newline();
+            }
+            w.close(); // table
+            let p_end = w.snapshot_len();
+            w.void("hr");
+            w.newline();
+            truth.parents.push(NestedParentTruth {
+                span: RecordSpan {
+                    start: p_start,
+                    end: p_end,
+                    values: parent.list_values.iter().flatten().cloned().collect(),
+                },
+                subs: sub_spans,
+            });
+            parent_details.push(render_detail_page(&spec.name, &parent_schema, &parent));
+            sub_details.push(
+                subs.iter()
+                    .map(|s| render_detail_page(&spec.name, &sub_schema, s))
+                    .collect(),
+            );
+        }
+        w.close(); // div
+        w.element(
+            "p",
+            &format!("Copyright 2004 {} Inc. All rights reserved.", spec.name),
+        );
+        w.close(); // body
+        w.close(); // html
+        pages.push(NestedPage {
+            list_html: w.finish(),
+            parent_details,
+            sub_details,
+            truth,
+        });
+    }
+    NestedSite {
+        spec: spec.clone(),
+        pages,
+    }
+}
+
+// ---- the scenario cohorts ---------------------------------------------
+
+/// The multi-table detection cohort: a spread of table counts, noise
+/// mixes and domains. `seed` perturbs every site's data.
+pub fn detect_cohort(seed: u64) -> Vec<MultiTableSpec> {
+    let table = |domain, records| TableSpec { domain, records };
+    vec![
+        MultiTableSpec {
+            name: "Midstate Directory".into(),
+            tables: vec![table(Domain::WhitePages, 6), table(Domain::PropertyTax, 5)],
+            nav_links: 5,
+            ad_block: true,
+            footer_links: 4,
+            pages: 2,
+            seed: seed ^ 0xD1,
+        },
+        MultiTableSpec {
+            name: "Tri County Portal".into(),
+            tables: vec![
+                table(Domain::PropertyTax, 4),
+                table(Domain::Corrections, 6),
+                table(Domain::WhitePages, 5),
+            ],
+            nav_links: 6,
+            ad_block: false,
+            footer_links: 3,
+            pages: 2,
+            seed: seed ^ 0xD2,
+        },
+        MultiTableSpec {
+            name: "Book And Author Hub".into(),
+            tables: vec![table(Domain::Books, 7), table(Domain::Books, 4)],
+            nav_links: 0,
+            ad_block: true,
+            footer_links: 4,
+            pages: 2,
+            seed: seed ^ 0xD3,
+        },
+        MultiTableSpec {
+            name: "Single Listing Gazette".into(),
+            tables: vec![table(Domain::WhitePages, 8)],
+            nav_links: 6,
+            ad_block: false,
+            footer_links: 4,
+            pages: 2,
+            seed: seed ^ 0xD4,
+        },
+    ]
+}
+
+/// The nested-record cohort for the recursive-pass benchmark.
+pub fn nested_cohort(seed: u64) -> Vec<NestedSpec> {
+    vec![
+        NestedSpec {
+            name: "Edition Finder".into(),
+            parent_domain: Domain::Books,
+            sub_domain: Domain::WhitePages,
+            parents_per_page: vec![4, 3],
+            subs_per_parent: 3,
+            seed: seed ^ 0xE1,
+        },
+        NestedSpec {
+            name: "County Parcel Register".into(),
+            parent_domain: Domain::WhitePages,
+            sub_domain: Domain::PropertyTax,
+            parents_per_page: vec![3, 4],
+            subs_per_parent: 4,
+            seed: seed ^ 0xE2,
+        },
+        NestedSpec {
+            name: "Facility Roster".into(),
+            parent_domain: Domain::PropertyTax,
+            sub_domain: Domain::Corrections,
+            parents_per_page: vec![4, 4],
+            subs_per_parent: 3,
+            seed: seed ^ 0xE3,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mt_spec() -> MultiTableSpec {
+        detect_cohort(7).remove(0)
+    }
+
+    fn n_spec() -> NestedSpec {
+        nested_cohort(7).remove(0)
+    }
+
+    #[test]
+    fn multi_table_is_deterministic() {
+        assert_eq!(
+            generate_multi_table(&mt_spec()),
+            generate_multi_table(&mt_spec())
+        );
+    }
+
+    #[test]
+    fn multi_table_regions_are_ordered_and_disjoint() {
+        let site = generate_multi_table(&mt_spec());
+        for page in &site.pages {
+            assert!(!page.regions.is_empty());
+            for w2 in page.regions.windows(2) {
+                assert!(w2[0].end <= w2[1].start);
+            }
+            for r in &page.regions {
+                assert!(r.end <= page.list_html.len());
+            }
+        }
+    }
+
+    #[test]
+    fn multi_table_record_spans_sit_inside_their_region() {
+        let site = generate_multi_table(&mt_spec());
+        let page = &site.pages[0];
+        for (t, truth) in page.tables.iter().enumerate() {
+            let region = page
+                .regions
+                .iter()
+                .find(|r| r.table == Some(t))
+                .expect("table region");
+            for span in &truth.records {
+                assert!(span.start >= region.start && span.end <= region.end);
+                let row = &page.list_html[span.start..span.end];
+                for v in &span.values {
+                    let escaped = tableseg_html::entities::encode_text(v);
+                    assert!(row.contains(&escaped), "{row:?} missing {v:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_table_details_align_with_records() {
+        let site = generate_multi_table(&mt_spec());
+        let page = &site.pages[0];
+        assert_eq!(page.details.len(), page.tables.len());
+        for (truth, details) in page.tables.iter().zip(&page.details) {
+            assert_eq!(truth.len(), details.len());
+            for (span, detail) in truth.records.iter().zip(details) {
+                assert!(detail.contains(&span.values[0]));
+            }
+        }
+    }
+
+    #[test]
+    fn nested_is_deterministic() {
+        assert_eq!(generate_nested(&n_spec()), generate_nested(&n_spec()));
+    }
+
+    #[test]
+    fn nested_truth_nests_properly() {
+        let site = generate_nested(&n_spec());
+        for page in &site.pages {
+            for parent in &page.truth.parents {
+                assert!(parent.span.end <= page.list_html.len());
+                for (j, sub) in parent.subs.iter().enumerate() {
+                    assert!(
+                        sub.start >= parent.span.start && sub.end <= parent.span.end,
+                        "sub {j} escapes its parent"
+                    );
+                }
+                for w2 in parent.subs.windows(2) {
+                    assert!(w2[0].end <= w2[1].start);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nested_sub_details_contain_their_values() {
+        let site = generate_nested(&n_spec());
+        let page = &site.pages[0];
+        for (parent, details) in page.truth.parents.iter().zip(&page.sub_details) {
+            assert_eq!(parent.subs.len(), details.len());
+            for (sub, detail) in parent.subs.iter().zip(details) {
+                assert!(detail.contains(&sub.values[0]));
+            }
+        }
+    }
+
+    #[test]
+    fn adapters_flatten_truth() {
+        let mt = generate_multi_table(&mt_spec()).as_generated_site();
+        let expected: usize = generate_multi_table(&mt_spec()).pages[0]
+            .tables
+            .iter()
+            .map(GroundTruth::len)
+            .sum();
+        assert_eq!(mt.pages[0].truth.len(), expected);
+        assert_eq!(mt.pages[0].detail_html.len(), expected);
+
+        let n = generate_nested(&n_spec()).as_generated_site();
+        let src = generate_nested(&n_spec());
+        assert_eq!(n.pages[0].truth.len(), src.pages[0].truth.parents.len());
+    }
+}

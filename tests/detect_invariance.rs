@@ -1,0 +1,123 @@
+//! Detection no-op invariance: enabling the table-region detection stage
+//! must not change anything on single-table pages.
+//!
+//! Every page of the paper corpus is a single-table list page, so the
+//! detect-enabled front end must (a) classify each one as exactly one
+//! whole-page table region with `pass_through` set, (b) produce a
+//! bit-identical `PreparedPage` to the classic path, and (c) reproduce
+//! the committed `tests/golden/table4.txt` byte for byte through the
+//! batch engine at 1, 2 and N threads.
+
+use std::path::PathBuf;
+
+use tableseg::html::lexer::tokenize;
+use tableseg::{
+    detect_regions, try_prepare_detected, try_prepare_with_template, CspSegmenter, DetectOptions,
+    ProbSegmenter, RegionKind, SiteTemplate,
+};
+use tableseg_bench::{run_sites, run_sites_detect, table4_report};
+use tableseg_sitegen::paper_sites;
+use tableseg_sitegen::site::generate;
+
+fn read_golden(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()))
+}
+
+/// Property over the whole corpus: every single-table list page detects
+/// as exactly one whole-page table region, in pass-through mode.
+#[test]
+fn every_paper_corpus_page_is_one_whole_page_region() {
+    let opts = DetectOptions::default();
+    for spec in paper_sites::all() {
+        let site = generate(&spec);
+        for (p, page) in site.pages.iter().enumerate() {
+            let tokens = tokenize(&page.list_html);
+            let detection = detect_regions(&tokens, &opts);
+            assert!(
+                detection.pass_through,
+                "{} page {p}: single-table page must pass through",
+                spec.name
+            );
+            assert_eq!(
+                detection.regions.len(),
+                1,
+                "{} page {p}: exactly one region",
+                spec.name
+            );
+            let region = &detection.regions[0];
+            assert_eq!(region.kind, RegionKind::Table);
+            assert_eq!(
+                region.tokens,
+                0..tokens.len(),
+                "{} page {p}: the region must cover the whole page",
+                spec.name
+            );
+        }
+    }
+}
+
+/// On pass-through pages the detect-enabled front end must hand back the
+/// classic preparation unchanged — same extracts, same offsets, same
+/// fallback flags.
+#[test]
+fn pass_through_preparation_matches_classic_path() {
+    let opts = DetectOptions::default();
+    for spec in [paper_sites::butler(), paper_sites::amazon()] {
+        let site = generate(&spec);
+        let template = SiteTemplate::build(&site.list_htmls());
+        for (p, page) in site.pages.iter().enumerate() {
+            let details: Vec<&str> = page.detail_html.iter().map(String::as_str).collect();
+            let classic = try_prepare_with_template(&template, p, &details)
+                .unwrap_or_else(|e| panic!("{} page {p}: classic prepare: {e}", spec.name));
+            let detected = try_prepare_detected(&template, p, &details, &opts)
+                .unwrap_or_else(|e| panic!("{} page {p}: detect prepare: {e}", spec.name));
+            assert!(detected.detection.pass_through);
+            assert_eq!(detected.regions.len(), 1);
+            let prepared = &detected.regions[0].prepared;
+            assert_eq!(prepared.extract_offsets, classic.extract_offsets);
+            assert_eq!(prepared.skipped_offsets, classic.skipped_offsets);
+            assert_eq!(prepared.used_whole_page, classic.used_whole_page);
+            assert_eq!(prepared.slot_tokens, classic.slot_tokens);
+            assert_eq!(
+                prepared.observations.len(),
+                classic.observations.len(),
+                "{} page {p}",
+                spec.name
+            );
+        }
+    }
+}
+
+/// The hard gate: the table4 report with detection enabled is
+/// byte-identical to the committed golden at 1, 2 and N threads.
+#[test]
+fn table4_golden_is_byte_identical_with_detection_enabled() {
+    let specs = paper_sites::all();
+    let golden = read_golden("table4.txt");
+    let opts = DetectOptions::default();
+    let prob = ProbSegmenter::default();
+    let csp = CspSegmenter::default();
+    let n = tableseg::batch::default_threads().max(3);
+    for threads in [1usize, 2, n] {
+        let outcome = run_sites_detect(&specs, threads, &prob, &csp, &opts);
+        assert_eq!(
+            table4_report(&outcome.runs, false),
+            golden,
+            "detect-enabled table4 drifted from tests/golden/table4.txt at {threads} threads"
+        );
+    }
+    // And the detect path agrees with the plain path run-for-run.
+    let plain = run_sites(&specs, 2);
+    let detect = run_sites_detect(&specs, 2, &prob, &csp, &opts);
+    assert_eq!(plain.runs.len(), detect.runs.len());
+    for (a, b) in plain.runs.iter().zip(&detect.runs) {
+        assert_eq!(a.prob, b.prob, "{} page {}", a.site, a.page);
+        assert_eq!(a.csp, b.csp, "{} page {}", a.site, a.page);
+        assert_eq!(a.used_whole_page, b.used_whole_page);
+        assert_eq!(a.csp_relaxed, b.csp_relaxed);
+    }
+}
